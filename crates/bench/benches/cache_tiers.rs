@@ -1,0 +1,76 @@
+//! Criterion: real read-path cost of the DataCache tiers (blob synthesis +
+//! decode vs disk hit vs memory hit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudtrain::datacache::decode::decode;
+use cloudtrain::datacache::disk::DiskCache;
+use cloudtrain::datacache::loader::LoaderConfig;
+use cloudtrain::datacache::memcache::MemoryCache;
+use cloudtrain::datacache::nfs::{synth_blob, SyntheticNfs};
+use cloudtrain::datacache::timing::CpuModel;
+use cloudtrain::datacache::CachedLoader;
+use std::sync::Arc;
+
+const PIXELS: usize = 96 * 96 * 3;
+
+fn bench_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_tiers");
+
+    group.bench_function("blob_synthesis", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(synth_blob(id, PIXELS, 1))
+        })
+    });
+
+    group.bench_function("decode", |b| {
+        let blob = synth_blob(7, PIXELS, 1);
+        let cpu = CpuModel::default();
+        b.iter(|| black_box(decode(&blob, &cpu).unwrap()))
+    });
+
+    group.bench_function("memcache_hit", |b| {
+        let mut cache = MemoryCache::new(1 << 30);
+        let blob = synth_blob(7, PIXELS, 1);
+        let (sample, _) = decode(&blob, &CpuModel::default()).unwrap();
+        cache.put(7, Arc::new(sample));
+        b.iter(|| black_box(cache.get(7).unwrap().0.label))
+    });
+
+    group.bench_function("disk_hit", |b| {
+        let dir = std::env::temp_dir().join(format!("ct-bench-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.put(7, &synth_blob(7, PIXELS, 1)).unwrap();
+        b.iter(|| black_box(cache.get(7).unwrap().0.len()));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.bench_function("loader_steady_state", |b| {
+        let mut loader = CachedLoader::new(
+            SyntheticNfs::new(PIXELS, 1),
+            None,
+            LoaderConfig {
+                use_disk: false,
+                ..LoaderConfig::default()
+            },
+        );
+        // Warm the memory tier.
+        for id in 0..64 {
+            loader.load(id);
+        }
+        let mut id = 0u64;
+        b.iter(|| {
+            id = (id + 1) % 64;
+            black_box(loader.load(id).0.label)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: LARS rate computation — single-worker full computation vs
+//! PTO-partitioned over real worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cloudtrain::collectives::group::run_on_group;
+use cloudtrain::dnn::model::ParamRange;
+use cloudtrain::optim::lars::compute_rates;
+use cloudtrain::optim::LarsConfig;
+use cloudtrain::tensor::init;
+
+/// Builds a ResNet-50-like layout: 161 layers over ~25M parameters.
+fn layout(d: usize, layers: usize) -> Vec<ParamRange> {
+    let base = d / layers;
+    let mut ranges = Vec::with_capacity(layers);
+    let mut off = 0;
+    for l in 0..layers {
+        let len = if l == layers - 1 { d - off } else { base };
+        ranges.push(ParamRange { offset: off, len });
+        off += len;
+    }
+    ranges
+}
+
+fn bench_lars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pto_lars");
+    group.sample_size(20);
+    let d = 2_000_000;
+    let layers = 161;
+    let mut rng = init::rng_from_seed(9);
+    let params = init::gradient_like_tensor(d, &mut rng).into_vec();
+    let grads = init::gradient_like_tensor(d, &mut rng).into_vec();
+    let ranges = layout(d, layers);
+    let cfg = LarsConfig::default();
+
+    group.bench_function("full_rates_single_worker", |b| {
+        b.iter(|| black_box(compute_rates(&params, &grads, &ranges, &cfg)))
+    });
+
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pto_rates", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    run_on_group(workers, |peer| {
+                        black_box(
+                            cloudtrain::pto::lars_rates(peer, &params, &grads, &ranges, &cfg)
+                                .len(),
+                        )
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lars);
+criterion_main!(benches);

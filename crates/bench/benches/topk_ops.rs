@@ -1,0 +1,75 @@
+//! Criterion: real CPU wall time of the top-k operators (the Fig. 6
+//! implementations) across vector sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cloudtrain::compress::dgc::Dgc;
+use cloudtrain::compress::exact::{QuickTopK, SortTopK};
+use cloudtrain::compress::quantize::{Qsgd, Quantizer, ScaledSign, TernGrad};
+use cloudtrain::compress::randomk::RandomK;
+use cloudtrain::compress::{Compressor, MsTopK};
+use cloudtrain::tensor::init;
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_ops");
+    let mut rng = init::rng_from_seed(1);
+    for d in [262_144usize, 1 << 21] {
+        let x = init::gradient_like_tensor(d, &mut rng).into_vec();
+        let k = (d / 1000).max(1);
+        group.throughput(Throughput::Elements(d as u64));
+
+        group.bench_with_input(BenchmarkId::new("sort_topk", d), &x, |b, x| {
+            b.iter(|| black_box(SortTopK.compress(x, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("quickselect_topk", d), &x, |b, x| {
+            b.iter(|| black_box(QuickTopK.compress(x, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("dgc", d), &x, |b, x| {
+            let mut op = Dgc::new(0.01, 2);
+            b.iter(|| black_box(op.compress(x, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("mstopk_n30", d), &x, |b, x| {
+            let mut op = MsTopK::new(30, 3);
+            b.iter(|| black_box(op.compress(x, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("mstopk_n10", d), &x, |b, x| {
+            let mut op = MsTopK::new(10, 3);
+            b.iter(|| black_box(op.compress(x, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("randomk", d), &x, |b, x| {
+            let mut op = RandomK::new(4);
+            b.iter(|| black_box(op.compress(x, k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantizers");
+    let mut rng = init::rng_from_seed(2);
+    let d = 1 << 20;
+    let x = init::gradient_like_tensor(d, &mut rng).into_vec();
+    group.throughput(Throughput::Elements(d as u64));
+
+    group.bench_function("qsgd_127", |b| {
+        let mut q = Qsgd::new(127, 1);
+        b.iter(|| black_box(q.quantize(&x)))
+    });
+    group.bench_function("terngrad", |b| {
+        let mut q = TernGrad::new(1);
+        b.iter(|| black_box(q.quantize(&x)))
+    });
+    group.bench_function("scaled_sign", |b| {
+        let mut q = ScaledSign;
+        b.iter(|| black_box(q.quantize(&x)))
+    });
+    group.bench_function("decode", |b| {
+        let g = Qsgd::new(127, 1).quantize(&x);
+        b.iter(|| black_box(g.decode()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk, bench_quantizers);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: the compression-method landscape (§6's related work).
+//!
+//! Trains the same task with all six aggregation strategies — two dense,
+//! three sparsified (per-worker top-k, hierarchical MSTopK, global
+//! top-k) and one quantized (QSGD) — and reports convergence alongside
+//! each scheme's modelled wire cost on the 128-GPU cluster, so the
+//! accuracy/traffic frontier is visible in one table.
+
+use cloudtrain::prelude::*;
+use cloudtrain_bench::{emit_json, fmt_secs, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    epoch1_top1: f32,
+    final_top1: f32,
+    comm_seconds_128gpu: f64,
+}
+
+fn main() {
+    header("Ablation: compression methods — convergence vs modelled comm cost");
+    println!(
+        "{:<12} {:>14} {:>12} {:>20}",
+        "strategy", "epoch-1 top1", "final top1", "128-GPU comm (25M)"
+    );
+
+    let strategies = [
+        Strategy::DenseTreeAr,
+        Strategy::DenseTorus,
+        Strategy::TopKNaiveAg { rho: 0.03 },
+        Strategy::MsTopKHiTopK {
+            rho: 0.03,
+            samplings: 30,
+        },
+        Strategy::GTopK { rho: 0.03 },
+        Strategy::Qsgd { levels: 127 },
+    ];
+    let cluster = clouds::tencent(16);
+    let mut rows = Vec::new();
+    for strategy in strategies {
+        let cfg = DistConfig {
+            epochs: 4,
+            iters_per_epoch: 12,
+            ..DistConfig::small(strategy, Workload::Mlp)
+        };
+        let report = DistTrainer::new(cfg).run();
+        let comm = IterationModel::new(
+            cluster,
+            SystemConfig {
+                strategy,
+                datacache: true,
+                pto: true,
+            },
+            ModelProfile::resnet50_224(),
+        )
+        .breakdown()
+        .comm_total;
+        println!(
+            "{:<12} {:>13.1}% {:>11.1}% {:>20}",
+            report.strategy,
+            report.epochs[0].val_top1 * 100.0,
+            report.final_top1() * 100.0,
+            fmt_secs(comm)
+        );
+        rows.push(Row {
+            strategy: report.strategy.clone(),
+            epoch1_top1: report.epochs[0].val_top1,
+            final_top1: report.final_top1(),
+            comm_seconds_128gpu: comm,
+        });
+    }
+    println!(
+        "\nshape check: dense schemes anchor accuracy; sparsified/quantized schemes\n\
+         trade early accuracy for traffic. Crucially, compression alone is not\n\
+         enough: the flat AllGather paths (TopK-SGD, QSGD) *grow with P* and end\n\
+         up costlier than dense 2DTAR at 128 GPUs — only the hierarchy-aware\n\
+         schemes (2DTAR, HiTopKComm) fit the cloud fabric, which is the paper's\n\
+         central argument for combining MSTopK *with* HiTopKComm."
+    );
+    emit_json("ablation_compressors", &rows);
+}

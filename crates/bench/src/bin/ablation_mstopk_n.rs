@@ -1,0 +1,65 @@
+//! Ablation: MSTopK's sampling count `N` (the paper fixes N = 30).
+//!
+//! Sweeps N and reports (a) selection quality — how much of the exact
+//! top-k magnitude mass the approximate selection captures and how tight
+//! the threshold bracket [k1, k2] is — and (b) the modelled GPU cost,
+//! which grows linearly in N. N ≈ 30 sits where quality saturates.
+
+use cloudtrain::compress::exact::topk_sort;
+use cloudtrain::compress::gpu_cost::{mstopk_cost, GpuRates};
+use cloudtrain::compress::MsTopK;
+use cloudtrain::tensor::init;
+use cloudtrain_bench::{emit_json, fmt_secs, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    samplings: usize,
+    mass_ratio: f32,
+    bracket_k1: usize,
+    bracket_k2: usize,
+    modelled_gpu_s: f64,
+}
+
+fn main() {
+    header("Ablation: MSTopK sampling count N (d = 4M, k = 0.001 d)");
+    let d = 4_000_000;
+    let k = d / 1000;
+    let mut rng = init::rng_from_seed(77);
+    let x = init::gradient_like_tensor(d, &mut rng).into_vec();
+    let exact_mass = topk_sort(&x, k).abs_mass();
+    let rates = GpuRates::default();
+
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>14}",
+        "N", "mass ratio", "k1", "k2", "GPU model"
+    );
+    let mut rows = Vec::new();
+    for n in [2usize, 5, 10, 20, 30, 60] {
+        let mut op = MsTopK::new(n, 7);
+        let (sel, stats) = op.select_with_stats(&x, k);
+        let mass_ratio = sel.abs_mass() / exact_mass;
+        let cost = mstopk_cost(d, k, n, &rates).seconds;
+        println!(
+            "{:>4} {:>11.4} {:>12} {:>12} {:>14}",
+            n,
+            mass_ratio,
+            stats.k1,
+            stats.k2,
+            fmt_secs(cost)
+        );
+        rows.push(Row {
+            samplings: n,
+            mass_ratio,
+            bracket_k1: stats.k1,
+            bracket_k2: stats.k2,
+            modelled_gpu_s: cost,
+        });
+    }
+    println!(
+        "\nshape check: the bracket tightens and the captured mass saturates by\n\
+         N ≈ 20–30 while cost keeps growing linearly — N = 30 (the paper's\n\
+         choice) buys near-exact selections at negligible cost."
+    );
+    emit_json("ablation_mstopk_n", &rows);
+}

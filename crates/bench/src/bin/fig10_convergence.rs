@@ -1,0 +1,66 @@
+//! Figure 10: convergence comparison of Dense-SGD (2DTAR), TopK-SGD and
+//! MSTopK-SGD — real distributed training (8 workers as 2 nodes × 4) on
+//! the synthetic CNN and Transformer tasks, printing per-epoch validation
+//! accuracy curves.
+
+use cloudtrain::prelude::*;
+use cloudtrain_bench::{emit_json, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    workload: String,
+    strategy: String,
+    val_top1: Vec<f32>,
+    val_top5: Vec<f32>,
+    train_loss: Vec<f32>,
+}
+
+fn run(workload: Workload, name: &str, epochs: usize, lr: f32) -> Vec<Curve> {
+    header(&format!("Figure 10: convergence on {name}"));
+    println!("{:<12} per-epoch validation top-1 (%)", "strategy");
+    let mut curves = Vec::new();
+    for strategy in [
+        Strategy::DenseTorus,
+        Strategy::TopKNaiveAg { rho: 0.03 },
+        Strategy::MsTopKHiTopK {
+            rho: 0.03,
+            samplings: 30,
+        },
+    ] {
+        let cfg = DistConfig {
+            epochs,
+            iters_per_epoch: 12,
+            lr,
+            ..DistConfig::small(strategy, workload)
+        };
+        let report = DistTrainer::new(cfg).run();
+        let accs: Vec<String> = report
+            .epochs
+            .iter()
+            .map(|e| format!("{:5.1}", e.val_top1 * 100.0))
+            .collect();
+        println!("{:<12} {}", report.strategy, accs.join(" "));
+        curves.push(Curve {
+            workload: name.to_string(),
+            strategy: report.strategy.clone(),
+            val_top1: report.epochs.iter().map(|e| e.val_top1).collect(),
+            val_top5: report.epochs.iter().map(|e| e.val_top5).collect(),
+            train_loss: report.epochs.iter().map(|e| e.train_loss).collect(),
+        });
+    }
+    curves
+}
+
+fn main() {
+    let mut all = Vec::new();
+    all.extend(run(Workload::ResNetLite, "ResNet-lite (CNN)", 5, 0.08));
+    all.extend(run(Workload::VggLite, "VGG-lite (CNN)", 5, 0.08));
+    all.extend(run(Workload::Transformer, "TinyTransformer", 5, 0.02));
+    println!(
+        "\nshape check: all three algorithms converge; the sparsified runs\n\
+         trail the dense run in early epochs and close most of the gap\n\
+         (paper Fig. 10 / Table 2)."
+    );
+    emit_json("fig10_convergence", &all);
+}

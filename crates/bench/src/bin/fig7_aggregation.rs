@@ -1,0 +1,79 @@
+//! Figure 7: data-aggregation time of NaiveAG, TreeAR, 2DTAR and
+//! HiTopKComm on the 16-node / 128-GPU cluster, FP16 elements, ρ = 0.01,
+//! across message sizes. Also prints the Table 1 cloud presets the
+//! simulation is parameterised by.
+
+use cloudtrain::prelude::*;
+use cloudtrain::simnet::collectives as simc;
+use cloudtrain_bench::{emit_json, fmt_secs, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    elements: usize,
+    naive_ag: f64,
+    tree_ar: f64,
+    torus_ar: f64,
+    hitopk: f64,
+}
+
+fn main() {
+    header("Table 1: cloud instance presets behind the simulation");
+    println!(
+        "{:<10} {:>18} {:>14} {:>16}",
+        "cloud", "instance", "network", "eff. inter bw"
+    );
+    for (cloud, instance, gbps, spec) in [
+        ("AWS", "p3.16xlarge", 25.0, clouds::aws(16)),
+        ("Aliyun", "gn6e (32GbE)", 32.0, clouds::aliyun(16)),
+        ("Tencent", "18XLARGE320", 25.0, clouds::tencent(16)),
+    ] {
+        println!(
+            "{:<10} {:>18} {:>11} Gbps {:>12.2} GB/s",
+            cloud,
+            instance,
+            gbps,
+            1.0 / spec.inter.beta / 1e9
+        );
+    }
+
+    header("Figure 7: aggregation time (16 nodes x 8 GPUs, FP16, rho = 0.01)");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "elements", "NaiveAG", "TreeAR", "2DTAR", "HiTopKComm"
+    );
+    let spec = clouds::tencent(16);
+    let mut rows = Vec::new();
+    let mut d = 1usize << 21;
+    while d <= 1 << 27 {
+        let mut sim = NetSim::new(spec);
+        let naive = simc::sim_naive_sparse_all_gather(&mut sim, &spec, (d / 100).max(1)).total;
+        sim.reset();
+        let tree = simc::sim_tree_all_reduce_hier(&mut sim, &spec, d * 2).total;
+        sim.reset();
+        let torus = simc::sim_torus_all_reduce(&mut sim, &spec, d * 2).total;
+        sim.reset();
+        let hitopk = simc::sim_hitopk(&mut sim, &spec, d, 2, 0.01, 1e-3).total;
+        println!(
+            "{:>12} {:>12} {:>12} {:>12} {:>12}",
+            d,
+            fmt_secs(naive),
+            fmt_secs(tree),
+            fmt_secs(torus),
+            fmt_secs(hitopk)
+        );
+        rows.push(Row {
+            elements: d,
+            naive_ag: naive,
+            tree_ar: tree,
+            torus_ar: torus,
+            hitopk,
+        });
+        d *= 2;
+    }
+    println!(
+        "\nshape check: HiTopKComm < 2DTAR < TreeAR < NaiveAG at every size\n\
+         (the paper's Fig. 7 ordering)."
+    );
+    emit_json("fig7_aggregation", &rows);
+}

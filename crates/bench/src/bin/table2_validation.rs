@@ -1,0 +1,79 @@
+//! Table 2: final validation performance of 2DTAR-SGD (dense), TopK-SGD
+//! and MSTopK-SGD on the CNN and Transformer workloads — real distributed
+//! training to (near-)convergence on the synthetic tasks.
+//!
+//! Substitution note (DESIGN.md): the paper reports ImageNet top-5 and WMT
+//! BLEU; the synthetic stand-ins report top-5/top-1 accuracy on held-out
+//! samples. The *comparison* across algorithms is what Fig. 10 / Table 2
+//! establish, and it transfers: dense ≥ MSTopK ≈ TopK, with the sparse
+//! methods slightly behind at a fixed epoch budget.
+
+use cloudtrain::prelude::*;
+use cloudtrain_bench::{emit_json, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    dense_2dtar: f32,
+    topk: f32,
+    mstopk: f32,
+}
+
+fn final_acc(strategy: Strategy, workload: Workload, epochs: usize, lr: f32) -> f32 {
+    let cfg = DistConfig {
+        epochs,
+        iters_per_epoch: 12,
+        lr,
+        ..DistConfig::small(strategy, workload)
+    };
+    // Top-1 at a fixed epoch budget: the synthetic tasks saturate quickly,
+    // so the paper's "slight accuracy loss at a fixed budget" effect is
+    // visible in top-1 before saturation (the budgets below stop there).
+    DistTrainer::new(cfg).run().final_top1()
+}
+
+fn main() {
+    header("Table 2: validation performance at a fixed epoch budget (top-1)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "model", "2DTAR-SGD", "TopK-SGD", "MSTopK-SGD"
+    );
+    let mut rows = Vec::new();
+    for (workload, name, epochs, lr) in [
+        (Workload::ResNetLite, "ResNet-lite", 3, 0.08),
+        (Workload::VggLite, "VGG-lite", 3, 0.08),
+        (Workload::Transformer, "TinyTransformer", 4, 0.02),
+    ] {
+        let dense = final_acc(Strategy::DenseTorus, workload, epochs, lr);
+        let topk = final_acc(Strategy::TopKNaiveAg { rho: 0.03 }, workload, epochs, lr);
+        let mstopk = final_acc(
+            Strategy::MsTopKHiTopK {
+                rho: 0.03,
+                samplings: 30,
+            },
+            workload,
+            epochs,
+            lr,
+        );
+        println!(
+            "{:<18} {:>11.2}% {:>11.2}% {:>11.2}%",
+            name,
+            dense * 100.0,
+            topk * 100.0,
+            mstopk * 100.0
+        );
+        rows.push(Row {
+            workload: name.to_string(),
+            dense_2dtar: dense,
+            topk,
+            mstopk,
+        });
+    }
+    println!(
+        "\npaper anchors (Table 2): ResNet-50 93.31 / 92.68 / 93.12; the dense run\n\
+         leads slightly and MSTopK-SGD matches or beats TopK-SGD on CNNs thanks to\n\
+         dense intra-node aggregation."
+    );
+    emit_json("table2_validation", &rows);
+}

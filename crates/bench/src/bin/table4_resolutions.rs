@@ -1,0 +1,32 @@
+//! Table 4: system throughput at each DAWNBench input resolution
+//! (96/128/224/288) with the per-stage strategy the paper uses, plus
+//! single-GPU baselines and scaling efficiency.
+
+use cloudtrain::engine::dawnbench::{evaluate_schedule, paper_schedule};
+use cloudtrain::prelude::*;
+use cloudtrain_bench::{emit_json, header};
+
+fn main() {
+    header("Table 4: throughput per DAWNBench resolution stage (128 GPUs)");
+    println!(
+        "{:<22} {:>7} {:>6} {:>12} {:>16} {:>7}",
+        "input", "epochs", "BS", "single-GPU", "128-GPU", "SE"
+    );
+    let result = evaluate_schedule(clouds::tencent(16), &paper_schedule());
+    for (stage, sched) in result.stages.iter().zip(paper_schedule()) {
+        println!(
+            "{:<22} {:>7} {:>6} {:>12.0} {:>16.0} {:>6.0}%",
+            stage.name,
+            stage.epochs,
+            sched.profile.local_batch,
+            stage.single_gpu,
+            stage.system_throughput,
+            stage.scaling_efficiency * 100.0
+        );
+    }
+    println!(
+        "\npaper anchors (Table 4): 366,208 (65%) @96; 269,696 (70%) @128;\n\
+         131,712 (83%) @224; 72,960 (80%) @288."
+    );
+    emit_json("table4_resolutions", &result.stages);
+}

@@ -1,0 +1,51 @@
+//! Table 5: time to 93% top-5 accuracy on 128 V100s — the DAWNBench
+//! leaderboard comparison, with our modelled schedule on the 25GbE
+//! Tencent cluster (and the dense-only ablation).
+
+use cloudtrain::engine::dawnbench::{
+    dense_only_schedule, evaluate_schedule, paper_schedule, published_leaderboard,
+};
+use cloudtrain::prelude::*;
+use cloudtrain_bench::{emit_json, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    ours_seconds: f64,
+    dense_only_seconds: f64,
+    best_published_seconds: f64,
+}
+
+fn main() {
+    header("Table 5: time to 93% top-5 accuracy with 128 Tesla V100 GPUs");
+    println!(
+        "{:<10} {:>10} {:>14} {:>10}",
+        "team", "date", "interconnect", "time"
+    );
+    for e in published_leaderboard() {
+        println!(
+            "{:<10} {:>10} {:>14} {:>9.0}s",
+            e.team, e.date, e.interconnect, e.seconds
+        );
+    }
+    let ours = evaluate_schedule(clouds::tencent(16), &paper_schedule());
+    let dense = evaluate_schedule(clouds::tencent(16), &dense_only_schedule());
+    println!(
+        "{:<10} {:>10} {:>14} {:>9.0}s  <- this reproduction (modelled)",
+        "Ours", "Aug 2020", "25GbE", ours.total_seconds
+    );
+    println!(
+        "\nablation: the same 28 epochs with dense 2DTAR throughout take {:.0}s;\n\
+         MSTopK in the 13 warmup epochs buys the lead despite the slowest\n\
+         interconnect on the board (paper: 151s vs Alibaba's 158s on 32GbE).",
+        dense.total_seconds
+    );
+    emit_json(
+        "table5_dawnbench",
+        &Summary {
+            ours_seconds: ours.total_seconds,
+            dense_only_seconds: dense.total_seconds,
+            best_published_seconds: 158.0,
+        },
+    );
+}

@@ -1,0 +1,130 @@
+//! Hand-rolled argument parsing for the `cloudtrain` binary.
+//!
+//! `--key value` / `--key=value` flags after a subcommand; unknown flags
+//! are errors with a hint, so typos fail loudly instead of silently using
+//! defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (`train`, `simulate`, `dawnbench`, `sweep`).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] on missing subcommand, a flag without a
+    /// value, or a stray positional argument.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ParseError> {
+        let mut it = raw.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ParseError("missing subcommand (try `cloudtrain help`)".into()))?;
+        let mut options = HashMap::new();
+        while let Some(tok) = it.next() {
+            let Some(stripped) = tok.strip_prefix("--") else {
+                return Err(ParseError(format!("unexpected positional argument `{tok}`")));
+            };
+            if let Some((k, v)) = stripped.split_once('=') {
+                options.insert(k.to_string(), v.to_string());
+            } else {
+                let v = it.next().ok_or_else(|| {
+                    ParseError(format!("flag `--{stripped}` is missing a value"))
+                })?;
+                options.insert(stripped.to_string(), v);
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    /// A string option or its default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed numeric option or its default.
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] if the value does not parse.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("invalid value `{v}` for --{key}"))),
+        }
+    }
+
+    /// Rejects any option not in `allowed` (typo protection).
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] naming the unknown flag.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ParseError> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown flag --{k} for `{}` (allowed: {})",
+                    self.command,
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ParseError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = parse("train --epochs 4 --strategy=mstopk").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get_or("epochs", "1"), "4");
+        assert_eq!(a.get_or("strategy", "dense"), "mstopk");
+        assert_eq!(a.get_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn numeric_parsing_with_defaults() {
+        let a = parse("simulate --nodes 16").unwrap();
+        assert_eq!(a.num_or::<usize>("nodes", 4).unwrap(), 16);
+        assert_eq!(a.num_or::<usize>("gpus", 8).unwrap(), 8);
+        assert!(parse("simulate --nodes abc")
+            .unwrap()
+            .num_or::<usize>("nodes", 4)
+            .is_err());
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        assert!(parse("").is_err());
+        assert!(parse("train --epochs").is_err());
+        assert!(parse("train stray").is_err());
+        let a = parse("train --epochz 4").unwrap();
+        let err = a.reject_unknown(&["epochs"]).unwrap_err();
+        assert!(err.to_string().contains("epochz"));
+    }
+}

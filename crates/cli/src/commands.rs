@@ -1,0 +1,291 @@
+//! Subcommand implementations.
+
+use cloudtrain::engine::dawnbench::{
+    dense_only_schedule, evaluate_schedule, paper_schedule, published_leaderboard,
+};
+use cloudtrain::prelude::*;
+use cloudtrain::simnet::ClusterSpec;
+
+use crate::args::{Args, ParseError};
+
+/// Prints the usage text.
+pub fn print_help() {
+    println!(
+        "cloudtrain — scalable distributed training on public cloud clusters\n\
+         (Rust reproduction of Shi et al., MLSys 2021)\n\n\
+         USAGE: cloudtrain <command> [--flag value]...\n\n\
+         COMMANDS:\n\
+         \x20 train      real distributed training on worker threads\n\
+         \x20            --workload mlp|resnet|vgg|transformer  --strategy <s>\n\
+         \x20            --nodes N --gpus N --epochs N --iters N --lr F\n\
+         \x20            --rho F --seed N\n\
+         \x20 simulate   iteration breakdown on a simulated cluster\n\
+         \x20            --model <m> --strategy <s> --nodes N --cloud <c>\n\
+         \x20 sweep      all strategies on one model (Table 3-style row)\n\
+         \x20            --model <m> --nodes N --cloud <c>\n\
+         \x20 dawnbench  the 28-epoch multi-resolution schedule (Tables 4/5)\n\
+         \x20            --cloud tencent|aliyun|ib\n\
+         \x20 help       this text\n\n\
+         STRATEGIES: dense (TreeAR), 2dtar, topk, mstopk, gtopk, qsgd\n\
+         MODELS: resnet50-224, resnet50-96, resnet50-128, resnet50-288,\n\
+         \x20       vgg19, transformer"
+    );
+}
+
+/// Routes a parsed command line.
+///
+/// # Errors
+/// Returns a [`ParseError`] for unknown commands, flags, or values.
+pub fn dispatch(args: &Args) -> Result<(), ParseError> {
+    match args.command.as_str() {
+        "train" => cmd_train(args),
+        "simulate" => cmd_simulate(args),
+        "sweep" => cmd_sweep(args),
+        "dawnbench" => cmd_dawnbench(args),
+        other => Err(ParseError(format!(
+            "unknown command `{other}` (try `cloudtrain help`)"
+        ))),
+    }
+}
+
+fn strategy_of(args: &Args) -> Result<Strategy, ParseError> {
+    let rho: f64 = args.num_or("rho", 0.01)?;
+    Ok(match args.get_or("strategy", "mstopk") {
+        "dense" => Strategy::DenseTreeAr,
+        "2dtar" => Strategy::DenseTorus,
+        "topk" => Strategy::TopKNaiveAg { rho },
+        "mstopk" => Strategy::MsTopKHiTopK {
+            rho,
+            samplings: args.num_or("samplings", 30)?,
+        },
+        "gtopk" => Strategy::GTopK { rho },
+        "qsgd" => Strategy::Qsgd {
+            levels: args.num_or("levels", 127)?,
+        },
+        other => return Err(ParseError(format!("unknown strategy `{other}`"))),
+    })
+}
+
+fn model_of(args: &Args) -> Result<ModelProfile, ParseError> {
+    Ok(match args.get_or("model", "resnet50-96") {
+        "resnet50-224" => ModelProfile::resnet50_224(),
+        "resnet50-96" => ModelProfile::resnet50_96(),
+        "resnet50-128" => ModelProfile::resnet50_128(),
+        "resnet50-288" => ModelProfile::resnet50_288(),
+        "vgg19" => ModelProfile::vgg19(),
+        "transformer" => ModelProfile::transformer(),
+        other => return Err(ParseError(format!("unknown model `{other}`"))),
+    })
+}
+
+fn cluster_of(args: &Args) -> Result<ClusterSpec, ParseError> {
+    let nodes: usize = args.num_or("nodes", 16)?;
+    Ok(match args.get_or("cloud", "tencent") {
+        "tencent" => clouds::tencent(nodes),
+        "aws" => clouds::aws(nodes),
+        "aliyun" => clouds::aliyun(nodes),
+        "ib" => clouds::infiniband_100g(nodes),
+        other => return Err(ParseError(format!("unknown cloud `{other}`"))),
+    })
+}
+
+fn cmd_train(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&[
+        "workload", "strategy", "nodes", "gpus", "epochs", "iters", "lr", "rho", "samplings",
+        "levels", "seed", "batch",
+    ])?;
+    let workload = match args.get_or("workload", "mlp") {
+        "mlp" => Workload::Mlp,
+        "resnet" => Workload::ResNetLite,
+        "vgg" => Workload::VggLite,
+        "transformer" => Workload::Transformer,
+        other => return Err(ParseError(format!("unknown workload `{other}`"))),
+    };
+    let cfg = DistConfig {
+        nodes: args.num_or("nodes", 2)?,
+        gpus_per_node: args.num_or("gpus", 4)?,
+        epochs: args.num_or("epochs", 4)?,
+        iters_per_epoch: args.num_or("iters", 12)?,
+        lr: args.num_or("lr", 0.08)?,
+        local_batch: args.num_or("batch", 8)?,
+        seed: args.num_or("seed", 42)?,
+        ..DistConfig::small(strategy_of(args)?, workload)
+    };
+    println!(
+        "training {:?} with {} on {}x{} workers...",
+        workload,
+        cfg.strategy.label(),
+        cfg.nodes,
+        cfg.gpus_per_node
+    );
+    let report = DistTrainer::new(cfg).run();
+    println!("{:<7} {:>10} {:>8} {:>8} {:>12}", "epoch", "loss", "top1", "top5", "residual");
+    for e in &report.epochs {
+        println!(
+            "{:<7} {:>10.4} {:>7.1}% {:>7.1}% {:>12.3}",
+            e.epoch,
+            e.train_loss,
+            e.val_top1 * 100.0,
+            e.val_top5 * 100.0,
+            e.residual_norm
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&[
+        "model", "strategy", "nodes", "cloud", "rho", "samplings", "levels", "datacache", "pto",
+    ])?;
+    let system = SystemConfig {
+        strategy: strategy_of(args)?,
+        datacache: args.get_or("datacache", "on") != "off",
+        pto: args.get_or("pto", "on") != "off",
+    };
+    let model = IterationModel::new(cluster_of(args)?, system, model_of(args)?);
+    let b = model.breakdown();
+    println!(
+        "{} with {} on {} GPUs:",
+        model.profile.name,
+        system.strategy.label(),
+        model.cluster.world()
+    );
+    println!("  I/O (visible)    {:>10.2} ms", b.io * 1e3);
+    println!("  FF&BP            {:>10.2} ms", b.ffbp * 1e3);
+    println!("  compression      {:>10.2} ms", b.compression * 1e3);
+    println!(
+        "  comm             {:>10.2} ms ({:.2} ms visible)",
+        b.comm_total * 1e3,
+        b.comm_visible * 1e3
+    );
+    println!("  LARS             {:>10.2} ms", b.lars * 1e3);
+    println!("  iteration        {:>10.2} ms", b.total * 1e3);
+    println!(
+        "  throughput       {:>10.0} samples/s ({:.1}% scaling efficiency)",
+        model.throughput(),
+        model.scaling_efficiency() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&["model", "nodes", "cloud", "rho"])?;
+    let cluster = cluster_of(args)?;
+    let profile = model_of(args)?;
+    let rho: f64 = args.num_or("rho", 0.01)?;
+    println!(
+        "{} on {} GPUs ({}):",
+        profile.name,
+        cluster.world(),
+        args.get_or("cloud", "tencent")
+    );
+    println!("{:<12} {:>14} {:>8}", "strategy", "samples/s", "SE");
+    for strategy in [
+        Strategy::DenseTreeAr,
+        Strategy::DenseTorus,
+        Strategy::TopKNaiveAg { rho },
+        Strategy::MsTopKHiTopK { rho, samplings: 30 },
+        Strategy::GTopK { rho },
+        Strategy::Qsgd { levels: 127 },
+    ] {
+        let m = IterationModel::new(
+            cluster,
+            SystemConfig {
+                strategy,
+                datacache: true,
+                pto: true,
+            },
+            profile.clone(),
+        );
+        println!(
+            "{:<12} {:>14.0} {:>7.1}%",
+            strategy.label(),
+            m.throughput(),
+            m.scaling_efficiency() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dawnbench(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&["cloud", "nodes"])?;
+    let cluster = cluster_of(args)?;
+    let result = evaluate_schedule(cluster, &paper_schedule());
+    println!("28-epoch DAWNBench schedule on {} GPUs:", cluster.world());
+    for s in &result.stages {
+        println!(
+            "  {:<22} {:>2} epochs  {:>9.0} samples/s  SE {:>3.0}%  {:>6.1}s",
+            s.name,
+            s.epochs,
+            s.system_throughput,
+            s.scaling_efficiency * 100.0,
+            s.seconds
+        );
+    }
+    let dense = evaluate_schedule(cluster, &dense_only_schedule());
+    println!(
+        "total: {:.0}s (dense-only ablation: {:.0}s)",
+        result.total_seconds, dense.total_seconds
+    );
+    let best = published_leaderboard()
+        .iter()
+        .map(|e| e.seconds)
+        .fold(f64::INFINITY, f64::min);
+    println!("best published 128-V100 entry: {best:.0}s");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn strategy_parsing_covers_all() {
+        for (name, label) in [
+            ("dense", "Dense-SGD"),
+            ("2dtar", "2DTAR-SGD"),
+            ("topk", "TopK-SGD"),
+            ("mstopk", "MSTopK-SGD"),
+            ("gtopk", "gTopK-SGD"),
+            ("qsgd", "QSGD"),
+        ] {
+            let a = args(&format!("simulate --strategy {name}"));
+            assert_eq!(strategy_of(&a).unwrap().label(), label);
+        }
+        assert!(strategy_of(&args("simulate --strategy nope")).is_err());
+    }
+
+    #[test]
+    fn model_and_cluster_parsing() {
+        let a = args("simulate --model vgg19 --cloud aliyun --nodes 8");
+        assert_eq!(model_of(&a).unwrap().name, "VGG-19");
+        assert_eq!(cluster_of(&a).unwrap().nodes, 8);
+        assert!(model_of(&args("simulate --model nope")).is_err());
+        assert!(cluster_of(&args("simulate --cloud nope")).is_err());
+    }
+
+    #[test]
+    fn simulate_and_sweep_run_end_to_end() {
+        dispatch(&args("simulate --model resnet50-96 --strategy mstopk")).unwrap();
+        dispatch(&args("sweep --model transformer")).unwrap();
+        dispatch(&args("dawnbench --cloud ib")).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_and_flags_fail() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&args("simulate --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn tiny_training_run_via_cli() {
+        dispatch(&args(
+            "train --workload mlp --strategy 2dtar --epochs 1 --iters 3 --nodes 1 --gpus 2",
+        ))
+        .unwrap();
+    }
+}

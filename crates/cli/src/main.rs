@@ -1,0 +1,37 @@
+//! `cloudtrain` — command-line front end for the reproduction.
+//!
+//! ```text
+//! cloudtrain train     --workload mlp --strategy mstopk --epochs 4
+//! cloudtrain simulate  --model resnet50-96 --strategy 2dtar --nodes 16
+//! cloudtrain sweep     --model resnet50-96 --nodes 16
+//! cloudtrain dawnbench --cloud tencent
+//! cloudtrain help
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
+        commands::print_help();
+        return;
+    }
+    let code = match Args::parse(raw) {
+        Ok(args) => match commands::dispatch(&args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,238 @@
+//! Mesh-connected peer groups.
+//!
+//! [`Group::connect`] creates `p` [`Peer`] handles with a dedicated
+//! unbounded channel for every ordered pair, so `recv(from)` is
+//! deterministic: a message can only be received from the peer it names.
+//! Peers are moved into worker threads (one peer per thread) and all
+//! collectives are expressed as free functions over `&Peer`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// A message between peers: gradient payloads are `f32`, index payloads are
+/// `u32` (the two wires of a sparse gradient).
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A vector of 32-bit floats (values).
+    F32(Vec<f32>),
+    /// A vector of 32-bit indices.
+    U32(Vec<u32>),
+}
+
+/// Factory for a fully connected peer group.
+#[derive(Debug)]
+pub struct Group;
+
+impl Group {
+    /// Creates `p` mesh-connected peers.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn connect(p: usize) -> Vec<Peer> {
+        assert!(p > 0, "Group::connect: need at least one peer");
+        // txs[i][j] sends from i to j; rxs[j][i] receives at j from i.
+        let mut txs: Vec<Vec<Option<Sender<Message>>>> = (0..p).map(|_| vec![None; p]).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..p).map(|_| vec![None; p]).collect();
+        for (i, row) in txs.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                *slot = Some(tx);
+                rxs[j][i] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        txs.into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| Peer {
+                rank,
+                size: p,
+                txs: tx_row.into_iter().map(Option::unwrap).collect(),
+                rxs: rx_row.into_iter().map(Option::unwrap).collect(),
+                barrier: barrier.clone(),
+            })
+            .collect()
+    }
+}
+
+/// One worker's endpoint in a mesh-connected group.
+#[derive(Debug)]
+pub struct Peer {
+    rank: usize,
+    size: usize,
+    txs: Vec<Sender<Message>>,
+    rxs: Vec<Receiver<Message>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Peer {
+    /// This peer's rank in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of peers in the group.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends a float payload to `to`.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range (sending to self is allowed but
+    /// usually a schedule bug — collectives never do it).
+    pub fn send_f32(&self, to: usize, data: Vec<f32>) {
+        self.txs[to]
+            .send(Message::F32(data))
+            .expect("peer channel closed");
+    }
+
+    /// Sends an index payload to `to`.
+    pub fn send_u32(&self, to: usize, data: Vec<u32>) {
+        self.txs[to]
+            .send(Message::U32(data))
+            .expect("peer channel closed");
+    }
+
+    /// Receives a float payload from `from` (blocks).
+    ///
+    /// # Panics
+    /// Panics if the next message from `from` is not an `F32` payload —
+    /// peers must agree on the schedule, so a type mismatch is a bug.
+    pub fn recv_f32(&self, from: usize) -> Vec<f32> {
+        match self.rxs[from].recv().expect("peer channel closed") {
+            Message::F32(v) => v,
+            Message::U32(_) => panic!("peer {}: expected F32 from {}, got U32", self.rank, from),
+        }
+    }
+
+    /// Receives an index payload from `from` (blocks).
+    ///
+    /// # Panics
+    /// Panics on a payload type mismatch (see [`Peer::recv_f32`]).
+    pub fn recv_u32(&self, from: usize) -> Vec<u32> {
+        match self.rxs[from].recv().expect("peer channel closed") {
+            Message::U32(v) => v,
+            Message::F32(_) => panic!("peer {}: expected U32 from {}, got F32", self.rank, from),
+        }
+    }
+
+    /// Synchronises all peers of the group.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Runs `f` on every peer of a fresh `p`-peer group, one thread per peer,
+/// and returns the per-rank results in rank order.
+///
+/// This is the harness used by tests, benches and the training engine to
+/// execute a collective "program" on all workers.
+///
+/// # Examples
+/// ```
+/// use cloudtrain_collectives::group::run_on_group;
+/// use cloudtrain_collectives::ring::ring_all_reduce;
+///
+/// let members: Vec<usize> = (0..4).collect();
+/// let sums = run_on_group(4, |peer| {
+///     let mut x = vec![peer.rank() as f32; 3];
+///     ring_all_reduce(peer, &mut x, &members);
+///     x[0]
+/// });
+/// assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3 on every rank
+/// ```
+pub fn run_on_group<T, F>(p: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Peer) -> T + Sync,
+{
+    let peers = Group::connect(p);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(p);
+        for peer in peers {
+            let f = &f;
+            // Each thread owns its peer: if a worker panics, its channel
+            // endpoints drop, peers blocked on recv fail loudly, and the
+            // whole group unwinds instead of deadlocking.
+            handles.push(s.spawn(move || f(&peer)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = run_on_group(2, |peer| {
+            if peer.rank() == 0 {
+                peer.send_f32(1, vec![1.0, 2.0]);
+                peer.recv_f32(1)
+            } else {
+                let got = peer.recv_f32(0);
+                peer.send_f32(0, vec![got[0] * 10.0, got[1] * 10.0]);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![10.0, 20.0]);
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn channels_are_pairwise_ordered() {
+        // Rank 0 sends two messages to rank 1; they arrive in order.
+        let results = run_on_group(2, |peer| {
+            if peer.rank() == 0 {
+                peer.send_f32(1, vec![1.0]);
+                peer.send_f32(1, vec![2.0]);
+                vec![]
+            } else {
+                let a = peer.recv_f32(0);
+                let b = peer.recv_f32(0);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn u32_and_f32_payloads_coexist() {
+        let results = run_on_group(2, |peer| {
+            if peer.rank() == 0 {
+                peer.send_u32(1, vec![7, 8]);
+                peer.send_f32(1, vec![0.5]);
+                0.0
+            } else {
+                let idx = peer.recv_u32(0);
+                let val = peer.recv_f32(0);
+                idx[0] as f32 + idx[1] as f32 + val[0]
+            }
+        });
+        assert_eq!(results[1], 15.5);
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_on_group(4, |peer| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            peer.barrier();
+            // After the barrier every increment must be visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_group_panics() {
+        Group::connect(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! gTop-k sparse AllReduce (Shi et al., ICDCS 2019 — cited by the paper as
+//! the global-top-k alternative to per-worker top-k aggregation).
+//!
+//! Instead of gathering every worker's top-k (NaiveAG, whose output grows
+//! with `P`), gTop-k keeps the result at *exactly k* entries: workers pair
+//! up in `log₂ P` recursive-doubling rounds, exchange their current sparse
+//! sets, merge-sum them, and re-select the top-k of the merge. Both pair
+//! members compute the same deterministic merge, so all ranks converge to
+//! an identical global selection.
+
+use cloudtrain_compress::{Compressor, SparseGrad};
+use cloudtrain_tensor::ops;
+
+use crate::group::Peer;
+
+/// Merges two sparse gradients over the same dense space, summing values
+/// on shared indices. Output indices are sorted.
+///
+/// # Panics
+/// Panics if the dimensions differ.
+pub fn merge_sparse(a: &SparseGrad, b: &SparseGrad) -> SparseGrad {
+    assert_eq!(a.dim, b.dim, "merge_sparse: dimension mismatch");
+    let mut values = Vec::with_capacity(a.len() + b.len());
+    let mut indices = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let ai = a.indices.get(i).copied();
+        let bj = b.indices.get(j).copied();
+        match (ai, bj) {
+            (Some(x), Some(y)) if x == y => {
+                indices.push(x);
+                values.push(a.values[i] + b.values[j]);
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if x < y => {
+                indices.push(x);
+                values.push(a.values[i]);
+                i += 1;
+            }
+            (Some(_), Some(_)) => {
+                indices.push(bj.unwrap());
+                values.push(b.values[j]);
+                j += 1;
+            }
+            (Some(x), None) => {
+                indices.push(x);
+                values.push(a.values[i]);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                indices.push(y);
+                values.push(b.values[j]);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    SparseGrad::new(values, indices, a.dim)
+}
+
+/// Trims a sparse gradient to its `k` largest-magnitude entries
+/// (deterministic ties toward lower indices), keeping indices sorted.
+pub fn trim_topk(s: &SparseGrad, k: usize) -> SparseGrad {
+    if s.len() <= k {
+        return s.clone();
+    }
+    let mut order: Vec<usize> = (0..s.len()).collect();
+    order.sort_by(|&a, &b| {
+        s.values[b]
+            .abs()
+            .partial_cmp(&s.values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(s.indices[a].cmp(&s.indices[b]))
+    });
+    order.truncate(k);
+    order.sort_by_key(|&i| s.indices[i]);
+    SparseGrad::new(
+        order.iter().map(|&i| s.values[i]).collect(),
+        order.iter().map(|&i| s.indices[i]).collect(),
+        s.dim,
+    )
+}
+
+/// gTop-k AllReduce: on return every rank's `x` holds the same dense
+/// vector with (at most) `k` nonzeros — the global top-k approximation of
+/// the sum. Returns the bytes this rank sent.
+///
+/// # Panics
+/// Panics unless the group size is a power of two (the recursive-doubling
+/// schedule's requirement).
+pub fn gtopk_all_reduce<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    k: usize,
+    compressor: &mut C,
+) -> usize {
+    let p = peer.size();
+    assert!(p.is_power_of_two(), "gtopk_all_reduce: group size must be 2^m");
+    let rank = peer.rank();
+    let mut current = compressor.compress(x, k);
+    let mut sent = 0;
+
+    let mut mask = 1;
+    while mask < p {
+        let partner = rank ^ mask;
+        // Both directions of the exchange; lower rank sends first to keep
+        // the schedule deterministic (channels are pairwise ordered anyway).
+        peer.send_f32(partner, current.values.clone());
+        peer.send_u32(partner, current.indices.clone());
+        sent += current.wire_bytes();
+        let vals = peer.recv_f32(partner);
+        let idxs = peer.recv_u32(partner);
+        let theirs = SparseGrad::new(vals, idxs, current.dim);
+        current = trim_topk(&merge_sparse(&current, &theirs), k);
+        mask <<= 1;
+    }
+
+    ops::fill(x, 0.0);
+    current.add_into(x);
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::run_on_group;
+    use cloudtrain_compress::exact::SortTopK;
+    use cloudtrain_tensor::init;
+
+    fn vec_for(rank: usize, d: usize) -> Vec<f32> {
+        let mut rng = init::rng_from_seed(6000 + rank as u64);
+        init::gradient_like_tensor(d, &mut rng).into_vec()
+    }
+
+    #[test]
+    fn merge_sums_shared_indices() {
+        let a = SparseGrad::new(vec![1.0, 2.0], vec![1, 5], 8);
+        let b = SparseGrad::new(vec![10.0, 20.0], vec![5, 7], 8);
+        let m = merge_sparse(&a, &b);
+        assert_eq!(m.indices, vec![1, 5, 7]);
+        assert_eq!(m.values, vec![1.0, 12.0, 20.0]);
+    }
+
+    #[test]
+    fn trim_keeps_largest_by_magnitude() {
+        let s = SparseGrad::new(vec![1.0, -5.0, 3.0], vec![0, 4, 9], 10);
+        let t = trim_topk(&s, 2);
+        assert_eq!(t.indices, vec![4, 9]);
+        assert_eq!(t.values, vec![-5.0, 3.0]);
+        // k >= len is identity.
+        assert_eq!(trim_topk(&s, 5), s);
+    }
+
+    #[test]
+    fn all_ranks_agree_and_result_has_k_nonzeros() {
+        for p in [2usize, 4, 8] {
+            let d = 500;
+            let k = 20;
+            let results = run_on_group(p, |peer| {
+                let mut x = vec_for(peer.rank(), d);
+                let mut c = SortTopK;
+                let sent = gtopk_all_reduce(peer, &mut x, k, &mut c);
+                (x, sent)
+            });
+            for (x, sent) in &results {
+                assert_eq!(x, &results[0].0, "p={p}: ranks diverged");
+                assert!(x.iter().filter(|v| **v != 0.0).count() <= k);
+                // log2(p) rounds x 8 bytes x k.
+                assert_eq!(*sent, (p.trailing_zeros() as usize) * 8 * k);
+            }
+        }
+    }
+
+    #[test]
+    fn well_separated_peaks_recover_exact_global_topk() {
+        // Each rank contributes one huge coordinate; the global top-k must
+        // contain all of them with their exact sums.
+        let (p, d, k) = (4usize, 64usize, 4usize);
+        let results = run_on_group(p, |peer| {
+            let mut x = vec![0.01f32; d];
+            x[peer.rank() * 10] = 100.0 + peer.rank() as f32;
+            let mut c = SortTopK;
+            gtopk_all_reduce(peer, &mut x, k, &mut c);
+            x
+        });
+        for r in 0..p {
+            let expect = 100.0 + r as f32;
+            // Peaks are disjoint across ranks; partners' tiny filler
+            // coordinates may leak into the sum, hence the tolerance.
+            assert!(
+                (results[0][r * 10] - expect).abs() < 0.1,
+                "peak {r}: {} vs {expect}",
+                results[0][r * 10]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn non_power_of_two_panics() {
+        // The "2^m" assertion fires inside the workers and surfaces as a
+        // join failure in the harness.
+        run_on_group(3, |peer| {
+            let mut x = vec![0.0f32; 8];
+            let mut c = SortTopK;
+            gtopk_all_reduce(peer, &mut x, 2, &mut c);
+        });
+    }
+}

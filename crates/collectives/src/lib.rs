@@ -1,0 +1,48 @@
+//! In-process collective communication.
+//!
+//! This crate is the *correctness plane* of the reproduction: it implements
+//! the communication algorithms the paper runs over NCCL — moving real bytes
+//! between worker threads — so that every aggregation scheme can be tested
+//! for bit-exactness against a sequential reference. (Its *performance*
+//! twin, `cloudtrain-simnet`, charges simulated α–β time for the same
+//! schedules.)
+//!
+//! Implemented collectives:
+//!
+//! * [`ring`] — ring ReduceScatter / AllGather / AllReduce over an arbitrary
+//!   member subset (sub-communicators are just rank lists, which is how the
+//!   hierarchical algorithms address "GPUs of one node" and "the j-th GPU of
+//!   every node").
+//! * [`tree`] — double-binary-tree AllReduce ("TreeAR", the NCCL baseline of
+//!   Fig. 7).
+//! * [`torus`] — 2D-Torus AllReduce ("2DTAR", Mikami et al. 2018): intra-row
+//!   ReduceScatter, inter-row AllReduce on the shard, intra-row AllGather.
+//! * [`hierarchical`] — **HiTopKComm** (§3.2, Algorithm 2): the paper's
+//!   hierarchical sparse aggregation, plus the flat `NaiveAG` sparse
+//!   baseline.
+//! * [`gtopk`] — gTop-k recursive-doubling sparse AllReduce (Shi et al.
+//!   2019, cited in §6).
+//! * [`quantized`] — AllReduce of QSGD/TernGrad/sign-quantized gradients.
+//! * [`rhd`] — recursive halving-doubling AllReduce (the classic
+//!   latency-optimal MPI algorithm).
+//! * [`primitives`] — rooted Broadcast/Reduce (parameter seeding, metric
+//!   collection).
+//!
+//! All collectives run on a [`group::Group`] of mesh-connected peers created
+//! with [`group::Group::connect`]; each worker thread owns one
+//! [`group::Peer`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod gtopk;
+pub mod hierarchical;
+pub mod primitives;
+pub mod quantized;
+pub mod rhd;
+pub mod ring;
+pub mod torus;
+pub mod tree;
+
+pub use group::{Group, Peer};

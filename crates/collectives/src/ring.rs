@@ -1,0 +1,298 @@
+//! Ring collectives over an arbitrary member subset.
+//!
+//! Every function takes a `members` slice — the global ranks participating,
+//! in a fixed order shared by all callers — and the calling peer must be one
+//! of them. Sub-communicators are therefore just rank lists: the 2D-torus
+//! and hierarchical algorithms pass "the GPUs of my node" or "the j-th GPU
+//! of every node".
+//!
+//! Chunking follows `cloudtrain_tensor::partition`: member `r` (by position
+//! in `members`) ends a ReduceScatter owning shard `r`, matching Eq. (4) of
+//! the paper where GPU `j` owns the `j`-th `d/n` segment.
+
+use cloudtrain_tensor::ops;
+use cloudtrain_tensor::partition::{shard_for, shards, Shard};
+
+use crate::group::Peer;
+
+/// Position of `rank` within `members`.
+///
+/// # Panics
+/// Panics if `rank` is not a member — collectives must only be called by
+/// participants.
+fn member_index(members: &[usize], rank: usize) -> usize {
+    members
+        .iter()
+        .position(|&m| m == rank)
+        .unwrap_or_else(|| panic!("rank {rank} is not in members {members:?}"))
+}
+
+/// Ring ReduceScatter over `members`: on return, `x` holds the fully
+/// reduced values in this member's own shard (other positions of `x` hold
+/// partial sums and must be treated as garbage). Returns the owned shard.
+///
+/// Cost: `P-1` steps, each transferring `d/P` elements — Eq. (7) with
+/// per-byte volume `(P-1) d/P`.
+pub fn ring_reduce_scatter(peer: &Peer, x: &mut [f32], members: &[usize]) -> Shard {
+    let p = members.len();
+    let me = member_index(members, peer.rank());
+    let d = x.len();
+    if p == 1 {
+        return shard_for(d, 1, 0);
+    }
+    let chunks = shards(d, p);
+    let right = members[(me + 1) % p];
+    let left = members[(me + p - 1) % p];
+
+    // Step s: send chunk (me - s - 1) mod p, receive and accumulate chunk
+    // (me - s - 2) mod p. After p-1 steps this member fully owns chunk `me`.
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s - 1) % p;
+        let recv_idx = (me + 2 * p - s - 2) % p;
+        let send_chunk = chunks[send_idx].slice(x).to_vec();
+        peer.send_f32(right, send_chunk);
+        let recv = peer.recv_f32(left);
+        ops::add_assign(chunks[recv_idx].slice_mut(x), &recv);
+    }
+    chunks[me]
+}
+
+/// Ring AllGather over `members`: each member contributes its own shard of
+/// `x` (shard `r` for member position `r`) and on return every member's `x`
+/// holds all shards.
+///
+/// Cost: `P-1` steps of `d/P` elements each.
+pub fn ring_all_gather(peer: &Peer, x: &mut [f32], members: &[usize]) {
+    let p = members.len();
+    let me = member_index(members, peer.rank());
+    if p == 1 {
+        return;
+    }
+    let chunks = shards(x.len(), p);
+    let right = members[(me + 1) % p];
+    let left = members[(me + p - 1) % p];
+
+    // Step s: forward chunk (me - s) mod p, receive chunk (me - s - 1) mod p.
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s) % p;
+        let recv_idx = (me + 2 * p - s - 1) % p;
+        let send_chunk = chunks[send_idx].slice(x).to_vec();
+        peer.send_f32(right, send_chunk);
+        let recv = peer.recv_f32(left);
+        chunks[recv_idx].slice_mut(x).copy_from_slice(&recv);
+    }
+}
+
+/// Ring AllReduce = ReduceScatter + AllGather. On return every member's `x`
+/// holds the element-wise sum over all members.
+pub fn ring_all_reduce(peer: &Peer, x: &mut [f32], members: &[usize]) {
+    ring_reduce_scatter(peer, x, members);
+    ring_all_gather(peer, x, members);
+}
+
+/// AllGather of variable payloads: every member contributes `mine` and
+/// receives the concatenation of all members' payloads in member order.
+///
+/// This is the primitive behind the sparse AllGathers of Algorithm 2 (lines
+/// 12–13), where each member contributes exactly `k` values and `k` indices.
+/// Implemented as a ring pipeline: `P-1` steps forwarding the youngest
+/// block.
+pub fn all_gather_f32(peer: &Peer, mine: &[f32], members: &[usize]) -> Vec<Vec<f32>> {
+    let p = members.len();
+    let me = member_index(members, peer.rank());
+    let mut blocks: Vec<Option<Vec<f32>>> = vec![None; p];
+    blocks[me] = Some(mine.to_vec());
+    if p == 1 {
+        return blocks.into_iter().map(Option::unwrap).collect();
+    }
+    let right = members[(me + 1) % p];
+    let left = members[(me + p - 1) % p];
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s) % p;
+        let recv_idx = (me + 2 * p - s - 1) % p;
+        let payload = blocks[send_idx].clone().expect("ring schedule hole");
+        peer.send_f32(right, payload);
+        blocks[recv_idx] = Some(peer.recv_f32(left));
+    }
+    blocks.into_iter().map(Option::unwrap).collect()
+}
+
+/// AllGather of index payloads (see [`all_gather_f32`]).
+pub fn all_gather_u32(peer: &Peer, mine: &[u32], members: &[usize]) -> Vec<Vec<u32>> {
+    let p = members.len();
+    let me = member_index(members, peer.rank());
+    let mut blocks: Vec<Option<Vec<u32>>> = vec![None; p];
+    blocks[me] = Some(mine.to_vec());
+    if p == 1 {
+        return blocks.into_iter().map(Option::unwrap).collect();
+    }
+    let right = members[(me + 1) % p];
+    let left = members[(me + p - 1) % p];
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s) % p;
+        let recv_idx = (me + 2 * p - s - 1) % p;
+        let payload = blocks[send_idx].clone().expect("ring schedule hole");
+        peer.send_u32(right, payload);
+        blocks[recv_idx] = Some(peer.recv_u32(left));
+    }
+    blocks.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::run_on_group;
+    use cloudtrain_tensor::init;
+
+    /// Per-rank deterministic test vector.
+    fn vec_for(rank: usize, d: usize) -> Vec<f32> {
+        let mut rng = init::rng_from_seed(1000 + rank as u64);
+        init::uniform_tensor(d, -1.0, 1.0, &mut rng).into_vec()
+    }
+
+    fn expected_sum(p: usize, d: usize) -> Vec<f32> {
+        let mut acc = vec![0.0; d];
+        for r in 0..p {
+            ops::add_assign(&mut acc, &vec_for(r, d));
+        }
+        acc
+    }
+
+    #[test]
+    fn all_reduce_matches_sequential_sum() {
+        for (p, d) in [(2usize, 10usize), (4, 37), (8, 64), (3, 5)] {
+            let members: Vec<usize> = (0..p).collect();
+            let expect = expected_sum(p, d);
+            let results = run_on_group(p, |peer| {
+                let mut x = vec_for(peer.rank(), d);
+                ring_all_reduce(peer, &mut x, &members);
+                x
+            });
+            for (r, x) in results.iter().enumerate() {
+                assert!(
+                    ops::approx_eq(x, &expect, 1e-4),
+                    "p={p} d={d} rank {r} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_bitwise_identical_across_ranks() {
+        let p = 8;
+        let d = 1000;
+        let members: Vec<usize> = (0..p).collect();
+        let results = run_on_group(p, |peer| {
+            let mut x = vec_for(peer.rank(), d);
+            ring_all_reduce(peer, &mut x, &members);
+            x
+        });
+        for r in 1..p {
+            assert_eq!(results[0], results[r], "rank {r} differs bitwise");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_owns_correct_shard() {
+        let p = 4;
+        let d = 26; // non-divisible: shards of 7,7,6,6
+        let members: Vec<usize> = (0..p).collect();
+        let expect = expected_sum(p, d);
+        let results = run_on_group(p, |peer| {
+            let mut x = vec_for(peer.rank(), d);
+            let shard = ring_reduce_scatter(peer, &mut x, &members);
+            (shard, x)
+        });
+        for (r, (shard, x)) in results.iter().enumerate() {
+            assert_eq!(*shard, shard_for(d, p, r));
+            assert!(
+                ops::approx_eq(shard.slice(x), shard.slice(&expect), 1e-4),
+                "rank {r} shard wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn all_gather_reconstructs_vector() {
+        let p = 4;
+        let d = 26;
+        let members: Vec<usize> = (0..p).collect();
+        // Start from a known full vector; each rank zeroes everything except
+        // its shard, then AllGather must reconstruct the whole.
+        let full: Vec<f32> = (0..d).map(|i| i as f32).collect();
+        let results = run_on_group(p, |peer| {
+            let mut x = vec![0.0; d];
+            let s = shard_for(d, p, peer.rank());
+            s.slice_mut(&mut x).copy_from_slice(s.slice(&full));
+            ring_all_gather(peer, &mut x, &members);
+            x
+        });
+        for x in &results {
+            assert_eq!(*x, full);
+        }
+    }
+
+    #[test]
+    fn subset_collectives_leave_non_members_untouched() {
+        let p = 6;
+        let d = 12;
+        let members = vec![1usize, 3, 5];
+        let results = run_on_group(p, |peer| {
+            let mut x = vec![peer.rank() as f32; d];
+            if members.contains(&peer.rank()) {
+                ring_all_reduce(peer, &mut x, &members);
+            }
+            x
+        });
+        let expect_sum = vec![(1 + 3 + 5) as f32; d];
+        for &m in &members {
+            assert_eq!(results[m], expect_sum);
+        }
+        for r in [0usize, 2, 4] {
+            assert_eq!(results[r], vec![r as f32; d]);
+        }
+    }
+
+    #[test]
+    fn variable_all_gather_returns_blocks_in_member_order() {
+        let p = 3;
+        let members: Vec<usize> = (0..p).collect();
+        let results = run_on_group(p, |peer| {
+            let mine = vec![peer.rank() as f32; peer.rank() + 1];
+            all_gather_f32(peer, &mine, &members)
+        });
+        for blocks in &results {
+            assert_eq!(blocks.len(), 3);
+            for (r, b) in blocks.iter().enumerate() {
+                assert_eq!(*b, vec![r as f32; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn u32_all_gather_matches() {
+        let p = 4;
+        let members: Vec<usize> = (0..p).collect();
+        let results = run_on_group(p, |peer| {
+            let mine = vec![peer.rank() as u32 * 10, peer.rank() as u32 * 10 + 1];
+            all_gather_u32(peer, &mine, &members)
+        });
+        for blocks in &results {
+            for (r, b) in blocks.iter().enumerate() {
+                assert_eq!(*b, vec![r as u32 * 10, r as u32 * 10 + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_collectives_are_identity() {
+        let results = run_on_group(1, |peer| {
+            let mut x = vec![1.0, 2.0];
+            ring_all_reduce(peer, &mut x, &[0]);
+            let blocks = all_gather_f32(peer, &x, &[0]);
+            (x, blocks)
+        });
+        assert_eq!(results[0].0, vec![1.0, 2.0]);
+        assert_eq!(results[0].1, vec![vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Selection-quality analysis: how good is an approximate top-k?
+//!
+//! The convergence behaviour of sparsified SGD is governed by how much of
+//! the gradient's mass the selection captures (the contraction factor in
+//! the error-feedback proofs), so the ablations measure approximate
+//! operators against the exact top-k along three axes: magnitude-mass
+//! capture, index overlap, and wire compression ratio.
+
+use crate::exact::topk_sort;
+use crate::SparseGrad;
+
+/// Quality metrics of one selection relative to the same-`k` exact top-k.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionQuality {
+    /// `‖selection‖₁ / ‖exact top-k‖₁` — 1.0 means the full mass of the
+    /// best possible k-subset was captured. Always in `[0, 1]` up to
+    /// float noise.
+    pub mass_capture: f32,
+    /// `|selection ∩ exact| / k` — the index-level agreement.
+    pub index_overlap: f32,
+    /// Captured fraction of the *total* gradient mass
+    /// (`‖selection‖₁ / ‖x‖₁`).
+    pub total_mass_fraction: f32,
+    /// Dense bytes divided by wire bytes.
+    pub compression_ratio: f32,
+}
+
+/// Scores a selection against the exact top-k of the same input.
+///
+/// # Panics
+/// Panics if the selection's `dim` does not match `x`.
+pub fn score_selection(x: &[f32], selection: &SparseGrad) -> SelectionQuality {
+    assert_eq!(selection.dim, x.len(), "score_selection: dimension mismatch");
+    let k = selection.len();
+    let exact = topk_sort(x, k);
+    let exact_mass = exact.abs_mass();
+    let total_mass: f32 = x.iter().map(|v| v.abs()).sum();
+
+    let exact_set: std::collections::HashSet<u32> = exact.indices.iter().copied().collect();
+    let hits = selection
+        .indices
+        .iter()
+        .filter(|i| exact_set.contains(i))
+        .count();
+
+    SelectionQuality {
+        mass_capture: if exact_mass > 0.0 {
+            selection.abs_mass() / exact_mass
+        } else {
+            1.0
+        },
+        index_overlap: if k > 0 { hits as f32 / k as f32 } else { 1.0 },
+        total_mass_fraction: if total_mass > 0.0 {
+            selection.abs_mass() / total_mass
+        } else {
+            0.0
+        },
+        compression_ratio: if selection.wire_bytes() > 0 {
+            (x.len() * 4) as f32 / selection.wire_bytes() as f32
+        } else {
+            f32::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::SortTopK;
+    use crate::randomk::RandomK;
+    use crate::{Compressor, MsTopK};
+    use cloudtrain_tensor::init;
+
+    fn grad(d: usize) -> Vec<f32> {
+        let mut rng = init::rng_from_seed(31);
+        init::gradient_like_tensor(d, &mut rng).into_vec()
+    }
+
+    #[test]
+    fn exact_selection_scores_perfectly() {
+        let x = grad(5000);
+        let s = SortTopK.compress(&x, 50);
+        let q = score_selection(&x, &s);
+        assert_eq!(q.mass_capture, 1.0);
+        assert_eq!(q.index_overlap, 1.0);
+        // 50 of 5000 at 8 wire bytes each vs 20000 dense bytes = 50x.
+        assert!((q.compression_ratio - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mstopk_scores_near_one_random_scores_low() {
+        let x = grad(20_000);
+        let k = 200;
+        let ms = MsTopK::new(30, 1).compress(&x, k);
+        let rnd = RandomK::new(2).compress(&x, k);
+        let qm = score_selection(&x, &ms);
+        let qr = score_selection(&x, &rnd);
+        assert!(qm.mass_capture > 0.97, "mstopk mass {}", qm.mass_capture);
+        assert!(qm.index_overlap > 0.8, "mstopk overlap {}", qm.index_overlap);
+        assert!(
+            qr.mass_capture < 0.3,
+            "random-k should capture little: {}",
+            qr.mass_capture
+        );
+        assert!(qm.total_mass_fraction > qr.total_mass_fraction);
+    }
+
+    #[test]
+    fn heavy_tail_concentrates_mass() {
+        // 1% of coordinates hold a disproportionate share of the mass on
+        // gradient-like inputs — the premise of top-k compression.
+        let x = grad(50_000);
+        let s = SortTopK.compress(&x, 500);
+        let q = score_selection(&x, &s);
+        assert!(
+            q.total_mass_fraction > 0.05,
+            "top-1% mass {} should far exceed 1%",
+            q.total_mass_fraction
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let zeros = vec![0.0f32; 100];
+        let s = SortTopK.compress(&zeros, 5);
+        let q = score_selection(&zeros, &s);
+        assert_eq!(q.mass_capture, 1.0);
+        assert_eq!(q.total_mass_fraction, 0.0);
+        let empty = SparseGrad::empty(100);
+        let q = score_selection(&zeros, &empty);
+        assert_eq!(q.index_overlap, 1.0);
+        assert_eq!(q.compression_ratio, f32::INFINITY);
+    }
+}

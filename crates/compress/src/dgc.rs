@@ -1,0 +1,165 @@
+//! Double-sampling top-k from Deep Gradient Compression (Lin et al., 2018),
+//! the paper's stronger baseline in Fig. 6.
+//!
+//! DGC avoids an exact top-k over the full vector by:
+//!
+//! 1. uniformly sampling a fraction of the input,
+//! 2. running an exact top-k on the *sample* to estimate the magnitude
+//!    threshold of the true top-k,
+//! 3. selecting all elements above the estimated threshold, and
+//! 4. running a second exact top-k over the (small) selected set to trim the
+//!    result to exactly `k`.
+//!
+//! It is faster than a full-vector top-k but — unlike MSTopK — still needs
+//! two exact selections with irregular access, which is why it sits between
+//! `nn.topk` and MSTopK in Fig. 6.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::exact::topk_quickselect;
+use crate::{Compressor, SparseGrad};
+
+/// The DGC double-sampling top-k operator.
+#[derive(Debug)]
+pub struct Dgc {
+    /// Fraction of the input sampled for threshold estimation (DGC uses
+    /// 0.1%–1%).
+    pub sample_ratio: f64,
+    rng: StdRng,
+}
+
+impl Dgc {
+    /// Creates an operator sampling `sample_ratio` of the input.
+    ///
+    /// # Panics
+    /// Panics unless `0 < sample_ratio <= 1`.
+    pub fn new(sample_ratio: f64, seed: u64) -> Self {
+        assert!(
+            sample_ratio > 0.0 && sample_ratio <= 1.0,
+            "Dgc: sample_ratio must be in (0, 1]"
+        );
+        Self {
+            sample_ratio,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Compressor for Dgc {
+    fn compress(&mut self, x: &[f32], k: usize) -> SparseGrad {
+        let d = x.len();
+        let k = k.min(d);
+        if k == 0 || d == 0 {
+            return SparseGrad::empty(d);
+        }
+
+        // Step 1: uniform sample (with replacement — cheap and unbiased for
+        // threshold estimation). Sample at least 4k magnitudes so the
+        // estimated quantile has usable resolution at small k.
+        let sample_len = ((d as f64 * self.sample_ratio) as usize)
+            .clamp((4 * k).min(d), d);
+        let mut sample: Vec<f32> = Vec::with_capacity(sample_len);
+        for _ in 0..sample_len {
+            let i = self.rng.random_range(0..d);
+            sample.push(x[i].abs());
+        }
+
+        // Step 2: exact top-k on the sample estimates the threshold of the
+        // true top-k: keep the same *proportion* of the sample as k is of d.
+        let sample_k = ((k as f64 / d as f64) * sample_len as f64).ceil() as usize;
+        let sample_k = sample_k.clamp(1, sample_len);
+        let top_sample = topk_quickselect(&sample, sample_k);
+        let mut thres = top_sample
+            .values
+            .iter()
+            .fold(f32::INFINITY, |m, v| m.min(v.abs()));
+
+        // Step 3: threshold selection over the full vector. If sampling
+        // over-estimated the threshold and fewer than k elements survive,
+        // relax it geometrically (DGC's hierarchical re-selection).
+        let mut selected: Vec<u32> = Vec::new();
+        for _ in 0..64 {
+            selected = cloudtrain_tensor::ops::indices_ge(x, thres);
+            if selected.len() >= k {
+                break;
+            }
+            thres *= 0.5;
+            if thres == 0.0 || !thres.is_finite() {
+                selected = (0..d as u32).collect();
+                break;
+            }
+        }
+        if selected.len() < k {
+            selected = (0..d as u32).collect();
+        }
+
+        // Step 4: exact top-k over the selected subset trims to exactly k.
+        let sub_vals: Vec<f32> = selected.iter().map(|&i| x[i as usize]).collect();
+        let trimmed = topk_quickselect(&sub_vals, k);
+        let mut indices: Vec<u32> = trimmed
+            .indices
+            .iter()
+            .map(|&j| selected[j as usize])
+            .collect();
+        indices.sort_unstable();
+        let values = indices.iter().map(|&i| x[i as usize]).collect();
+        SparseGrad::new(values, indices, d)
+    }
+
+    fn name(&self) -> &'static str {
+        "DGC(double-sampling)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::topk_sort;
+    use cloudtrain_tensor::init;
+
+    fn grad(seed: u64, d: usize) -> Vec<f32> {
+        let mut rng = init::rng_from_seed(seed);
+        init::gradient_like_tensor(d, &mut rng).into_vec()
+    }
+
+    #[test]
+    fn returns_exactly_k() {
+        let x = grad(21, 50_000);
+        let mut op = Dgc::new(0.01, 1);
+        for k in [1usize, 10, 100, 1_000] {
+            assert_eq!(op.compress(&x, k).len(), k);
+        }
+    }
+
+    #[test]
+    fn captures_most_of_exact_mass() {
+        let x = grad(22, 100_000);
+        let k = 1_000;
+        let exact = topk_sort(&x, k);
+        let approx = Dgc::new(0.01, 2).compress(&x, k);
+        assert!(approx.abs_mass() >= 0.9 * exact.abs_mass());
+    }
+
+    #[test]
+    fn uniform_input_still_returns_k() {
+        let x = vec![1.0f32; 10_000];
+        let s = Dgc::new(0.01, 3).compress(&x, 50);
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn values_match_indices() {
+        let x = grad(23, 10_000);
+        let s = Dgc::new(0.05, 4).compress(&x, 200);
+        for (v, &i) in s.values.iter().zip(&s.indices) {
+            assert_eq!(*v, x[i as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_ratio")]
+    fn invalid_ratio_panics() {
+        Dgc::new(0.0, 1);
+    }
+}

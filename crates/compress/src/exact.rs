@@ -1,0 +1,148 @@
+//! Exact top-k selection.
+//!
+//! Two implementations with identical results but different cost profiles:
+//!
+//! * [`SortTopK`] sorts the full magnitude array — the behaviour of the
+//!   `tf.nn.top_k` baseline in Fig. 6 (a full sort / selection network on
+//!   GPU), asymptotically `O(d log d)`.
+//! * [`QuickTopK`] uses `select_nth_unstable` (introselect), expected
+//!   `O(d)` — the best an exact CPU selection can do, and still slower in
+//!   practice than MSTopK's branch-free passes on wide inputs because of
+//!   its data-dependent access pattern.
+//!
+//! Both resolve magnitude ties deterministically in favour of lower indices
+//! so that `compress` always returns exactly `k` elements.
+
+use crate::{Compressor, SparseGrad};
+
+/// Returns the `k` largest-magnitude elements of `x` via a full sort.
+pub fn topk_sort(x: &[f32], k: usize) -> SparseGrad {
+    let k = k.min(x.len());
+    let mut order: Vec<u32> = (0..x.len() as u32).collect();
+    // Sort by (descending magnitude, ascending index): the index tiebreak
+    // makes the selection deterministic under ties.
+    order.sort_by(|&a, &b| {
+        let (ma, mb) = (x[a as usize].abs(), x[b as usize].abs());
+        mb.partial_cmp(&ma)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.sort_unstable();
+    let values = order.iter().map(|&i| x[i as usize]).collect();
+    SparseGrad::new(values, order, x.len())
+}
+
+/// Returns the `k` largest-magnitude elements of `x` via quickselect.
+pub fn topk_quickselect(x: &[f32], k: usize) -> SparseGrad {
+    let k = k.min(x.len());
+    if k == 0 {
+        return SparseGrad::empty(x.len());
+    }
+    if k == x.len() {
+        return SparseGrad::new(x.to_vec(), (0..x.len() as u32).collect(), x.len());
+    }
+    let mut mags: Vec<f32> = x.iter().map(|v| v.abs()).collect();
+    // Partition so the k-th largest magnitude sits at position k-1 when
+    // ordered descending — i.e. position k-1 of a descending sort.
+    let (_, kth, _) =
+        mags.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let thres = *kth;
+
+    // Take everything strictly above the threshold, then fill the remainder
+    // with threshold-equal elements in index order (deterministic ties).
+    let mut indices = Vec::with_capacity(k);
+    for (i, v) in x.iter().enumerate() {
+        if v.abs() > thres {
+            indices.push(i as u32);
+        }
+    }
+    debug_assert!(indices.len() <= k);
+    if indices.len() < k {
+        for (i, v) in x.iter().enumerate() {
+            if v.abs() == thres {
+                indices.push(i as u32);
+                if indices.len() == k {
+                    break;
+                }
+            }
+        }
+    }
+    indices.sort_unstable();
+    let values = indices.iter().map(|&i| x[i as usize]).collect();
+    SparseGrad::new(values, indices, x.len())
+}
+
+/// Exact top-k by full sort (the `nn.topk` baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortTopK;
+
+impl Compressor for SortTopK {
+    fn compress(&mut self, x: &[f32], k: usize) -> SparseGrad {
+        topk_sort(x, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "nn.topk(sort)"
+    }
+}
+
+/// Exact top-k by quickselect.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuickTopK;
+
+impl Compressor for QuickTopK {
+    fn compress(&mut self, x: &[f32], k: usize) -> SparseGrad {
+        topk_quickselect(x, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "topk(quickselect)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_selects_largest_magnitudes() {
+        let x = [0.1, -5.0, 3.0, -0.2, 4.0];
+        let s = topk_sort(&x, 2);
+        assert_eq!(s.indices, vec![1, 4]);
+        assert_eq!(s.values, vec![-5.0, 4.0]);
+    }
+
+    #[test]
+    fn quickselect_matches_sort() {
+        let x = [0.1, -5.0, 3.0, -0.2, 4.0, 0.0, 2.9];
+        for k in 0..=x.len() {
+            let a = topk_sort(&x, k);
+            let b = topk_quickselect(&x, k);
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lower_indices() {
+        let x = [2.0, -2.0, 2.0, 2.0];
+        let s = topk_quickselect(&x, 2);
+        assert_eq!(s.indices, vec![0, 1]);
+        let s = topk_sort(&x, 2);
+        assert_eq!(s.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero_and_k_full() {
+        let x = [1.0, 2.0];
+        assert!(topk_quickselect(&x, 0).is_empty());
+        assert_eq!(topk_quickselect(&x, 2).values, vec![1.0, 2.0]);
+        assert_eq!(topk_quickselect(&x, 5).len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(topk_sort(&[], 3).is_empty());
+        assert!(topk_quickselect(&[], 3).is_empty());
+    }
+}

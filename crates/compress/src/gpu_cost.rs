@@ -1,0 +1,150 @@
+//! Analytic GPU cost model for the top-k operators (Fig. 6 substitute).
+//!
+//! The paper benchmarks the operators on a Tesla V100, where the decisive
+//! difference is the *memory access pattern*: exact selection needs
+//! data-dependent, irregular access (very low effective bandwidth on GPUs —
+//! Shanbhag et al., 2018; Mei & Chu, 2016), whereas MSTopK performs only
+//! branch-free, fully coalesced streaming passes.
+//!
+//! On non-GPU hardware we reproduce the *shape* of Fig. 6 with a pass-count
+//! model charging each operator for the passes it makes at the effective
+//! rate of its access pattern. The rates are calibrated to public V100
+//! numbers (≈900 GB/s peak HBM2 bandwidth; `tf.nn.top_k` throughput in the
+//! tens of millions of elements per second) and are constants of this
+//! module, not measurements — EXPERIMENTS.md records this substitution.
+//!
+//! Criterion benches (`topk_ops`) additionally measure the real CPU wall
+//! time of the same implementations.
+
+/// Effective V100 rates (elements per second) by access pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuRates {
+    /// Coalesced streaming pass rate: ~85% of 900 GB/s over 4-byte elements.
+    pub stream: f64,
+    /// Exact top-k selection rate (irregular, data-dependent: the measured
+    /// regime of `tf.nn.top_k` on V100).
+    pub exact_select: f64,
+    /// Stream-compaction rate (atomics + scattered writes).
+    pub compact: f64,
+    /// Kernel launch overhead per pass, seconds.
+    pub launch: f64,
+    /// Fixed dispatch overhead of one exact top-k call (the `tf.nn.top_k`
+    /// op allocates temporaries and launches a multi-kernel selection even
+    /// for small inputs, so its floor is far above a bare kernel launch).
+    pub exact_overhead: f64,
+}
+
+impl Default for GpuRates {
+    fn default() -> Self {
+        Self {
+            stream: 0.85 * 900e9 / 4.0, // ≈ 191 G elements/s
+            // Calibrated so exact top-k over ResNet-50's 25M gradients
+            // costs ~0.24 s, the overhead Fig. 1 reports for TopK-SGD.
+            exact_select: 105e6,
+            compact: 15e9,
+            launch: 5e-6,
+            exact_overhead: 150e-6,
+        }
+    }
+}
+
+/// Modelled time of one operator invocation, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Total modelled seconds.
+    pub seconds: f64,
+    /// Number of kernel passes charged.
+    pub passes: usize,
+}
+
+/// Exact `nn.topk`-style selection over `d` elements.
+pub fn exact_topk_cost(d: usize, rates: &GpuRates) -> OpCost {
+    OpCost {
+        seconds: rates.exact_overhead + d as f64 / rates.exact_select,
+        passes: 1,
+    }
+}
+
+/// DGC double-sampling selection over `d` elements with sampling ratio
+/// `sample_ratio` and `k` selected elements.
+///
+/// Charged passes: exact top-k on the sample, a streaming threshold pass, a
+/// compaction of the survivors, and an exact top-k trim over ~2k survivors.
+pub fn dgc_cost(d: usize, k: usize, sample_ratio: f64, rates: &GpuRates) -> OpCost {
+    let sample = ((d as f64 * sample_ratio) as usize).clamp((4 * k).min(d.max(1)), d.max(1));
+    let t_sample_topk = exact_topk_cost(sample, rates).seconds;
+    let t_threshold = rates.launch + d as f64 / rates.stream;
+    let t_compact = rates.launch + d as f64 / rates.compact;
+    let t_trim = exact_topk_cost(2 * k, rates).seconds;
+    OpCost {
+        seconds: t_sample_topk + t_threshold + t_compact + t_trim,
+        passes: 4,
+    }
+}
+
+/// MSTopK over `d` elements with `n_samplings` search iterations and `k`
+/// selected elements.
+///
+/// Charged passes: one abs/mean/max pass, `n_samplings` counting passes, one
+/// final index-materialisation pass — all coalesced — plus a small gather of
+/// the `k` winners.
+pub fn mstopk_cost(d: usize, k: usize, n_samplings: usize, rates: &GpuRates) -> OpCost {
+    let passes = n_samplings + 2;
+    let t_passes = passes as f64 * (rates.launch + d as f64 / rates.stream);
+    let t_gather = rates.launch + k as f64 / rates.compact;
+    OpCost {
+        seconds: t_passes + t_gather,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: [usize; 4] = [256_000, 4_000_000, 32_000_000, 128_000_000];
+
+    #[test]
+    fn ordering_matches_fig6_at_every_size() {
+        let r = GpuRates::default();
+        for d in SIZES {
+            let k = d / 1000;
+            let exact = exact_topk_cost(d, &r).seconds;
+            let dgc = dgc_cost(d, k, 0.01, &r).seconds;
+            let ms = mstopk_cost(d, k, 30, &r).seconds;
+            assert!(ms < dgc, "d={d}: mstopk {ms} !< dgc {dgc}");
+            assert!(dgc < exact, "d={d}: dgc {dgc} !< exact {exact}");
+        }
+    }
+
+    #[test]
+    fn exact_topk_dominates_by_orders_of_magnitude_at_scale() {
+        let r = GpuRates::default();
+        let d = 128_000_000;
+        let exact = exact_topk_cost(d, &r).seconds;
+        let ms = mstopk_cost(d, d / 1000, 30, &r).seconds;
+        assert!(exact / ms > 50.0, "ratio {}", exact / ms);
+        // nn.topk at 128M is seconds (the paper's figure shows the same).
+        assert!(exact > 1.0);
+        // MSTopK stays tens of milliseconds — "negligible".
+        assert!(ms < 0.1);
+    }
+
+    #[test]
+    fn mstopk_cost_is_linear_in_passes() {
+        let r = GpuRates::default();
+        let a = mstopk_cost(1_000_000, 1_000, 10, &r);
+        let b = mstopk_cost(1_000_000, 1_000, 20, &r);
+        assert_eq!(a.passes, 12);
+        assert_eq!(b.passes, 22);
+        assert!(b.seconds > a.seconds);
+    }
+
+    #[test]
+    fn dgc_cost_scales_with_sample_ratio() {
+        let r = GpuRates::default();
+        let lo = dgc_cost(100_000_000, 100_000, 0.001, &r).seconds;
+        let hi = dgc_cost(100_000_000, 100_000, 0.1, &r).seconds;
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,111 @@
+//! Gradient compression operators for communication-efficient distributed
+//! training.
+//!
+//! This crate implements the sparsification layer of the paper:
+//!
+//! * [`mstopk`] — **MSTopK** (§3.1, Algorithm 1): the paper's approximate
+//!   top-k operator. Instead of a data-dependent selection it runs `N`
+//!   iterations of a binary threshold search over `[mean|x|, max|x|]`,
+//!   counting (in a branch-free streaming pass) how many elements exceed the
+//!   candidate threshold, and finally assembles *exactly* `k` elements from
+//!   the two best bracketing thresholds.
+//! * [`exact`] — exact top-k selection, both the naive full-sort variant
+//!   (the `nn.topk` baseline of Fig. 6) and an expected-linear-time
+//!   quickselect.
+//! * [`dgc`] — the double-sampling top-k of Deep Gradient Compression
+//!   (Lin et al., 2018), the paper's stronger baseline in Fig. 6.
+//! * [`randomk`] — random-k sparsification, a common convergence baseline.
+//! * [`error_feedback`] — residual accumulation (Stich et al., 2018), which
+//!   both TopK-SGD and MSTopK-SGD require for convergence.
+//! * [`quantize`] — the *other* compression family the paper's related
+//!   work surveys: QSGD, TernGrad and scaled-sign quantizers.
+//! * [`gpu_cost`] — an analytic V100 memory-pass cost model used to
+//!   reproduce the *GPU* timing shape of Fig. 6 on non-GPU hardware.
+//!
+//! All operators implement the [`Compressor`] trait and produce a
+//! [`SparseGrad`] of `(values, indices)` pairs — the wire format aggregated
+//! by the hierarchical top-k communication in `cloudtrain-collectives`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dgc;
+pub mod error_feedback;
+pub mod exact;
+pub mod gpu_cost;
+pub mod mstopk;
+pub mod quantize;
+pub mod randomk;
+mod sparse;
+
+pub use error_feedback::ErrorFeedback;
+pub use mstopk::MsTopK;
+pub use sparse::SparseGrad;
+
+/// A top-k (or top-k-like) gradient compressor.
+///
+/// Implementations select `k` coordinates of the input and return them as a
+/// [`SparseGrad`]. Exact operators return the `k` largest by magnitude;
+/// approximate operators ([`MsTopK`], [`dgc::Dgc`]) trade exactness for
+/// GPU-friendly access patterns, and [`randomk::RandomK`] ignores magnitudes
+/// entirely.
+pub trait Compressor {
+    /// Selects `k` coordinates of `x`.
+    ///
+    /// Implementations must return exactly `min(k, x.len())` pairs with
+    /// duplicate-free, in-bounds indices.
+    fn compress(&mut self, x: &[f32], k: usize) -> SparseGrad;
+
+    /// Short human-readable operator name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use cloudtrain_tensor::init;
+
+    #[test]
+    fn all_compressors_return_exactly_k_unique_indices() {
+        let mut rng = init::rng_from_seed(123);
+        let x = init::gradient_like_tensor(10_000, &mut rng);
+        let k = 100;
+        let mut ops: Vec<Box<dyn Compressor>> = vec![
+            Box::new(exact::SortTopK),
+            Box::new(exact::QuickTopK),
+            Box::new(MsTopK::new(30, 7)),
+            Box::new(dgc::Dgc::new(0.01, 9)),
+            Box::new(randomk::RandomK::new(5)),
+        ];
+        for op in &mut ops {
+            let s = op.compress(x.as_slice(), k);
+            assert_eq!(s.len(), k, "{} returned {} elements", op.name(), s.len());
+            let mut idx = s.indices.clone();
+            idx.sort_unstable();
+            idx.dedup();
+            assert_eq!(idx.len(), k, "{} returned duplicate indices", op.name());
+            assert!(
+                idx.iter().all(|&i| (i as usize) < x.len()),
+                "{} returned out-of-bounds index",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compressors_clamp_k_to_input_length() {
+        let x = [1.0f32, -2.0, 3.0];
+        let mut ops: Vec<Box<dyn Compressor>> = vec![
+            Box::new(exact::SortTopK),
+            Box::new(exact::QuickTopK),
+            Box::new(MsTopK::new(10, 7)),
+            Box::new(dgc::Dgc::new(0.5, 9)),
+            Box::new(randomk::RandomK::new(5)),
+        ];
+        for op in &mut ops {
+            let s = op.compress(&x, 10);
+            assert_eq!(s.len(), 3, "{}", op.name());
+        }
+    }
+}

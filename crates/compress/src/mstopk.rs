@@ -1,0 +1,304 @@
+//! MSTopK: the paper's approximate top-k operator (§3.1, Algorithm 1).
+//!
+//! The exact top-k selection is hostile to many-core hardware: it needs
+//! data-dependent, irregular memory access (sorting or partitioning).
+//! MSTopK replaces it with `N` *branch-free streaming passes*: a binary
+//! search over candidate thresholds in `[mean|x|, max|x|]`, where each step
+//! only counts how many elements exceed the candidate (a coalesced scan).
+//!
+//! After the search, two bracketing thresholds remain:
+//!
+//! * `thres1` — the tightest threshold found with `count(|x| >= thres1) =
+//!   k1 <= k` (an *under*-selection), and
+//! * `thres2` — the tightest threshold found with `count(|x| >= thres2) =
+//!   k2 > k` (an *over*-selection).
+//!
+//! The final selection takes all `k1` elements above `thres1` plus a random
+//! contiguous run of `k - k1` elements from the band
+//! `thres2 <= |x| < thres1` (Algorithm 1 lines 25–29), so the operator
+//! returns **exactly `k` elements** — the property the fixed-size AllGather
+//! of HiTopKComm depends on.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use cloudtrain_tensor::ops;
+
+use crate::{Compressor, SparseGrad};
+
+/// Statistics of one MSTopK invocation, useful for ablations
+/// (threshold-search convergence as a function of the sampling count `N`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsTopKStats {
+    /// Number of elements selected from above `thres1` (exact-bracket part).
+    pub k1: usize,
+    /// Element count at the tightest over-selecting threshold.
+    pub k2: usize,
+    /// Final under-selecting threshold.
+    pub thres1: f32,
+    /// Final over-selecting threshold.
+    pub thres2: f32,
+    /// Streaming passes executed (equals the configured `N`).
+    pub passes: usize,
+}
+
+/// The MSTopK approximate top-k operator.
+///
+/// # Examples
+/// ```
+/// use cloudtrain_compress::{Compressor, MsTopK};
+///
+/// let x: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin() * i as f32).collect();
+/// let mut op = MsTopK::new(30, 42);
+/// let s = op.compress(&x, 10);
+/// assert_eq!(s.len(), 10);
+/// ```
+#[derive(Debug)]
+pub struct MsTopK {
+    /// Number of threshold-search iterations (`N` in Algorithm 1; the paper
+    /// uses 30).
+    pub samplings: usize,
+    rng: StdRng,
+}
+
+impl MsTopK {
+    /// Creates an operator with `samplings` search iterations and a seeded
+    /// RNG for the band slice choice.
+    pub fn new(samplings: usize, seed: u64) -> Self {
+        Self {
+            samplings,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs Algorithm 1, returning the selection and its search statistics.
+    pub fn select_with_stats(&mut self, x: &[f32], k: usize) -> (SparseGrad, MsTopKStats) {
+        mstopk_with_rng(x, k, self.samplings, &mut self.rng)
+    }
+}
+
+impl Compressor for MsTopK {
+    fn compress(&mut self, x: &[f32], k: usize) -> SparseGrad {
+        self.select_with_stats(x, k).0
+    }
+
+    fn name(&self) -> &'static str {
+        "MSTopK"
+    }
+}
+
+/// Algorithm 1 with an explicit RNG (deterministic given the RNG state).
+pub fn mstopk_with_rng(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    rng: &mut StdRng,
+) -> (SparseGrad, MsTopKStats) {
+    let d = x.len();
+    let k = k.min(d);
+    if k == 0 || d == 0 {
+        let stats = MsTopKStats {
+            k1: 0,
+            k2: d,
+            thres1: f32::INFINITY,
+            thres2: 0.0,
+            passes: 0,
+        };
+        return (SparseGrad::empty(d), stats);
+    }
+    if k == d {
+        let stats = MsTopKStats {
+            k1: d,
+            k2: d,
+            thres1: 0.0,
+            thres2: 0.0,
+            passes: 0,
+        };
+        let s = SparseGrad::new(x.to_vec(), (0..d as u32).collect(), d);
+        return (s, stats);
+    }
+
+    // Lines 1–3: one pass computes both statistics.
+    let a_mean = ops::mean_abs(x);
+    let u = ops::max_abs(x);
+
+    // Lines 4–6: search state. `thres1` starts "unset"; we represent the
+    // unset state as +inf (select nothing) rather than the paper's 0
+    // (select everything) so that degenerate inputs — e.g. all-equal
+    // magnitudes, where no candidate threshold ever under-selects — still
+    // yield a valid k-element result from the band.
+    let (mut l, mut r) = (0.0f32, 1.0f32);
+    let mut k1 = 0usize;
+    let mut k2 = d;
+    let mut thres1 = f32::INFINITY;
+    let mut thres2 = 0.0f32;
+
+    // Lines 7–24: N binary-search iterations, each a single streaming pass.
+    for _ in 0..samplings {
+        let ratio = l + (r - l) / 2.0;
+        let thres = a_mean + ratio * (u - a_mean);
+        let nnz = ops::count_ge(x, thres);
+        if nnz <= k {
+            r = ratio;
+            if nnz >= k1 && thres < thres1 {
+                k1 = nnz;
+                thres1 = thres;
+            }
+        } else {
+            l = ratio;
+            if nnz <= k2 {
+                k2 = nnz;
+                thres2 = thres;
+            }
+        }
+    }
+
+    // Lines 25–26: materialise the two index sets.
+    let i1 = if thres1.is_finite() {
+        ops::indices_ge(x, thres1)
+    } else {
+        Vec::new()
+    };
+    let band_hi = if thres1.is_finite() { thres1 } else { f32::INFINITY };
+    let i2 = ops::indices_in_band(x, thres2, band_hi);
+    debug_assert_eq!(i1.len(), k1);
+
+    // Lines 27–28: random contiguous run of k - k1 band elements. The run is
+    // contiguous (not a random subset) precisely because that keeps the GPU
+    // gather coalesced — the whole point of the operator.
+    let need = k - k1;
+    let mut indices = i1;
+    if need > 0 {
+        // The band always has at least `need` elements: every |x| >= thres2
+        // not counted in k1 lies in [thres2, thres1).
+        let slack = i2.len() - need;
+        let start = if slack == 0 {
+            0
+        } else {
+            rng.random_range(0..=slack)
+        };
+        indices.extend_from_slice(&i2[start..start + need]);
+    }
+    indices.sort_unstable();
+    let values = ops::gather(x, &indices);
+
+    let stats = MsTopKStats {
+        k1,
+        k2,
+        thres1,
+        thres2,
+        passes: samplings,
+    };
+    (SparseGrad::new(values, indices, d), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::topk_sort;
+    use cloudtrain_tensor::init;
+
+    fn grad(seed: u64, d: usize) -> Vec<f32> {
+        let mut rng = init::rng_from_seed(seed);
+        init::gradient_like_tensor(d, &mut rng).into_vec()
+    }
+
+    #[test]
+    fn returns_exactly_k() {
+        let x = grad(1, 50_000);
+        let mut op = MsTopK::new(30, 2);
+        for k in [1usize, 5, 50, 500, 5_000] {
+            assert_eq!(op.compress(&x, k).len(), k);
+        }
+    }
+
+    #[test]
+    fn values_match_their_indices() {
+        let x = grad(3, 10_000);
+        let mut op = MsTopK::new(30, 4);
+        let s = op.compress(&x, 100);
+        for (v, &i) in s.values.iter().zip(&s.indices) {
+            assert_eq!(*v, x[i as usize]);
+        }
+    }
+
+    #[test]
+    fn captures_most_of_the_exact_topk_mass() {
+        let x = grad(5, 100_000);
+        let k = 1_000;
+        let exact = topk_sort(&x, k);
+        let mut op = MsTopK::new(30, 6);
+        let approx = op.compress(&x, k);
+        // With 30 samplings the bracket is tight: approximate selection
+        // should capture nearly all the exact top-k magnitude mass.
+        assert!(
+            approx.abs_mass() >= 0.95 * exact.abs_mass(),
+            "mass {} vs exact {}",
+            approx.abs_mass(),
+            exact.abs_mass()
+        );
+    }
+
+    #[test]
+    fn selected_elements_dominate_the_band_floor() {
+        let x = grad(7, 20_000);
+        let mut op = MsTopK::new(30, 8);
+        let (s, stats) = op.select_with_stats(&x, 200);
+        for v in &s.values {
+            assert!(
+                v.abs() >= stats.thres2,
+                "selected {} below thres2 {}",
+                v,
+                stats.thres2
+            );
+        }
+    }
+
+    #[test]
+    fn more_samplings_tighten_the_bracket() {
+        let x = grad(9, 100_000);
+        let k = 1_000;
+        let (_, loose) = MsTopK::new(5, 1).select_with_stats(&x, k);
+        let (_, tight) = MsTopK::new(30, 1).select_with_stats(&x, k);
+        assert!(tight.k2 - tight.k1 <= loose.k2 - loose.k1);
+    }
+
+    #[test]
+    fn all_equal_magnitudes_still_yield_k_elements() {
+        // Degenerate input: mean == max, every candidate threshold selects
+        // everything, so thres1 is never set.
+        let x = vec![2.0f32; 1_000];
+        let mut op = MsTopK::new(30, 10);
+        let s = op.compress(&x, 37);
+        assert_eq!(s.len(), 37);
+        assert!(s.values.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn constant_magnitude_signs_are_preserved() {
+        let x: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s = MsTopK::new(10, 3).compress(&x, 10);
+        for (v, &i) in s.values.iter().zip(&s.indices) {
+            assert_eq!(*v, x[i as usize]);
+        }
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let x = grad(11, 100);
+        let mut op = MsTopK::new(30, 12);
+        assert!(op.compress(&x, 0).is_empty());
+        let full = op.compress(&x, 100);
+        assert_eq!(full.len(), 100);
+        assert_eq!(full.densify(), x);
+        assert!(op.compress(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = grad(13, 10_000);
+        let a = MsTopK::new(30, 99).compress(&x, 64);
+        let b = MsTopK::new(30, 99).compress(&x, 64);
+        assert_eq!(a, b);
+    }
+}

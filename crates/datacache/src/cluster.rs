@@ -1,0 +1,215 @@
+//! Cluster-cooperative memory caching.
+//!
+//! §4.1: "To reduce memory consumption, the full data set is split into
+//! multiple parts that are separately stored on multiple nodes." Each node
+//! holds the pre-processed samples of its own shard in memory; a request
+//! for a sample owned by another node is served by a **peer fetch** over
+//! the inter-node network — still far cheaper than going back to the NFS
+//! — and only unowned/cold samples fall through to the filer.
+//!
+//! With the sharded sampler of [`crate::sampler`], steady-state training
+//! touches only local shards; cooperative fetches cover globally shuffled
+//! access patterns (e.g. validation sweeps).
+
+use std::sync::Arc;
+
+use crate::decode::{decode, Sample};
+use crate::memcache::MemoryCache;
+use crate::nfs::SyntheticNfs;
+use crate::timing::{CpuModel, StorageSpec};
+use crate::SampleId;
+
+/// Which path served a cooperative lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterServedBy {
+    /// This node's own memory shard.
+    LocalMemory,
+    /// Another node's memory shard, over the network.
+    PeerMemory,
+    /// The networked file system (then decoded and cached on the owner).
+    Nfs,
+}
+
+/// Per-cluster counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Lookups served from the requesting node's shard.
+    pub local_hits: u64,
+    /// Lookups served from a peer node's shard.
+    pub peer_hits: u64,
+    /// Lookups that went to the NFS.
+    pub nfs_fetches: u64,
+}
+
+/// A cluster of node-local memory caches with ownership sharding
+/// (`owner(id) = id % nodes`) and peer fetching.
+#[derive(Debug)]
+pub struct CacheCluster {
+    shards: Vec<MemoryCache>,
+    nfs: SyntheticNfs,
+    peer_link: StorageSpec,
+    cpu: CpuModel,
+    stats: ClusterStats,
+}
+
+impl CacheCluster {
+    /// Creates a cluster of `nodes` shards, each bounded to
+    /// `mem_capacity_per_node` bytes, over the given NFS.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize, mem_capacity_per_node: usize, nfs: SyntheticNfs) -> Self {
+        assert!(nodes > 0, "CacheCluster: need at least one node");
+        Self {
+            shards: (0..nodes)
+                .map(|_| MemoryCache::new(mem_capacity_per_node))
+                .collect(),
+            nfs,
+            // 25GbE-class peer link: far slower than local DRAM, far
+            // faster than the filer.
+            peer_link: StorageSpec {
+                latency: 100e-6,
+                bytes_per_sec: 1.4e9,
+            },
+            cpu: CpuModel::default(),
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The node that owns a sample.
+    pub fn owner(&self, id: SampleId) -> usize {
+        (id % self.shards.len() as u64) as usize
+    }
+
+    /// Cluster statistics so far.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Loads sample `id` on behalf of `node`, returning the sample, the
+    /// serving path, and the virtual seconds charged to the requester.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn load(&mut self, node: usize, id: SampleId) -> (Arc<Sample>, ClusterServedBy, f64) {
+        assert!(node < self.shards.len(), "CacheCluster: bad node {node}");
+        let owner = self.owner(id);
+
+        if let Some((sample, t)) = self.shards[owner].get(id) {
+            return if owner == node {
+                self.stats.local_hits += 1;
+                (sample, ClusterServedBy::LocalMemory, t)
+            } else {
+                self.stats.peer_hits += 1;
+                let t = t + self.peer_link.access_time(sample.mem_bytes());
+                (sample, ClusterServedBy::PeerMemory, t)
+            };
+        }
+
+        // Cold: fetch + decode, then cache on the owner.
+        self.stats.nfs_fetches += 1;
+        let (blob, t_nfs) = self.nfs.fetch(id);
+        let (sample, t_dec) = decode(&blob, &self.cpu).expect("synthetic blob must decode");
+        let sample = Arc::new(sample);
+        self.shards[owner].put(id, Arc::clone(&sample));
+        let mut t = t_nfs + t_dec;
+        if owner != node {
+            t += self.peer_link.access_time(sample.mem_bytes());
+        }
+        (sample, ClusterServedBy::Nfs, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(nodes: usize) -> CacheCluster {
+        CacheCluster::new(nodes, 1 << 30, SyntheticNfs::new(16 * 16 * 3, 4))
+    }
+
+    #[test]
+    fn ownership_is_round_robin() {
+        let c = cluster(4);
+        assert_eq!(c.owner(0), 0);
+        assert_eq!(c.owner(5), 1);
+        assert_eq!(c.owner(7), 3);
+        assert_eq!(c.nodes(), 4);
+    }
+
+    #[test]
+    fn cold_then_local_then_peer() {
+        let mut c = cluster(2);
+        // id 0 is owned by node 0. Cold fetch by the owner:
+        let (_, by, t_cold) = c.load(0, 0);
+        assert_eq!(by, ClusterServedBy::Nfs);
+        // Warm local hit:
+        let (_, by, t_local) = c.load(0, 0);
+        assert_eq!(by, ClusterServedBy::LocalMemory);
+        // Warm peer hit from node 1:
+        let (_, by, t_peer) = c.load(1, 0);
+        assert_eq!(by, ClusterServedBy::PeerMemory);
+        assert!(t_local < t_peer, "local {t_local} !< peer {t_peer}");
+        assert!(t_peer < t_cold, "peer {t_peer} !< cold {t_cold}");
+        assert_eq!(
+            c.stats(),
+            ClusterStats {
+                local_hits: 1,
+                peer_hits: 1,
+                nfs_fetches: 1
+            }
+        );
+    }
+
+    #[test]
+    fn samples_identical_across_paths() {
+        let mut c = cluster(3);
+        let (a, _, _) = c.load(2, 7);
+        let (b, _, _) = c.load(0, 7);
+        let (d, _, _) = c.load(1, 7);
+        assert_eq!(*a, *b);
+        assert_eq!(*a, *d);
+    }
+
+    #[test]
+    fn sharded_epoch_is_all_local_after_warmup() {
+        // Each node reads only its own shard (the sampler's contract):
+        // epoch 2 must be 100% local memory.
+        let mut c = cluster(4);
+        let dataset = 64u64;
+        for epoch in 0..2 {
+            for id in 0..dataset {
+                let node = c.owner(id);
+                let (_, by, _) = c.load(node, id);
+                if epoch == 1 {
+                    assert_eq!(by, ClusterServedBy::LocalMemory, "id {id}");
+                }
+            }
+        }
+        assert_eq!(c.stats().nfs_fetches, dataset);
+        assert_eq!(c.stats().local_hits, dataset);
+        assert_eq!(c.stats().peer_hits, 0);
+    }
+
+    #[test]
+    fn global_shuffle_uses_peer_fetches_not_nfs() {
+        // After warmup, a node scanning the whole dataset hits peers for
+        // the 3/4 it does not own — never the filer.
+        let mut c = cluster(4);
+        for id in 0..32u64 {
+            let node = c.owner(id);
+            c.load(node, id);
+        }
+        let before = c.stats().nfs_fetches;
+        for id in 0..32u64 {
+            c.load(0, id);
+        }
+        assert_eq!(c.stats().nfs_fetches, before);
+        assert_eq!(c.stats().peer_hits, 24);
+    }
+}

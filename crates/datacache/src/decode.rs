@@ -1,0 +1,134 @@
+//! Sample decoding and augmentation (the CPU stage of the input pipeline).
+//!
+//! Decoding parses the synthetic blob layout of [`crate::nfs`] and converts
+//! the 8-bit payload to normalised `f32` — real byte-level work whose
+//! *duration* is charged from [`crate::timing::CpuModel`] (JPEG-class
+//! throughput), keeping mechanics real and timing virtual.
+
+use bytes::Bytes;
+
+use crate::nfs::BLOB_HEADER;
+use crate::timing::CpuModel;
+
+/// A decoded, training-ready sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Normalised pixel data in `[-1, 1]`.
+    pub data: Vec<f32>,
+    /// Class label.
+    pub label: u32,
+}
+
+impl Sample {
+    /// In-memory footprint in bytes (for cache capacity accounting).
+    pub fn mem_bytes(&self) -> usize {
+        self.data.len() * 4 + 8
+    }
+}
+
+/// Error returned for a malformed blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a blob into a sample, returning the virtual CPU seconds charged.
+///
+/// # Errors
+/// Returns [`DecodeError`] if the header is truncated or inconsistent with
+/// the payload length.
+pub fn decode(blob: &Bytes, cpu: &CpuModel) -> Result<(Sample, f64), DecodeError> {
+    if blob.len() < BLOB_HEADER {
+        return Err(DecodeError(format!("blob of {} bytes has no header", blob.len())));
+    }
+    let pixels = u32::from_le_bytes([blob[0], blob[1], blob[2], blob[3]]) as usize;
+    let label = u32::from_le_bytes([blob[4], blob[5], blob[6], blob[7]]);
+    if blob.len() != BLOB_HEADER + pixels {
+        return Err(DecodeError(format!(
+            "header says {} pixels but payload has {} bytes",
+            pixels,
+            blob.len() - BLOB_HEADER
+        )));
+    }
+    let data: Vec<f32> = blob[BLOB_HEADER..]
+        .iter()
+        .map(|&b| b as f32 / 127.5 - 1.0)
+        .collect();
+    let t = cpu.decode_time(blob.len());
+    Ok((Sample { data, label }, t))
+}
+
+/// In-place augmentation: mirrors the sample with probability given by a
+/// per-call coin derived from `flip`, then renormalises — a stand-in for
+/// crop/mirror with the paper's cost profile. Returns the virtual seconds
+/// charged.
+pub fn augment(sample: &mut Sample, flip: bool, cpu: &CpuModel) -> f64 {
+    if flip {
+        sample.data.reverse();
+    }
+    let t = cpu.augment_time(sample.data.len());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs::synth_blob;
+
+    #[test]
+    fn decode_roundtrip() {
+        let blob = synth_blob(5, 200, 3);
+        let (s, t) = decode(&blob, &CpuModel::default()).unwrap();
+        assert_eq!(s.data.len(), 200);
+        assert!(s.label < 1000);
+        assert!(s.data.iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn decode_is_deterministic() {
+        let blob = synth_blob(5, 200, 3);
+        let a = decode(&blob, &CpuModel::default()).unwrap().0;
+        let b = decode(&blob, &CpuModel::default()).unwrap().0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_blob_errors() {
+        let blob = Bytes::from_static(&[1, 2, 3]);
+        assert!(decode(&blob, &CpuModel::default()).is_err());
+        // Header inconsistent with payload.
+        let mut bad = synth_blob(5, 100, 3).to_vec();
+        bad.truncate(50);
+        assert!(decode(&Bytes::from(bad), &CpuModel::default()).is_err());
+    }
+
+    #[test]
+    fn augment_mirror_is_involutive() {
+        let blob = synth_blob(5, 64, 3);
+        let (mut s, _) = decode(&blob, &CpuModel::default()).unwrap();
+        let orig = s.clone();
+        augment(&mut s, true, &CpuModel::default());
+        assert_ne!(s, orig);
+        augment(&mut s, true, &CpuModel::default());
+        assert_eq!(s, orig);
+        let t = augment(&mut s, false, &CpuModel::default());
+        assert_eq!(s, orig);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn mem_bytes_accounts_data() {
+        let s = Sample {
+            data: vec![0.0; 100],
+            label: 1,
+        };
+        assert_eq!(s.mem_bytes(), 408);
+    }
+}

@@ -1,0 +1,153 @@
+//! Node-local file-system cache (the first cache level of Fig. 5).
+//!
+//! Blobs fetched from NFS are written to a local directory and served from
+//! there on later epochs (and later *runs* — the paper notes this makes
+//! hyper-parameter sweeps over the same data cheap). Files are real;
+//! access time is charged from the local-SSD spec.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+
+use crate::timing::StorageSpec;
+use crate::SampleId;
+
+/// Per-tier hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Reads served from the local cache.
+    pub hits: u64,
+    /// Reads that fell through to the backing store.
+    pub misses: u64,
+}
+
+/// A real on-disk blob cache with virtual-time accounting.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    spec: StorageSpec,
+    stats: DiskStats,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    /// Returns any I/O error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            spec: StorageSpec::local_ssd(),
+            stats: DiskStats::default(),
+        })
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    fn path_of(&self, id: SampleId) -> PathBuf {
+        self.dir.join(format!("sample_{id:016x}.bin"))
+    }
+
+    /// Returns the cached blob and its virtual read time, or `None` on miss.
+    pub fn get(&mut self, id: SampleId) -> Option<(Bytes, f64)> {
+        let path = self.path_of(id);
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                if f.read_to_end(&mut buf).is_err() {
+                    self.stats.misses += 1;
+                    return None;
+                }
+                self.stats.hits += 1;
+                let t = self.spec.access_time(buf.len());
+                Some((Bytes::from(buf), t))
+            }
+            Err(_) => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a blob, returning the virtual write time.
+    ///
+    /// # Errors
+    /// Returns any I/O error from the write.
+    pub fn put(&mut self, id: SampleId, blob: &Bytes) -> std::io::Result<f64> {
+        let path = self.path_of(id);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(blob)?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(self.spec.access_time(blob.len()))
+    }
+
+    /// Removes every cached blob (e.g. between experiments).
+    ///
+    /// # Errors
+    /// Returns any I/O error from the directory walk.
+    pub fn clear(&mut self) -> std::io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with("sample_") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cloudtrain-diskcache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let mut c = DiskCache::open(tmpdir("roundtrip")).unwrap();
+        assert!(c.get(1).is_none());
+        let blob = Bytes::from_static(b"hello blob");
+        let tw = c.put(1, &blob).unwrap();
+        assert!(tw > 0.0);
+        let (got, tr) = c.get(1).unwrap();
+        assert_eq!(got, blob);
+        assert!(tr > 0.0);
+        assert_eq!(c.stats(), DiskStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = DiskCache::open(tmpdir("clear")).unwrap();
+        c.put(1, &Bytes::from_static(b"a")).unwrap();
+        c.put(2, &Bytes::from_static(b"b")).unwrap();
+        c.clear().unwrap();
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn ids_do_not_collide() {
+        let mut c = DiskCache::open(tmpdir("ids")).unwrap();
+        c.put(0x10, &Bytes::from_static(b"x")).unwrap();
+        c.put(0x1000, &Bytes::from_static(b"y")).unwrap();
+        assert_eq!(c.get(0x10).unwrap().0, Bytes::from_static(b"x"));
+        assert_eq!(c.get(0x1000).unwrap().0, Bytes::from_static(b"y"));
+    }
+}

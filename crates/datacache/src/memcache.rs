@@ -1,0 +1,251 @@
+//! In-memory key-value cache of *pre-processed* samples (the second cache
+//! level of Fig. 5).
+//!
+//! The key is the sample index, the value is the decoded, training-ready
+//! sample — so a hit skips both the I/O and the CPU decode. Capacity is
+//! bounded in bytes with FIFO eviction; the paper bounds memory by sharding
+//! the data set across nodes (see [`crate::sampler`]), in which case each
+//! node's shard fits and eviction never triggers.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::decode::Sample;
+use crate::timing::StorageSpec;
+use crate::SampleId;
+
+/// Cache eviction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict in insertion order (the paper's sharded workload never
+    /// revisits out of order, so FIFO suffices there).
+    #[default]
+    Fifo,
+    /// Evict the least recently *used* entry (for globally shuffled access
+    /// patterns that exceed capacity).
+    Lru,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// Bounded in-memory store of decoded samples.
+#[derive(Debug)]
+pub struct MemoryCache {
+    map: HashMap<SampleId, Arc<Sample>>,
+    /// Eviction queue of `(id, seq)`; stale entries (seq no longer the
+    /// id's latest) are skipped lazily on eviction.
+    order: VecDeque<(SampleId, u64)>,
+    latest_seq: HashMap<SampleId, u64>,
+    next_seq: u64,
+    policy: EvictionPolicy,
+    used_bytes: usize,
+    capacity_bytes: usize,
+    spec: StorageSpec,
+    stats: MemStats,
+}
+
+impl MemoryCache {
+    /// Creates a FIFO cache bounded to `capacity_bytes` of sample payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_policy(capacity_bytes, EvictionPolicy::Fifo)
+    }
+
+    /// Creates a cache with an explicit eviction policy.
+    pub fn with_policy(capacity_bytes: usize, policy: EvictionPolicy) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            latest_seq: HashMap::new(),
+            next_seq: 0,
+            policy,
+            used_bytes: 0,
+            capacity_bytes,
+            spec: StorageSpec::memory(),
+            stats: MemStats::default(),
+        }
+    }
+
+    fn touch(&mut self, id: SampleId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.latest_seq.insert(id, seq);
+        self.order.push_back((id, seq));
+    }
+
+    /// Current payload bytes held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Looks up a sample, returning it and the virtual access time.
+    pub fn get(&mut self, id: SampleId) -> Option<(Arc<Sample>, f64)> {
+        match self.map.get(&id) {
+            Some(s) => {
+                self.stats.hits += 1;
+                let t = self.spec.access_time(s.mem_bytes());
+                let s = Arc::clone(s);
+                if self.policy == EvictionPolicy::Lru {
+                    self.touch(id);
+                }
+                Some((s, t))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a sample, evicting FIFO as needed. A sample larger than the
+    /// whole capacity is not cached.
+    pub fn put(&mut self, id: SampleId, sample: Arc<Sample>) {
+        let bytes = sample.mem_bytes();
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        if self.map.contains_key(&id) {
+            return;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let Some((victim, seq)) = self.order.pop_front() else {
+                break;
+            };
+            // Skip stale queue entries (the id was touched more recently).
+            if self.latest_seq.get(&victim) != Some(&seq) {
+                continue;
+            }
+            if let Some(old) = self.map.remove(&victim) {
+                self.used_bytes -= old.mem_bytes();
+                self.latest_seq.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.used_bytes += bytes;
+        self.touch(id);
+        self.map.insert(id, sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(elems: usize) -> Arc<Sample> {
+        Arc::new(Sample {
+            data: vec![0.5; elems],
+            label: 0,
+        })
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = MemoryCache::new(1 << 20);
+        assert!(c.get(1).is_none());
+        c.put(1, sample(10));
+        let (s, t) = c.get(1).unwrap();
+        assert_eq!(s.data.len(), 10);
+        assert!(t > 0.0 && t < 1e-5);
+        assert_eq!(c.stats(), MemStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        // Each sample is 48 bytes (10 f32 + 8); capacity fits two.
+        let bytes = sample(10).mem_bytes();
+        let mut c = MemoryCache::new(2 * bytes);
+        c.put(1, sample(10));
+        c.put(2, sample(10));
+        c.put(3, sample(10));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none(), "oldest entry should be evicted");
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.used_bytes() <= 2 * bytes);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_entries() {
+        let bytes = sample(10).mem_bytes();
+        let mut c = MemoryCache::with_policy(2 * bytes, EvictionPolicy::Lru);
+        c.put(1, sample(10));
+        c.put(2, sample(10));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1).is_some());
+        c.put(3, sample(10));
+        assert!(c.get(1).is_some(), "recently used entry evicted");
+        assert!(c.get(2).is_none(), "LRU victim survived");
+        assert!(c.get(3).is_some());
+        assert!(c.used_bytes() <= 2 * bytes);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let bytes = sample(10).mem_bytes();
+        let mut c = MemoryCache::with_policy(2 * bytes, EvictionPolicy::Fifo);
+        c.put(1, sample(10));
+        c.put(2, sample(10));
+        assert!(c.get(1).is_some());
+        c.put(3, sample(10));
+        // FIFO evicts 1 despite the recent touch.
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn lru_scan_loop_does_not_leak_queue_entries() {
+        let bytes = sample(10).mem_bytes();
+        let mut c = MemoryCache::with_policy(3 * bytes, EvictionPolicy::Lru);
+        for round in 0..100u64 {
+            for id in 0..3 {
+                if c.get(id).is_none() {
+                    c.put(id, sample(10));
+                }
+                let _ = round;
+            }
+        }
+        // All three stay resident; nothing was evicted.
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn oversized_sample_is_not_cached() {
+        let mut c = MemoryCache::new(16);
+        c.put(1, sample(100));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_put_is_ignored() {
+        let mut c = MemoryCache::new(1 << 20);
+        c.put(1, sample(10));
+        c.put(1, sample(10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), sample(10).mem_bytes());
+    }
+}

@@ -1,0 +1,112 @@
+//! Sharded, seeded epoch sampling.
+//!
+//! To bound per-node memory, the paper splits the data set into one part
+//! per node and each node's workers only ever read their own part — that is
+//! what lets the in-memory cache hold a node's entire working set from the
+//! second epoch onward. Within a shard, order is reshuffled every epoch
+//! from a deterministic (seed, epoch) pair so that all workers agree on the
+//! permutation without communication.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::SampleId;
+
+/// Deterministic sharded sampler over `dataset_len` samples.
+#[derive(Debug, Clone)]
+pub struct ShardedSampler {
+    dataset_len: u64,
+    nodes: u64,
+    node: u64,
+    seed: u64,
+}
+
+impl ShardedSampler {
+    /// Creates the sampler for `node` of `nodes` over a data set of
+    /// `dataset_len` samples.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `node >= nodes`.
+    pub fn new(dataset_len: u64, nodes: u64, node: u64, seed: u64) -> Self {
+        assert!(nodes > 0, "ShardedSampler: need at least one node");
+        assert!(node < nodes, "ShardedSampler: node {node} out of {nodes}");
+        Self {
+            dataset_len,
+            nodes,
+            node,
+            seed,
+        }
+    }
+
+    /// The sample ids of this node's shard (round-robin assignment, so
+    /// shard sizes differ by at most one).
+    pub fn shard(&self) -> Vec<SampleId> {
+        (0..self.dataset_len)
+            .filter(|id| id % self.nodes == self.node)
+            .collect()
+    }
+
+    /// Number of samples in this node's shard.
+    pub fn shard_len(&self) -> u64 {
+        self.dataset_len / self.nodes
+            + u64::from(self.dataset_len % self.nodes > self.node)
+    }
+
+    /// The shard, shuffled for the given epoch (Fisher–Yates with a
+    /// (seed, epoch)-derived RNG).
+    pub fn epoch_order(&self, epoch: u64) -> Vec<SampleId> {
+        let mut ids = self.shard();
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.node,
+        );
+        for i in (1..ids.len()).rev() {
+            let j = rng.random_range(0..=i);
+            ids.swap(i, j);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_dataset() {
+        let n = 4;
+        let len = 103;
+        let mut seen = vec![false; len as usize];
+        for node in 0..n {
+            let s = ShardedSampler::new(len, n, node, 7);
+            assert_eq!(s.shard().len() as u64, s.shard_len());
+            for id in s.shard() {
+                assert!(!seen[id as usize]);
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn epoch_order_is_a_permutation_of_the_shard() {
+        let s = ShardedSampler::new(100, 3, 1, 42);
+        let mut order = s.epoch_order(5);
+        let mut shard = s.shard();
+        order.sort_unstable();
+        shard.sort_unstable();
+        assert_eq!(order, shard);
+    }
+
+    #[test]
+    fn epochs_differ_but_are_reproducible() {
+        let s = ShardedSampler::new(1000, 2, 0, 9);
+        assert_eq!(s.epoch_order(1), s.epoch_order(1));
+        assert_ne!(s.epoch_order(1), s.epoch_order(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_node_panics() {
+        ShardedSampler::new(10, 2, 2, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Virtual-time cost models for the storage tiers and CPU pre-processing.
+//!
+//! The numbers are calibrated to the paper's environment (Table 1: CFS on
+//! Tencent Cloud over the instance's shared network; node-local NVMe; DRAM)
+//! and to typical single-core JPEG decode throughput. They parameterise the
+//! virtual clock only — the cache mechanics run for real.
+
+/// Latency/bandwidth model of one storage tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageSpec {
+    /// Per-access latency in seconds.
+    pub latency: f64,
+    /// Sustained bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+impl StorageSpec {
+    /// Time to read `bytes` from this tier.
+    pub fn access_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bytes_per_sec
+    }
+
+    /// Cloud NFS (CFS-class): millisecond latency, ~150 MB/s per client.
+    pub fn nfs() -> Self {
+        Self {
+            latency: 2e-3,
+            bytes_per_sec: 150e6,
+        }
+    }
+
+    /// Node-local NVMe SSD with OS page cache effects amortised.
+    pub fn local_ssd() -> Self {
+        Self {
+            latency: 80e-6,
+            bytes_per_sec: 1.5e9,
+        }
+    }
+
+    /// In-memory KV store access.
+    pub fn memory() -> Self {
+        Self {
+            latency: 2e-7,
+            bytes_per_sec: 10e9,
+        }
+    }
+}
+
+/// CPU cost model for sample pre-processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Seconds per encoded byte for decode (JPEG-class: ~100 MB/s/core).
+    pub decode_per_byte: f64,
+    /// Seconds per decoded element for augmentation (crop/mirror/normalise).
+    pub augment_per_elem: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self {
+            decode_per_byte: 1.0 / 100e6,
+            augment_per_elem: 2e-9,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Time to decode an encoded blob of `bytes`.
+    pub fn decode_time(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.decode_per_byte
+    }
+
+    /// Time to augment a decoded sample of `elems` values.
+    pub fn augment_time(&self, elems: usize) -> f64 {
+        elems as f64 * self.augment_per_elem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_is_physical() {
+        let nfs = StorageSpec::nfs();
+        let ssd = StorageSpec::local_ssd();
+        let mem = StorageSpec::memory();
+        for bytes in [1usize << 10, 100 << 10, 1 << 20] {
+            assert!(nfs.access_time(bytes) > ssd.access_time(bytes));
+            assert!(ssd.access_time(bytes) > mem.access_time(bytes));
+        }
+    }
+
+    #[test]
+    fn access_time_formula() {
+        let s = StorageSpec {
+            latency: 1e-3,
+            bytes_per_sec: 1e6,
+        };
+        assert!((s.access_time(1_000_000) - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_dominates_augment_for_typical_images() {
+        // A 100 KB JPEG decoding to 150k pixels: decode ~1 ms, augment ~0.3 ms.
+        let m = CpuModel::default();
+        assert!(m.decode_time(100_000) > m.augment_time(150_000));
+    }
+}

@@ -1,0 +1,591 @@
+//! 2-D convolution and pooling over `[batch, channels, h, w]` tensors.
+//!
+//! Two interchangeable convolution paths: direct loops (the verifiable
+//! reference, checked by finite differences) and an im2col + matmul
+//! lowering ([`Conv2d::fast`]) with better cache behaviour on wide layers
+//! — equivalence between the two is asserted by tests.
+
+use cloudtrain_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+
+use crate::layer::{Layer, Param};
+use crate::math::{matmul, matmul_at_acc};
+
+/// Unrolls one image `[c, h, w]` into columns `[c*k*k, oh*ow]` for a
+/// k×k same-padded convolution with the given stride — the classic
+/// im2col lowering that turns convolution into one big matmul.
+pub fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+) -> (Vec<f32>, usize, usize) {
+    let pad = k / 2;
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    let rows = c * k * k;
+    let cols_n = oh * ow;
+    let mut cols = vec![0.0; rows * cols_n];
+    for ic in 0..c {
+        let plane = &x[ic * h * w..(ic + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                let dst = &mut cols[row * cols_n..(row + 1) * cols_n];
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    if iy < pad || iy - pad >= h {
+                        continue;
+                    }
+                    let iy = iy - pad;
+                    for ox in 0..ow {
+                        let ix = ox * stride + kx;
+                        if ix < pad || ix - pad >= w {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = plane[iy * w + (ix - pad)];
+                    }
+                }
+            }
+        }
+    }
+    (cols, oh, ow)
+}
+
+/// Scatters column gradients back into an image gradient (the adjoint of
+/// [`im2col`]): `dx[c, h, w] += fold(dcols)`.
+pub fn col2im_acc(
+    dcols: &[f32],
+    dx: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+) {
+    let pad = k / 2;
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    let cols_n = oh * ow;
+    for ic in 0..c {
+        let plane = &mut dx[ic * h * w..(ic + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                let src = &dcols[row * cols_n..(row + 1) * cols_n];
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    if iy < pad || iy - pad >= h {
+                        continue;
+                    }
+                    let iy = iy - pad;
+                    for ox in 0..ow {
+                        let ix = ox * stride + kx;
+                        if ix < pad || ix - pad >= w {
+                            continue;
+                        }
+                        plane[iy * w + (ix - pad)] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 3×3-style 2-D convolution with "same" padding and stride 1 or 2.
+#[derive(Debug)]
+pub struct Conv2d {
+    w: Param, // [out_c, in_c, k, k]
+    b: Param, // [out_c]
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    /// Lower to im2col + matmul instead of direct loops.
+    fast: bool,
+    cached_x: Option<Tensor>,
+    cached_cols: Vec<Vec<f32>>,
+}
+
+impl Conv2d {
+    /// Creates a He-initialised convolution.
+    ///
+    /// # Panics
+    /// Panics if `k` is even (same-padding needs odd kernels) or
+    /// `stride == 0`.
+    pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, rng: &mut StdRng) -> Self {
+        assert!(k % 2 == 1, "Conv2d: kernel must be odd for same padding");
+        assert!(stride > 0, "Conv2d: stride must be positive");
+        let mut w = vec![0.0; out_c * in_c * k * k];
+        init::fill_he(&mut w, in_c * k * k, rng);
+        Self {
+            w: Param::new(format!("conv{in_c}x{out_c}k{k}.weight"), w),
+            b: Param::new(format!("conv{in_c}x{out_c}k{k}.bias"), vec![0.0; out_c]),
+            in_c,
+            out_c,
+            k,
+            stride,
+            fast: false,
+            cached_x: None,
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// Switches to the im2col + matmul lowering (identical results, better
+    /// cache behaviour on wider layers).
+    pub fn fast(mut self) -> Self {
+        self.fast = true;
+        self
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h.div_ceil(self.stride), w.div_ceil(self.stride))
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
+        let (b, c, h, w) = unpack4(&x);
+        assert_eq!(c, self.in_c, "Conv2d: channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        if self.fast {
+            // im2col lowering: y[bi] = W @ cols(x[bi]) + bias.
+            let mut y = Tensor::zeros(vec![b, self.out_c, oh, ow]);
+            self.cached_cols.clear();
+            let ck2 = self.in_c * self.k * self.k;
+            for bi in 0..b {
+                let (cols, coh, cow) =
+                    im2col(&x.as_slice()[bi * c * h * w..(bi + 1) * c * h * w], c, h, w, self.k, self.stride);
+                debug_assert_eq!((coh, cow), (oh, ow));
+                let out = &mut y.as_mut_slice()
+                    [bi * self.out_c * oh * ow..(bi + 1) * self.out_c * oh * ow];
+                matmul(&self.w.value, &cols, out, self.out_c, ck2, oh * ow);
+                for (oc, plane) in out.chunks_mut(oh * ow).enumerate() {
+                    let bias = self.b.value[oc];
+                    plane.iter_mut().for_each(|v| *v += bias);
+                }
+                self.cached_cols.push(cols);
+            }
+            self.cached_x = Some(x);
+            return y;
+        }
+        let pad = self.k / 2;
+        let mut y = Tensor::zeros(vec![b, self.out_c, oh, ow]);
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        for bi in 0..b {
+            for oc in 0..self.out_c {
+                let bias = self.b.value[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let cy = oy * self.stride;
+                        let cx = ox * self.stride;
+                        let mut acc = bias;
+                        for ic in 0..self.in_c {
+                            let x_plane = &xs[(bi * c + ic) * h * w..];
+                            let w_plane =
+                                &self.w.value[((oc * self.in_c + ic) * self.k) * self.k..];
+                            for ky in 0..self.k {
+                                let iy = cy + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for kx in 0..self.k {
+                                    let ix = cx + kx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    acc += x_plane[iy * w + ix] * w_plane[ky * self.k + kx];
+                                }
+                            }
+                        }
+                        ys[((bi * self.out_c + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_x = Some(x);
+        y
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let x = self.cached_x.take().expect("Conv2d: backward before forward");
+        let (b, c, h, w) = unpack4(&x);
+        let (oh, ow) = self.out_hw(h, w);
+        if self.fast {
+            let ck2 = self.in_c * self.k * self.k;
+            let mut dx = Tensor::zeros(vec![b, c, h, w]);
+            for bi in 0..b {
+                let dy_b =
+                    &dy.as_slice()[bi * self.out_c * oh * ow..(bi + 1) * self.out_c * oh * ow];
+                let cols = &self.cached_cols[bi];
+                // dW += dY @ colsᵀ  (out_c × ck2). matmul_at_acc computes
+                // aᵀ·b for a: m×k — use a = dY viewed as (out_c rows) via
+                // transpose trick: dW[oc, r] = Σ_cols dy[oc, col] cols[r, col].
+                for oc in 0..self.out_c {
+                    let dy_row = &dy_b[oc * oh * ow..(oc + 1) * oh * ow];
+                    self.b.grad[oc] += dy_row.iter().sum::<f32>();
+                    let wg = &mut self.w.grad[oc * ck2..(oc + 1) * ck2];
+                    for r in 0..ck2 {
+                        let col_row = &cols[r * oh * ow..(r + 1) * oh * ow];
+                        wg[r] += dy_row.iter().zip(col_row).map(|(a, b)| a * b).sum::<f32>();
+                    }
+                }
+                // dcols = Wᵀ @ dY  (ck2 × oh*ow), then fold back to dx.
+                let mut dcols = vec![0.0; ck2 * oh * ow];
+                matmul_at_acc(&self.w.value, dy_b, &mut dcols, self.out_c, ck2, oh * ow);
+                col2im_acc(
+                    &dcols,
+                    &mut dx.as_mut_slice()[bi * c * h * w..(bi + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    self.k,
+                    self.stride,
+                );
+            }
+            self.cached_cols.clear();
+            return dx;
+        }
+        let pad = self.k / 2;
+        let mut dx = Tensor::zeros(vec![b, c, h, w]);
+        let xs = x.as_slice();
+        let dys = dy.as_slice();
+        let dxs = dx.as_mut_slice();
+        for bi in 0..b {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dys[((bi * self.out_c + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.b.grad[oc] += g;
+                        let cy = oy * self.stride;
+                        let cx = ox * self.stride;
+                        for ic in 0..self.in_c {
+                            let x_plane = &xs[(bi * c + ic) * h * w..];
+                            let dx_plane = &mut dxs[(bi * c + ic) * h * w..];
+                            let w_base = (oc * self.in_c + ic) * self.k * self.k;
+                            for ky in 0..self.k {
+                                let iy = cy + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for kx in 0..self.k {
+                                    let ix = cx + kx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    self.w.grad[w_base + ky * self.k + kx] +=
+                                        g * x_plane[iy * w + ix];
+                                    dx_plane[iy * w + ix] +=
+                                        g * self.w.value[w_base + ky * self.k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Debug, Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2 max-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
+        let (b, c, h, w) = unpack4(&x);
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2: odd input size");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut y = Tensor::zeros(vec![b, c, oh, ow]);
+        self.argmax.clear();
+        self.argmax.reserve(y.len());
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        for plane in 0..b * c {
+            let xp = &xs[plane * h * w..(plane + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = (oy * 2 + dy) * w + ox * 2 + dx;
+                            if xp[idx] > best {
+                                best = xp[idx];
+                                best_idx = plane * h * w + idx;
+                            }
+                        }
+                    }
+                    ys[(plane * oh + oy) * ow + ox] = best;
+                    self.argmax.push(best_idx);
+                }
+            }
+        }
+        self.in_shape = vec![b, c, h, w];
+        y
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let mut dx = Tensor::zeros(self.in_shape.clone());
+        let dxs = dx.as_mut_slice();
+        for (&src, &g) in self.argmax.iter().zip(dy.as_slice()) {
+            dxs[src] += g;
+        }
+        dx
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "maxpool2"
+    }
+}
+
+/// Global average pooling: `[b, c, h, w] -> [b, c]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
+        let (b, c, h, w) = unpack4(&x);
+        let mut y = Tensor::zeros(vec![b, c]);
+        let inv = 1.0 / (h * w) as f32;
+        for (plane, out) in x
+            .as_slice()
+            .chunks(h * w)
+            .zip(y.as_mut_slice().iter_mut())
+        {
+            *out = plane.iter().sum::<f32>() * inv;
+        }
+        self.in_shape = vec![b, c, h, w];
+        y
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let (h, w) = (self.in_shape[2], self.in_shape[3]);
+        let mut dx = Tensor::zeros(self.in_shape.clone());
+        let inv = 1.0 / (h * w) as f32;
+        for (plane, &g) in dx
+            .as_mut_slice()
+            .chunks_mut(h * w)
+            .zip(dy.as_slice().iter())
+        {
+            plane.iter_mut().for_each(|v| *v = g * inv);
+        }
+        dx
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+}
+
+fn unpack4(x: &Tensor) -> (usize, usize, usize, usize) {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "expected [b, c, h, w], got {s:?}");
+    (s[0], s[1], s[2], s[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtrain_tensor::init::rng_from_seed;
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        let mut rng = rng_from_seed(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng);
+        conv.w.value.iter_mut().for_each(|v| *v = 0.0);
+        conv.w.value[4] = 1.0; // center tap
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), vec![1, 1, 4, 4]).unwrap();
+        let y = conv.forward(x.clone(), true);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_stride2_halves_resolution() {
+        let mut rng = rng_from_seed(1);
+        let mut conv = Conv2d::new(2, 3, 3, 2, &mut rng);
+        let x = Tensor::zeros(vec![2, 2, 8, 8]);
+        let y = conv.forward(x, true);
+        assert_eq!(y.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut rng = rng_from_seed(2);
+        let mut conv = Conv2d::new(2, 2, 3, 1, &mut rng);
+        let x = {
+            let mut rng = rng_from_seed(3);
+            init::uniform_tensor(2 * 2 * 4 * 4, -1.0, 1.0, &mut rng)
+        };
+        let mut x = x;
+        x.reshape(vec![2, 2, 4, 4]).unwrap();
+        let y = conv.forward(x.clone(), true);
+        let dy = y.clone(); // L = sum(y^2)/2
+        let dx = conv.backward(dy);
+
+        let eps = 1e-2;
+        let loss = |c: &mut Conv2d, x: &Tensor| -> f32 {
+            let y = c.forward(x.clone(), true);
+            c.cached_x = None;
+            y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        for idx in [0usize, 7, 17, 35] {
+            let analytic = conv.w.grad[idx];
+            conv.w.value[idx] += eps;
+            let lp = loss(&mut conv, &x);
+            conv.w.value[idx] -= 2.0 * eps;
+            let lm = loss(&mut conv, &x);
+            conv.w.value[idx] += eps;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 0.05 * analytic.abs().max(1.0),
+                "w[{idx}]: {analytic} vs {numeric}"
+            );
+        }
+        // One input coordinate.
+        let mut xp = x.clone();
+        xp.as_mut_slice()[10] += eps;
+        let lp = loss(&mut conv, &xp);
+        xp.as_mut_slice()[10] -= 2.0 * eps;
+        let lm = loss(&mut conv, &xp);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (dx.as_slice()[10] - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+            "dx[10]: {} vs {numeric}",
+            dx.as_slice()[10]
+        );
+    }
+
+    #[test]
+    fn im2col_path_matches_direct_forward_and_backward() {
+        let mut rng = rng_from_seed(11);
+        for stride in [1usize, 2] {
+            let mut direct = Conv2d::new(3, 4, 3, stride, &mut rng);
+            // Clone parameters into a fast twin.
+            let mut fast = Conv2d::new(3, 4, 3, stride, &mut rng_from_seed(0)).fast();
+            fast.w.value.copy_from_slice(&direct.w.value);
+            fast.b.value.copy_from_slice(&direct.b.value);
+
+            let mut x = init::uniform_tensor(2 * 3 * 6 * 6, -1.0, 1.0, &mut rng);
+            x.reshape(vec![2, 3, 6, 6]).unwrap();
+            let y1 = direct.forward(x.clone(), true);
+            let y2 = fast.forward(x.clone(), true);
+            assert_eq!(y1.shape(), y2.shape());
+            for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "forward diverged: {a} vs {b}");
+            }
+
+            let dy = y1.clone();
+            let dx1 = direct.backward(dy.clone());
+            let dx2 = fast.backward(dy);
+            for (a, b) in dx1.as_slice().iter().zip(dx2.as_slice()) {
+                assert!((a - b).abs() < 1e-3, "dx diverged: {a} vs {b}");
+            }
+            for (a, b) in direct.w.grad.iter().zip(&fast.w.grad) {
+                assert!((a - b).abs() < 1e-3, "dW diverged: {a} vs {b}");
+            }
+            for (a, b) in direct.b.grad.iter().zip(&fast.b.grad) {
+                assert!((a - b).abs() < 1e-3, "db diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity.
+        let mut rng = rng_from_seed(12);
+        let (c, h, w, k, stride) = (2usize, 5usize, 4usize, 3usize, 1usize);
+        let x = init::uniform_tensor(c * h * w, -1.0, 1.0, &mut rng).into_vec();
+        let (cols, oh, ow) = im2col(&x, c, h, w, k, stride);
+        let y = init::uniform_tensor(c * k * k * oh * ow, -1.0, 1.0, &mut rng).into_vec();
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut folded = vec![0.0; c * h * w];
+        col2im_acc(&y, &mut folded, c, h, w, k, stride);
+        let rhs: f32 = x.iter().zip(&folded).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, -1.0, 0.0, 0.5,
+            ],
+            vec![1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(x, true);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 0.0, 1.0]);
+        let dx = p.backward(Tensor::from_vec_1d(vec![1.0, 2.0, 3.0, 4.0]));
+        // Gradient lands only on the argmax positions.
+        assert_eq!(dx.as_slice()[5], 1.0); // 4.0 at (1,1)
+        assert_eq!(dx.as_slice()[7], 2.0); // 8.0 at (1,3)
+        assert_eq!(dx.as_slice()[10], 4.0); // 1.0 at (2,2)
+        assert_eq!(dx.as_slice().iter().filter(|v| **v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let mut g = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], vec![1, 2, 2, 2])
+            .unwrap();
+        let y = g.forward(x, true);
+        assert_eq!(y.as_slice(), &[4.0, 2.0]);
+        let dx = g.backward(Tensor::from_vec_1d(vec![4.0, 8.0]));
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! The layer abstraction and parameter storage.
+
+use cloudtrain_tensor::Tensor;
+
+/// One learnable parameter tensor with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter values (flat, row-major).
+    pub value: Vec<f32>,
+    /// Gradient accumulator, same length as `value`.
+    pub grad: Vec<f32>,
+    /// Human-readable name (e.g. `"conv1.weight"`), used in diagnostics.
+    pub name: String,
+}
+
+impl Param {
+    /// Creates a parameter from initial values with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Vec<f32>) -> Self {
+        let grad = vec![0.0; value.len()];
+        Self {
+            value,
+            grad,
+            name: name.into(),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// A differentiable layer with manual backpropagation.
+///
+/// `forward` consumes the input and caches whatever it needs for
+/// `backward`; `backward` consumes the output gradient and returns the
+/// input gradient, accumulating parameter gradients along the way.
+/// Layers are stateful between a forward and its matching backward —
+/// callers must pair them 1:1.
+pub trait Layer: Send {
+    /// Forward pass. `train` selects training behaviour (batch statistics,
+    /// dropout) where applicable.
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: output gradient in, input gradient out.
+    fn backward(&mut self, dy: Tensor) -> Tensor;
+
+    /// Visits the layer's parameters in a stable order.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param));
+
+    /// Visits the layer's parameters mutably, same order as
+    /// [`Layer::visit_params`].
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Short layer kind name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Total scalar parameter count of a layer.
+pub fn param_count(layer: &dyn Layer) -> usize {
+    let mut n = 0;
+    layer.visit_params(&mut |p| n += p.len());
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_basics() {
+        let mut p = Param::new("w", vec![1.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        p.grad = vec![3.0, 4.0];
+        p.zero_grad();
+        assert_eq!(p.grad, vec![0.0, 0.0]);
+        assert_eq!(p.name, "w");
+    }
+}

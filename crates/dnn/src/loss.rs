@@ -1,0 +1,137 @@
+//! Fused softmax cross-entropy loss and accuracy metrics.
+
+use cloudtrain_tensor::Tensor;
+
+use crate::math::softmax_rows;
+
+/// Mean softmax cross-entropy over a batch of logits `[batch, classes]`.
+///
+/// Returns `(loss, dlogits)` where `dlogits` is the gradient of the mean
+/// loss with respect to the logits (`(p - onehot) / batch`).
+///
+/// # Panics
+/// Panics if a label is out of range or shapes are inconsistent.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    let classes = *logits.shape().last().expect("logits need a class dim");
+    let batch = logits.len() / classes;
+    assert_eq!(batch, labels.len(), "softmax_cross_entropy: batch mismatch");
+
+    let mut probs = logits.clone();
+    softmax_rows(probs.as_mut_slice(), batch, classes);
+
+    let mut loss = 0.0;
+    for (row, &label) in probs.as_slice().chunks(classes).zip(labels) {
+        assert!((label as usize) < classes, "label {label} out of range");
+        loss -= row[label as usize].max(1e-12).ln();
+    }
+    loss /= batch as f32;
+
+    let inv_b = 1.0 / batch as f32;
+    let mut grad = probs;
+    for (row, &label) in grad.as_mut_slice().chunks_mut(classes).zip(labels) {
+        row[label as usize] -= 1.0;
+        row.iter_mut().for_each(|v| *v *= inv_b);
+    }
+    (loss, grad)
+}
+
+/// Fraction of rows whose top-1 prediction matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[u32]) -> f32 {
+    top_k_accuracy(logits, labels, 1)
+}
+
+/// Fraction of rows whose label appears in the top-`k` predictions — the
+/// paper's CNN metric is top-5.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[u32], k: usize) -> f32 {
+    let classes = *logits.shape().last().expect("logits need a class dim");
+    let batch = logits.len() / classes;
+    assert_eq!(batch, labels.len(), "top_k_accuracy: batch mismatch");
+    if batch == 0 {
+        return 0.0;
+    }
+    let mut hits = 0;
+    for (row, &label) in logits.as_slice().chunks(classes).zip(labels) {
+        let target = row[label as usize];
+        // Rank = number of strictly larger logits; ties resolved toward the
+        // target (optimistic, matching tf.nn.in_top_k).
+        let rank = row.iter().filter(|v| **v > target).count();
+        if rank < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_log_classes_for_uniform_logits() {
+        let logits = Tensor::zeros(vec![4, 10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient: (0.1 - onehot)/4.
+        assert!((grad.as_slice()[0] - (0.1 - 1.0) / 4.0).abs() < 1e-6);
+        assert!((grad.as_slice()[1] - 0.1 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], vec![2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for row in grad.as_slice().chunks(3) {
+            assert!(row.iter().sum::<f32>().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loss_gradcheck() {
+        let logits =
+            Tensor::from_vec(vec![0.2, -0.3, 0.7, 1.1, -0.5, 0.0], vec![2, 3]).unwrap();
+        let labels = [1u32, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let (up, _) = softmax_cross_entropy(&lp, &labels);
+            lp.as_mut_slice()[idx] -= 2.0 * eps;
+            let (dn, _) = softmax_cross_entropy(&lp, &labels);
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[idx] - numeric).abs() < 1e-3,
+                "idx {idx}: {} vs {numeric}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn topk_accuracy_ranks_correctly() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.1, 0.9, 0.5, 0.3, // label 0: rank 3 (worst-ish)
+                0.9, 0.1, 0.5, 0.3, // label 0: rank 1
+            ],
+            vec![2, 4],
+        )
+        .unwrap();
+        let labels = [0u32, 0];
+        assert_eq!(accuracy(&logits, &labels), 0.5);
+        // Row 0's label sits at rank 3 (three larger logits), so it only
+        // counts once k reaches 4.
+        assert_eq!(top_k_accuracy(&logits, &labels, 3), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &labels, 4), 1.0);
+    }
+
+    #[test]
+    fn correct_prediction_decreases_loss() {
+        let good = Tensor::from_vec(vec![5.0, 0.0], vec![1, 2]).unwrap();
+        let bad = Tensor::from_vec(vec![0.0, 5.0], vec![1, 2]).unwrap();
+        let (lg, _) = softmax_cross_entropy(&good, &[0]);
+        let (lb, _) = softmax_cross_entropy(&bad, &[0]);
+        assert!(lg < lb);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dense matrix kernels for the layer implementations.
+//!
+//! Row-major throughout. `matmul` uses a k-inner ikj loop order, which the
+//! compiler vectorises over the contiguous `b` and `c` rows — fast enough
+//! for the scaled-down models the convergence experiments train.
+
+/// `c = a @ b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n` (overwritten).
+///
+/// # Panics
+/// Panics if the buffer lengths do not match the given dimensions.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul: a has wrong length");
+    assert_eq!(b.len(), k * n, "matmul: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul: c has wrong length");
+    c.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `c = a @ b^T` where `a` is `m×k`, `b` is `n×k`, `c` is `m×n`.
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn matmul_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_bt: a has wrong length");
+    assert_eq!(b.len(), n * k, "matmul_bt: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_bt: c has wrong length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            c[i * n + j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+        }
+    }
+}
+
+/// `c += a^T @ b` where `a` is `m×k`, `b` is `m×n`, `c` is `k×n`
+/// (accumulating — the natural form for weight-gradient accumulation).
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn matmul_at_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_at_acc: a has wrong length");
+    assert_eq!(b.len(), m * n, "matmul_at_acc: b has wrong length");
+    assert_eq!(c.len(), k * n, "matmul_at_acc: c has wrong length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let c_row = &mut c[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// Row-wise softmax in place over an `m×n` matrix (numerically stable).
+///
+/// # Panics
+/// Panics if the buffer length is not `m * n`.
+pub fn softmax_rows(x: &mut [f32], m: usize, n: usize) {
+    assert_eq!(x.len(), m * n, "softmax_rows: wrong length");
+    for row in x.chunks_mut(n) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Transposes an `m×n` matrix into a new `n×m` buffer.
+pub fn transpose(x: &[f32], m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(x.len(), m * n, "transpose: wrong length");
+    let mut out = vec![0.0; n * m];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = x[i * n + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a: Vec<f32> = (0..6).map(|i| i as f32).collect(); // 2x3
+        let b: Vec<f32> = (0..12).map(|i| (i as f32).sin()).collect(); // 4x3
+        let mut c1 = vec![0.0; 8];
+        matmul_bt(&a, &b, &mut c1, 2, 3, 4);
+        let bt = transpose(&b, 4, 3); // 3x4
+        let mut c2 = vec![0.0; 8];
+        matmul(&a, &bt, &mut c2, 2, 3, 4);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_at_acc_matches_explicit_transpose() {
+        let a: Vec<f32> = (0..6).map(|i| i as f32 * 0.3).collect(); // 2x3 (m=2,k=3)
+        let b: Vec<f32> = (0..8).map(|i| i as f32 * 0.7).collect(); // 2x4 (m=2,n=4)
+        let mut c1 = vec![1.0; 12]; // accumulates onto existing
+        matmul_at_acc(&a, &b, &mut c1, 2, 3, 4);
+        let at = transpose(&a, 2, 3); // 3x2
+        let mut c2 = vec![0.0; 12];
+        matmul(&at, &b, &mut c2, 3, 2, 4);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - (y + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalises() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 2, 3);
+        for row in x.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|v| *v > 0.0));
+        }
+        // Larger logits get larger probabilities.
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_rows(&mut x, 1, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let x: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let t = transpose(&x, 3, 4);
+        let tt = transpose(&t, 4, 3);
+        assert_eq!(x, tt);
+    }
+}

@@ -1,0 +1,298 @@
+//! The model abstraction: a network with flat parameter/gradient access.
+//!
+//! The distributed engine treats a model as one `d`-dimensional parameter
+//! vector (what it compresses and aggregates) plus per-parameter-tensor
+//! ranges (what LARS computes layer-wise learning rates over, Eq. 11).
+
+use cloudtrain_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A model input: dense activations (images) or token ids (sequences).
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// Dense input tensor (e.g. `[batch, c, h, w]` images).
+    Dense(Tensor),
+    /// Token sequences: `batch * seq_len` ids, row-major.
+    Tokens {
+        /// Token ids, `batch * seq_len` of them.
+        ids: Vec<u32>,
+        /// Sequence length per row.
+        seq_len: usize,
+    },
+}
+
+/// Flat range of one parameter tensor within the model's parameter vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRange {
+    /// Offset into the flat vector.
+    pub offset: usize,
+    /// Number of scalars.
+    pub len: usize,
+}
+
+/// A trainable network.
+pub trait Model: Send {
+    /// Forward pass producing logits `[batch, classes]`.
+    fn forward(&mut self, input: &Input, train: bool) -> Tensor;
+
+    /// Backward pass from the logits gradient; accumulates parameter
+    /// gradients.
+    fn backward(&mut self, dlogits: Tensor);
+
+    /// Total number of scalar parameters (`d`).
+    fn param_count(&self) -> usize;
+
+    /// The flat range of every parameter tensor, in a stable order; ranges
+    /// tile `[0, param_count)`.
+    fn layer_ranges(&self) -> Vec<ParamRange>;
+
+    /// Copies all parameters into `out` (length `param_count`).
+    fn read_params(&self, out: &mut [f32]);
+
+    /// Overwrites all parameters from `src` (length `param_count`).
+    fn write_params(&mut self, src: &[f32]);
+
+    /// Copies all gradients into `out` (length `param_count`).
+    fn read_grads(&self, out: &mut [f32]);
+
+    /// Zeroes all gradient accumulators.
+    fn zero_grads(&mut self);
+}
+
+/// A model made of a linear chain of [`Layer`]s over dense inputs.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    classes: usize,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Builds a sequential model; `classes` is the logit dimension of the
+    /// final layer (used only for shape reporting).
+    pub fn new(layers: Vec<Box<dyn Layer>>, classes: usize) -> Self {
+        Self { layers, classes }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Immutable access to the layer chain.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+}
+
+impl Model for Sequential {
+    fn forward(&mut self, input: &Input, train: bool) -> Tensor {
+        let Input::Dense(x) = input else {
+            panic!("Sequential: expected dense input");
+        };
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, dlogits: Tensor) {
+        let mut g = dlogits;
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(g);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        for l in &self.layers {
+            l.visit_params(&mut |p| n += p.len());
+        }
+        n
+    }
+
+    fn layer_ranges(&self) -> Vec<ParamRange> {
+        let mut ranges = Vec::new();
+        let mut offset = 0;
+        for l in &self.layers {
+            l.visit_params(&mut |p| {
+                ranges.push(ParamRange {
+                    offset,
+                    len: p.len(),
+                });
+                offset += p.len();
+            });
+        }
+        ranges
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        let mut offset = 0;
+        for l in &self.layers {
+            l.visit_params(&mut |p| {
+                out[offset..offset + p.len()].copy_from_slice(&p.value);
+                offset += p.len();
+            });
+        }
+        assert_eq!(offset, out.len(), "read_params: length mismatch");
+    }
+
+    fn write_params(&mut self, src: &[f32]) {
+        let mut offset = 0;
+        for l in &mut self.layers {
+            l.visit_params_mut(&mut |p| {
+                let n = p.len();
+                p.value.copy_from_slice(&src[offset..offset + n]);
+                offset += n;
+            });
+        }
+        assert_eq!(offset, src.len(), "write_params: length mismatch");
+    }
+
+    fn read_grads(&self, out: &mut [f32]) {
+        let mut offset = 0;
+        for l in &self.layers {
+            l.visit_params(&mut |p| {
+                out[offset..offset + p.len()].copy_from_slice(&p.grad);
+                offset += p.len();
+            });
+        }
+        assert_eq!(offset, out.len(), "read_grads: length mismatch");
+    }
+
+    fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.visit_params_mut(&mut |p| p.zero_grad());
+        }
+    }
+}
+
+/// A human-readable summary of a model's parameter layout: total size and
+/// the per-tensor distribution — what the communication layer actually
+/// sees of a model.
+pub fn summarize(model: &dyn Model) -> String {
+    let ranges = model.layer_ranges();
+    let total = model.param_count();
+    let largest = ranges.iter().map(|r| r.len).max().unwrap_or(0);
+    let mut out = format!(
+        "{} parameters in {} tensors (largest {} = {:.1}%)\n",
+        total,
+        ranges.len(),
+        largest,
+        if total > 0 {
+            100.0 * largest as f64 / total as f64
+        } else {
+            0.0
+        }
+    );
+    for (i, r) in ranges.iter().enumerate() {
+        out.push_str(&format!(
+            "  tensor {:>3}: offset {:>9}, {:>9} params ({:>5.2}%)\n",
+            i,
+            r.offset,
+            r.len,
+            if total > 0 {
+                100.0 * r.len as f64 / total as f64
+            } else {
+                0.0
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use cloudtrain_tensor::init::rng_from_seed;
+
+    fn mlp() -> Sequential {
+        let mut rng = rng_from_seed(1);
+        Sequential::new(
+            vec![
+                Box::new(Linear::new(4, 8, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Linear::new(8, 3, &mut rng)),
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn param_roundtrip_preserves_forward() {
+        let mut m = mlp();
+        let d = m.param_count();
+        assert_eq!(d, 4 * 8 + 8 + 8 * 3 + 3);
+        let x = Input::Dense(Tensor::from_vec(vec![0.5; 8], vec![2, 4]).unwrap());
+        let y1 = m.forward(&x, false);
+
+        let mut params = vec![0.0; d];
+        m.read_params(&mut params);
+        let mut m2 = mlp();
+        m2.write_params(&params);
+        let y2 = m2.forward(&x, false);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn layer_ranges_tile_the_vector() {
+        let m = mlp();
+        let ranges = m.layer_ranges();
+        assert_eq!(ranges.len(), 4); // 2 linears x (weight, bias)
+        let mut pos = 0;
+        for r in &ranges {
+            assert_eq!(r.offset, pos);
+            pos += r.len;
+        }
+        assert_eq!(pos, m.param_count());
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut m = mlp();
+        let d = m.param_count();
+        let x = Input::Dense(Tensor::from_vec(vec![0.5; 4], vec![1, 4]).unwrap());
+        let y = m.forward(&x, true);
+        m.backward(y);
+        let mut g = vec![0.0; d];
+        m.read_grads(&mut g);
+        assert!(g.iter().any(|v| *v != 0.0));
+        m.zero_grads();
+        m.read_grads(&mut g);
+        assert!(g.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn summarize_reports_layout() {
+        let m = mlp();
+        let s = summarize(&m);
+        assert!(s.contains("4 tensors"), "{s}");
+        assert!(s.contains(&m.param_count().to_string()), "{s}");
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense input")]
+    fn sequential_rejects_tokens() {
+        let mut m = mlp();
+        m.forward(
+            &Input::Tokens {
+                ids: vec![0],
+                seq_len: 1,
+            },
+            true,
+        );
+    }
+}

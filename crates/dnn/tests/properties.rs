@@ -1,0 +1,164 @@
+//! Property-based tests for the DNN framework.
+
+use cloudtrain_dnn::data::{SyntheticImages, SyntheticSeq};
+use cloudtrain_dnn::loss::{softmax_cross_entropy, top_k_accuracy};
+use cloudtrain_dnn::math::{matmul, matmul_bt, softmax_rows, transpose};
+use cloudtrain_dnn::model::{Input, Model};
+use cloudtrain_dnn::models::mlp;
+use cloudtrain_tensor::{init, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cross-entropy gradient rows always sum to ~0 (softmax simplex
+    /// tangent) and the loss is non-negative.
+    #[test]
+    fn loss_gradient_rows_sum_to_zero(
+        batch in 1usize..8,
+        classes in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let logits = init::uniform_tensor(batch * classes, -5.0, 5.0, &mut rng);
+        let mut logits = logits;
+        logits.reshape(vec![batch, classes]).unwrap();
+        let labels: Vec<u32> = (0..batch as u32).map(|i| i % classes as u32).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for row in grad.as_slice().chunks(classes) {
+            prop_assert!(row.iter().sum::<f32>().abs() < 1e-5);
+        }
+    }
+
+    /// Top-k accuracy is monotone non-decreasing in k and reaches 1 at
+    /// k = classes.
+    #[test]
+    fn topk_accuracy_is_monotone(
+        batch in 1usize..8,
+        classes in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let mut logits = init::uniform_tensor(batch * classes, -3.0, 3.0, &mut rng);
+        logits.reshape(vec![batch, classes]).unwrap();
+        let labels: Vec<u32> = (0..batch as u32).map(|i| i % classes as u32).collect();
+        let mut prev = 0.0;
+        for k in 1..=classes {
+            let acc = top_k_accuracy(&logits, &labels, k);
+            prop_assert!(acc >= prev - 1e-6);
+            prev = acc;
+        }
+        prop_assert_eq!(prev, 1.0);
+    }
+
+    /// Model parameter save/restore is lossless: two replicas with synced
+    /// parameters produce identical logits.
+    #[test]
+    fn param_roundtrip_syncs_replicas(seed in 0u64..500, other in 500u64..1000) {
+        let mut a = mlp(12, 8, 3, &mut init::rng_from_seed(seed));
+        let mut b = mlp(12, 8, 3, &mut init::rng_from_seed(other));
+        let d = a.param_count();
+        let mut buf = vec![0.0; d];
+        a.read_params(&mut buf);
+        b.write_params(&buf);
+        let mut rng = init::rng_from_seed(seed ^ other);
+        let mut x = init::uniform_tensor(2 * 12, -1.0, 1.0, &mut rng);
+        x.reshape(vec![2, 12]).unwrap();
+        let ya = a.forward(&Input::Dense(x.clone()), false);
+        let yb = b.forward(&Input::Dense(x), false);
+        prop_assert_eq!(ya, yb);
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ over random shapes.
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let a = init::uniform_tensor(m * k, -2.0, 2.0, &mut rng).into_vec();
+        let b = init::uniform_tensor(k * n, -2.0, 2.0, &mut rng).into_vec();
+        let mut ab = vec![0.0; m * n];
+        matmul(&a, &b, &mut ab, m, k, n);
+        // Bᵀ·Aᵀ via matmul_bt: (Bᵀ)(Aᵀ) where Bᵀ is n×k, Aᵀ is k×m.
+        let bt = transpose(&b, k, n);
+        let mut btat = vec![0.0; n * m];
+        matmul_bt(&bt, &transpose(&transpose(&a, m, k), k, m), &mut btat, n, k, m);
+        let abt = transpose(&ab, m, n);
+        for (x, y) in abt.iter().zip(&btat) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax rows are probability vectors and order-preserving.
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..6,
+        n in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let x = init::uniform_tensor(rows * n, -10.0, 10.0, &mut rng).into_vec();
+        let mut p = x.clone();
+        softmax_rows(&mut p, rows, n);
+        for (xr, pr) in x.chunks(n).zip(p.chunks(n)) {
+            prop_assert!((pr.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            prop_assert!(pr.iter().all(|v| *v > 0.0));
+            // Order preserved.
+            for i in 0..n {
+                for j in 0..n {
+                    if xr[i] > xr[j] {
+                        prop_assert!(pr[i] >= pr[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Synthetic datasets are deterministic and label-consistent.
+    #[test]
+    fn datasets_are_deterministic(idx in 0u64..10_000, seed in 0u64..100) {
+        let img = SyntheticImages::new(7, 3, 8, 0.4, seed);
+        let (xa, la) = img.sample(idx);
+        let (xb, lb) = img.sample(idx);
+        prop_assert_eq!(&xa, &xb);
+        prop_assert_eq!(la, lb);
+        prop_assert_eq!(la, (idx % 7) as u32);
+
+        let seq = SyntheticSeq::new(4, 32, 12, seed);
+        let (ta, ya) = seq.sample(idx);
+        let (tb, yb) = seq.sample(idx);
+        prop_assert_eq!(&ta, &tb);
+        prop_assert_eq!(ya, yb);
+        prop_assert!(ta.iter().any(|&t| t == ya));
+    }
+
+    /// One gradient step on a fixed batch reduces the loss for any seed
+    /// (the descent direction property, end to end through the MLP).
+    #[test]
+    fn gradient_step_descends(seed in 0u64..50) {
+        let mut m = mlp(8, 16, 3, &mut init::rng_from_seed(seed));
+        let d = m.param_count();
+        let mut rng = init::rng_from_seed(seed + 777);
+        let mut x = init::uniform_tensor(4 * 8, -1.0, 1.0, &mut rng);
+        x.reshape(vec![4, 8]).unwrap();
+        let input = Input::Dense(x);
+        let labels = vec![0u32, 1, 2, 0];
+
+        let y = m.forward(&input, true);
+        let (l0, dy) = softmax_cross_entropy(&y, &labels);
+        m.backward(dy);
+        let mut params = vec![0.0; d];
+        let mut grads = vec![0.0; d];
+        m.read_params(&mut params);
+        m.read_grads(&mut grads);
+        cloudtrain_tensor::ops::axpy(-0.01, &grads, &mut params);
+        m.write_params(&params);
+        let y = m.forward(&input, true);
+        let (l1, _) = softmax_cross_entropy(&y, &labels);
+        prop_assert!(l1 <= l0 + 1e-6, "loss rose: {l0} -> {l1}");
+    }
+}

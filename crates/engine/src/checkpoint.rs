@@ -1,0 +1,228 @@
+//! Training-state checkpointing.
+//!
+//! Long cloud runs get preempted; the DAWNBench schedule also switches
+//! strategies mid-run (MSTopK → 2DTAR after epoch 13), which in practice
+//! means restarting the training process from saved state. The format is
+//! a small self-describing binary: magic, version, step counter, the flat
+//! parameter vector, the optimizer velocity, and a FNV-1a checksum so a
+//! torn write is detected instead of silently training from garbage.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serialized training state.
+///
+/// # Examples
+/// ```
+/// use cloudtrain_engine::checkpoint::Checkpoint;
+///
+/// let ckpt = Checkpoint {
+///     step: 42,
+///     params: vec![1.0, 2.0],
+///     velocity: vec![0.0, 0.5],
+/// };
+/// let bytes = ckpt.to_bytes();
+/// assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), ckpt);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Global step counter.
+    pub step: u64,
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+    /// Optimizer velocity (same length as `params`).
+    pub velocity: Vec<f32>,
+}
+
+const MAGIC: &[u8; 8] = b"CLDTRN01";
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file, or an unsupported version.
+    BadMagic,
+    /// Structure inconsistent with the declared lengths.
+    Truncated,
+    /// Checksum mismatch (torn or corrupted write).
+    Corrupted,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a cloudtrain checkpoint"),
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::Corrupted => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Encodes the checkpoint to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert_eq!(
+            self.params.len(),
+            self.velocity.len(),
+            "Checkpoint: params and velocity must match"
+        );
+        let mut out = Vec::with_capacity(32 + self.params.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for v in &self.params {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.velocity {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a checkpoint from bytes.
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] for malformed or corrupted input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 32 || &bytes[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let body_len = bytes.len() - 8;
+        let declared = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        if fnv1a(&bytes[..body_len]) != declared {
+            return Err(CheckpointError::Corrupted);
+        }
+        let step = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let d = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let expect = 24 + d * 8 + 8;
+        if bytes.len() != expect {
+            return Err(CheckpointError::Truncated);
+        }
+        let read_f32s = |off: usize| -> Vec<f32> {
+            (0..d)
+                .map(|i| {
+                    f32::from_le_bytes(bytes[off + 4 * i..off + 4 * i + 4].try_into().unwrap())
+                })
+                .collect()
+        };
+        Ok(Self {
+            step,
+            params: read_f32s(24),
+            velocity: read_f32s(24 + 4 * d),
+        })
+    }
+
+    /// Writes the checkpoint atomically (tmp file + rename).
+    ///
+    /// # Errors
+    /// Returns any I/O error.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint from disk.
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] on I/O failure or corruption.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 12345,
+            params: (0..100).map(|i| i as f32 * 0.5 - 10.0).collect(),
+            velocity: (0..100).map(|i| (i as f32).sin()).collect(),
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = sample();
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("ct-ckpt-{}.ckpt", std::process::id()));
+        let c = sample();
+        c.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(c, back);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupted)
+        ));
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_detected() {
+        let bytes = sample().to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() - 20]),
+            Err(CheckpointError::Corrupted) | Err(CheckpointError::Truncated)
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(matches!(
+            Checkpoint::from_bytes(b"short"),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The DAWNBench case study (§5.6, Tables 4 and 5): 28 epochs of
+//! multi-resolution ImageNet training to 93% top-5 accuracy on 128 V100s.
+//!
+//! The recipe (following the Alibaba entry the paper builds on): 13 epochs
+//! at 96×96, 11 at 128×128, 3 at 224×224, 1 at 288×288 — with MSTopK-SGD
+//! during the low-resolution warmup (where dense aggregation cannot scale)
+//! and 2DTAR-SGD once the input is ≥128² (where compute hides the dense
+//! communication and full-precision aggregation protects accuracy).
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf::{IterationModel, SystemConfig};
+use crate::profile::ModelProfile;
+use crate::strategy::Strategy;
+use cloudtrain_simnet::ClusterSpec;
+
+/// Number of ImageNet training samples.
+pub const IMAGENET_TRAIN: u64 = 1_281_167;
+
+/// One stage of the multi-resolution schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stage {
+    /// Epochs trained at this stage.
+    pub epochs: u32,
+    /// Compute profile (resolution + batch + single-GPU throughput).
+    pub profile: ModelProfile,
+    /// Aggregation strategy for the stage.
+    pub strategy: Strategy,
+}
+
+/// Per-stage results of a schedule evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageResult {
+    /// Stage description (resolution).
+    pub name: String,
+    /// Epochs in the stage.
+    pub epochs: u32,
+    /// Single-GPU throughput (samples/s) of this stage's profile.
+    pub single_gpu: f64,
+    /// Modelled 128-GPU system throughput, samples/s (Table 4).
+    pub system_throughput: f64,
+    /// Scaling efficiency (Table 4's SE column).
+    pub scaling_efficiency: f64,
+    /// Stage wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The full schedule outcome (Table 5's "Time" row for our system).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Per-stage breakdown.
+    pub stages: Vec<StageResult>,
+    /// Total training seconds to the accuracy target.
+    pub total_seconds: f64,
+}
+
+/// The paper's 28-epoch schedule on the given cluster.
+pub fn paper_schedule() -> Vec<Stage> {
+    vec![
+        Stage {
+            epochs: 13,
+            profile: ModelProfile::resnet50_96(),
+            strategy: Strategy::mstopk_default(),
+        },
+        Stage {
+            epochs: 11,
+            profile: ModelProfile::resnet50_128(),
+            strategy: Strategy::DenseTorus,
+        },
+        Stage {
+            epochs: 3,
+            profile: ModelProfile::resnet50_224(),
+            strategy: Strategy::DenseTorus,
+        },
+        Stage {
+            epochs: 1,
+            profile: ModelProfile::resnet50_288(),
+            strategy: Strategy::DenseTorus,
+        },
+    ]
+}
+
+/// An all-dense variant of the schedule (the ablation: what Table 5 would
+/// look like without MSTopK in the warmup epochs).
+pub fn dense_only_schedule() -> Vec<Stage> {
+    paper_schedule()
+        .into_iter()
+        .map(|mut s| {
+            s.strategy = Strategy::DenseTorus;
+            s
+        })
+        .collect()
+}
+
+/// Evaluates a schedule on a cluster: per-stage throughput (Table 4) and
+/// the total time to traverse all epochs (Table 5).
+pub fn evaluate_schedule(cluster: ClusterSpec, stages: &[Stage]) -> ScheduleResult {
+    let mut results = Vec::new();
+    let mut total = 0.0;
+    for stage in stages {
+        let system = SystemConfig {
+            strategy: stage.strategy,
+            datacache: true,
+            pto: true,
+        };
+        let model = IterationModel::new(cluster, system, stage.profile.clone());
+        let throughput = model.throughput();
+        let seconds = stage.epochs as f64 * IMAGENET_TRAIN as f64 / throughput;
+        total += seconds;
+        results.push(StageResult {
+            name: stage.profile.name.clone(),
+            epochs: stage.epochs,
+            single_gpu: stage.profile.single_gpu_throughput,
+            system_throughput: throughput,
+            scaling_efficiency: model.scaling_efficiency(),
+            seconds,
+        });
+    }
+    ScheduleResult {
+        stages: results,
+        total_seconds: total,
+    }
+}
+
+/// A DAWNBench leaderboard row (Table 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeaderboardEntry {
+    /// Team name.
+    pub team: String,
+    /// Entry date.
+    pub date: &'static str,
+    /// Interconnect description.
+    pub interconnect: &'static str,
+    /// Time to 93% top-5 accuracy, seconds.
+    pub seconds: f64,
+}
+
+/// The published leaderboard the paper compares against (Table 5).
+pub fn published_leaderboard() -> Vec<LeaderboardEntry> {
+    vec![
+        LeaderboardEntry {
+            team: "FastAI".into(),
+            date: "Sep 2018",
+            interconnect: "100GbIB",
+            seconds: 1086.0,
+        },
+        LeaderboardEntry {
+            team: "Huawei".into(),
+            date: "Dec 2018",
+            interconnect: "-",
+            seconds: 562.0,
+        },
+        LeaderboardEntry {
+            team: "Huawei".into(),
+            date: "May 2019",
+            interconnect: "100GbIB",
+            seconds: 163.0,
+        },
+        LeaderboardEntry {
+            team: "Alibaba".into(),
+            date: "Mar 2020",
+            interconnect: "32GbE",
+            seconds: 158.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtrain_simnet::clouds;
+
+    #[test]
+    fn table4_scaling_efficiency_rises_with_resolution() {
+        // Paper Table 4: SE 65% @96 -> 70% @128 -> 83% @224 (the 288 stage
+        // drops batch size, so it is excluded from the monotone claim).
+        let r = evaluate_schedule(clouds::tencent(16), &paper_schedule());
+        assert_eq!(r.stages.len(), 4);
+        assert!(r.stages[0].scaling_efficiency < r.stages[2].scaling_efficiency);
+        for s in &r.stages {
+            assert!(
+                s.scaling_efficiency > 0.5 && s.scaling_efficiency <= 1.0,
+                "{}: SE {}",
+                s.name,
+                s.scaling_efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn table5_total_time_in_paper_range() {
+        // Paper: 151 s on 25GbE. The model should land in the same league
+        // (tens-of-seconds accuracy is not expected from a simulator).
+        let r = evaluate_schedule(clouds::tencent(16), &paper_schedule());
+        assert!(
+            r.total_seconds > 100.0 && r.total_seconds < 260.0,
+            "total {}",
+            r.total_seconds
+        );
+    }
+
+    #[test]
+    fn mstopk_warmup_beats_dense_only_schedule() {
+        // The reason the paper uses MSTopK for the first 13 epochs.
+        let tencent = clouds::tencent(16);
+        let paper = evaluate_schedule(tencent, &paper_schedule());
+        let dense = evaluate_schedule(tencent, &dense_only_schedule());
+        assert!(
+            paper.total_seconds < dense.total_seconds,
+            "paper {} !< dense-only {}",
+            paper.total_seconds,
+            dense.total_seconds
+        );
+    }
+
+    #[test]
+    fn faster_interconnect_shrinks_the_gap() {
+        // On 100Gb InfiniBand the dense-only schedule loses much less —
+        // the paper's contribution specifically targets slow interconnects.
+        let slow = clouds::tencent(16);
+        let fast = clouds::infiniband_100g(16);
+        let gap = |c| {
+            let p = evaluate_schedule(c, &paper_schedule()).total_seconds;
+            let d = evaluate_schedule(c, &dense_only_schedule()).total_seconds;
+            d / p
+        };
+        assert!(gap(slow) > gap(fast), "slow gap {} fast gap {}", gap(slow), gap(fast));
+    }
+
+    #[test]
+    fn leaderboard_is_the_published_one() {
+        let lb = published_leaderboard();
+        assert_eq!(lb.len(), 4);
+        assert_eq!(lb[3].seconds, 158.0);
+        assert!(lb.windows(2).all(|w| w[0].seconds >= w[1].seconds));
+    }
+
+    #[test]
+    fn epochs_sum_to_28() {
+        assert_eq!(paper_schedule().iter().map(|s| s.epochs).sum::<u32>(), 28);
+    }
+}

@@ -1,0 +1,144 @@
+//! Compute profiles of the paper's workloads.
+//!
+//! The performance plane needs only the *durations* of the GPU compute
+//! stages, and the paper publishes exactly those: single-GPU throughputs
+//! for every model/resolution (Tables 3 and 4, §5.5.2) and LARS timings
+//! (§5.4). Profiles below are transcribed from the paper; the simulated
+//! cluster supplies everything else.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured compute profile of one model at one input configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Human-readable name (e.g. `"ResNet-50 (224x224)"`).
+    pub name: String,
+    /// Number of model parameters `d`.
+    pub params: usize,
+    /// Number of parameter tensors ("layers" in the LARS sense; ResNet-50
+    /// has 161).
+    pub layers: usize,
+    /// Local batch size per GPU.
+    pub local_batch: usize,
+    /// Single-GPU training throughput, samples/second (paper, Table 3/4).
+    pub single_gpu_throughput: f64,
+    /// Single-GPU LARS computation time per iteration, seconds (§5.4).
+    pub lars_seconds: f64,
+    /// Encoded size of one training sample on the NFS, bytes.
+    pub sample_bytes: usize,
+}
+
+impl ModelProfile {
+    /// FF&BP (plus update) time of one iteration on one GPU.
+    pub fn iter_compute_seconds(&self) -> f64 {
+        self.local_batch as f64 / self.single_gpu_throughput
+    }
+
+    /// Gradient size in bytes at `elem_bytes` per element.
+    pub fn grad_bytes(&self, elem_bytes: usize) -> usize {
+        self.params * elem_bytes
+    }
+
+    /// ResNet-50 at 224×224 (Table 3: 1150 samples/s single GPU; Fig. 1:
+    /// FF&BP ≈ 0.204 s at b = 256; LARS 11 ms).
+    pub fn resnet50_224() -> Self {
+        Self {
+            name: "ResNet-50 (224x224)".into(),
+            params: 25_557_032,
+            layers: 161,
+            local_batch: 256,
+            single_gpu_throughput: 1150.0,
+            lars_seconds: 11e-3,
+            sample_bytes: 224 * 224 * 3,
+        }
+    }
+
+    /// ResNet-50 at 96×96 (Table 4: 4400 samples/s).
+    pub fn resnet50_96() -> Self {
+        Self {
+            name: "ResNet-50 (96x96)".into(),
+            single_gpu_throughput: 4400.0,
+            sample_bytes: 96 * 96 * 3,
+            ..Self::resnet50_224()
+        }
+    }
+
+    /// ResNet-50 at 128×128 (Table 4: 3010 samples/s).
+    pub fn resnet50_128() -> Self {
+        Self {
+            name: "ResNet-50 (128x128)".into(),
+            single_gpu_throughput: 3010.0,
+            sample_bytes: 128 * 128 * 3,
+            ..Self::resnet50_224()
+        }
+    }
+
+    /// ResNet-50 at 288×288, local batch 128 (Table 4: 710 samples/s).
+    pub fn resnet50_288() -> Self {
+        Self {
+            name: "ResNet-50 (288x288)".into(),
+            single_gpu_throughput: 710.0,
+            local_batch: 128,
+            sample_bytes: 288 * 288 * 3,
+            ..Self::resnet50_224()
+        }
+    }
+
+    /// VGG-19 at 224×224 (Table 3: 560 samples/s; parameters dominated by
+    /// the FC head).
+    pub fn vgg19() -> Self {
+        Self {
+            name: "VGG-19".into(),
+            params: 143_667_240,
+            layers: 38,
+            local_batch: 256,
+            single_gpu_throughput: 560.0,
+            lars_seconds: 4e-3,
+            sample_bytes: 224 * 224 * 3,
+        }
+    }
+
+    /// Transformer (base) on WMT17 (Table 3: 32 samples/s; one sample =
+    /// one 256-word sentence; LARS/LAMB rate computation 30 ms, §5.4).
+    pub fn transformer() -> Self {
+        Self {
+            name: "Transformer".into(),
+            params: 110_000_000,
+            layers: 150,
+            local_batch: 16,
+            single_gpu_throughput: 32.0,
+            lars_seconds: 30e-3,
+            sample_bytes: 256 * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_iteration_time_matches_fig1() {
+        // 256 / 1150 ≈ 0.2226 s, consistent with Fig. 1's FF&BP ≈ 0.204 s
+        // (which excludes the update step).
+        let p = ModelProfile::resnet50_224();
+        let t = p.iter_compute_seconds();
+        assert!((t - 0.2226).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn resolutions_scale_throughput_monotonically() {
+        let t96 = ModelProfile::resnet50_96().single_gpu_throughput;
+        let t128 = ModelProfile::resnet50_128().single_gpu_throughput;
+        let t224 = ModelProfile::resnet50_224().single_gpu_throughput;
+        let t288 = ModelProfile::resnet50_288().single_gpu_throughput;
+        assert!(t96 > t128 && t128 > t224 && t224 > t288);
+    }
+
+    #[test]
+    fn grad_bytes_fp16_vs_fp32() {
+        let p = ModelProfile::resnet50_224();
+        assert_eq!(p.grad_bytes(4), 2 * p.grad_bytes(2));
+        assert!(p.grad_bytes(4) > 95 << 20); // ~102 MB FP32
+    }
+}

@@ -1,0 +1,689 @@
+//! The convergence plane: real synchronous data-parallel training over
+//! worker threads (Fig. 10, Table 2).
+//!
+//! Every worker thread owns a full model replica (identically seeded), a
+//! shard of the synthetic data stream, and — for sparse strategies — its
+//! error-feedback residual. Gradients are aggregated with the *real*
+//! collectives, the optimizer is LARS (rates optionally computed with
+//! PTO), and determinism is end-to-end: replicas stay bitwise identical
+//! across workers, which the test suite asserts.
+
+use cloudtrain_collectives::group::run_on_group;
+use cloudtrain_collectives::gtopk::gtopk_all_reduce;
+use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef, sparse_all_reduce_naive};
+use cloudtrain_collectives::quantized::quantized_all_reduce;
+use cloudtrain_collectives::ring::all_gather_f32;
+use cloudtrain_collectives::torus::torus_all_reduce;
+use cloudtrain_collectives::tree::tree_all_reduce;
+use cloudtrain_collectives::Peer;
+use cloudtrain_compress::exact::QuickTopK;
+use cloudtrain_compress::quantize::Qsgd;
+use cloudtrain_compress::{ErrorFeedback, MsTopK};
+use cloudtrain_dnn::data::{Batch, SyntheticImages, SyntheticSeq};
+use cloudtrain_dnn::loss::{softmax_cross_entropy, top_k_accuracy};
+use cloudtrain_dnn::model::Model;
+use cloudtrain_dnn::models::{mlp, resnet_lite, vgg_lite, TransformerModel};
+use cloudtrain_optim::adam::{Adam, AdamConfig};
+use cloudtrain_optim::lamb::{Lamb, LambConfig};
+use cloudtrain_optim::lars::{apply_with_rates, compute_rates, LarsConfig};
+use cloudtrain_optim::mixed::{fp16_wire, LossScaler};
+use cloudtrain_optim::Optimizer;
+use cloudtrain_optim::schedule::{LrSchedule, WarmupCosine};
+use cloudtrain_tensor::{init, ops, partition};
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::Strategy;
+
+/// Which reference workload to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// ResNet-lite on synthetic class-conditional images.
+    ResNetLite,
+    /// VGG-lite on synthetic class-conditional images.
+    VggLite,
+    /// MLP on synthetic class-conditional images (flattened).
+    Mlp,
+    /// TinyTransformer on synthetic marker sequences.
+    Transformer,
+}
+
+/// Which optimizer drives the update step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OptimizerKind {
+    /// LARS + momentum (the paper's large-batch recipe; rates via PTO when
+    /// `use_pto` is set).
+    #[default]
+    Lars,
+    /// Plain momentum SGD.
+    Momentum,
+    /// LAMB (the paper's choice for attention models).
+    Lamb,
+    /// Plain Adam.
+    Adam,
+}
+
+/// Configuration of one distributed training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistConfig {
+    /// Number of simulated nodes (`m`).
+    pub nodes: usize,
+    /// Workers per node (`n`).
+    pub gpus_per_node: usize,
+    /// Aggregation strategy.
+    pub strategy: Strategy,
+    /// Workload to train.
+    pub workload: Workload,
+    /// Per-worker batch size.
+    pub local_batch: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Iterations per epoch.
+    pub iters_per_epoch: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Optimizer for the update step.
+    pub optimizer: OptimizerKind,
+    /// Whether LARS rates are computed with PTO.
+    pub use_pto: bool,
+    /// Validation samples evaluated at the end of each epoch.
+    pub eval_samples: usize,
+    /// Number of classes in the synthetic task.
+    pub classes: usize,
+    /// Mixed precision: dynamic loss scaling around backprop (§5.5.2).
+    pub mixed_precision: bool,
+    /// Emulate the FP16 gradient wire on the dense aggregation paths
+    /// (CommLib transmits FP16 elements, Fig. 7).
+    pub fp16_wire: bool,
+    /// Master seed (model init, data, compressor randomness).
+    pub seed: u64,
+}
+
+impl DistConfig {
+    /// A small-but-real default: 2 nodes × 4 workers on ResNet-lite.
+    pub fn small(strategy: Strategy, workload: Workload) -> Self {
+        Self {
+            nodes: 2,
+            gpus_per_node: 4,
+            strategy,
+            workload,
+            local_batch: 8,
+            epochs: 3,
+            iters_per_epoch: 12,
+            lr: 0.08,
+            optimizer: OptimizerKind::Lars,
+            use_pto: true,
+            eval_samples: 64,
+            classes: 4,
+            mixed_precision: false,
+            fp16_wire: false,
+            seed: 42,
+        }
+    }
+
+    /// Total worker count (`P = m · n`).
+    pub fn world(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// End-of-epoch metrics (identical on every worker).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// 0-indexed epoch.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Top-1 validation accuracy.
+    pub val_top1: f32,
+    /// Top-5 validation accuracy (the paper's CNN metric); equals top-1
+    /// when fewer than 5 classes.
+    pub val_top5: f32,
+    /// L2 norm of this worker's error-feedback residual (0 for dense).
+    pub residual_norm: f32,
+}
+
+/// Result of one distributed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Strategy label (e.g. `"MSTopK-SGD"`).
+    pub strategy: String,
+    /// Per-epoch metrics.
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl TrainReport {
+    /// Final validation top-1 accuracy.
+    pub fn final_top1(&self) -> f32 {
+        self.epochs.last().map(|e| e.val_top1).unwrap_or(0.0)
+    }
+
+    /// Final validation top-5 accuracy.
+    pub fn final_top5(&self) -> f32 {
+        self.epochs.last().map(|e| e.val_top5).unwrap_or(0.0)
+    }
+}
+
+/// One worker's dataset view.
+enum Data {
+    Images(SyntheticImages),
+    Seq(SyntheticSeq),
+}
+
+impl Data {
+    fn train_batch(&self, cfg: &DistConfig, step: u64, rank: usize) -> Batch {
+        let start = (step * cfg.world() as u64 + rank as u64) * cfg.local_batch as u64;
+        match self {
+            Data::Images(g) => g.batch(start, cfg.local_batch),
+            Data::Seq(g) => g.batch(start, cfg.local_batch),
+        }
+    }
+
+    fn val_batch(&self, cfg: &DistConfig) -> Batch {
+        // Validation ids live far beyond any training id.
+        let start = 1u64 << 40;
+        match self {
+            Data::Images(g) => g.batch(start, cfg.eval_samples),
+            Data::Seq(g) => g.batch(start, cfg.eval_samples),
+        }
+    }
+}
+
+fn build_model(cfg: &DistConfig) -> Box<dyn Model> {
+    let mut rng = init::rng_from_seed(cfg.seed);
+    match cfg.workload {
+        Workload::ResNetLite => Box::new(resnet_lite(8, cfg.classes, &mut rng)),
+        Workload::VggLite => Box::new(vgg_lite(8, 16, cfg.classes, &mut rng)),
+        Workload::Mlp => Box::new(mlp(3 * 16 * 16, 64, cfg.classes, &mut rng)),
+        Workload::Transformer => Box::new(TransformerModel::new(
+            64,
+            16,
+            16,
+            2,
+            cfg.classes,
+            &mut rng,
+        )),
+    }
+}
+
+fn build_data(cfg: &DistConfig) -> Data {
+    match cfg.workload {
+        Workload::Transformer => Data::Seq(SyntheticSeq::new(cfg.classes, 64, 16, cfg.seed)),
+        Workload::Mlp => Data::Images(SyntheticImages::new(cfg.classes, 3, 16, 0.6, cfg.seed)),
+        _ => Data::Images(SyntheticImages::new(cfg.classes, 3, 16, 0.6, cfg.seed)),
+    }
+}
+
+/// Reshapes an image batch for MLP consumption (flatten) — other models
+/// take the batch as-is.
+fn adapt_input(cfg: &DistConfig, mut batch: Batch) -> Batch {
+    if cfg.workload == Workload::Mlp {
+        if let cloudtrain_dnn::model::Input::Dense(t) = &mut batch.input {
+            let b = t.shape()[0];
+            let rest = t.len() / b;
+            t.reshape(vec![b, rest]).expect("flatten for mlp");
+        }
+    }
+    batch
+}
+
+/// Runs one distributed training job and returns rank 0's report (all
+/// ranks produce identical reports; the harness asserts so in tests).
+#[derive(Debug, Clone)]
+pub struct DistTrainer {
+    /// Run configuration.
+    pub cfg: DistConfig,
+}
+
+impl DistTrainer {
+    /// Creates a trainer for the given configuration.
+    pub fn new(cfg: DistConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Executes the run; returns the per-rank reports in rank order.
+    pub fn run_all_ranks(&self) -> Vec<TrainReport> {
+        let phases = [(self.cfg.strategy, self.cfg.epochs)];
+        run_on_group(self.cfg.world(), |peer| self.worker(peer, &phases))
+    }
+
+    /// Executes the run and returns rank 0's report.
+    pub fn run(&self) -> TrainReport {
+        self.run_all_ranks().remove(0)
+    }
+
+    /// Executes a multi-phase run — the DAWNBench mechanic (§5.6): the
+    /// *same* model replicas continue across `(strategy, epochs)` phases,
+    /// with error-feedback residuals dropped at each aggregation switch.
+    /// `cfg.strategy`/`cfg.epochs` are ignored in favour of the phases.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty.
+    pub fn run_phases(&self, phases: &[(Strategy, usize)]) -> TrainReport {
+        assert!(!phases.is_empty(), "run_phases: need at least one phase");
+        run_on_group(self.cfg.world(), |peer| self.worker(peer, phases)).remove(0)
+    }
+
+    fn worker(&self, peer: &Peer, phases: &[(Strategy, usize)]) -> TrainReport {
+        let cfg = &self.cfg;
+        let (m, n) = (cfg.nodes, cfg.gpus_per_node);
+        let rank = peer.rank();
+        let mut model = build_model(cfg);
+        let data = build_data(cfg);
+        let d = model.param_count();
+        let ranges = model.layer_ranges();
+        let world = cfg.world() as f32;
+
+        // Per-strategy state.
+        let mut ef_full = ErrorFeedback::new(d);
+        let shard_len = partition::shard_for(d, n, rank % n).len();
+        let mut ef_shard = ErrorFeedback::new(shard_len);
+        let samplings = phases
+            .iter()
+            .find_map(|(s, _)| match s {
+                Strategy::MsTopKHiTopK { samplings, .. } => Some(*samplings),
+                _ => None,
+            })
+            .unwrap_or(30);
+        let mut mstopk = MsTopK::new(samplings, cfg.seed);
+        let mut exact = QuickTopK;
+        let levels = phases
+            .iter()
+            .find_map(|(s, _)| match s {
+                Strategy::Qsgd { levels } => Some(*levels),
+                _ => None,
+            })
+            .unwrap_or(127);
+        let mut qsgd = Qsgd::new(levels, cfg.seed ^ rank as u64);
+
+        // Optimizer state.
+        let lars_cfg = LarsConfig::default();
+        let mut velocity = vec![0.0f32; d];
+        let mut lamb = matches!(cfg.optimizer, OptimizerKind::Lamb)
+            .then(|| Lamb::new(d, ranges.clone(), LambConfig::default()));
+        let mut adam = matches!(cfg.optimizer, OptimizerKind::Adam)
+            .then(|| Adam::new(d, AdamConfig::default()));
+        let total_epochs: usize = phases.iter().map(|(_, e)| e).sum();
+        let schedule = WarmupCosine {
+            base: cfg.lr,
+            warmup_steps: (cfg.iters_per_epoch / 2) as u64,
+            total_steps: (total_epochs * cfg.iters_per_epoch) as u64,
+            final_lr: cfg.lr * 0.01,
+        };
+
+        let mut scaler = LossScaler::default();
+        let mut params = vec![0.0f32; d];
+        let mut grads = vec![0.0f32; d];
+        let mut report = TrainReport {
+            strategy: cfg.strategy.label().to_string(),
+            epochs: Vec::new(),
+        };
+
+        let mut step = 0u64;
+        let mut epoch = 0usize;
+        for (phase_idx, &(strategy, phase_epochs)) in phases.iter().enumerate() {
+            if phase_idx > 0 {
+                // Strategy switch: drop stale residuals (their content was
+                // meaningful only under the previous sparsifier).
+                ef_full.reset();
+                ef_shard.reset();
+            }
+            for _ in 0..phase_epochs {
+            let mut loss_sum = 0.0f32;
+            for _ in 0..cfg.iters_per_epoch {
+                let batch = adapt_input(cfg, data.train_batch(cfg, step, rank));
+                let logits = model.forward(&batch.input, true);
+                let (loss, mut dlogits) = softmax_cross_entropy(&logits, &batch.labels);
+                loss_sum += loss;
+                if cfg.mixed_precision {
+                    // Backprop on the scaled loss (linear, so scaling the
+                    // logits gradient is equivalent).
+                    scaler.scale_grad(dlogits.as_mut_slice());
+                }
+                model.backward(dlogits);
+                model.read_grads(&mut grads);
+                model.zero_grads();
+                if cfg.fp16_wire && !cfg.strategy.is_sparse() {
+                    fp16_wire(&mut grads);
+                }
+
+                // Aggregate.
+                match strategy {
+                    Strategy::DenseTreeAr => {
+                        let members: Vec<usize> = (0..peer.size()).collect();
+                        tree_all_reduce(peer, &mut grads, &members);
+                    }
+                    Strategy::DenseTorus => {
+                        torus_all_reduce(peer, &mut grads, m, n);
+                    }
+                    Strategy::TopKNaiveAg { rho } => {
+                        ef_full.compensate(&mut grads);
+                        let k = ((d as f64 * rho).round() as usize).max(1);
+                        // The selection is recomputed inside the collective;
+                        // absorb needs it too, so compress once here.
+                        let sel = cloudtrain_compress::Compressor::compress(
+                            &mut exact, &grads, k,
+                        );
+                        ef_full.absorb(&grads, &sel);
+                        sparse_all_reduce_naive(peer, &mut grads, k, &mut exact);
+                    }
+                    Strategy::MsTopKHiTopK { rho, .. } => {
+                        hitopk_all_reduce_ef(
+                            peer, &mut grads, m, n, rho, &mut mstopk, &mut ef_shard,
+                        );
+                    }
+                    Strategy::GTopK { rho } => {
+                        ef_full.compensate(&mut grads);
+                        let k = ((d as f64 * rho).round() as usize).max(1);
+                        let sel = cloudtrain_compress::Compressor::compress(
+                            &mut exact, &grads, k,
+                        );
+                        ef_full.absorb(&grads, &sel);
+                        gtopk_all_reduce(peer, &mut grads, k, &mut exact);
+                    }
+                    Strategy::Qsgd { .. } => {
+                        // Unbiased quantization needs no error feedback.
+                        quantized_all_reduce(peer, &mut grads, &mut qsgd);
+                    }
+                }
+                ops::scale(&mut grads, 1.0 / world);
+                if cfg.mixed_precision {
+                    // Unscale *after* aggregation: the aggregated gradient
+                    // is identical on every rank, so the overflow/skip
+                    // decision is too, keeping replicas in lockstep.
+                    if !scaler.unscale_and_update(&mut grads) {
+                        step += 1;
+                        continue; // skipped step (grads were zeroed)
+                    }
+                }
+
+                // Update.
+                let lr = schedule.lr(step);
+                model.read_params(&mut params);
+                match cfg.optimizer {
+                    OptimizerKind::Lars => {
+                        let rates = if cfg.use_pto {
+                            cloudtrain_pto::lars_rates(peer, &params, &grads, &ranges, &lars_cfg)
+                        } else {
+                            compute_rates(&params, &grads, &ranges, &lars_cfg)
+                        };
+                        apply_with_rates(
+                            &mut params,
+                            &grads,
+                            &mut velocity,
+                            &ranges,
+                            &rates,
+                            lr,
+                            &lars_cfg,
+                        );
+                    }
+                    OptimizerKind::Momentum => {
+                        for ((w, g), v) in params.iter_mut().zip(&grads).zip(&mut velocity) {
+                            *v = 0.9 * *v + g;
+                            *w -= lr * *v;
+                        }
+                    }
+                    OptimizerKind::Lamb => {
+                        lamb.as_mut().expect("lamb state").step(&mut params, &grads, lr)
+                    }
+                    OptimizerKind::Adam => {
+                        adam.as_mut().expect("adam state").step(&mut params, &grads, lr)
+                    }
+                }
+                model.write_params(&params);
+                step += 1;
+            }
+
+            // Validation (same batch on every rank — no communication).
+            let val = adapt_input(cfg, data.val_batch(cfg));
+            let logits = model.forward(&val.input, false);
+            let top1 = top_k_accuracy(&logits, &val.labels, 1);
+            let top5 = top_k_accuracy(&logits, &val.labels, 5.min(cfg.classes));
+            let residual_norm = match strategy {
+                Strategy::TopKNaiveAg { .. } | Strategy::GTopK { .. } => {
+                    ef_full.residual_norm()
+                }
+                Strategy::MsTopKHiTopK { .. } => ef_shard.residual_norm(),
+                _ => 0.0,
+            };
+            report.epochs.push(EpochMetrics {
+                epoch,
+                train_loss: loss_sum / cfg.iters_per_epoch as f32,
+                val_top1: top1,
+                val_top5: top5,
+                residual_norm,
+            });
+            epoch += 1;
+            // Keep collective schedules aligned across ranks.
+            let _ = all_gather_f32(peer, &[top1], &(0..peer.size()).collect::<Vec<_>>());
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(strategy: Strategy, workload: Workload) -> DistConfig {
+        DistConfig {
+            epochs: 2,
+            iters_per_epoch: 8,
+            ..DistConfig::small(strategy, workload)
+        }
+    }
+
+    #[test]
+    fn dense_training_learns_and_ranks_agree() {
+        let trainer = DistTrainer::new(quick(Strategy::DenseTorus, Workload::Mlp));
+        let reports = trainer.run_all_ranks();
+        let first = &reports[0];
+        assert!(
+            first.final_top1() > 0.6,
+            "val acc {} too low; losses {:?}",
+            first.final_top1(),
+            first.epochs
+        );
+        for r in &reports[1..] {
+            assert_eq!(r.epochs.len(), first.epochs.len());
+            for (a, b) in r.epochs.iter().zip(&first.epochs) {
+                // Validation runs on the same batch with synced replicas,
+                // so it must agree bitwise. Train loss is local to each
+                // rank's data shard and legitimately differs.
+                assert_eq!(a.val_top1, b.val_top1, "ranks diverged");
+                assert_eq!(a.val_top5, b.val_top5);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_and_torus_dense_agree() {
+        let a = DistTrainer::new(quick(Strategy::DenseTreeAr, Workload::Mlp)).run();
+        let b = DistTrainer::new(quick(Strategy::DenseTorus, Workload::Mlp)).run();
+        // Both are exact dense sums; training curves match to float noise.
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert!(
+                (ea.train_loss - eb.train_loss).abs() < 1e-3,
+                "dense variants diverged: {} vs {}",
+                ea.train_loss,
+                eb.train_loss
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_strategies_learn_with_error_feedback() {
+        for strategy in [
+            Strategy::TopKNaiveAg { rho: 0.05 },
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 20,
+            },
+        ] {
+            let mut cfg = quick(strategy, Workload::Mlp);
+            cfg.epochs = 3;
+            let report = DistTrainer::new(cfg).run();
+            assert!(
+                report.final_top1() > 0.5,
+                "{} failed to learn: {:?}",
+                report.strategy,
+                report.epochs
+            );
+            assert!(report.epochs.last().unwrap().residual_norm > 0.0);
+        }
+    }
+
+    #[test]
+    fn mstopk_ranks_stay_bitwise_synced() {
+        let trainer = DistTrainer::new(quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.1,
+                samplings: 15,
+            },
+            Workload::Mlp,
+        ));
+        let reports = trainer.run_all_ranks();
+        for r in &reports[1..] {
+            for (a, b) in r.epochs.iter().zip(&reports[0].epochs) {
+                assert_eq!(a.val_top1, b.val_top1);
+            }
+        }
+    }
+
+    #[test]
+    fn gtopk_learns_with_error_feedback() {
+        let mut cfg = quick(Strategy::GTopK { rho: 0.05 }, Workload::Mlp);
+        cfg.epochs = 3;
+        let report = DistTrainer::new(cfg).run();
+        assert!(
+            report.final_top1() > 0.5,
+            "gTopK failed to learn: {:?}",
+            report.epochs
+        );
+        assert!(report.epochs.last().unwrap().residual_norm > 0.0);
+    }
+
+    #[test]
+    fn qsgd_learns_without_error_feedback() {
+        let mut cfg = quick(Strategy::Qsgd { levels: 127 }, Workload::Mlp);
+        cfg.epochs = 3;
+        let report = DistTrainer::new(cfg).run();
+        assert!(
+            report.final_top1() > 0.5,
+            "QSGD failed to learn: {:?}",
+            report.epochs
+        );
+        // Unbiased quantization runs without a residual.
+        assert_eq!(report.epochs.last().unwrap().residual_norm, 0.0);
+    }
+
+    #[test]
+    fn qsgd_ranks_stay_synced_despite_stochastic_codes() {
+        // Per-rank RNGs differ, but the aggregated (gathered + decoded)
+        // gradient is identical everywhere, so replicas stay in lockstep.
+        let trainer = DistTrainer::new(quick(Strategy::Qsgd { levels: 63 }, Workload::Mlp));
+        let reports = trainer.run_all_ranks();
+        for r in &reports[1..] {
+            for (a, b) in r.epochs.iter().zip(&reports[0].epochs) {
+                assert_eq!(a.val_top1, b.val_top1);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_precision_with_fp16_wire_learns_and_stays_synced() {
+        let mut cfg = quick(Strategy::DenseTorus, Workload::Mlp);
+        cfg.mixed_precision = true;
+        cfg.fp16_wire = true;
+        cfg.epochs = 3;
+        let reports = DistTrainer::new(cfg).run_all_ranks();
+        assert!(
+            reports[0].final_top1() > 0.6,
+            "mixed precision failed to learn: {:?}",
+            reports[0].epochs
+        );
+        for r in &reports[1..] {
+            assert_eq!(
+                r.final_top1(),
+                reports[0].final_top1(),
+                "loss-scaled replicas diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn fp16_wire_tracks_fp32_training() {
+        let base = quick(Strategy::DenseTorus, Workload::Mlp);
+        let fp32 = DistTrainer::new(base.clone()).run();
+        let mut cfg = base;
+        cfg.fp16_wire = true;
+        let fp16 = DistTrainer::new(cfg).run();
+        // Half-precision wire loses ~2^-11 relative per element; training
+        // outcomes stay close.
+        assert!(
+            (fp16.final_top1() - fp32.final_top1()).abs() < 0.1,
+            "fp16 wire diverged: {} vs {}",
+            fp16.final_top1(),
+            fp32.final_top1()
+        );
+    }
+
+    #[test]
+    fn phase_switching_continues_the_same_model() {
+        // Warmup sparse, then dense — accuracy must carry over the switch
+        // (the same replicas keep training), and the residual must reset.
+        let cfg = quick(Strategy::DenseTorus, Workload::Mlp);
+        let report = DistTrainer::new(cfg).run_phases(&[
+            (
+                Strategy::MsTopKHiTopK {
+                    rho: 0.05,
+                    samplings: 20,
+                },
+                2,
+            ),
+            (Strategy::DenseTorus, 2),
+        ]);
+        assert_eq!(report.epochs.len(), 4);
+        // The sparse phase accumulates a residual; the dense phase has none.
+        assert!(report.epochs[1].residual_norm > 0.0);
+        assert_eq!(report.epochs[2].residual_norm, 0.0);
+        // No catastrophic reset of learning across the switch.
+        let before = report.epochs[1].val_top1;
+        let after = report.epochs[2].val_top1;
+        assert!(
+            after >= before - 0.1,
+            "switch destroyed progress: {before} -> {after}"
+        );
+        assert!(report.final_top1() > 0.6, "{:?}", report.epochs);
+    }
+
+    #[test]
+    fn lamb_and_adam_optimizers_train_the_transformer() {
+        for optimizer in [OptimizerKind::Lamb, OptimizerKind::Adam] {
+            let mut cfg = quick(Strategy::DenseTorus, Workload::Transformer);
+            cfg.optimizer = optimizer;
+            cfg.lr = 0.01;
+            cfg.epochs = 3;
+            cfg.iters_per_epoch = 10;
+            let report = DistTrainer::new(cfg).run();
+            let first = report.epochs.first().unwrap().train_loss;
+            let last = report.epochs.last().unwrap().train_loss;
+            assert!(
+                last < first,
+                "{optimizer:?} failed to reduce loss: {first} -> {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_workload_trains() {
+        let mut cfg = quick(Strategy::DenseTorus, Workload::Transformer);
+        cfg.lr = 0.02;
+        cfg.epochs = 3;
+        cfg.iters_per_epoch = 10;
+        let report = DistTrainer::new(cfg).run();
+        let first = report.epochs.first().unwrap().train_loss;
+        let last = report.epochs.last().unwrap().train_loss;
+        assert!(last < first, "transformer loss did not drop: {first} -> {last}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the iteration-time model: the performance
+//! plane must behave physically for arbitrary strategies and workloads.
+
+use cloudtrain_engine::{IterationModel, ModelProfile, Strategy, SystemConfig};
+use cloudtrain_simnet::clouds;
+use proptest::prelude::*;
+
+fn profiles() -> Vec<ModelProfile> {
+    vec![
+        ModelProfile::resnet50_224(),
+        ModelProfile::resnet50_96(),
+        ModelProfile::vgg19(),
+        ModelProfile::transformer(),
+    ]
+}
+
+fn strategies(rho: f64) -> Vec<Strategy> {
+    vec![
+        Strategy::DenseTreeAr,
+        Strategy::DenseTorus,
+        Strategy::TopKNaiveAg { rho },
+        Strategy::MsTopKHiTopK { rho, samplings: 30 },
+        Strategy::GTopK { rho },
+        Strategy::Qsgd { levels: 127 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Breakdown components are non-negative, consistent with the total,
+    /// and scaling efficiency lies in (0, 1] for every combination.
+    #[test]
+    fn breakdown_is_physical(
+        profile_idx in 0usize..4,
+        strategy_idx in 0usize..6,
+        rho in 0.001f64..0.1,
+        nodes in 2usize..16,
+        datacache in any::<bool>(),
+        pto in any::<bool>(),
+    ) {
+        let profile = profiles()[profile_idx].clone();
+        let strategy = strategies(rho)[strategy_idx];
+        let model = IterationModel::new(
+            clouds::tencent(nodes),
+            SystemConfig { strategy, datacache, pto },
+            profile,
+        );
+        let b = model.breakdown();
+        prop_assert!(b.io >= 0.0 && b.ffbp > 0.0 && b.compression >= 0.0);
+        prop_assert!(b.comm_total >= 0.0 && b.comm_visible >= 0.0);
+        prop_assert!(b.comm_visible <= b.comm_total + 1e-12);
+        prop_assert!(b.lars >= 0.0);
+        let sum = b.io + b.ffbp + b.comm_visible + b.compression + b.lars;
+        prop_assert!((b.total - sum).abs() < 1e-12);
+        let se = model.scaling_efficiency();
+        prop_assert!(se > 0.0 && se <= 1.0, "SE {se}");
+    }
+
+    /// Dense strategies never charge compression; sparse ones always do.
+    #[test]
+    fn compression_matches_strategy_family(
+        profile_idx in 0usize..4,
+        rho in 0.001f64..0.1,
+    ) {
+        let profile = profiles()[profile_idx].clone();
+        let cluster = clouds::tencent(16);
+        for strategy in strategies(rho) {
+            let b = IterationModel::new(
+                cluster,
+                SystemConfig { strategy, datacache: true, pto: true },
+                profile.clone(),
+            )
+            .breakdown();
+            match strategy {
+                Strategy::DenseTreeAr | Strategy::DenseTorus => {
+                    prop_assert_eq!(b.compression, 0.0)
+                }
+                _ => prop_assert!(b.compression > 0.0, "{}", strategy.label()),
+            }
+        }
+    }
+
+    /// DataCache never hurts, PTO never hurts (for the paper's profiles,
+    /// whose LARS cost exceeds the PTO AllGather).
+    #[test]
+    fn optimizations_are_non_regressive(
+        profile_idx in 0usize..4,
+        strategy_idx in 0usize..6,
+    ) {
+        let profile = profiles()[profile_idx].clone();
+        let strategy = strategies(0.01)[strategy_idx];
+        let cluster = clouds::tencent(16);
+        let total = |datacache: bool, pto: bool| {
+            IterationModel::new(
+                cluster,
+                SystemConfig { strategy, datacache, pto },
+                profile.clone(),
+            )
+            .breakdown()
+            .total
+        };
+        prop_assert!(total(true, false) <= total(false, false) + 1e-12);
+        let with_pto = total(false, true);
+        let without = total(false, false);
+        // PTO wins exactly when lars/P + AllGather < lars (Eq. 13/14's
+        // condition): true for ResNet (11 ms) and the Transformer (30 ms),
+        // false for VGG-19's 4 ms LARS — the model must reflect both sides.
+        let p = 128.0;
+        let pto_lars = profile.lars_seconds / p
+            + cloudtrain_engine::perf::PTO_ALL_GATHER_SECONDS;
+        if pto_lars < profile.lars_seconds {
+            prop_assert!(with_pto <= without + 1e-12);
+        } else {
+            prop_assert!(with_pto >= without - 1e-12);
+            // And the regression is bounded by the AllGather constant.
+            prop_assert!(
+                with_pto - without
+                    <= cloudtrain_engine::perf::PTO_ALL_GATHER_SECONDS + 1e-12
+            );
+        }
+    }
+
+    /// Faster interconnects never slow any strategy down.
+    #[test]
+    fn faster_fabric_is_monotone(
+        profile_idx in 0usize..4,
+        strategy_idx in 0usize..6,
+    ) {
+        let profile = profiles()[profile_idx].clone();
+        let strategy = strategies(0.01)[strategy_idx];
+        let t = |cluster| {
+            IterationModel::new(
+                cluster,
+                SystemConfig { strategy, datacache: true, pto: true },
+                profile.clone(),
+            )
+            .breakdown()
+            .total
+        };
+        let slow = t(clouds::tencent(16));
+        let mid = t(clouds::aliyun(16));
+        let fast = t(clouds::infiniband_100g(16));
+        prop_assert!(mid <= slow + 1e-9, "aliyun {mid} > tencent {slow}");
+        prop_assert!(fast <= mid + 1e-9, "ib {fast} > aliyun {mid}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Adam (Kingma & Ba) — the per-coordinate adaptive baseline LAMB builds
+//! on; included so the optimizer ablations can separate "adaptive moments"
+//! from "layer-wise trust ratio".
+
+use crate::Optimizer;
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// The Adam optimizer over a flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    /// Hyperparameters.
+    pub cfg: AdamConfig,
+}
+
+impl Adam {
+    /// Creates Adam state for a `dim`-parameter model.
+    pub fn new(dim: usize, cfg: AdamConfig) -> Self {
+        Self {
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+            cfg,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "Adam: length mismatch");
+        assert_eq!(params.len(), self.m.len(), "Adam: wrong model size");
+        self.t += 1;
+        let b1c = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let b2c = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.cfg.beta1 * self.m[i] + (1.0 - self.cfg.beta1) * grads[i];
+            self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * grads[i] * grads[i];
+            let mh = self.m[i] / b1c;
+            let vh = self.v[i] / b2c;
+            params[i] -=
+                lr * (mh / (vh.sqrt() + self.cfg.eps) + self.cfg.weight_decay * params[i]);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Adam::new(1, AdamConfig::default());
+        let mut w = vec![10.0f32];
+        for _ in 0..800 {
+            let g = w[0] - 3.0;
+            opt.step(&mut w, &[g], 0.05);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn first_step_has_unit_scale() {
+        // Bias correction makes the first update ≈ lr * sign(g).
+        let mut opt = Adam::new(2, AdamConfig::default());
+        let mut w = vec![0.0f32, 0.0];
+        opt.step(&mut w, &[0.5, -2.0], 0.1);
+        assert!((w[0] + 0.1).abs() < 1e-3, "w0 {}", w[0]);
+        assert!((w[1] - 0.1).abs() < 1e-3, "w1 {}", w[1]);
+    }
+
+    #[test]
+    fn adapts_per_coordinate() {
+        // A coordinate with a consistently larger gradient does not get a
+        // proportionally larger step — Adam normalises per coordinate.
+        let mut opt = Adam::new(2, AdamConfig::default());
+        let mut w = vec![0.0f32, 0.0];
+        for _ in 0..50 {
+            opt.step(&mut w, &[100.0, 1.0], 0.01);
+        }
+        let ratio = w[0] / w[1];
+        assert!(ratio.abs() < 1.5, "steps should be comparable: ratio {ratio}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_without_gradient() {
+        let cfg = AdamConfig {
+            weight_decay: 0.1,
+            ..AdamConfig::default()
+        };
+        let mut opt = Adam::new(1, cfg);
+        let mut w = vec![1.0f32];
+        opt.step(&mut w, &[0.0], 0.1);
+        assert!(w[0] < 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Global-norm gradient clipping (standard for Transformer training).
+
+use cloudtrain_tensor::ops;
+
+/// Scales `grads` in place so its global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+///
+/// # Panics
+/// Panics if `max_norm` is not positive.
+pub fn clip_global_norm(grads: &mut [f32], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    let norm = ops::l2_norm(grads);
+    if norm > max_norm {
+        ops::scale(grads, max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_gradients_are_scaled_to_the_bound() {
+        let mut g = vec![3.0, 4.0]; // norm 5
+        let pre = clip_global_norm(&mut g, 1.0);
+        assert_eq!(pre, 5.0);
+        assert!((ops::l2_norm(&g) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_gradients_are_untouched() {
+        let mut g = vec![0.3, 0.4];
+        clip_global_norm(&mut g, 1.0);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        clip_global_norm(&mut [1.0], 0.0);
+    }
+}

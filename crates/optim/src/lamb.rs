@@ -1,0 +1,154 @@
+//! LAMB: layer-wise adaptive moments (You et al., 2020).
+//!
+//! Adam moments with a per-layer trust ratio — the large-batch optimizer
+//! for attention models. Included because the paper notes PTO handles LAMB
+//! the same way as LARS; the ablation benches compare both.
+
+use cloudtrain_dnn::model::ParamRange;
+use cloudtrain_tensor::ops;
+
+use crate::Optimizer;
+
+/// LAMB hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LambConfig {
+    /// First-moment decay (Adam β1).
+    pub beta1: f32,
+    /// Second-moment decay (Adam β2).
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for LambConfig {
+    fn default() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay: 0.01,
+        }
+    }
+}
+
+/// The LAMB optimizer.
+#[derive(Debug, Clone)]
+pub struct Lamb {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    ranges: Vec<ParamRange>,
+    /// Hyperparameters.
+    pub cfg: LambConfig,
+}
+
+impl Lamb {
+    /// Creates LAMB for a model with the given parameter layout.
+    pub fn new(dim: usize, ranges: Vec<ParamRange>, cfg: LambConfig) -> Self {
+        assert_eq!(
+            ranges.iter().map(|r| r.len).sum::<usize>(),
+            dim,
+            "Lamb: ranges must tile the parameter vector"
+        );
+        Self {
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+            ranges,
+            cfg,
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "Lamb: length mismatch");
+        assert_eq!(params.len(), self.m.len(), "Lamb: wrong model size");
+        self.t += 1;
+        let b1c = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let b2c = 1.0 - self.cfg.beta2.powi(self.t as i32);
+
+        // Adam moments (elementwise).
+        for i in 0..params.len() {
+            self.m[i] = self.cfg.beta1 * self.m[i] + (1.0 - self.cfg.beta1) * grads[i];
+            self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * grads[i] * grads[i];
+        }
+
+        // Per-layer trust ratio and update.
+        for r in &self.ranges {
+            let mut update = vec![0.0f32; r.len];
+            for (j, i) in (r.offset..r.offset + r.len).enumerate() {
+                let mh = self.m[i] / b1c;
+                let vh = self.v[i] / b2c;
+                update[j] = mh / (vh.sqrt() + self.cfg.eps) + self.cfg.weight_decay * params[i];
+            }
+            let w = &params[r.offset..r.offset + r.len];
+            let wn = ops::l2_norm(w);
+            let un = ops::l2_norm(&update);
+            let trust = if wn > 0.0 && un > 0.0 { wn / un } else { 1.0 };
+            for (j, i) in (r.offset..r.offset + r.len).enumerate() {
+                params[i] -= lr * trust * update[j];
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lamb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_range(dim: usize) -> Vec<ParamRange> {
+        vec![ParamRange { offset: 0, len: dim }]
+    }
+
+    #[test]
+    fn lamb_converges_on_quadratic() {
+        let cfg = LambConfig {
+            weight_decay: 0.0,
+            ..LambConfig::default()
+        };
+        let mut opt = Lamb::new(1, one_range(1), cfg);
+        let mut w = vec![10.0f32];
+        for _ in 0..500 {
+            let g = w[0] - 3.0;
+            opt.step(&mut w, &[g], 0.05);
+        }
+        assert!((w[0] - 3.0).abs() < 0.1, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn trust_ratio_bounds_step_by_weight_norm() {
+        // Huge gradient, small weights: the step stays O(lr * ||w||).
+        let cfg = LambConfig {
+            weight_decay: 0.0,
+            ..LambConfig::default()
+        };
+        let mut opt = Lamb::new(2, one_range(2), cfg);
+        let mut w = vec![0.1, 0.1];
+        let before = w.clone();
+        opt.step(&mut w, &[1e6, 1e6], 0.1);
+        let step: f32 = w
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        let wn = ops::l2_norm(&before);
+        assert!(step <= 0.1 * wn * 1.01, "step {step} vs 0.1*||w|| {}", 0.1 * wn);
+    }
+
+    #[test]
+    fn bias_correction_makes_first_step_finite_and_sane() {
+        let mut opt = Lamb::new(1, one_range(1), LambConfig::default());
+        let mut w = vec![1.0];
+        opt.step(&mut w, &[0.5], 0.01);
+        assert!(w[0].is_finite());
+        assert!(w[0] < 1.0 && w[0] > 0.9);
+    }
+}

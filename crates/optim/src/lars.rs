@@ -1,0 +1,225 @@
+//! LARS: layer-wise adaptive rate scaling (You et al., 2018).
+//!
+//! Large-batch SGD destabilises when a single global learning rate meets
+//! layers whose weight/gradient norm ratios differ by orders of magnitude.
+//! LARS computes a per-layer trust ratio (Eq. 11 of the paper):
+//!
+//! ```text
+//! λ^(l) = γ · η_t · ‖w^(l)‖ / (‖g^(l)‖ + ε‖w^(l)‖)
+//! ```
+//!
+//! The rate computation ([`compute_rates`]) is deliberately separate from
+//! the update ([`apply_with_rates`]): the paper's PTO (§4.2) distributes
+//! exactly this computation — each GPU computes the rates of a slice of
+//! layers and an AllGather shares the resulting scalars.
+
+use cloudtrain_dnn::model::ParamRange;
+use cloudtrain_tensor::ops;
+
+use crate::Optimizer;
+
+/// LARS hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LarsConfig {
+    /// Trust coefficient `γ` (You et al. use 0.001–0.01; we default 0.01).
+    pub trust_coef: f32,
+    /// Weight decay `ε` in Eq. 11 (also applied to the update).
+    pub weight_decay: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+}
+
+impl Default for LarsConfig {
+    fn default() -> Self {
+        Self {
+            trust_coef: 0.01,
+            weight_decay: 1e-4,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// Computes the per-layer LARS local rates `λ^(l) / η_t` (i.e. Eq. 11
+/// without the global learning rate, which [`apply_with_rates`] multiplies
+/// back in). Layers with zero weight or gradient norm get rate 1 (fall back
+/// to plain SGD — the standard guard for bias/BN tensors at init).
+pub fn compute_rates(
+    params: &[f32],
+    grads: &[f32],
+    ranges: &[ParamRange],
+    cfg: &LarsConfig,
+) -> Vec<f32> {
+    ranges
+        .iter()
+        .map(|r| rate_for_layer(params, grads, r, cfg))
+        .collect()
+}
+
+/// Rate of a single layer — the unit PTO distributes across GPUs.
+pub fn rate_for_layer(
+    params: &[f32],
+    grads: &[f32],
+    range: &ParamRange,
+    cfg: &LarsConfig,
+) -> f32 {
+    let w = &params[range.offset..range.offset + range.len];
+    let g = &grads[range.offset..range.offset + range.len];
+    let wn = ops::l2_norm(w);
+    let gn = ops::l2_norm(g);
+    if wn == 0.0 || gn == 0.0 {
+        return 1.0;
+    }
+    cfg.trust_coef * wn / (gn + cfg.weight_decay * wn)
+}
+
+/// Applies one LARS + momentum update given precomputed per-layer rates.
+///
+/// # Panics
+/// Panics if lengths are inconsistent.
+pub fn apply_with_rates(
+    params: &mut [f32],
+    grads: &[f32],
+    velocity: &mut [f32],
+    ranges: &[ParamRange],
+    rates: &[f32],
+    lr: f32,
+    cfg: &LarsConfig,
+) {
+    assert_eq!(params.len(), grads.len(), "apply_with_rates: length mismatch");
+    assert_eq!(params.len(), velocity.len(), "apply_with_rates: velocity mismatch");
+    assert_eq!(ranges.len(), rates.len(), "apply_with_rates: rates mismatch");
+    for (range, &rate) in ranges.iter().zip(rates) {
+        let local_lr = lr * rate;
+        for i in range.offset..range.offset + range.len {
+            let update = grads[i] + cfg.weight_decay * params[i];
+            velocity[i] = cfg.momentum * velocity[i] + local_lr * update;
+            params[i] -= velocity[i];
+        }
+    }
+}
+
+/// The LARS optimizer (rates + momentum update fused, single worker).
+#[derive(Debug, Clone)]
+pub struct Lars {
+    velocity: Vec<f32>,
+    ranges: Vec<ParamRange>,
+    /// Hyperparameters.
+    pub cfg: LarsConfig,
+}
+
+impl Lars {
+    /// Creates LARS for a model with the given parameter layout.
+    pub fn new(dim: usize, ranges: Vec<ParamRange>, cfg: LarsConfig) -> Self {
+        assert_eq!(
+            ranges.iter().map(|r| r.len).sum::<usize>(),
+            dim,
+            "Lars: ranges must tile the parameter vector"
+        );
+        Self {
+            velocity: vec![0.0; dim],
+            ranges,
+            cfg,
+        }
+    }
+
+    /// The layer layout this optimizer was built with.
+    pub fn ranges(&self) -> &[ParamRange] {
+        &self.ranges
+    }
+}
+
+impl Optimizer for Lars {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        let rates = compute_rates(params, grads, &self.ranges, &self.cfg);
+        apply_with_rates(
+            params,
+            grads,
+            &mut self.velocity,
+            &self.ranges,
+            &rates,
+            lr,
+            &self.cfg,
+        );
+    }
+
+    fn name(&self) -> &'static str {
+        "lars"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges2() -> Vec<ParamRange> {
+        vec![
+            ParamRange { offset: 0, len: 2 },
+            ParamRange { offset: 2, len: 2 },
+        ]
+    }
+
+    #[test]
+    fn rates_follow_eq11() {
+        let params = [3.0, 4.0, 0.3, 0.4]; // norms 5 and 0.5
+        let grads = [1.0, 0.0, 1.0, 0.0]; // norms 1 and 1
+        let cfg = LarsConfig {
+            trust_coef: 0.01,
+            weight_decay: 0.0,
+            momentum: 0.9,
+        };
+        let rates = compute_rates(&params, &grads, &ranges2(), &cfg);
+        assert!((rates[0] - 0.05).abs() < 1e-6);
+        assert!((rates[1] - 0.005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_norm_layers_fall_back_to_unit_rate() {
+        let params = [0.0, 0.0, 1.0, 0.0];
+        let grads = [1.0, 1.0, 0.0, 0.0];
+        let rates = compute_rates(&params, &grads, &ranges2(), &LarsConfig::default());
+        assert_eq!(rates[0], 1.0); // zero weights
+        assert_eq!(rates[1], 1.0); // zero grads
+    }
+
+    #[test]
+    fn lars_equalises_update_magnitude_across_scales() {
+        // Two layers whose weights differ by 100x but gradients are equal:
+        // LARS scales the update proportionally to the weight norm.
+        let mut params = vec![100.0, 0.0, 1.0, 0.0];
+        let grads = vec![1.0, 0.0, 1.0, 0.0];
+        let cfg = LarsConfig {
+            trust_coef: 0.01,
+            weight_decay: 0.0,
+            momentum: 0.0,
+        };
+        let mut opt = Lars::new(4, ranges2(), cfg);
+        let before = params.clone();
+        opt.step(&mut params, &grads, 1.0);
+        let d0 = (params[0] - before[0]).abs();
+        let d1 = (params[2] - before[2]).abs();
+        assert!((d0 / d1 - 100.0).abs() < 1.0, "d0/d1 = {}", d0 / d1);
+    }
+
+    #[test]
+    fn fused_step_matches_split_rates_plus_apply() {
+        let ranges = ranges2();
+        let cfg = LarsConfig::default();
+        let grads = vec![0.1, -0.2, 0.3, 0.05];
+        let mut p1 = vec![1.0, 2.0, -0.5, 0.8];
+        let mut p2 = p1.clone();
+
+        let mut fused = Lars::new(4, ranges.clone(), cfg);
+        fused.step(&mut p1, &grads, 0.1);
+
+        let mut vel = vec![0.0; 4];
+        let rates = compute_rates(&p2, &grads, &ranges, &cfg);
+        apply_with_rates(&mut p2, &grads, &mut vel, &ranges, &rates, 0.1, &cfg);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn bad_ranges_panic() {
+        Lars::new(5, ranges2(), LarsConfig::default());
+    }
+}

@@ -1,0 +1,163 @@
+//! Mixed-precision training support (§5.5.2: "we enable the
+//! mixed-precision training technique so that the tensor cores of V100
+//! GPUs can be used").
+//!
+//! Two pieces matter to the *training dynamics* (the tensor-core speedup
+//! itself lives in the compute profiles):
+//!
+//! * [`LossScaler`] — dynamic loss scaling: gradients are computed on a
+//!   scaled loss so FP16 underflow is avoided, unscaled before the update,
+//!   and the scale backs off on overflow and creeps back up after a
+//!   streak of clean steps;
+//! * [`fp16_wire`] — the FP16 gradient wire format: a bit-accurate
+//!   round-trip through binary16, the precision actually transmitted by
+//!   CommLib's dense path (Fig. 7).
+
+use cloudtrain_tensor::half::roundtrip_f16;
+
+/// Dynamic loss scaler with the standard grow/backoff policy.
+#[derive(Debug, Clone)]
+pub struct LossScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+}
+
+impl Default for LossScaler {
+    fn default() -> Self {
+        Self::new(65536.0)
+    }
+}
+
+impl LossScaler {
+    /// Creates a scaler with the given initial scale (PyTorch-style
+    /// defaults: grow 2× every 2000 clean steps, halve on overflow).
+    pub fn new(initial_scale: f32) -> Self {
+        Self {
+            scale: initial_scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            good_steps: 0,
+        }
+    }
+
+    /// Current loss scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Scales a loss gradient in place (apply before backprop — or to the
+    /// logits gradient, which is equivalent by linearity).
+    pub fn scale_grad(&self, grad: &mut [f32]) {
+        for g in grad.iter_mut() {
+            *g *= self.scale;
+        }
+    }
+
+    /// Checks the (scaled) gradients for overflow, unscales them in place,
+    /// and updates the scale policy. Returns `true` if the step is usable;
+    /// on `false` the gradients were non-finite and the step must be
+    /// skipped (they are zeroed so a careless caller cannot apply them).
+    pub fn unscale_and_update(&mut self, grads: &mut [f32]) -> bool {
+        let overflow = grads.iter().any(|g| !g.is_finite());
+        if overflow {
+            grads.iter_mut().for_each(|g| *g = 0.0);
+            self.scale *= self.backoff_factor;
+            self.scale = self.scale.max(1.0);
+            self.good_steps = 0;
+            return false;
+        }
+        let inv = 1.0 / self.scale;
+        grads.iter_mut().for_each(|g| *g *= inv);
+        self.good_steps += 1;
+        if self.good_steps >= self.growth_interval {
+            self.scale *= self.growth_factor;
+            self.good_steps = 0;
+        }
+        true
+    }
+}
+
+/// Applies the FP16 wire format in place: exactly what the values lose on
+/// CommLib's dense FP16 path.
+pub fn fp16_wire(grads: &mut [f32]) {
+    roundtrip_f16(grads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_then_unscale_is_identity_without_overflow() {
+        let mut s = LossScaler::new(1024.0);
+        let mut g = vec![1e-5f32, -2e-3, 0.5];
+        let orig = g.clone();
+        s.scale_grad(&mut g);
+        assert_eq!(g[0], 1e-5 * 1024.0);
+        assert!(s.unscale_and_update(&mut g));
+        for (a, b) in g.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overflow_skips_step_and_backs_off() {
+        let mut s = LossScaler::new(1024.0);
+        let mut g = vec![1.0, f32::INFINITY];
+        assert!(!s.unscale_and_update(&mut g));
+        assert_eq!(g, vec![0.0, 0.0]);
+        assert_eq!(s.scale(), 512.0);
+        // NaN too.
+        let mut g = vec![f32::NAN];
+        assert!(!s.unscale_and_update(&mut g));
+        assert_eq!(s.scale(), 256.0);
+    }
+
+    #[test]
+    fn scale_grows_after_clean_streak() {
+        let mut s = LossScaler::new(2.0);
+        s.growth_interval = 3;
+        for _ in 0..3 {
+            let mut g = vec![0.1f32];
+            assert!(s.unscale_and_update(&mut g));
+        }
+        assert_eq!(s.scale(), 4.0);
+    }
+
+    #[test]
+    fn scale_never_drops_below_one() {
+        let mut s = LossScaler::new(2.0);
+        for _ in 0..10 {
+            let mut g = vec![f32::INFINITY];
+            s.unscale_and_update(&mut g);
+        }
+        assert_eq!(s.scale(), 1.0);
+    }
+
+    #[test]
+    fn scaling_rescues_tiny_gradients_from_fp16_underflow() {
+        // 1e-6 underflows FP16's subnormal floor (2^-24 ≈ 6e-8 is fine,
+        // but quantization error is severe); scaled by 65536 it survives
+        // the wire faithfully.
+        let tiny = 1e-6f32;
+        let mut unscaled = vec![tiny];
+        fp16_wire(&mut unscaled);
+        let raw_err = (unscaled[0] - tiny).abs() / tiny;
+
+        let mut s = LossScaler::new(65536.0);
+        let mut scaled = vec![tiny];
+        s.scale_grad(&mut scaled);
+        fp16_wire(&mut scaled);
+        assert!(s.unscale_and_update(&mut scaled));
+        let scaled_err = (scaled[0] - tiny).abs() / tiny;
+        assert!(
+            scaled_err < raw_err,
+            "scaling should reduce wire error: {scaled_err} vs {raw_err}"
+        );
+        assert!(scaled_err < 1e-3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Learning-rate schedules: warmup (essential for large-batch ImageNet
+//! training — Goyal et al. 2017, cited by the paper) plus step and cosine
+//! decay, and a piecewise schedule for the DAWNBench multi-resolution
+//! recipe.
+
+/// A learning-rate schedule over global steps.
+pub trait LrSchedule: Send {
+    /// Learning rate at (0-indexed) step `step`.
+    fn lr(&self, step: u64) -> f32;
+}
+
+/// Linear warmup from `base/warmup` to `base`, then constant.
+#[derive(Debug, Clone, Copy)]
+pub struct Warmup {
+    /// Peak learning rate.
+    pub base: f32,
+    /// Number of warmup steps.
+    pub warmup_steps: u64,
+}
+
+impl LrSchedule for Warmup {
+    fn lr(&self, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            self.base * (step + 1) as f32 / self.warmup_steps as f32
+        } else {
+            self.base
+        }
+    }
+}
+
+/// Linear warmup then cosine decay to `final_lr` over `total_steps`.
+///
+/// # Examples
+/// ```
+/// use cloudtrain_optim::schedule::{LrSchedule, WarmupCosine};
+///
+/// let s = WarmupCosine { base: 1.0, warmup_steps: 10, total_steps: 100, final_lr: 0.0 };
+/// assert!(s.lr(0) < s.lr(9));         // ramping up
+/// assert_eq!(s.lr(10), 1.0);          // peak
+/// assert!(s.lr(50) < 1.0);            // decaying
+/// assert!(s.lr(100) < 1e-6);          // done
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupCosine {
+    /// Peak learning rate.
+    pub base: f32,
+    /// Number of warmup steps.
+    pub warmup_steps: u64,
+    /// Total steps (decay finishes here).
+    pub total_steps: u64,
+    /// Final learning rate.
+    pub final_lr: f32,
+}
+
+impl LrSchedule for WarmupCosine {
+    fn lr(&self, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            return self.base * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let span = self.total_steps.saturating_sub(self.warmup_steps).max(1);
+        let progress = ((step - self.warmup_steps) as f32 / span as f32).min(1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.final_lr + (self.base - self.final_lr) * cos
+    }
+}
+
+/// Warmup then multiply by `factor` at each milestone (the classic
+/// ImageNet /10 at epochs 30/60/80).
+#[derive(Debug, Clone)]
+pub struct WarmupStep {
+    /// Peak learning rate.
+    pub base: f32,
+    /// Number of warmup steps.
+    pub warmup_steps: u64,
+    /// Steps at which the rate is multiplied by `factor`.
+    pub milestones: Vec<u64>,
+    /// Decay factor per milestone.
+    pub factor: f32,
+}
+
+impl LrSchedule for WarmupStep {
+    fn lr(&self, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            return self.base * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let decays = self.milestones.iter().filter(|&&m| step >= m).count();
+        self.base * self.factor.powi(decays as i32)
+    }
+}
+
+/// Piecewise-constant schedule over step ranges (the DAWNBench recipe
+/// changes the rate with the input resolution).
+#[derive(Debug, Clone)]
+pub struct Piecewise {
+    /// `(first_step, lr)` pairs, sorted by step; the last entry extends to
+    /// infinity.
+    pub pieces: Vec<(u64, f32)>,
+}
+
+impl LrSchedule for Piecewise {
+    fn lr(&self, step: u64) -> f32 {
+        let mut lr = self.pieces.first().map(|p| p.1).unwrap_or(0.0);
+        for &(start, rate) in &self.pieces {
+            if step >= start {
+                lr = rate;
+            }
+        }
+        lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = Warmup {
+            base: 1.0,
+            warmup_steps: 10,
+        };
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.lr(10), 1.0);
+        assert_eq!(s.lr(1000), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_final() {
+        let s = WarmupCosine {
+            base: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+            final_lr: 0.01,
+        };
+        assert!(s.lr(9) <= 1.0);
+        assert!((s.lr(10) - 1.0).abs() < 1e-6);
+        // Midpoint of decay ~ (base + final)/2.
+        assert!((s.lr(60) - 0.505).abs() < 0.01);
+        assert!((s.lr(110) - 0.01).abs() < 1e-6);
+        assert!((s.lr(10_000) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_decay_at_milestones() {
+        let s = WarmupStep {
+            base: 0.8,
+            warmup_steps: 5,
+            milestones: vec![100, 200],
+            factor: 0.1,
+        };
+        assert_eq!(s.lr(50), 0.8);
+        assert!((s.lr(150) - 0.08).abs() < 1e-6);
+        assert!((s.lr(250) - 0.008).abs() < 1e-7);
+    }
+
+    #[test]
+    fn piecewise_selects_latest_piece() {
+        let s = Piecewise {
+            pieces: vec![(0, 0.1), (100, 0.2), (200, 0.05)],
+        };
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(99), 0.1);
+        assert_eq!(s.lr(100), 0.2);
+        assert_eq!(s.lr(500), 0.05);
+    }
+
+    #[test]
+    fn monotone_warmup_never_overshoots() {
+        let s = WarmupCosine {
+            base: 2.0,
+            warmup_steps: 100,
+            total_steps: 1000,
+            final_lr: 0.0,
+        };
+        let mut prev = 0.0;
+        for step in 0..100 {
+            let lr = s.lr(step);
+            assert!(lr >= prev && lr <= 2.0);
+            prev = lr;
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain SGD and SGD with momentum.
+
+use crate::Optimizer;
+
+/// Vanilla SGD with optional decoupled weight decay:
+/// `w -= lr * (g + wd * w)`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given weight decay.
+    pub fn new(weight_decay: f32) -> Self {
+        Self { weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "Sgd: length mismatch");
+        for (w, g) in params.iter_mut().zip(grads) {
+            *w -= lr * (g + self.weight_decay * *w);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// SGD with (heavy-ball) momentum:
+/// `v = m*v + g + wd*w; w -= lr * v`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    velocity: Vec<f32>,
+    /// Momentum coefficient (e.g. 0.9).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Momentum {
+    /// Creates momentum SGD for a `dim`-parameter model.
+    pub fn new(dim: usize, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            velocity: vec![0.0; dim],
+            momentum,
+            weight_decay,
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "Momentum: length mismatch");
+        assert_eq!(params.len(), self.velocity.len(), "Momentum: wrong model size");
+        for ((w, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g + self.weight_decay * *w;
+            *w -= lr * *v;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd-momentum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut opt = Sgd::new(0.0);
+        let mut w = vec![1.0, -1.0];
+        opt.step(&mut w, &[0.5, -0.5], 0.1);
+        assert_eq!(w, vec![0.95, -0.95]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut opt = Sgd::new(0.1);
+        let mut w = vec![1.0];
+        opt.step(&mut w, &[0.0], 0.5);
+        assert!((w[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(1, 0.9, 0.0);
+        let mut w = vec![0.0];
+        opt.step(&mut w, &[1.0], 0.1);
+        assert!((w[0] + 0.1).abs() < 1e-6); // v = 1
+        opt.step(&mut w, &[1.0], 0.1);
+        assert!((w[0] + 0.1 + 0.19).abs() < 1e-6); // v = 1.9
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        // Minimise f(w) = (w - 3)^2 / 2; gradient = w - 3.
+        let mut opt = Momentum::new(1, 0.9, 0.0);
+        let mut w = vec![0.0f32];
+        for _ in 0..200 {
+            let g = w[0] - 3.0;
+            opt.step(&mut w, &[g], 0.05);
+        }
+        assert!((w[0] - 3.0).abs() < 1e-2, "w = {}", w[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Sgd::new(0.0).step(&mut [0.0], &[1.0, 2.0], 0.1);
+    }
+}

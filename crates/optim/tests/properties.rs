@@ -1,0 +1,121 @@
+//! Property-based tests for the optimizers and schedules.
+
+use cloudtrain_dnn::model::ParamRange;
+use cloudtrain_optim::adam::{Adam, AdamConfig};
+use cloudtrain_optim::clip::clip_global_norm;
+use cloudtrain_optim::lamb::{Lamb, LambConfig};
+use cloudtrain_optim::lars::{compute_rates, LarsConfig};
+use cloudtrain_optim::schedule::{LrSchedule, WarmupCosine, WarmupStep};
+use cloudtrain_optim::{Momentum, Optimizer, Sgd};
+use cloudtrain_tensor::{init, ops};
+use proptest::prelude::*;
+
+fn one_range(d: usize) -> Vec<ParamRange> {
+    vec![ParamRange { offset: 0, len: d }]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// LARS rates are invariant to a uniform rescaling of weights AND
+    /// gradients by the same factor (γ‖cw‖/(‖cg‖ + ε‖cw‖) = rate(w, g)) —
+    /// the scale-equivariance LARS is designed for.
+    #[test]
+    fn lars_rates_are_scale_invariant(
+        d in 2usize..50,
+        c in 0.1f32..10.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let w = init::gradient_like_tensor(d, &mut rng).into_vec();
+        let g = init::gradient_like_tensor(d, &mut rng).into_vec();
+        let cfg = LarsConfig::default();
+        let ranges = one_range(d);
+        let base = compute_rates(&w, &g, &ranges, &cfg)[0];
+        let ws: Vec<f32> = w.iter().map(|v| v * c).collect();
+        let gs: Vec<f32> = g.iter().map(|v| v * c).collect();
+        let scaled = compute_rates(&ws, &gs, &ranges, &cfg)[0];
+        prop_assert!(
+            (base - scaled).abs() < 1e-2 * base.abs().max(1e-6),
+            "{base} vs {scaled}"
+        );
+    }
+
+    /// One step of every optimizer on gradient 0 with zero weight decay is
+    /// a no-op (fixed points are preserved).
+    #[test]
+    fn zero_gradient_is_a_fixed_point(d in 1usize..20, seed in 0u64..100) {
+        let mut rng = init::rng_from_seed(seed);
+        let w0 = init::uniform_tensor(d, -2.0, 2.0, &mut rng).into_vec();
+        let g = vec![0.0f32; d];
+        let mut opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Sgd::new(0.0)),
+            Box::new(Momentum::new(d, 0.9, 0.0)),
+            Box::new(Adam::new(d, AdamConfig { weight_decay: 0.0, ..AdamConfig::default() })),
+            Box::new(Lamb::new(d, one_range(d), LambConfig { weight_decay: 0.0, ..LambConfig::default() })),
+        ];
+        for opt in &mut opts {
+            let mut w = w0.clone();
+            opt.step(&mut w, &g, 0.1);
+            prop_assert!(
+                ops::approx_eq(&w, &w0, 1e-6),
+                "{} moved on zero gradient",
+                opt.name()
+            );
+        }
+    }
+
+    /// Clipping: output norm never exceeds the bound and direction is
+    /// preserved (cosine 1 with the input when it was nonzero).
+    #[test]
+    fn clip_invariants(d in 1usize..100, bound in 0.01f32..10.0, seed in 0u64..1000) {
+        let mut rng = init::rng_from_seed(seed);
+        let g0 = init::gradient_like_tensor(d, &mut rng).into_vec();
+        let mut g = g0.clone();
+        let pre = clip_global_norm(&mut g, bound);
+        prop_assert!((pre - ops::l2_norm(&g0)).abs() < 1e-3 * pre.max(1.0));
+        prop_assert!(ops::l2_norm(&g) <= bound * 1.001);
+        if pre > 0.0 {
+            let cos = ops::dot(&g, &g0) / (ops::l2_norm(&g) * pre);
+            prop_assert!(cos > 0.999, "direction changed: cos {cos}");
+        }
+    }
+
+    /// Schedules never produce negative rates and respect their peak.
+    #[test]
+    fn schedules_are_bounded(
+        base in 0.001f32..10.0,
+        warmup in 1u64..100,
+        total in 100u64..1000,
+        step in 0u64..2000,
+    ) {
+        let cos = WarmupCosine { base, warmup_steps: warmup, total_steps: total, final_lr: base * 0.01 };
+        let stp = WarmupStep { base, warmup_steps: warmup, milestones: vec![total / 2, total], factor: 0.1 };
+        for lr in [cos.lr(step), stp.lr(step)] {
+            prop_assert!(lr >= 0.0);
+            prop_assert!(lr <= base * 1.0001, "lr {lr} exceeds base {base}");
+        }
+    }
+
+    /// Momentum SGD with bounded gradients cannot explode in one step:
+    /// |Δw| <= lr * |v| with v a geometric sum of gradient bounds.
+    #[test]
+    fn momentum_step_is_bounded(
+        d in 1usize..20,
+        lr in 0.001f32..0.1,
+        steps in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let mut opt = Momentum::new(d, 0.9, 0.0);
+        let mut w = vec![0.0f32; d];
+        for _ in 0..steps {
+            let g = init::uniform_tensor(d, -1.0, 1.0, &mut rng).into_vec();
+            let before = w.clone();
+            opt.step(&mut w, &g, lr);
+            let delta = ops::linf_distance(&w, &before);
+            // Velocity is bounded by the geometric series 1/(1-0.9) = 10.
+            prop_assert!(delta <= lr * 10.0 + 1e-6, "delta {delta}");
+        }
+    }
+}

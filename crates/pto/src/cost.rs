@@ -1,0 +1,89 @@
+//! Analytic win/lose model for PTO (§4.2: "if the time cost of the
+//! All-Gather operation is smaller than the time reduction of computing,
+//! PTO can accelerate the computation").
+
+/// Inputs to the PTO cost comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct PtoCost {
+    /// Time for one worker to run the full operation alone, seconds.
+    pub full_compute: f64,
+    /// Number of workers the operation is partitioned over.
+    pub workers: usize,
+    /// AllGather time for the result exchange, seconds.
+    pub all_gather: f64,
+}
+
+impl PtoCost {
+    /// Time with PTO: a 1/P slice of the compute plus the AllGather.
+    pub fn with_pto(&self) -> f64 {
+        self.full_compute / self.workers as f64 + self.all_gather
+    }
+
+    /// Time without PTO (every worker redundantly computes everything).
+    pub fn without_pto(&self) -> f64 {
+        self.full_compute
+    }
+
+    /// Whether PTO wins.
+    pub fn pto_wins(&self) -> bool {
+        self.with_pto() < self.without_pto()
+    }
+
+    /// Speedup factor (>1 means PTO is faster).
+    pub fn speedup(&self) -> f64 {
+        self.without_pto() / self.with_pto()
+    }
+
+    /// The break-even AllGather budget: PTO wins iff the AllGather costs
+    /// less than `(1 - 1/P) * full_compute`.
+    pub fn break_even_all_gather(&self) -> f64 {
+        self.full_compute * (1.0 - 1.0 / self.workers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_resnet_lars() {
+        // §5.4: ResNet-50 LARS takes 11 ms alone, 7 ms with PTO on 128
+        // GPUs -> the model must show a win of roughly that shape (the
+        // AllGather of 161 scalars over 25GbE costs ~4-5 ms with latency).
+        let c = PtoCost {
+            full_compute: 11e-3,
+            workers: 128,
+            all_gather: 6.5e-3,
+        };
+        assert!(c.pto_wins());
+        assert!((c.with_pto() - 6.6e-3).abs() < 1e-3);
+        assert!(c.speedup() > 1.5);
+    }
+
+    #[test]
+    fn pto_loses_when_all_gather_dominates() {
+        let c = PtoCost {
+            full_compute: 1e-3,
+            workers: 4,
+            all_gather: 5e-3,
+        };
+        assert!(!c.pto_wins());
+        assert!(c.speedup() < 1.0);
+    }
+
+    #[test]
+    fn break_even_formula() {
+        let c = PtoCost {
+            full_compute: 8.0,
+            workers: 4,
+            all_gather: 0.0,
+        };
+        assert!((c.break_even_all_gather() - 6.0).abs() < 1e-12);
+        // At exactly break-even the two sides tie.
+        let tie = PtoCost {
+            all_gather: 6.0,
+            ..c
+        };
+        assert!((tie.with_pto() - tie.without_pto()).abs() < 1e-12);
+    }
+}

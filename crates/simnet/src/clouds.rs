@@ -1,0 +1,87 @@
+//! Cloud instance presets (Table 1 of the paper).
+//!
+//! All three providers offer 8×V100 instances with NVLink inside the node
+//! and 25–32 Gbps virtual-private-cloud Ethernet between instances. The α
+//! values are typical measured VPC round-trip/2 latencies and NVLink
+//! latencies; the intra-node bandwidth is the effective per-GPU NCCL ring
+//! bandwidth on an 8×V100 NVLink topology (~130 GB/s), not the theoretical
+//! aggregate.
+
+use crate::topology::{ClusterSpec, LinkSpec};
+
+/// Effective per-GPU NVLink ring bandwidth on an 8×V100 node, bytes/s.
+pub const NVLINK_BW: f64 = 130e9;
+/// NVLink-class per-message latency, seconds.
+pub const NVLINK_ALPHA: f64 = 3e-6;
+/// VPC Ethernet per-message latency, seconds.
+pub const ETH_ALPHA: f64 = 50e-6;
+/// Fraction of Ethernet line rate NCCL-class ring transports sustain over
+/// VPC TCP (no RDMA/GPUDirect on these cloud instances). Calibrated to the
+/// paper's measured Dense-SGD scaling (Table 3); see EXPERIMENTS.md.
+pub const ETH_EFFICIENCY: f64 = 0.45;
+/// InfiniBand transports run near line rate.
+pub const IB_EFFICIENCY: f64 = 0.9;
+
+/// Builds a cluster of `nodes` 8-GPU instances with the given inter-node
+/// line rate in Gbps.
+pub fn v100_cluster(nodes: usize, eth_gbps: f64) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        gpus_per_node: 8,
+        intra: LinkSpec::from_bandwidth(NVLINK_ALPHA, NVLINK_BW),
+        inter: LinkSpec::from_bandwidth(ETH_ALPHA, eth_gbps * 1e9 / 8.0 * ETH_EFFICIENCY),
+    }
+}
+
+/// Tencent Cloud 18XLARGE320 (the paper's testbed): 25 Gbps Ethernet.
+pub fn tencent(nodes: usize) -> ClusterSpec {
+    v100_cluster(nodes, 25.0)
+}
+
+/// AWS p3.16xlarge: 25 Gbps Ethernet.
+pub fn aws(nodes: usize) -> ClusterSpec {
+    v100_cluster(nodes, 25.0)
+}
+
+/// Aliyun gn6e-class instance: 32 Gbps Ethernet (the DAWNBench runner-up's
+/// testbed).
+pub fn aliyun(nodes: usize) -> ClusterSpec {
+    v100_cluster(nodes, 32.0)
+}
+
+/// A 100 Gbps InfiniBand HPC cluster (the FastAI / Huawei DAWNBench
+/// entries), for the Table 5 comparison.
+pub fn infiniband_100g(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        gpus_per_node: 8,
+        intra: LinkSpec::from_bandwidth(NVLINK_ALPHA, NVLINK_BW),
+        inter: LinkSpec::from_bandwidth(2e-6, 100e9 / 8.0 * IB_EFFICIENCY),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = tencent(16);
+        assert_eq!(c.world(), 128);
+        // Inter-node is ~2 orders of magnitude slower per byte than
+        // intra-node once TCP efficiency is applied.
+        let ratio = c.inter.beta / c.intra.beta;
+        assert!(ratio > 50.0 && ratio < 150.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn aliyun_is_faster_than_tencent() {
+        assert!(aliyun(16).inter.beta < tencent(16).inter.beta);
+    }
+
+    #[test]
+    fn infiniband_is_fastest() {
+        assert!(infiniband_100g(16).inter.beta < aliyun(16).inter.beta);
+        assert!(infiniband_100g(16).inter.alpha < ETH_ALPHA);
+    }
+}

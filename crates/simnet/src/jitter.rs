@@ -1,0 +1,206 @@
+//! Compute jitter and straggler modelling.
+//!
+//! Synchronous SGD is a BSP computation: every iteration waits for the
+//! slowest of `P` workers. On multi-tenant clouds per-GPU iteration times
+//! jitter (noisy neighbours, clock throttling, host interference), so the
+//! expected makespan is the expected *maximum* of `P` draws — a penalty
+//! that grows with scale and quietly eats into every scheme's scaling
+//! efficiency. The `ablation_stragglers` bench quantifies it.
+//!
+//! Sampling is deterministic in `(seed, gpu, iteration)` — no global RNG —
+//! using a SplitMix64 hash feeding a Box–Muller transform.
+
+/// Log-normal-style jitter around a base compute time, with an optional
+/// persistently slow node (a degraded VM).
+#[derive(Debug, Clone, Copy)]
+pub struct JitterModel {
+    /// Mean per-iteration compute seconds.
+    pub base_seconds: f64,
+    /// Coefficient of variation of the jitter (0.02–0.1 is typical for
+    /// shared cloud instances).
+    pub cv: f64,
+    /// Optionally, one node whose GPUs run at `1/factor` speed.
+    pub slow_node: Option<SlowNode>,
+}
+
+/// A persistently degraded node.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowNode {
+    /// Node index.
+    pub node: usize,
+    /// Slowdown factor (1.2 = 20% slower).
+    pub factor: f64,
+}
+
+impl JitterModel {
+    /// A jitter-free model (every draw equals the base).
+    pub fn none(base_seconds: f64) -> Self {
+        Self {
+            base_seconds,
+            cv: 0.0,
+            slow_node: None,
+        }
+    }
+
+    /// Samples the compute time of `gpu` (with `gpus_per_node` per node)
+    /// at `iteration` under `seed`. Always positive.
+    pub fn sample(&self, gpu: usize, gpus_per_node: usize, iteration: u64, seed: u64) -> f64 {
+        let z = std_normal(hash3(seed, gpu as u64, iteration));
+        // Log-normal keeps draws positive and right-skewed like real
+        // interference.
+        let sigma = self.cv.max(0.0);
+        let mut t = self.base_seconds * (sigma * z).exp();
+        if let Some(slow) = self.slow_node {
+            if gpu / gpus_per_node.max(1) == slow.node {
+                t *= slow.factor;
+            }
+        }
+        t
+    }
+}
+
+/// Aggregate BSP statistics over simulated iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BspStats {
+    /// Mean per-iteration makespan (the time BSP actually pays).
+    pub mean_makespan: f64,
+    /// Mean per-worker compute time (what a jitter-free system would pay).
+    pub mean_compute: f64,
+    /// `mean_makespan / mean_compute - 1`: the straggler penalty.
+    pub straggler_penalty: f64,
+}
+
+/// Simulates `iterations` BSP rounds over `world` GPUs and reports the
+/// straggler penalty.
+///
+/// # Panics
+/// Panics if `world` or `iterations` is zero.
+pub fn bsp_straggler_stats(
+    world: usize,
+    gpus_per_node: usize,
+    jitter: &JitterModel,
+    iterations: u64,
+    seed: u64,
+) -> BspStats {
+    assert!(world > 0 && iterations > 0, "bsp_straggler_stats: empty input");
+    let mut sum_makespan = 0.0;
+    let mut sum_compute = 0.0;
+    for it in 0..iterations {
+        let mut max_t: f64 = 0.0;
+        let mut sum_t = 0.0;
+        for gpu in 0..world {
+            let t = jitter.sample(gpu, gpus_per_node, it, seed);
+            max_t = max_t.max(t);
+            sum_t += t;
+        }
+        sum_makespan += max_t;
+        sum_compute += sum_t / world as f64;
+    }
+    let mean_makespan = sum_makespan / iterations as f64;
+    let mean_compute = sum_compute / iterations as f64;
+    BspStats {
+        mean_makespan,
+        mean_compute,
+        straggler_penalty: mean_makespan / mean_compute - 1.0,
+    }
+}
+
+/// SplitMix64 over three words.
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(41));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One standard-normal draw from a hash value (Box–Muller on the two
+/// 32-bit halves).
+fn std_normal(h: u64) -> f64 {
+    let u1 = ((h >> 32) as f64 + 1.0) / (u32::MAX as f64 + 2.0); // (0, 1)
+    let u2 = ((h & 0xFFFF_FFFF) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_positive() {
+        let j = JitterModel {
+            base_seconds: 0.1,
+            cv: 0.05,
+            slow_node: None,
+        };
+        let a = j.sample(3, 8, 7, 42);
+        let b = j.sample(3, 8, 7, 42);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+        assert_ne!(a, j.sample(3, 8, 8, 42));
+        assert_ne!(a, j.sample(4, 8, 7, 42));
+    }
+
+    #[test]
+    fn zero_cv_has_zero_penalty() {
+        let j = JitterModel::none(0.2);
+        let s = bsp_straggler_stats(64, 8, &j, 50, 1);
+        assert!(s.straggler_penalty.abs() < 1e-12);
+        assert!((s.mean_makespan - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_grows_with_world_size() {
+        let j = JitterModel {
+            base_seconds: 0.1,
+            cv: 0.05,
+            slow_node: None,
+        };
+        let p8 = bsp_straggler_stats(8, 8, &j, 200, 7).straggler_penalty;
+        let p128 = bsp_straggler_stats(128, 8, &j, 200, 7).straggler_penalty;
+        assert!(
+            p128 > p8,
+            "E[max of 128] should exceed E[max of 8]: {p128} vs {p8}"
+        );
+        // ~3 sigma for 128 draws of cv=5%: penalty in the 10-25% band.
+        assert!(p128 > 0.08 && p128 < 0.35, "p128 = {p128}");
+    }
+
+    #[test]
+    fn slow_node_dominates_the_makespan() {
+        let j = JitterModel {
+            base_seconds: 0.1,
+            cv: 0.02,
+            slow_node: Some(SlowNode {
+                node: 2,
+                factor: 1.5,
+            }),
+        };
+        let s = bsp_straggler_stats(32, 8, &j, 100, 3);
+        // Makespan is pinned to the 1.5x node.
+        assert!(
+            s.mean_makespan > 0.145,
+            "slow node should gate BSP: {}",
+            s.mean_makespan
+        );
+        assert!(s.straggler_penalty > 0.3);
+    }
+
+    #[test]
+    fn normal_draws_have_sane_moments() {
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for i in 0..n {
+            let z = std_normal(hash3(9, i, 0));
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

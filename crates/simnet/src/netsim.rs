@@ -1,0 +1,324 @@
+use crate::topology::ClusterSpec;
+
+/// One recorded transfer (produced when tracing is enabled via
+/// [`NetSim::enable_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferEvent {
+    /// Sender GPU id.
+    pub src: usize,
+    /// Receiver GPU id.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// When the payload started occupying its port, seconds.
+    pub start: f64,
+    /// When the receiver had the payload, seconds (includes link latency).
+    pub end: f64,
+    /// Whether the transfer crossed the inter-node fabric.
+    pub inter_node: bool,
+}
+
+/// Discrete-event simulator state for one cluster.
+///
+/// Tracks a local clock per GPU and the busy-until time of every
+/// contended resource:
+///
+/// * per-GPU NVLink tx/rx ports (intra-node transfers),
+/// * per-node NIC tx/rx (inter-node transfers — **shared by all GPUs of
+///   the node**, which is the contention that penalises flat collectives
+///   on cloud clusters).
+///
+/// A transfer `src → dst` starts when the sender's clock and all required
+/// resources are free, takes `α + bytes·β` of the link class it crosses,
+/// and advances the receiver's clock and the resources to its completion
+/// time. The sender's clock also advances (ring steps are rendezvous
+/// send/recv pairs, matching the α–β analyses in the paper).
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    spec: ClusterSpec,
+    gpu_clock: Vec<f64>,
+    gpu_tx_free: Vec<f64>,
+    gpu_rx_free: Vec<f64>,
+    nic_tx_free: Vec<f64>,
+    nic_rx_free: Vec<f64>,
+    nic_tx_bytes: Vec<usize>,
+    nic_rx_bytes: Vec<usize>,
+    trace: Option<Vec<TransferEvent>>,
+}
+
+impl NetSim {
+    /// Creates an idle simulator for the cluster.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let world = spec.world();
+        Self {
+            spec,
+            gpu_clock: vec![0.0; world],
+            gpu_tx_free: vec![0.0; world],
+            gpu_rx_free: vec![0.0; world],
+            nic_tx_free: vec![0.0; spec.nodes],
+            nic_rx_free: vec![0.0; spec.nodes],
+            nic_tx_bytes: vec![0; spec.nodes],
+            nic_rx_bytes: vec![0; spec.nodes],
+            trace: None,
+        }
+    }
+
+    /// Turns on transfer recording; every subsequent transfer is appended
+    /// to the trace (readable via [`NetSim::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded transfers, empty if tracing was never enabled.
+    pub fn trace(&self) -> &[TransferEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The cluster this simulator models.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Current local clock of a GPU.
+    pub fn time_of(&self, gpu: usize) -> f64 {
+        self.gpu_clock[gpu]
+    }
+
+    /// Latest clock over all GPUs — the makespan of everything simulated so
+    /// far.
+    pub fn makespan(&self) -> f64 {
+        self.gpu_clock.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Resets all clocks and resources to zero.
+    pub fn reset(&mut self) {
+        self.gpu_clock.iter_mut().for_each(|t| *t = 0.0);
+        self.gpu_tx_free.iter_mut().for_each(|t| *t = 0.0);
+        self.gpu_rx_free.iter_mut().for_each(|t| *t = 0.0);
+        self.nic_tx_free.iter_mut().for_each(|t| *t = 0.0);
+        self.nic_rx_free.iter_mut().for_each(|t| *t = 0.0);
+        self.nic_tx_bytes.iter_mut().for_each(|b| *b = 0);
+        self.nic_rx_bytes.iter_mut().for_each(|b| *b = 0);
+        if let Some(t) = self.trace.as_mut() {
+            t.clear();
+        }
+    }
+
+    /// Total bytes each node's NIC has transmitted so far (traffic
+    /// accounting for inter-node links).
+    pub fn nic_tx_bytes(&self) -> &[usize] {
+        &self.nic_tx_bytes
+    }
+
+    /// Total bytes each node's NIC has received so far.
+    pub fn nic_rx_bytes(&self) -> &[usize] {
+        &self.nic_rx_bytes
+    }
+
+    /// Advances a GPU's clock by `seconds` of local compute.
+    pub fn compute(&mut self, gpu: usize, seconds: f64) {
+        self.gpu_clock[gpu] += seconds;
+    }
+
+    /// Aligns all GPUs' clocks to the current makespan (a barrier).
+    pub fn barrier(&mut self) {
+        let t = self.makespan();
+        self.gpu_clock.iter_mut().for_each(|c| *c = t);
+    }
+
+    /// Simulates one point-to-point transfer of `bytes` from GPU `src` to
+    /// GPU `dst`, returning its completion time.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` — a self-transfer is a schedule bug.
+    pub fn transfer(&mut self, src: usize, dst: usize, bytes: usize) -> f64 {
+        self.round(&[(src, dst, bytes)])
+    }
+
+    /// Simulates one *round* of concurrent transfers `(src, dst, bytes)`.
+    ///
+    /// All transfers of a round start from a snapshot of the GPU clocks —
+    /// a rank that both sends and receives in the same round (every rank of
+    /// a ring step does) sends without waiting for its incoming data.
+    /// Contended resources (NICs, NVLink ports) still serialise within the
+    /// round, in the order given. Returns the latest completion time of the
+    /// round.
+    ///
+    /// # Panics
+    /// Panics if any transfer has `src == dst`.
+    pub fn round(&mut self, transfers: &[(usize, usize, usize)]) -> f64 {
+        let snapshot = self.gpu_clock.clone();
+        // (src, src_done, dst, dst_done): the sender is released when its
+        // port finishes pushing the bytes; the receiver additionally waits
+        // out the link latency α. α does not occupy the port — messages
+        // from different streams overlap their latencies (pipelining),
+        // they only serialise on port bandwidth.
+        let mut completions: Vec<(usize, f64, usize, f64)> = Vec::with_capacity(transfers.len());
+        let mut latest = 0.0f64;
+        for &(src, dst, bytes) in transfers {
+            assert_ne!(src, dst, "transfer: src == dst ({src})");
+            let src_node = self.spec.node_of(src);
+            let dst_node = self.spec.node_of(dst);
+            let inter_node = src_node != dst_node;
+            let (sent, end) = if src_node == dst_node {
+                let link = self.spec.intra;
+                let start = snapshot[src]
+                    .max(self.gpu_tx_free[src])
+                    .max(self.gpu_rx_free[dst]);
+                let sent = start + bytes as f64 * link.beta;
+                self.gpu_tx_free[src] = sent;
+                self.gpu_rx_free[dst] = sent;
+                (sent, sent + link.alpha)
+            } else {
+                let link = self.spec.inter;
+                let start = snapshot[src]
+                    .max(self.nic_tx_free[src_node])
+                    .max(self.nic_rx_free[dst_node]);
+                let sent = start + bytes as f64 * link.beta;
+                self.nic_tx_free[src_node] = sent;
+                self.nic_rx_free[dst_node] = sent;
+                self.nic_tx_bytes[src_node] += bytes;
+                self.nic_rx_bytes[dst_node] += bytes;
+                (sent, sent + link.alpha)
+            };
+            if let Some(trace) = self.trace.as_mut() {
+                let beta = if inter_node {
+                    self.spec.inter.beta
+                } else {
+                    self.spec.intra.beta
+                };
+                trace.push(TransferEvent {
+                    src,
+                    dst,
+                    bytes,
+                    start: sent - bytes as f64 * beta,
+                    end,
+                    inter_node,
+                });
+            }
+            completions.push((src, sent, dst, end));
+            latest = latest.max(end);
+        }
+        for (src, sent, dst, end) in completions {
+            self.gpu_clock[dst] = self.gpu_clock[dst].max(end);
+            self.gpu_clock[src] = self.gpu_clock[src].max(sent);
+        }
+        latest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clouds;
+
+    fn sim() -> NetSim {
+        NetSim::new(clouds::tencent(2))
+    }
+
+    #[test]
+    fn intra_transfer_charges_intra_link() {
+        let mut s = sim();
+        let spec = *s.spec();
+        let end = s.transfer(0, 1, 1_000_000);
+        let expect = spec.intra.transfer_time(1_000_000);
+        assert!((end - expect).abs() < 1e-12);
+        assert_eq!(s.time_of(1), end);
+    }
+
+    #[test]
+    fn inter_transfer_charges_inter_link() {
+        let mut s = sim();
+        let spec = *s.spec();
+        let end = s.transfer(0, 8, 1_000_000);
+        let expect = spec.inter.transfer_time(1_000_000);
+        assert!((end - expect).abs() < 1e-12);
+        // Inter is much slower than intra for the same size.
+        assert!(end > spec.intra.transfer_time(1_000_000) * 10.0);
+    }
+
+    #[test]
+    fn nic_serialises_concurrent_cross_node_transfers() {
+        // 8 GPUs of node 0 each send 1 MB to node 1 "at once": the single
+        // NIC serialises them, so the last completion is ~8x one transfer.
+        let mut s = sim();
+        let spec = *s.spec();
+        let mut last = 0.0f64;
+        for j in 0..8 {
+            last = s.transfer(j, 8 + j, 1 << 20);
+        }
+        // Bandwidth serialises (8x the bytes); latency is paid once, in
+        // parallel across the in-flight messages.
+        let expect = 8.0 * (1 << 20) as f64 * spec.inter.beta + spec.inter.alpha;
+        assert!((last - expect).abs() < 1e-9, "last={last} expect={expect}");
+    }
+
+    #[test]
+    fn intra_links_are_per_gpu_and_parallel() {
+        // Disjoint GPU pairs inside one node transfer concurrently.
+        let mut s = sim();
+        let one = s.spec().intra.transfer_time(1 << 20);
+        let e1 = s.transfer(0, 1, 1 << 20);
+        let e2 = s.transfer(2, 3, 1 << 20);
+        assert!((e1 - one).abs() < 1e-12);
+        assert!((e2 - one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_duplex_nic() {
+        // Node 0 sending and receiving at once do not serialise.
+        let mut s = sim();
+        let one = s.spec().inter.transfer_time(1 << 20);
+        let e1 = s.transfer(0, 8, 1 << 20);
+        let e2 = s.transfer(9, 1, 1 << 20);
+        assert!((e1 - one).abs() < 1e-12);
+        assert!((e2 - one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_and_barrier_advance_clocks() {
+        let mut s = sim();
+        s.compute(3, 0.5);
+        assert_eq!(s.time_of(3), 0.5);
+        assert_eq!(s.time_of(0), 0.0);
+        s.barrier();
+        assert_eq!(s.time_of(0), 0.5);
+        assert_eq!(s.makespan(), 0.5);
+        s.reset();
+        assert_eq!(s.makespan(), 0.0);
+    }
+
+    #[test]
+    fn sender_clock_gates_transfer_start() {
+        let mut s = sim();
+        s.compute(0, 1.0);
+        let end = s.transfer(0, 1, 1000);
+        assert!(end > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "src == dst")]
+    fn self_transfer_panics() {
+        sim().transfer(2, 2, 10);
+    }
+
+    #[test]
+    fn trace_records_transfers_when_enabled() {
+        let mut s = sim();
+        assert!(s.trace().is_empty());
+        s.enable_trace();
+        s.transfer(0, 1, 1000);
+        s.transfer(0, 8, 2000);
+        let t = s.trace();
+        assert_eq!(t.len(), 2);
+        assert!(!t[0].inter_node);
+        assert!(t[1].inter_node);
+        assert_eq!(t[1].bytes, 2000);
+        assert!(t[0].start >= 0.0 && t[0].end > t[0].start);
+        // Latency is included in end but not in port occupancy.
+        let spec = *s.spec();
+        assert!((t[1].end - t[1].start - spec.inter.transfer_time(2000)).abs() < 1e-12);
+        s.reset();
+        assert!(s.trace().is_empty());
+    }
+}

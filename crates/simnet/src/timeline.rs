@@ -1,0 +1,89 @@
+//! ASCII timeline rendering of recorded transfers — a quick visual check
+//! of what a collective's schedule actually does on the fabric (who is
+//! busy when, where the serialization is).
+
+use crate::netsim::TransferEvent;
+
+/// Renders one row per node NIC (tx side) plus one aggregate intra-node
+/// row, over `width` character columns spanning `[0, makespan]`. Each cell
+/// shows how many transfers overlapped that slice (` `, `1`-`9`, then `#`).
+pub fn render_timeline(
+    trace: &[TransferEvent],
+    nodes: usize,
+    gpus_per_node: usize,
+    width: usize,
+) -> String {
+    assert!(width > 0, "render_timeline: width must be positive");
+    let makespan = trace.iter().map(|e| e.end).fold(0.0f64, f64::max);
+    if makespan <= 0.0 || trace.is_empty() {
+        return "(no transfers)\n".to_string();
+    }
+    let col_of = |t: f64| ((t / makespan) * width as f64).min(width as f64 - 1.0) as usize;
+
+    let mut rows: Vec<Vec<u32>> = vec![vec![0; width]; nodes + 1];
+    for e in trace {
+        let (a, b) = (col_of(e.start), col_of(e.end));
+        if e.inter_node {
+            // Charge the sender's node NIC row.
+            let node = (e.src / gpus_per_node.max(1)).min(nodes - 1);
+            for c in a..=b {
+                rows[node][c] += 1;
+            }
+        } else {
+            for c in a..=b {
+                rows[nodes][c] += 1;
+            }
+        }
+    }
+
+    let glyph = |n: u32| match n {
+        0 => ' ',
+        1..=9 => char::from_digit(n, 10).unwrap(),
+        _ => '#',
+    };
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i < nodes {
+            format!("nic{i:<3}")
+        } else {
+            "intra ".to_string()
+        };
+        out.push_str(&label);
+        out.push('|');
+        for &n in row {
+            out.push(glyph(n));
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("       0 {:>width$.3} s\n", makespan, width = width - 2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clouds;
+    use crate::collectives::sim_torus_all_reduce;
+    use crate::NetSim;
+
+    #[test]
+    fn renders_rows_and_span() {
+        let spec = clouds::tencent(2);
+        let mut sim = NetSim::new(spec);
+        sim.enable_trace();
+        sim_torus_all_reduce(&mut sim, &spec, 4 << 20);
+        let s = render_timeline(sim.trace(), 2, 8, 60);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // 2 nics + intra + axis
+        assert!(lines[0].starts_with("nic0"));
+        assert!(lines[2].starts_with("intra"));
+        // Something happened on both planes.
+        assert!(lines[0].chars().any(|c| c != ' ' && c != '|'));
+        assert!(lines[2].contains(|c: char| c.is_ascii_digit() || c == '#'));
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        assert_eq!(render_timeline(&[], 4, 8, 40), "(no transfers)\n");
+    }
+}

@@ -1,0 +1,111 @@
+use serde::{Deserialize, Serialize};
+
+/// α–β parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Per-message latency in seconds (the `α` of the α–β model).
+    pub alpha: f64,
+    /// Transfer time per byte in seconds (the `β` of the α–β model;
+    /// `1 / bandwidth`).
+    pub beta: f64,
+}
+
+impl LinkSpec {
+    /// Builds a link from latency (seconds) and bandwidth (bytes/second).
+    ///
+    /// # Panics
+    /// Panics if the bandwidth is not positive.
+    pub fn from_bandwidth(alpha: f64, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "LinkSpec: bandwidth must be positive");
+        Self {
+            alpha,
+            beta: 1.0 / bytes_per_sec,
+        }
+    }
+
+    /// Time to move `bytes` over an idle link.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.alpha + bytes as f64 * self.beta
+    }
+}
+
+/// A two-level cluster: `nodes` machines, `gpus_per_node` GPUs each, fast
+/// intra-node links and a single shared inter-node NIC per machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of machines (`m` in the paper).
+    pub nodes: usize,
+    /// GPUs per machine (`n` in the paper).
+    pub gpus_per_node: usize,
+    /// GPU↔GPU link within a node (NVLink class).
+    pub intra: LinkSpec,
+    /// Node↔node link (Ethernet class); one NIC per node, shared by all of
+    /// its GPUs.
+    pub inter: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// Total number of GPUs (`P = m · n`).
+    pub fn world(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Node index of a global GPU id.
+    pub fn node_of(&self, gpu: usize) -> usize {
+        gpu / self.gpus_per_node
+    }
+
+    /// Local GPU index within its node.
+    pub fn local_of(&self, gpu: usize) -> usize {
+        gpu % self.gpus_per_node
+    }
+
+    /// Global GPU ids of node `i`.
+    pub fn node_members(&self, i: usize) -> Vec<usize> {
+        let n = self.gpus_per_node;
+        (0..n).map(|j| i * n + j).collect()
+    }
+
+    /// Global GPU ids of local index `j` across all nodes (communication
+    /// stream `j`).
+    pub fn stream_members(&self, j: usize) -> Vec<usize> {
+        let n = self.gpus_per_node;
+        (0..self.nodes).map(|i| i * n + j).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_from_bandwidth() {
+        // 25 Gbps = 3.125 GB/s.
+        let l = LinkSpec::from_bandwidth(20e-6, 25e9 / 8.0);
+        assert!((l.beta - 3.2e-10).abs() < 1e-12);
+        // 1 MiB transfer: 20us + 1MiB * 0.32ns/B ≈ 355us.
+        let t = l.transfer_time(1 << 20);
+        assert!((t - (20e-6 + 1048576.0 * 3.2e-10)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addressing_helpers() {
+        let spec = ClusterSpec {
+            nodes: 4,
+            gpus_per_node: 8,
+            intra: LinkSpec::from_bandwidth(3e-6, 130e9),
+            inter: LinkSpec::from_bandwidth(20e-6, 25e9 / 8.0),
+        };
+        assert_eq!(spec.world(), 32);
+        assert_eq!(spec.node_of(17), 2);
+        assert_eq!(spec.local_of(17), 1);
+        assert_eq!(spec.node_members(1), vec![8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(spec.stream_members(3), vec![3, 11, 19, 27]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        LinkSpec::from_bandwidth(0.0, 0.0);
+    }
+}

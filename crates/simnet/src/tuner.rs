@@ -1,0 +1,103 @@
+//! Collective algorithm auto-tuning.
+//!
+//! NCCL picks its AllReduce algorithm per message size (tree for small,
+//! latency-bound messages; ring for large, bandwidth-bound ones). The
+//! simulator makes the same choice transparent: [`choose_dense`] evaluates
+//! every dense scheme on the target cluster and message size and returns
+//! the winner, and [`crossover_bytes`] locates the size where the choice
+//! flips — useful both as an engine policy and as an explanation of the
+//! regimes in Fig. 7.
+
+use crate::collectives::{sim_torus_all_reduce, sim_tree_all_reduce_hier};
+use crate::netsim::NetSim;
+use crate::topology::ClusterSpec;
+
+/// A dense AllReduce algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseAlgo {
+    /// Hierarchical double-binary-tree AllReduce (latency-friendly).
+    Tree,
+    /// 2D-Torus AllReduce (bandwidth-friendly on two-level fabrics).
+    Torus,
+}
+
+/// Simulated time of one dense algorithm at one size.
+pub fn dense_time(spec: &ClusterSpec, algo: DenseAlgo, bytes: usize) -> f64 {
+    let mut sim = NetSim::new(*spec);
+    match algo {
+        DenseAlgo::Tree => sim_tree_all_reduce_hier(&mut sim, spec, bytes).total,
+        DenseAlgo::Torus => sim_torus_all_reduce(&mut sim, spec, bytes).total,
+    }
+}
+
+/// Picks the faster dense algorithm for this cluster and message size.
+pub fn choose_dense(spec: &ClusterSpec, bytes: usize) -> DenseAlgo {
+    if dense_time(spec, DenseAlgo::Tree, bytes) <= dense_time(spec, DenseAlgo::Torus, bytes) {
+        DenseAlgo::Tree
+    } else {
+        DenseAlgo::Torus
+    }
+}
+
+/// Binary-searches the tree→torus crossover size in `[lo, hi]` bytes.
+/// Returns `None` if one algorithm dominates the whole range.
+pub fn crossover_bytes(spec: &ClusterSpec, lo: usize, hi: usize) -> Option<usize> {
+    let at = |b: usize| choose_dense(spec, b);
+    let (a_lo, a_hi) = (at(lo), at(hi));
+    if a_lo == a_hi {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > (lo / 16).max(1024) {
+        let mid = lo + (hi - lo) / 2;
+        if at(mid) == a_lo {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clouds;
+
+    #[test]
+    fn tree_wins_small_torus_wins_large() {
+        let spec = clouds::tencent(16);
+        assert_eq!(choose_dense(&spec, 64 << 10), DenseAlgo::Tree);
+        assert_eq!(choose_dense(&spec, 64 << 20), DenseAlgo::Torus);
+    }
+
+    #[test]
+    fn crossover_exists_and_is_consistent() {
+        let spec = clouds::tencent(16);
+        let x = crossover_bytes(&spec, 64 << 10, 64 << 20).expect("crossover must exist");
+        // The winner on each side of the crossover matches.
+        assert_eq!(choose_dense(&spec, x / 2), DenseAlgo::Tree);
+        assert_eq!(choose_dense(&spec, x * 2), DenseAlgo::Torus);
+        // On 25GbE the flip sits in the hundreds-of-KB to few-MB band.
+        assert!(x > 100 << 10 && x < 16 << 20, "crossover at {x} bytes");
+    }
+
+    #[test]
+    fn no_crossover_when_one_side_dominates() {
+        let spec = clouds::tencent(16);
+        assert!(crossover_bytes(&spec, 32 << 20, 256 << 20).is_none());
+    }
+
+    #[test]
+    fn faster_fabric_moves_the_crossover_up() {
+        // With faster inter-node links the latency regime extends to
+        // larger messages, pushing the tree→torus flip upward.
+        let slow = clouds::tencent(16);
+        let fast = clouds::infiniband_100g(16);
+        let xs = crossover_bytes(&slow, 64 << 10, 256 << 20);
+        let xf = crossover_bytes(&fast, 64 << 10, 256 << 20);
+        if let (Some(xs), Some(xf)) = (xs, xf) {
+            assert!(xf >= xs, "fast {xf} < slow {xs}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+use crate::ops;
+use crate::{ShapeError, ShapeResult};
+
+/// A shaped, contiguous `f32` tensor.
+///
+/// `Tensor` is row-major and always owns its storage. It is intentionally
+/// minimal: the distributed-training stack mostly treats gradients and
+/// parameters as flat vectors (for compression and communication), while the
+/// DNN crate uses the shape metadata for layer algebra.
+///
+/// # Examples
+/// ```
+/// use cloudtrain_tensor::Tensor;
+///
+/// let mut g = Tensor::zeros(vec![2, 3]);
+/// g.as_mut_slice()[0] = 1.0;
+/// assert_eq!(g.len(), 6);
+/// assert_eq!(g.shape(), &[2, 3]);
+/// assert_eq!(g.l2_norm(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self {
+            data: vec![0.0; len],
+            shape,
+        }
+    }
+
+    /// Creates a 1-D tensor of zeros with `len` elements.
+    pub fn zeros_1d(len: usize) -> Self {
+        Self::zeros(vec![len])
+    }
+
+    /// Creates a tensor filled with `v`.
+    pub fn full(shape: Vec<usize>, v: f32) -> Self {
+        let len = shape.iter().product();
+        Self {
+            data: vec![v; len],
+            shape,
+        }
+    }
+
+    /// Wraps an existing buffer with the given shape.
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] if `data.len()` does not equal the product of
+    /// the shape dimensions.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> ShapeResult<Self> {
+        let expect: usize = shape.iter().product();
+        if data.len() != expect {
+            return Err(ShapeError::new(format!(
+                "from_vec: buffer has {} elements but shape {:?} needs {}",
+                data.len(),
+                shape,
+                expect
+            )));
+        }
+        Ok(Self { data, shape })
+    }
+
+    /// Wraps a buffer as a 1-D tensor.
+    pub fn from_vec_1d(data: Vec<f32>) -> Self {
+        let shape = vec![data.len()];
+        Self { data, shape }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The shape (dimensions) of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Read-only view of the flat storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of the same total size.
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] if the element counts differ.
+    pub fn reshape(&mut self, shape: Vec<usize>) -> ShapeResult<()> {
+        let expect: usize = shape.iter().product();
+        if expect != self.data.len() {
+            return Err(ShapeError::new(format!(
+                "reshape: cannot view {} elements as {:?}",
+                self.data.len(),
+                shape
+            )));
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// `self += other`.
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] on a length mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) -> ShapeResult<()> {
+        if self.len() != other.len() {
+            return Err(ShapeError::len_mismatch("add_assign", self.len(), other.len()));
+        }
+        ops::add_assign(&mut self.data, &other.data);
+        Ok(())
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] on a length mismatch.
+    pub fn sub_assign(&mut self, other: &Tensor) -> ShapeResult<()> {
+        if self.len() != other.len() {
+            return Err(ShapeError::len_mismatch("sub_assign", self.len(), other.len()));
+        }
+        ops::sub_assign(&mut self.data, &other.data);
+        Ok(())
+    }
+
+    /// `self += a * other` (axpy).
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] on a length mismatch.
+    pub fn axpy(&mut self, a: f32, other: &Tensor) -> ShapeResult<()> {
+        if self.len() != other.len() {
+            return Err(ShapeError::len_mismatch("axpy", self.len(), other.len()));
+        }
+        ops::axpy(a, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Multiplies every element by `a`.
+    pub fn scale(&mut self, a: f32) {
+        ops::scale(&mut self.data, a);
+    }
+
+    /// Sets every element to zero.
+    pub fn zero(&mut self) {
+        ops::fill(&mut self.data, 0.0);
+    }
+
+    /// Euclidean norm of the flat storage.
+    pub fn l2_norm(&self) -> f32 {
+        ops::l2_norm(&self.data)
+    }
+
+    /// Mean of absolute values.
+    pub fn mean_abs(&self) -> f32 {
+        ops::mean_abs(&self.data)
+    }
+
+    /// Maximum absolute value.
+    pub fn max_abs(&self) -> f32 {
+        ops::max_abs(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(vec![4, 5]);
+        assert_eq!(t.len(), 20);
+        assert!(!t.is_empty());
+        assert_eq!(t.shape(), &[4, 5]);
+        let t = Tensor::full(vec![3], 2.0);
+        assert_eq!(t.as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(vec![0.0; 6], vec![2, 3]).is_ok());
+        assert!(Tensor::from_vec(vec![0.0; 5], vec![2, 3]).is_err());
+    }
+
+    #[test]
+    fn reshape_validates() {
+        let mut t = Tensor::zeros_1d(6);
+        assert!(t.reshape(vec![3, 2]).is_ok());
+        assert_eq!(t.shape(), &[3, 2]);
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut a = Tensor::from_vec_1d(vec![1.0, 2.0]);
+        let b = Tensor::from_vec_1d(vec![3.0, 4.0]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[4.0, 6.0]);
+        a.sub_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[7.0, 10.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[3.5, 5.0]);
+        a.zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn arithmetic_shape_errors() {
+        let mut a = Tensor::zeros_1d(2);
+        let b = Tensor::zeros_1d(3);
+        assert!(a.add_assign(&b).is_err());
+        assert!(a.sub_assign(&b).is_err());
+        assert!(a.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec_1d(vec![-3.0, 4.0]);
+        assert_eq!(t.l2_norm(), 5.0);
+        assert_eq!(t.mean_abs(), 3.5);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+}

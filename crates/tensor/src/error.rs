@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Error raised when two tensors (or a tensor and a requested view) have
+/// incompatible shapes or lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    msg: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with the given description.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Convenience constructor for a length mismatch between two operands.
+    pub fn len_mismatch(op: &str, lhs: usize, rhs: usize) -> Self {
+        Self::new(format!("{op}: length mismatch ({lhs} vs {rhs})"))
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Result alias for fallible shape-checked operations.
+pub type ShapeResult<T> = Result<T, ShapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ShapeError::len_mismatch("add", 3, 4);
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Software IEEE 754 binary16 ("half precision", `f16`).
+//!
+//! The paper's communication experiments (Fig. 7) transmit FP16 elements, and
+//! mixed-precision training keeps an FP16 copy of activations/gradients. This
+//! module provides a bit-accurate conversion between `f32` and the 16-bit
+//! encoding, sufficient for (a) wire-volume accounting and (b) modelling the
+//! precision loss of an FP16 round-trip.
+//!
+//! Conversion uses round-to-nearest-even, handles subnormals, infinities and
+//! NaN, and matches hardware `_cvtss_sh`/`_cvtsh_ss` semantics on the values
+//! used in this workspace.
+
+/// A 16-bit IEEE 754 binary16 value stored as its bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Largest finite value (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Converts an `f32` to `f16` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        F16(f32_to_f16_bits(x))
+    }
+
+    /// Converts back to `f32` (exact; every `f16` is representable in `f32`).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Whether the value encodes NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN. Preserve a quiet-NaN payload bit so NaN stays NaN.
+        return if mant == 0 { sign | 0x7C00 } else { sign | 0x7E00 };
+    }
+
+    // Unbiased exponent, rebiased for f16 (bias 15 vs 127).
+    let e = exp - 127 + 15;
+    if e >= 0x1F {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if e <= 0 {
+        // Subnormal in f16 (or underflow to zero).
+        if e < -10 {
+            return sign; // underflows to signed zero
+        }
+        // Add the implicit leading 1, then shift right with rounding.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let halfway = 1u32 << (shift - 1);
+        let mut half = m >> shift;
+        let rem = m & ((1 << shift) - 1);
+        if rem > halfway || (rem == halfway && (half & 1) == 1) {
+            half += 1;
+        }
+        return sign | half as u16;
+    }
+
+    // Normalised: round the 23-bit mantissa to 10 bits (round-to-nearest-even).
+    let mut half = ((e as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1FFF;
+    if rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1) {
+        half += 1; // may carry into the exponent; that is the correct result
+    }
+    sign | half as u16
+}
+
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalise the mantissa.
+            let mut e = -1i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e += 1;
+            }
+            let m = (m & 0x03FF) << 13;
+            let e = (127 - 15 - e) as u32;
+            sign | (e << 23) | m
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13) // Inf / NaN
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Converts a slice of `f32` to its `f16` encodings.
+pub fn encode_f16(x: &[f32]) -> Vec<F16> {
+    x.iter().map(|&v| F16::from_f32(v)).collect()
+}
+
+/// Converts a slice of `f16` back to `f32`.
+pub fn decode_f16(x: &[F16]) -> Vec<f32> {
+    x.iter().map(|v| v.to_f32()).collect()
+}
+
+/// Applies an FP16 round-trip in place, modelling the precision loss of an
+/// FP16 wire format.
+pub fn roundtrip_f16(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = F16::from_f32(*v).to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -3.25, 1024.0, 65504.0] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6).to_f32(), f32::NEG_INFINITY);
+        // Largest f16 is 65504; 65520 rounds up to infinity.
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        // Smallest positive subnormal f16 is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        // Below half the smallest subnormal rounds to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)).to_f32(), 0.0);
+        // A subnormal like 2^-20 must roundtrip exactly.
+        let sub = 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(sub).to_f32(), sub);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        let h = F16::from_f32(f32::NAN);
+        assert!(h.is_nan());
+        assert!(h.to_f32().is_nan());
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 (1 + 2^-10);
+        // round-to-nearest-even picks 1.0 (even mantissa).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn slice_roundtrip_error_is_bounded() {
+        let xs: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 0.0371).collect();
+        let enc = encode_f16(&xs);
+        let dec = decode_f16(&enc);
+        for (a, b) in xs.iter().zip(&dec) {
+            // Relative error of f16 is at most 2^-11 for normalised values.
+            assert!((a - b).abs() <= a.abs() * 2.0f32.powi(-10) + 1e-6);
+        }
+        let mut ys = xs.clone();
+        roundtrip_f16(&mut ys);
+        assert_eq!(ys, dec);
+    }
+}

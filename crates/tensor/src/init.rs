@@ -1,0 +1,155 @@
+//! Seeded random initialisation.
+//!
+//! All stochastic choices in the workspace flow through explicitly seeded
+//! [`StdRng`] instances so every experiment is reproducible. Normal samples
+//! are produced with the Box–Muller transform to avoid a dependency on
+//! `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Tensor;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fills `x` with samples from `U(lo, hi)`.
+pub fn fill_uniform(x: &mut [f32], lo: f32, hi: f32, rng: &mut StdRng) {
+    for v in x.iter_mut() {
+        *v = rng.random_range(lo..hi);
+    }
+}
+
+/// Fills `x` with samples from `N(mean, std^2)` using Box–Muller.
+pub fn fill_normal(x: &mut [f32], mean: f32, std: f32, rng: &mut StdRng) {
+    let mut i = 0;
+    while i < x.len() {
+        let (z0, z1) = box_muller(rng);
+        x[i] = mean + std * z0;
+        if i + 1 < x.len() {
+            x[i + 1] = mean + std * z1;
+        }
+        i += 2;
+    }
+}
+
+/// One Box–Muller draw: two independent standard-normal samples.
+fn box_muller(rng: &mut StdRng) -> (f32, f32) {
+    // Draw u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// A 1-D tensor of uniform samples.
+pub fn uniform_tensor(len: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    let mut t = Tensor::zeros_1d(len);
+    fill_uniform(t.as_mut_slice(), lo, hi, rng);
+    t
+}
+
+/// A 1-D tensor of normal samples.
+pub fn normal_tensor(len: usize, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+    let mut t = Tensor::zeros_1d(len);
+    fill_normal(t.as_mut_slice(), mean, std, rng);
+    t
+}
+
+/// Xavier/Glorot uniform initialisation for a layer with the given fan-in and
+/// fan-out: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn fill_xavier(x: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    fill_uniform(x, -a, a, rng);
+}
+
+/// He/Kaiming normal initialisation: `N(0, 2 / fan_in)`.
+pub fn fill_he(x: &mut [f32], fan_in: usize, rng: &mut StdRng) {
+    let std = (2.0 / fan_in as f32).sqrt();
+    fill_normal(x, 0.0, std, rng);
+}
+
+/// A synthetic "gradient-like" tensor: heavy-tailed values produced as the
+/// product of a normal sample and an exponentially distributed magnitude.
+///
+/// Real gradients are far from uniform — a few coordinates dominate — and
+/// top-k behaviour (how fast the threshold search converges, how skewed the
+/// selected mass is) depends on that skew. Benchmarks use this generator so
+/// the compression operators are exercised on realistic inputs.
+pub fn gradient_like_tensor(len: usize, rng: &mut StdRng) -> Tensor {
+    let mut t = Tensor::zeros_1d(len);
+    for v in t.as_mut_slice().iter_mut() {
+        let (z, _) = box_muller(rng);
+        let u: f32 = 1.0 - rng.random::<f32>();
+        // Exponential magnitude with rate 1 -> heavy right tail.
+        *v = z * (-u.ln());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_runs_are_identical() {
+        let mut r1 = rng_from_seed(42);
+        let mut r2 = rng_from_seed(42);
+        let a = uniform_tensor(100, -1.0, 1.0, &mut r1);
+        let b = uniform_tensor(100, -1.0, 1.0, &mut r2);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rng_from_seed(7);
+        let t = uniform_tensor(10_000, -0.5, 0.25, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.25).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rng_from_seed(11);
+        let t = normal_tensor(100_000, 3.0, 2.0, &mut rng);
+        let n = t.len() as f32;
+        let mean = t.as_slice().iter().sum::<f32>() / n;
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        let mut rng = rng_from_seed(3);
+        let mut x = vec![0.0; 10_000];
+        fill_xavier(&mut x, 100, 200, &mut rng);
+        let a = (6.0f32 / 300.0).sqrt();
+        assert!(x.iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn he_std_matches_formula() {
+        let mut rng = rng_from_seed(5);
+        let mut x = vec![0.0; 100_000];
+        fill_he(&mut x, 50, &mut rng);
+        let n = x.len() as f32;
+        let var = x.iter().map(|v| v * v).sum::<f32>() / n;
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn gradient_like_is_heavy_tailed() {
+        let mut rng = rng_from_seed(9);
+        let t = gradient_like_tensor(100_000, &mut rng);
+        // Kurtosis of a heavy-tailed distribution exceeds the Gaussian's 3.
+        let n = t.len() as f32;
+        let mean = t.as_slice().iter().sum::<f32>() / n;
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let kurt =
+            t.as_slice().iter().map(|v| (v - mean).powi(4)).sum::<f32>() / (n * var * var);
+        assert!(kurt > 4.0, "kurtosis {kurt} not heavy-tailed");
+    }
+}

@@ -1,0 +1,247 @@
+//! Flat slice kernels shared by the compression operators, collectives, and
+//! optimizers.
+//!
+//! These are deliberately written as simple sequential loops over contiguous
+//! slices: the compiler auto-vectorises all of them, and the branch-free
+//! counting kernels ([`count_ge`], [`mean_abs`], [`max_abs`]) are the CPU
+//! analogue of the coalesced streaming passes that make MSTopK GPU-friendly
+//! in the paper (§3.1).
+
+/// `y[i] += x[i]` for all `i`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_assign: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// `y[i] -= x[i]` for all `i`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "sub_assign: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi -= xi;
+    }
+}
+
+/// `y[i] = a * x[i] + y[i]` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x[i] *= a` for all `i`.
+pub fn scale(x: &mut [f32], a: f32) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Fills `x` with `v`.
+pub fn fill(x: &mut [f32], v: f32) {
+    for xi in x.iter_mut() {
+        *xi = v;
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn l2_norm(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Sum of all elements.
+pub fn sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean of the absolute values (the `mean(abs(x))` pass of
+/// MSTopK, Algorithm 1 line 2). Returns 0 for an empty slice.
+pub fn mean_abs(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().map(|v| v.abs()).sum::<f32>() / x.len() as f32
+}
+
+/// Maximum absolute value (Algorithm 1 line 3). Returns 0 for an empty slice.
+pub fn max_abs(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// Counts elements whose absolute value is `>= thres` (Algorithm 1 line 10's
+/// `count_nonzero(a >= thres)` with `a = abs(x)`).
+///
+/// Branch-free single streaming pass — this is the kernel MSTopK repeats `N`
+/// times instead of performing a data-dependent selection.
+pub fn count_ge(x: &[f32], thres: f32) -> usize {
+    x.iter().map(|v| usize::from(v.abs() >= thres)).sum()
+}
+
+/// Collects the indices of elements with `|x[i]| >= thres`, preserving order.
+pub fn indices_ge(x: &[f32], thres: f32) -> Vec<u32> {
+    x.iter()
+        .enumerate()
+        .filter(|(_, v)| v.abs() >= thres)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Collects the indices of elements with `lo <= |x[i]| < hi`, preserving
+/// order (Algorithm 1 line 26: the between-thresholds bracket).
+pub fn indices_in_band(x: &[f32], lo: f32, hi: f32) -> Vec<u32> {
+    x.iter()
+        .enumerate()
+        .filter(|(_, v)| {
+            let a = v.abs();
+            a >= lo && a < hi
+        })
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Gathers `x[idx[i]]` into a new vector.
+///
+/// # Panics
+/// Panics if any index is out of bounds.
+pub fn gather(x: &[f32], idx: &[u32]) -> Vec<f32> {
+    idx.iter().map(|&i| x[i as usize]).collect()
+}
+
+/// Scatter-add: `y[idx[i]] += vals[i]`.
+///
+/// Used to accumulate sparse gradient contributions after an AllGather of
+/// (values, indices) pairs (Algorithm 2 line 18).
+///
+/// # Panics
+/// Panics if `idx` and `vals` have different lengths or an index is out of
+/// bounds.
+pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
+    assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+    for (&i, &v) in idx.iter().zip(vals) {
+        y[i as usize] += v;
+    }
+}
+
+/// Zeros the elements of `x` at the given indices (used by error-feedback to
+/// clear the transmitted coordinates from the residual).
+pub fn zero_at(x: &mut [f32], idx: &[u32]) {
+    for &i in idx {
+        x[i as usize] = 0.0;
+    }
+}
+
+/// Returns `max(|a[i] - b[i]|)`, the L∞ distance; 0 for empty slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn linf_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "linf_distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Checks approximate element-wise equality with the given absolute
+/// tolerance.
+pub fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && linf_distance(a, b) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_manual() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = [1.5, -2.5, 0.0, 4.0];
+        let mut y = [1.0, 1.0, 1.0, 1.0];
+        add_assign(&mut y, &x);
+        sub_assign(&mut y, &x);
+        assert_eq!(y, [1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = [3.0, 4.0];
+        assert_eq!(l2_norm(&a), 5.0);
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(sum(&a), 7.0);
+    }
+
+    #[test]
+    fn abs_stats() {
+        let x = [-4.0, 1.0, -2.0, 3.0];
+        assert_eq!(mean_abs(&x), 2.5);
+        assert_eq!(max_abs(&x), 4.0);
+        assert_eq!(mean_abs(&[]), 0.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn counting_and_band_selection() {
+        let x = [-4.0, 1.0, -2.0, 3.0];
+        assert_eq!(count_ge(&x, 2.0), 3);
+        assert_eq!(indices_ge(&x, 3.0), vec![0, 3]);
+        assert_eq!(indices_in_band(&x, 1.0, 3.0), vec![1, 2]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let x = [10.0, 20.0, 30.0, 40.0];
+        let idx = [3u32, 1];
+        let vals = gather(&x, &idx);
+        assert_eq!(vals, vec![40.0, 20.0]);
+        let mut y = [0.0; 4];
+        scatter_add(&mut y, &idx, &vals);
+        assert_eq!(y, [0.0, 20.0, 0.0, 40.0]);
+        let mut z = x;
+        zero_at(&mut z, &idx);
+        assert_eq!(z, [10.0, 0.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn distance_helpers() {
+        let a = [1.0, 2.0];
+        let b = [1.0, 2.5];
+        assert_eq!(linf_distance(&a, &b), 0.5);
+        assert!(approx_eq(&a, &b, 0.5));
+        assert!(!approx_eq(&a, &b, 0.4));
+        assert!(!approx_eq(&a, &[1.0], 1.0));
+    }
+
+    #[test]
+    fn scale_and_fill() {
+        let mut x = [1.0, -2.0];
+        scale(&mut x, -2.0);
+        assert_eq!(x, [-2.0, 4.0]);
+        fill(&mut x, 7.0);
+        assert_eq!(x, [7.0, 7.0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The DAWNBench case study (§5.6): evaluate the 28-epoch multi-resolution
+//! schedule on several clouds and print the leaderboard comparison
+//! (Tables 4 and 5).
+//!
+//! ```text
+//! cargo run --release --example imagenet_dawnbench
+//! ```
+
+use cloudtrain::engine::dawnbench::{
+    dense_only_schedule, evaluate_schedule, paper_schedule, published_leaderboard,
+};
+use cloudtrain::prelude::*;
+
+fn main() {
+    let tencent = clouds::tencent(16);
+
+    println!("DAWNBench 28-epoch schedule on Tencent Cloud (16 x 8 V100, 25GbE)\n");
+    println!(
+        "{:<22} {:>7} {:>12} {:>14} {:>8} {:>10}",
+        "stage", "epochs", "single-GPU", "128-GPU", "SE", "seconds"
+    );
+    let result = evaluate_schedule(tencent, &paper_schedule());
+    for s in &result.stages {
+        println!(
+            "{:<22} {:>7} {:>12.0} {:>14.0} {:>7.0}% {:>10.1}",
+            s.name,
+            s.epochs,
+            s.single_gpu,
+            s.system_throughput,
+            s.scaling_efficiency * 100.0,
+            s.seconds
+        );
+    }
+    println!("{:-<78}", "");
+    println!("total time to 93% top-5: {:.0} s\n", result.total_seconds);
+
+    // Ablation: what the warmup costs without MSTopK.
+    let dense = evaluate_schedule(tencent, &dense_only_schedule());
+    println!(
+        "ablation: dense-only schedule takes {:.0} s (+{:.0}% vs MSTopK warmup)\n",
+        dense.total_seconds,
+        (dense.total_seconds / result.total_seconds - 1.0) * 100.0
+    );
+
+    // Cross-cloud comparison.
+    println!("same schedule on other fabrics:");
+    for (name, cluster) in [
+        ("Tencent 25GbE", tencent),
+        ("Aliyun 32GbE", clouds::aliyun(16)),
+        ("100Gb InfiniBand", clouds::infiniband_100g(16)),
+    ] {
+        let r = evaluate_schedule(cluster, &paper_schedule());
+        println!("  {:<18} {:>6.0} s", name, r.total_seconds);
+    }
+
+    println!("\nDAWNBench leaderboard (time to 93% top-5, 128 V100s):");
+    println!("{:<10} {:>10} {:>14} {:>8}", "team", "date", "interconnect", "time");
+    for e in published_leaderboard() {
+        println!(
+            "{:<10} {:>10} {:>14} {:>7.0}s",
+            e.team, e.date, e.interconnect, e.seconds
+        );
+    }
+    println!(
+        "{:<10} {:>10} {:>14} {:>7.0}s  <- this reproduction (modelled)",
+        "Ours", "Aug 2020", "25GbE", result.total_seconds
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: train one model with all four aggregation strategies and
+//! compare their convergence, then project cluster-scale throughput.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudtrain::prelude::*;
+
+fn main() {
+    println!("cloudtrain quickstart: 2 nodes x 4 workers, synthetic image task\n");
+
+    let strategies = [
+        Strategy::DenseTreeAr,
+        Strategy::DenseTorus,
+        Strategy::TopKNaiveAg { rho: 0.05 },
+        Strategy::MsTopKHiTopK {
+            rho: 0.05,
+            samplings: 30,
+        },
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}  epochs(loss -> val acc)",
+        "strategy", "loss", "top1", "top5"
+    );
+    for strategy in strategies {
+        let cfg = DistConfig {
+            epochs: 4,
+            iters_per_epoch: 12,
+            ..DistConfig::small(strategy, Workload::Mlp)
+        };
+        let report = DistTrainer::new(cfg).run();
+        let last = report.epochs.last().expect("at least one epoch");
+        let curve: Vec<String> = report
+            .epochs
+            .iter()
+            .map(|e| format!("{:.2}->{:.0}%", e.train_loss, e.val_top1 * 100.0))
+            .collect();
+        println!(
+            "{:<12} {:>10.3} {:>9.1}% {:>9.1}%  {}",
+            report.strategy,
+            last.train_loss,
+            last.val_top1 * 100.0,
+            last.val_top5 * 100.0,
+            curve.join(" ")
+        );
+    }
+
+    println!("\nProjected 128-GPU throughput on the paper's Tencent Cloud testbed");
+    println!("(ResNet-50 @ 96x96, paper densities: rho = 0.01):");
+    println!("{:<12} {:>16} {:>10}", "strategy", "samples/s", "scaling");
+    for strategy in [
+        Strategy::DenseTreeAr,
+        Strategy::DenseTorus,
+        Strategy::topk_default(),
+        Strategy::mstopk_default(),
+    ] {
+        let model = IterationModel::new(
+            clouds::tencent(16),
+            SystemConfig {
+                strategy,
+                datacache: true,
+                pto: true,
+            },
+            ModelProfile::resnet50_96(),
+        );
+        println!(
+            "{:<12} {:>16.0} {:>9.1}%",
+            strategy.label(),
+            model.throughput(),
+            model.scaling_efficiency() * 100.0
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The DAWNBench mechanic on the convergence plane: train the warmup
+//! epochs with MSTopK-SGD, checkpoint, then resume with dense 2DTAR-SGD —
+//! exactly how the paper's record run switches aggregation at epoch 13
+//! ("we cannot fully use MSTopK-SGD in the whole of 28 epochs because it
+//! would cause accuracy loss").
+//!
+//! ```text
+//! cargo run --release --example strategy_switching
+//! ```
+
+use cloudtrain::engine::checkpoint::Checkpoint;
+use cloudtrain::prelude::*;
+
+fn main() {
+    let ckpt_path = std::env::temp_dir().join(format!(
+        "cloudtrain-switch-{}.ckpt",
+        std::process::id()
+    ));
+
+    // Phase 1: sparse warmup (high throughput, slower convergence).
+    println!("phase 1: MSTopK-SGD warmup (3 epochs)");
+    let warmup_cfg = DistConfig {
+        epochs: 3,
+        iters_per_epoch: 12,
+        ..DistConfig::small(
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 30,
+            },
+            Workload::Mlp,
+        )
+    };
+    let warmup = DistTrainer::new(warmup_cfg.clone()).run();
+    for e in &warmup.epochs {
+        println!(
+            "  epoch {}: loss {:.3}, val {:.1}%, residual |e| {:.2}",
+            e.epoch,
+            e.train_loss,
+            e.val_top1 * 100.0,
+            e.residual_norm
+        );
+    }
+
+    // Checkpoint the run state (in a real deployment the trainer persists
+    // params + velocity; here we demonstrate the artifact itself).
+    let ckpt = Checkpoint {
+        step: (warmup_cfg.epochs * warmup_cfg.iters_per_epoch) as u64,
+        params: vec![0.25; 1000],
+        velocity: vec![0.0; 1000],
+    };
+    ckpt.save(&ckpt_path).expect("checkpoint save");
+    let restored = Checkpoint::load(&ckpt_path).expect("checkpoint load");
+    assert_eq!(ckpt, restored);
+    println!(
+        "\ncheckpoint written + verified ({} bytes) at step {}\n",
+        std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0),
+        restored.step
+    );
+
+    // The real mechanism: one run whose *same replicas* train through both
+    // phases, with the error-feedback residual dropped at the switch.
+    println!("combined run: 3 epochs MSTopK-SGD -> 2 epochs 2DTAR-SGD");
+    let combined = DistTrainer::new(warmup_cfg.clone()).run_phases(&[
+        (
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 30,
+            },
+            3,
+        ),
+        (Strategy::DenseTorus, 2),
+    ]);
+    for e in &combined.epochs {
+        println!(
+            "  epoch {}: loss {:.3}, val {:.1}%, residual |e| {:.2}",
+            e.epoch,
+            e.train_loss,
+            e.val_top1 * 100.0,
+            e.residual_norm
+        );
+    }
+
+    // Why switch at all? The throughput side of the trade:
+    println!("\nwhy switch (128-GPU model, ResNet-50):");
+    for (profile, label) in [
+        (ModelProfile::resnet50_96(), "96x96 (warmup)"),
+        (ModelProfile::resnet50_224(), "224x224 (late)"),
+    ] {
+        let se = |strategy| {
+            IterationModel::new(
+                clouds::tencent(16),
+                SystemConfig {
+                    strategy,
+                    datacache: true,
+                    pto: true,
+                },
+                profile.clone(),
+            )
+            .scaling_efficiency()
+        };
+        println!(
+            "  {:<16} MSTopK {:>5.1}%  vs  2DTAR {:>5.1}%",
+            label,
+            se(Strategy::mstopk_default()) * 100.0,
+            se(Strategy::DenseTorus) * 100.0
+        );
+    }
+    println!(
+        "\nMSTopK dominates at the low-resolution warmup and the advantage\n\
+         vanishes at full resolution — switch once compute can hide the\n\
+         dense communication."
+    );
+    let _ = std::fs::remove_file(&ckpt_path);
+}

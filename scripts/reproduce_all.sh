@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus all ablations.
+# Output goes to stdout; machine-readable `JSON <experiment> {...}` lines
+# are interleaved (grep '^JSON' to collect them).
+#
+# Usage: scripts/reproduce_all.sh [--fast]
+#   --fast skips the real-training harnesses (fig10, table2, the
+#   convergence ablations), which dominate the runtime.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() {
+    echo
+    echo "================================================================"
+    echo ">>> $1"
+    echo "================================================================"
+    cargo run --release -q -p cloudtrain-bench --bin "$1"
+}
+
+cargo build --release -q -p cloudtrain-bench
+
+# Performance-plane harnesses (seconds each).
+run fig1_breakdown
+run fig6_topk
+run fig7_aggregation
+run fig8_hitopk_breakdown
+run fig9_datacache
+run table3_throughput
+run table4_resolutions
+run table5_dawnbench
+run ablation_mstopk_n
+run ablation_pto
+run ablation_stragglers
+run ablation_tuner
+run ablation_fusion
+
+# Convergence-plane harnesses (minutes: real distributed training).
+if [[ "$FAST" -eq 0 ]]; then
+    run fig10_convergence
+    run table2_validation
+    run ablation_density
+    run ablation_compressors
+    run dawnbench_convergence
+fi
+
+echo
+echo "all harnesses completed"
