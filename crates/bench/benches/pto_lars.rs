@@ -46,8 +46,7 @@ fn bench_lars(c: &mut Criterion) {
                 b.iter(|| {
                     run_on_group(workers, |peer| {
                         black_box(
-                            cloudtrain::pto::lars_rates(peer, &params, &grads, &ranges, &cfg)
-                                .len(),
+                            cloudtrain::pto::lars_rates(peer, &params, &grads, &ranges, &cfg).len(),
                         )
                     })
                 })

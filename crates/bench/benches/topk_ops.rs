@@ -8,7 +8,7 @@ use cloudtrain::compress::dgc::Dgc;
 use cloudtrain::compress::exact::{QuickTopK, SortTopK};
 use cloudtrain::compress::quantize::{Qsgd, Quantizer, ScaledSign, TernGrad};
 use cloudtrain::compress::randomk::RandomK;
-use cloudtrain::compress::{Compressor, MsTopK};
+use cloudtrain::compress::{Compressor, MsTopK, MsTopKNaive};
 use cloudtrain::tensor::init;
 
 fn bench_topk(c: &mut Criterion) {
@@ -45,6 +45,33 @@ fn bench_topk(c: &mut Criterion) {
     group.finish();
 }
 
+/// Histogram-search MSTopK against the N-pass bisection it replaced, at
+/// the paper's gradient scales (1M and 25M parameters). Both run the same
+/// threshold refinement, so the gap is purely the count_ge pass count;
+/// `scripts/bench_snapshot.sh` records the same comparison to
+/// `BENCH_topk.json`.
+fn bench_mstopk_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mstopk_search");
+    // The naive searcher needs ~1 s per 25M-element call; keep samples low.
+    group.sample_size(3);
+    let mut rng = init::rng_from_seed(7);
+    for d in [1 << 20, 25_000_000usize] {
+        let x = init::gradient_like_tensor(d, &mut rng).into_vec();
+        let k = (d / 1000).max(1);
+        group.throughput(Throughput::Elements(d as u64));
+
+        group.bench_with_input(BenchmarkId::new("histogram_n30", d), &x, |b, x| {
+            let mut op = MsTopK::new(30, 3);
+            b.iter(|| black_box(op.compress(x, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_n30", d), &x, |b, x| {
+            let mut op = MsTopKNaive::new(30, 3);
+            b.iter(|| black_box(op.compress(x, k)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_quantizers(c: &mut Criterion) {
     let mut group = c.benchmark_group("quantizers");
     let mut rng = init::rng_from_seed(2);
@@ -71,5 +98,5 @@ fn bench_quantizers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_topk, bench_quantizers);
+criterion_group!(benches, bench_topk, bench_mstopk_search, bench_quantizers);
 criterion_main!(benches);

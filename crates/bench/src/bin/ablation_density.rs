@@ -56,10 +56,7 @@ fn main() {
         let cfg = DistConfig {
             epochs: 4,
             iters_per_epoch: 12,
-            ..DistConfig::small(
-                Strategy::MsTopKHiTopK { rho, samplings: 30 },
-                Workload::Mlp,
-            )
+            ..DistConfig::small(Strategy::MsTopKHiTopK { rho, samplings: 30 }, Workload::Mlp)
         };
         let report = DistTrainer::new(cfg).run();
         let first = report.epochs.first().unwrap().val_top1;

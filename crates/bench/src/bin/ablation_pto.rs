@@ -3,10 +3,10 @@
 //! and sweeps worker count / compute size to locate the crossover where
 //! the AllGather stops paying for itself.
 
-use cloudtrain::pto::cost::PtoCost;
-use cloudtrain::prelude::*;
-use cloudtrain_bench::{emit_json, fmt_secs, header};
 use cloudtrain::engine::perf::PTO_ALL_GATHER_SECONDS;
+use cloudtrain::prelude::*;
+use cloudtrain::pto::cost::PtoCost;
+use cloudtrain_bench::{emit_json, fmt_secs, header};
 use serde::Serialize;
 
 #[derive(Serialize)]

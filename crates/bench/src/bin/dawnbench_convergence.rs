@@ -72,7 +72,10 @@ fn main() {
                 (Strategy::DenseTorus, TOTAL_EPOCHS - WARMUP_EPOCHS),
             ],
         ),
-        ("dense-only (2DTAR)", vec![(Strategy::DenseTorus, TOTAL_EPOCHS)]),
+        (
+            "dense-only (2DTAR)",
+            vec![(Strategy::DenseTorus, TOTAL_EPOCHS)],
+        ),
         ("sparse-only (MSTopK)", vec![(mstopk, TOTAL_EPOCHS)]),
     ];
 

@@ -28,8 +28,10 @@ fn main() {
     let spec = clouds::tencent(16);
     let rates = GpuRates::default();
     let mut rows = Vec::new();
-    for (model, d) in [("ResNet-50 (25M)", 25_000_000usize), ("Transformer (110M)", 110_000_000)]
-    {
+    for (model, d) in [
+        ("ResNet-50 (25M)", 25_000_000usize),
+        ("Transformer (110M)", 110_000_000),
+    ] {
         for rho in [0.001, 0.01, 0.05] {
             let shard = d / 8;
             let k = ((d as f64 * rho / 8.0) as usize).max(1);

@@ -89,9 +89,8 @@ fn main() {
             use_memory: use_cache,
             ..LoaderConfig::default()
         };
-        let disk = use_cache.then(|| {
-            cloudtrain::datacache::disk::DiskCache::open(&cache_dir).expect("cache dir")
-        });
+        let disk = use_cache
+            .then(|| cloudtrain::datacache::disk::DiskCache::open(&cache_dir).expect("cache dir"));
         let mut loader = CachedLoader::new(SyntheticNfs::new(pixels, 9), disk, cfg);
         let mut epochs = Vec::new();
         for _epoch in 0..2 {
@@ -105,7 +104,10 @@ fn main() {
     };
     let naive_epochs = run_real(false);
     let cached_epochs = run_real(true);
-    println!("{:<12} {:>14} {:>14}", "variant", "epoch 1 I/O", "epoch 2 I/O");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "variant", "epoch 1 I/O", "epoch 2 I/O"
+    );
     println!(
         "{:<12} {:>14} {:>14}",
         "Naive",

@@ -40,14 +40,16 @@ impl Args {
         let mut options = HashMap::new();
         while let Some(tok) = it.next() {
             let Some(stripped) = tok.strip_prefix("--") else {
-                return Err(ParseError(format!("unexpected positional argument `{tok}`")));
+                return Err(ParseError(format!(
+                    "unexpected positional argument `{tok}`"
+                )));
             };
             if let Some((k, v)) = stripped.split_once('=') {
                 options.insert(k.to_string(), v.to_string());
             } else {
-                let v = it.next().ok_or_else(|| {
-                    ParseError(format!("flag `--{stripped}` is missing a value"))
-                })?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("flag `--{stripped}` is missing a value")))?;
                 options.insert(stripped.to_string(), v);
             }
         }

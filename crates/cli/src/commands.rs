@@ -91,8 +91,18 @@ fn cluster_of(args: &Args) -> Result<ClusterSpec, ParseError> {
 
 fn cmd_train(args: &Args) -> Result<(), ParseError> {
     args.reject_unknown(&[
-        "workload", "strategy", "nodes", "gpus", "epochs", "iters", "lr", "rho", "samplings",
-        "levels", "seed", "batch",
+        "workload",
+        "strategy",
+        "nodes",
+        "gpus",
+        "epochs",
+        "iters",
+        "lr",
+        "rho",
+        "samplings",
+        "levels",
+        "seed",
+        "batch",
     ])?;
     let workload = match args.get_or("workload", "mlp") {
         "mlp" => Workload::Mlp,
@@ -119,7 +129,10 @@ fn cmd_train(args: &Args) -> Result<(), ParseError> {
         cfg.gpus_per_node
     );
     let report = DistTrainer::new(cfg).run();
-    println!("{:<7} {:>10} {:>8} {:>8} {:>12}", "epoch", "loss", "top1", "top5", "residual");
+    println!(
+        "{:<7} {:>10} {:>8} {:>8} {:>12}",
+        "epoch", "loss", "top1", "top5", "residual"
+    );
     for e in &report.epochs {
         println!(
             "{:<7} {:>10.4} {:>7.1}% {:>7.1}% {:>12.3}",
@@ -135,7 +148,15 @@ fn cmd_train(args: &Args) -> Result<(), ParseError> {
 
 fn cmd_simulate(args: &Args) -> Result<(), ParseError> {
     args.reject_unknown(&[
-        "model", "strategy", "nodes", "cloud", "rho", "samplings", "levels", "datacache", "pto",
+        "model",
+        "strategy",
+        "nodes",
+        "cloud",
+        "rho",
+        "samplings",
+        "levels",
+        "datacache",
+        "pto",
     ])?;
     let system = SystemConfig {
         strategy: strategy_of(args)?,

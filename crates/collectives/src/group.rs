@@ -32,8 +32,7 @@ impl Group {
         assert!(p > 0, "Group::connect: need at least one peer");
         // txs[i][j] sends from i to j; rxs[j][i] receives at j from i.
         let mut txs: Vec<Vec<Option<Sender<Message>>>> = (0..p).map(|_| vec![None; p]).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> =
-            (0..p).map(|_| vec![None; p]).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> = (0..p).map(|_| vec![None; p]).collect();
         for (i, row) in txs.iter_mut().enumerate() {
             for (j, slot) in row.iter_mut().enumerate() {
                 let (tx, rx) = unbounded();

@@ -12,6 +12,7 @@ use cloudtrain_compress::{Compressor, SparseGrad};
 use cloudtrain_tensor::ops;
 
 use crate::group::Peer;
+use crate::scratch::CommScratch;
 
 /// Merges two sparse gradients over the same dense space, summing values
 /// on shared indices. Output indices are sorted.
@@ -95,8 +96,30 @@ pub fn gtopk_all_reduce<C: Compressor + ?Sized>(
     k: usize,
     compressor: &mut C,
 ) -> usize {
+    gtopk_all_reduce_scratch(peer, x, k, compressor, &mut CommScratch::new())
+}
+
+/// [`gtopk_all_reduce`] drawing its per-round wire copies from `scratch`.
+///
+/// Each recursive-doubling round takes two pooled buffers (the outgoing
+/// value/index copies, previously fresh `clone`s) and recycles the
+/// partner's received pair once merged, keeping the pool flow balanced so
+/// repeated invocations stop allocating on the wire path after warmup.
+///
+/// # Panics
+/// Panics unless the group size is a power of two.
+pub fn gtopk_all_reduce_scratch<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    k: usize,
+    compressor: &mut C,
+    scratch: &mut CommScratch,
+) -> usize {
     let p = peer.size();
-    assert!(p.is_power_of_two(), "gtopk_all_reduce: group size must be 2^m");
+    assert!(
+        p.is_power_of_two(),
+        "gtopk_all_reduce: group size must be 2^m"
+    );
     let rank = peer.rank();
     let mut current = compressor.compress(x, k);
     let mut sent = 0;
@@ -106,13 +129,21 @@ pub fn gtopk_all_reduce<C: Compressor + ?Sized>(
         let partner = rank ^ mask;
         // Both directions of the exchange; lower rank sends first to keep
         // the schedule deterministic (channels are pairwise ordered anyway).
-        peer.send_f32(partner, current.values.clone());
-        peer.send_u32(partner, current.indices.clone());
+        peer.send_f32(partner, scratch.copy_f32(&current.values));
+        peer.send_u32(partner, scratch.copy_u32(&current.indices));
         sent += current.wire_bytes();
         let vals = peer.recv_f32(partner);
         let idxs = peer.recv_u32(partner);
         let theirs = SparseGrad::new(vals, idxs, current.dim);
         current = trim_topk(&merge_sparse(&current, &theirs), k);
+        // The partner's pair balances the two takes above; the merge output
+        // is a fresh selection, so recycling `theirs` (and not the old
+        // `current`) keeps the pool at a fixed size.
+        let SparseGrad {
+            values, indices, ..
+        } = theirs;
+        scratch.put_f32(values);
+        scratch.put_u32(indices);
         mask <<= 1;
     }
 
@@ -193,6 +224,46 @@ mod tests {
                 "peak {r}: {} vs {expect}",
                 results[0][r * 10]
             );
+        }
+    }
+
+    #[test]
+    fn scratch_variant_is_bitwise_identical_to_plain() {
+        let (p, d, k) = (4usize, 300usize, 15usize);
+        let plain = run_on_group(p, |peer| {
+            let mut x = vec_for(peer.rank(), d);
+            let mut c = SortTopK;
+            let sent = gtopk_all_reduce(peer, &mut x, k, &mut c);
+            (x, sent)
+        });
+        let scratched = run_on_group(p, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut x = vec_for(peer.rank(), d);
+            let mut c = SortTopK;
+            let sent = gtopk_all_reduce_scratch(peer, &mut x, k, &mut c, &mut scratch);
+            (x, sent)
+        });
+        assert_eq!(plain, scratched);
+    }
+
+    #[test]
+    fn gtopk_reaches_zero_miss_steady_state() {
+        let (p, d, k) = (4usize, 200usize, 10usize);
+        let miss_growth = run_on_group(p, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut c = SortTopK;
+            let mut x = vec_for(peer.rank(), d);
+            gtopk_all_reduce_scratch(peer, &mut x, k, &mut c, &mut scratch);
+            let warm = scratch.misses();
+            for round in 1..4 {
+                let mut y = vec_for(20 * round + peer.rank(), d);
+                gtopk_all_reduce_scratch(peer, &mut y, k, &mut c, &mut scratch);
+            }
+            (warm, scratch.misses())
+        });
+        for (r, (warm, total)) in miss_growth.iter().enumerate() {
+            assert!(*warm > 0, "rank {r}: warmup should allocate");
+            assert_eq!(total, warm, "rank {r}: steady-state gtopk allocated");
         }
     }
 

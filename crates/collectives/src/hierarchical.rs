@@ -22,7 +22,11 @@ use cloudtrain_tensor::ops;
 use cloudtrain_tensor::partition::shard_for;
 
 use crate::group::Peer;
-use crate::ring::{all_gather_f32, all_gather_u32, ring_all_gather, ring_reduce_scatter};
+use crate::ring::{
+    all_gather_f32, all_gather_f32_scratch, all_gather_u32, all_gather_u32_scratch,
+    ring_all_gather_scratch, ring_reduce_scatter_scratch,
+};
+use crate::scratch::CommScratch;
 use crate::torus::{grid_pos, inter_node_members, intra_node_members};
 
 /// Per-invocation statistics of a hierarchical sparse AllReduce.
@@ -80,6 +84,24 @@ pub fn hitopk_all_reduce<C: Compressor + ?Sized>(
     rho: f64,
     compressor: &mut C,
 ) -> HiTopKReport {
+    hitopk_all_reduce_scratch(peer, x, m, n, rho, compressor, &mut CommScratch::new())
+}
+
+/// [`hitopk_all_reduce`] drawing every communication buffer from `scratch`.
+///
+/// All four communication steps run through the pooled collectives, and the
+/// gathered value/index blocks are recycled after the scatter-accumulate,
+/// so each steady-state invocation is allocation-free on the wire path
+/// (the compressor's selection is the only remaining allocation).
+pub fn hitopk_all_reduce_scratch<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    m: usize,
+    n: usize,
+    rho: f64,
+    compressor: &mut C,
+    scratch: &mut CommScratch,
+) -> HiTopKReport {
     assert_eq!(peer.size(), m * n, "hitopk_all_reduce: group is not m*n");
     let d = x.len();
     let pos = grid_pos(peer.rank(), m, n);
@@ -87,7 +109,7 @@ pub fn hitopk_all_reduce<C: Compressor + ?Sized>(
     let inter = inter_node_members(pos.gpu, m, n);
 
     // Step 1: intra-node dense ReduceScatter (fast links).
-    let shard = ring_reduce_scatter(peer, x, &intra);
+    let shard = ring_reduce_scatter_scratch(peer, x, &intra, scratch);
     debug_assert_eq!(shard, shard_for(d, n, pos.gpu));
 
     // Step 2: top-k on the node-local dense sum of my shard.
@@ -95,21 +117,25 @@ pub fn hitopk_all_reduce<C: Compressor + ?Sized>(
     let selection: SparseGrad = compressor.compress(shard.slice(x), k);
 
     // Step 3: inter-node AllGather of values and indices (stream `gpu`),
-    // then index-wise accumulation into a zeroed shard.
-    let value_blocks = all_gather_f32(peer, &selection.values, &inter);
-    let index_blocks = all_gather_u32(peer, &selection.indices, &inter);
+    // then index-wise accumulation into a zeroed shard. The gathered
+    // blocks go back to the pool once consumed, balancing the takes the
+    // gathers made.
+    let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
+    let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
     let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);
-    for (vals, idxs) in value_blocks.iter().zip(&index_blocks) {
-        ops::scatter_add(shard_buf, idxs, vals);
+    for (vals, idxs) in value_blocks.into_iter().zip(index_blocks) {
+        ops::scatter_add(shard_buf, &idxs, &vals);
+        scratch.put_f32(vals);
+        scratch.put_u32(idxs);
     }
     let shard_nonzeros = shard_buf.iter().filter(|v| **v != 0.0).count();
 
     // Step 4: intra-node AllGather reassembles the (sparse-aggregated)
     // full vector.
-    ring_all_gather(peer, x, &intra);
+    ring_all_gather_scratch(peer, x, &intra, scratch);
 
     HiTopKReport {
         k_per_shard: k,
@@ -140,13 +166,29 @@ pub fn hitopk_all_reduce_ef<C: Compressor + ?Sized>(
     compressor: &mut C,
     ef: &mut cloudtrain_compress::ErrorFeedback,
 ) -> HiTopKReport {
+    hitopk_all_reduce_ef_scratch(peer, x, m, n, rho, compressor, ef, &mut CommScratch::new())
+}
+
+/// [`hitopk_all_reduce_ef`] drawing every communication buffer from
+/// `scratch` (see [`hitopk_all_reduce_scratch`]).
+#[allow(clippy::too_many_arguments)]
+pub fn hitopk_all_reduce_ef_scratch<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    m: usize,
+    n: usize,
+    rho: f64,
+    compressor: &mut C,
+    ef: &mut cloudtrain_compress::ErrorFeedback,
+    scratch: &mut CommScratch,
+) -> HiTopKReport {
     assert_eq!(peer.size(), m * n, "hitopk_all_reduce_ef: group is not m*n");
     let d = x.len();
     let pos = grid_pos(peer.rank(), m, n);
     let intra = intra_node_members(pos.node, n);
     let inter = inter_node_members(pos.gpu, m, n);
 
-    let shard = ring_reduce_scatter(peer, x, &intra);
+    let shard = ring_reduce_scatter_scratch(peer, x, &intra, scratch);
     assert_eq!(
         ef.dim(),
         shard.len(),
@@ -160,17 +202,19 @@ pub fn hitopk_all_reduce_ef<C: Compressor + ?Sized>(
     let selection: SparseGrad = compressor.compress(shard_buf, k);
     ef.absorb(shard_buf, &selection);
 
-    let value_blocks = all_gather_f32(peer, &selection.values, &inter);
-    let index_blocks = all_gather_u32(peer, &selection.indices, &inter);
+    let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
+    let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
     let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
 
     ops::fill(shard_buf, 0.0);
-    for (vals, idxs) in value_blocks.iter().zip(&index_blocks) {
-        ops::scatter_add(shard_buf, idxs, vals);
+    for (vals, idxs) in value_blocks.into_iter().zip(index_blocks) {
+        ops::scatter_add(shard_buf, &idxs, &vals);
+        scratch.put_f32(vals);
+        scratch.put_u32(idxs);
     }
     let shard_nonzeros = shard_buf.iter().filter(|v| **v != 0.0).count();
 
-    ring_all_gather(peer, x, &intra);
+    ring_all_gather_scratch(peer, x, &intra, scratch);
 
     HiTopKReport {
         k_per_shard: k,
@@ -247,8 +291,11 @@ mod tests {
 
     #[test]
     fn matches_sequential_reference_with_exact_selector() {
-        for (m, n, d, rho) in [(2usize, 4usize, 64usize, 0.1f64), (4, 2, 100, 0.05), (2, 2, 31, 0.2)]
-        {
+        for (m, n, d, rho) in [
+            (2usize, 4usize, 64usize, 0.1f64),
+            (4, 2, 100, 0.05),
+            (2, 2, 31, 0.2),
+        ] {
             let expect = hitopk_reference(m, n, d, rho);
             let results = run_on_group(m * n, |peer| {
                 let mut x = vec_for(peer.rank(), d);
@@ -383,6 +430,83 @@ mod tests {
         });
         for r in &results {
             assert!(*r > 0.0, "residual should be nonzero at rho=0.1");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_is_bitwise_identical_to_plain() {
+        let (m, n, d, rho) = (2usize, 4usize, 300usize, 0.05f64);
+        let plain = run_on_group(m * n, |peer| {
+            let mut x = vec_for(peer.rank(), d);
+            let mut c = MsTopK::new(25, peer.rank() as u64);
+            let rep = hitopk_all_reduce(peer, &mut x, m, n, rho, &mut c);
+            (x, rep)
+        });
+        let scratched = run_on_group(m * n, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut x = vec_for(peer.rank(), d);
+            let mut c = MsTopK::new(25, peer.rank() as u64);
+            let rep = hitopk_all_reduce_scratch(peer, &mut x, m, n, rho, &mut c, &mut scratch);
+            (x, rep)
+        });
+        assert_eq!(plain, scratched);
+    }
+
+    #[test]
+    fn ef_scratch_variant_is_bitwise_identical_to_plain() {
+        let (m, n, d, rho) = (2usize, 2usize, 64usize, 0.1f64);
+        let run = |use_scratch: bool| {
+            run_on_group(m * n, move |peer| {
+                let shard_len = shards(d, n)[peer.rank() % n].len();
+                let mut ef = cloudtrain_compress::ErrorFeedback::new(shard_len);
+                let mut c = SortTopK;
+                let mut scratch = CommScratch::new();
+                let mut out = Vec::new();
+                for round in 0..3 {
+                    let mut x = vec_for(100 * round + peer.rank(), d);
+                    if use_scratch {
+                        hitopk_all_reduce_ef_scratch(
+                            peer,
+                            &mut x,
+                            m,
+                            n,
+                            rho,
+                            &mut c,
+                            &mut ef,
+                            &mut scratch,
+                        );
+                    } else {
+                        hitopk_all_reduce_ef(peer, &mut x, m, n, rho, &mut c, &mut ef);
+                    }
+                    out.push(x);
+                }
+                (out, ef.residual_norm())
+            })
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn hitopk_reaches_zero_miss_steady_state() {
+        let (m, n, d, rho) = (2usize, 4usize, 240usize, 0.05f64);
+        let miss_growth = run_on_group(m * n, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut c = SortTopK;
+            let mut x = vec_for(peer.rank(), d);
+            hitopk_all_reduce_scratch(peer, &mut x, m, n, rho, &mut c, &mut scratch);
+            let warm = scratch.misses();
+            for round in 1..4 {
+                let mut y = vec_for(50 * round + peer.rank(), d);
+                hitopk_all_reduce_scratch(peer, &mut y, m, n, rho, &mut c, &mut scratch);
+            }
+            (warm, scratch.misses())
+        });
+        for (r, (warm, total)) in miss_growth.iter().enumerate() {
+            assert!(*warm > 0, "rank {r}: warmup should allocate");
+            assert_eq!(
+                total, warm,
+                "rank {r}: steady-state hitopk allocated communication buffers"
+            );
         }
     }
 

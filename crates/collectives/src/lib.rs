@@ -27,6 +27,10 @@
 //!   latency-optimal MPI algorithm).
 //! * [`primitives`] — rooted Broadcast/Reduce (parameter seeding, metric
 //!   collection).
+//! * [`scratch`] — the [`CommScratch`] buffer arena backing the
+//!   `*_scratch` collective variants: pooled send copies instead of
+//!   per-hop allocations, so steady-state training iterations are
+//!   allocation-free on the communication path.
 //!
 //! All collectives run on a [`group::Group`] of mesh-connected peers created
 //! with [`group::Group::connect`]; each worker thread owns one
@@ -42,7 +46,9 @@ pub mod primitives;
 pub mod quantized;
 pub mod rhd;
 pub mod ring;
+pub mod scratch;
 pub mod torus;
 pub mod tree;
 
 pub use group::{Group, Peer};
+pub use scratch::CommScratch;

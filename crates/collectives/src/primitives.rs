@@ -112,7 +112,11 @@ mod tests {
         let p = 4;
         let members: Vec<usize> = (0..p).collect();
         let results = run_on_group(p, |peer| {
-            let mut x = if peer.rank() == 0 { vec![10.0] } else { vec![0.0] };
+            let mut x = if peer.rank() == 0 {
+                vec![10.0]
+            } else {
+                vec![0.0]
+            };
             broadcast(peer, &mut x, &members);
             x[0] += peer.rank() as f32;
             reduce(peer, &mut x, &members);

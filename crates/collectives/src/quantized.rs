@@ -134,8 +134,10 @@ mod tests {
             .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
             .collect();
         let results = run_on_group(4, |peer| {
-            let mut x: Vec<f32> =
-                pattern.iter().map(|v| v * (1.0 + peer.rank() as f32)).collect();
+            let mut x: Vec<f32> = pattern
+                .iter()
+                .map(|v| v * (1.0 + peer.rank() as f32))
+                .collect();
             let mut q = ScaledSign;
             quantized_all_reduce(peer, &mut x, &mut q);
             x

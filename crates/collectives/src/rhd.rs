@@ -18,7 +18,10 @@ use crate::group::Peer;
 /// Panics unless the group size is a power of two.
 pub fn rhd_all_reduce(peer: &Peer, x: &mut [f32]) {
     let p = peer.size();
-    assert!(p.is_power_of_two(), "rhd_all_reduce: group size must be 2^m");
+    assert!(
+        p.is_power_of_two(),
+        "rhd_all_reduce: group size must be 2^m"
+    );
     if p == 1 {
         return;
     }

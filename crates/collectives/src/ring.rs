@@ -14,6 +14,7 @@ use cloudtrain_tensor::ops;
 use cloudtrain_tensor::partition::{shard_for, shards, Shard};
 
 use crate::group::Peer;
+use crate::scratch::CommScratch;
 
 /// Position of `rank` within `members`.
 ///
@@ -34,6 +35,20 @@ fn member_index(members: &[usize], rank: usize) -> usize {
 /// Cost: `P-1` steps, each transferring `d/P` elements — Eq. (7) with
 /// per-byte volume `(P-1) d/P`.
 pub fn ring_reduce_scatter(peer: &Peer, x: &mut [f32], members: &[usize]) -> Shard {
+    ring_reduce_scatter_scratch(peer, x, members, &mut CommScratch::new())
+}
+
+/// [`ring_reduce_scatter`] drawing its per-hop send buffers from `scratch`.
+///
+/// Each hop takes one pooled buffer (the outgoing copy) and recycles the
+/// buffer it received, so the pool's flow is balanced and steady-state
+/// iterations allocate nothing.
+pub fn ring_reduce_scatter_scratch(
+    peer: &Peer,
+    x: &mut [f32],
+    members: &[usize],
+    scratch: &mut CommScratch,
+) -> Shard {
     let p = members.len();
     let me = member_index(members, peer.rank());
     let d = x.len();
@@ -49,10 +64,11 @@ pub fn ring_reduce_scatter(peer: &Peer, x: &mut [f32], members: &[usize]) -> Sha
     for s in 0..p - 1 {
         let send_idx = (me + p - s - 1) % p;
         let recv_idx = (me + 2 * p - s - 2) % p;
-        let send_chunk = chunks[send_idx].slice(x).to_vec();
+        let send_chunk = scratch.copy_f32(chunks[send_idx].slice(x));
         peer.send_f32(right, send_chunk);
         let recv = peer.recv_f32(left);
         ops::add_assign(chunks[recv_idx].slice_mut(x), &recv);
+        scratch.put_f32(recv);
     }
     chunks[me]
 }
@@ -63,6 +79,17 @@ pub fn ring_reduce_scatter(peer: &Peer, x: &mut [f32], members: &[usize]) -> Sha
 ///
 /// Cost: `P-1` steps of `d/P` elements each.
 pub fn ring_all_gather(peer: &Peer, x: &mut [f32], members: &[usize]) {
+    ring_all_gather_scratch(peer, x, members, &mut CommScratch::new());
+}
+
+/// [`ring_all_gather`] drawing its per-hop send buffers from `scratch`
+/// (take one, recycle one — see [`ring_reduce_scatter_scratch`]).
+pub fn ring_all_gather_scratch(
+    peer: &Peer,
+    x: &mut [f32],
+    members: &[usize],
+    scratch: &mut CommScratch,
+) {
     let p = members.len();
     let me = member_index(members, peer.rank());
     if p == 1 {
@@ -76,18 +103,29 @@ pub fn ring_all_gather(peer: &Peer, x: &mut [f32], members: &[usize]) {
     for s in 0..p - 1 {
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + 2 * p - s - 1) % p;
-        let send_chunk = chunks[send_idx].slice(x).to_vec();
+        let send_chunk = scratch.copy_f32(chunks[send_idx].slice(x));
         peer.send_f32(right, send_chunk);
         let recv = peer.recv_f32(left);
         chunks[recv_idx].slice_mut(x).copy_from_slice(&recv);
+        scratch.put_f32(recv);
     }
 }
 
 /// Ring AllReduce = ReduceScatter + AllGather. On return every member's `x`
 /// holds the element-wise sum over all members.
 pub fn ring_all_reduce(peer: &Peer, x: &mut [f32], members: &[usize]) {
-    ring_reduce_scatter(peer, x, members);
-    ring_all_gather(peer, x, members);
+    ring_all_reduce_scratch(peer, x, members, &mut CommScratch::new());
+}
+
+/// [`ring_all_reduce`] drawing all per-hop buffers from `scratch`.
+pub fn ring_all_reduce_scratch(
+    peer: &Peer,
+    x: &mut [f32],
+    members: &[usize],
+    scratch: &mut CommScratch,
+) {
+    ring_reduce_scatter_scratch(peer, x, members, scratch);
+    ring_all_gather_scratch(peer, x, members, scratch);
 }
 
 /// AllGather of variable payloads: every member contributes `mine` and
@@ -98,10 +136,24 @@ pub fn ring_all_reduce(peer: &Peer, x: &mut [f32], members: &[usize]) {
 /// Implemented as a ring pipeline: `P-1` steps forwarding the youngest
 /// block.
 pub fn all_gather_f32(peer: &Peer, mine: &[f32], members: &[usize]) -> Vec<Vec<f32>> {
+    all_gather_f32_scratch(peer, mine, members, &mut CommScratch::new())
+}
+
+/// [`all_gather_f32`] drawing its block copies from `scratch`.
+///
+/// Ownership contract: the returned blocks belong to the caller; to keep
+/// the pool balanced across iterations the caller should `put_f32` each
+/// block back once consumed (the hierarchical collectives do).
+pub fn all_gather_f32_scratch(
+    peer: &Peer,
+    mine: &[f32],
+    members: &[usize],
+    scratch: &mut CommScratch,
+) -> Vec<Vec<f32>> {
     let p = members.len();
     let me = member_index(members, peer.rank());
     let mut blocks: Vec<Option<Vec<f32>>> = vec![None; p];
-    blocks[me] = Some(mine.to_vec());
+    blocks[me] = Some(scratch.copy_f32(mine));
     if p == 1 {
         return blocks.into_iter().map(Option::unwrap).collect();
     }
@@ -110,7 +162,10 @@ pub fn all_gather_f32(peer: &Peer, mine: &[f32], members: &[usize]) -> Vec<Vec<f
     for s in 0..p - 1 {
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + 2 * p - s - 1) % p;
-        let payload = blocks[send_idx].clone().expect("ring schedule hole");
+        // Pooled copy instead of a per-hop clone: the forwarded block stays
+        // in `blocks` for the caller while its copy rides the channel.
+        let src = blocks[send_idx].as_deref().expect("ring schedule hole");
+        let payload = scratch.copy_f32(src);
         peer.send_f32(right, payload);
         blocks[recv_idx] = Some(peer.recv_f32(left));
     }
@@ -119,10 +174,21 @@ pub fn all_gather_f32(peer: &Peer, mine: &[f32], members: &[usize]) -> Vec<Vec<f
 
 /// AllGather of index payloads (see [`all_gather_f32`]).
 pub fn all_gather_u32(peer: &Peer, mine: &[u32], members: &[usize]) -> Vec<Vec<u32>> {
+    all_gather_u32_scratch(peer, mine, members, &mut CommScratch::new())
+}
+
+/// [`all_gather_u32`] drawing its block copies from `scratch` (ownership
+/// contract as in [`all_gather_f32_scratch`]).
+pub fn all_gather_u32_scratch(
+    peer: &Peer,
+    mine: &[u32],
+    members: &[usize],
+    scratch: &mut CommScratch,
+) -> Vec<Vec<u32>> {
     let p = members.len();
     let me = member_index(members, peer.rank());
     let mut blocks: Vec<Option<Vec<u32>>> = vec![None; p];
-    blocks[me] = Some(mine.to_vec());
+    blocks[me] = Some(scratch.copy_u32(mine));
     if p == 1 {
         return blocks.into_iter().map(Option::unwrap).collect();
     }
@@ -131,7 +197,8 @@ pub fn all_gather_u32(peer: &Peer, mine: &[u32], members: &[usize]) -> Vec<Vec<u
     for s in 0..p - 1 {
         let send_idx = (me + p - s) % p;
         let recv_idx = (me + 2 * p - s - 1) % p;
-        let payload = blocks[send_idx].clone().expect("ring schedule hole");
+        let src = blocks[send_idx].as_deref().expect("ring schedule hole");
+        let payload = scratch.copy_u32(src);
         peer.send_u32(right, payload);
         blocks[recv_idx] = Some(peer.recv_u32(left));
     }
@@ -281,6 +348,79 @@ mod tests {
             for (r, b) in blocks.iter().enumerate() {
                 assert_eq!(*b, vec![r as u32 * 10, r as u32 * 10 + 1]);
             }
+        }
+    }
+
+    #[test]
+    fn scratch_variants_are_bitwise_identical_to_plain() {
+        let (p, d) = (4usize, 53usize);
+        let members: Vec<usize> = (0..p).collect();
+        let plain = run_on_group(p, |peer| {
+            let mut x = vec_for(peer.rank(), d);
+            ring_all_reduce(peer, &mut x, &members);
+            let blocks = all_gather_f32(peer, &x[..5], &members);
+            let idx = all_gather_u32(peer, &[peer.rank() as u32; 3], &members);
+            (x, blocks, idx)
+        });
+        let scratched = run_on_group(p, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut x = vec_for(peer.rank(), d);
+            ring_all_reduce_scratch(peer, &mut x, &members, &mut scratch);
+            let blocks = all_gather_f32_scratch(peer, &x[..5], &members, &mut scratch);
+            let idx =
+                all_gather_u32_scratch(peer, &[peer.rank() as u32; 3], &members, &mut scratch);
+            (x, blocks, idx)
+        });
+        assert_eq!(plain, scratched);
+    }
+
+    #[test]
+    fn ring_collectives_reach_zero_miss_steady_state() {
+        let (p, d) = (4usize, 26usize);
+        let members: Vec<usize> = (0..p).collect();
+        let miss_growth = run_on_group(p, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut x = vec_for(peer.rank(), d);
+            // Warmup iteration populates the pool...
+            ring_all_reduce_scratch(peer, &mut x, &members, &mut scratch);
+            let warm = scratch.misses();
+            // ...after which further iterations must not allocate at all.
+            for round in 0..3 {
+                let mut y = vec_for(10 * round + peer.rank(), d);
+                ring_all_reduce_scratch(peer, &mut y, &members, &mut scratch);
+            }
+            (warm, scratch.misses())
+        });
+        for (r, (warm, total)) in miss_growth.iter().enumerate() {
+            assert!(*warm > 0, "rank {r}: warmup should allocate");
+            assert_eq!(total, warm, "rank {r}: steady state allocated");
+        }
+    }
+
+    #[test]
+    fn variable_gather_pool_balances_when_blocks_are_recycled() {
+        let (p, k) = (3usize, 8usize);
+        let members: Vec<usize> = (0..p).collect();
+        let miss_growth = run_on_group(p, |peer| {
+            let mut scratch = CommScratch::new();
+            let payload = vec![peer.rank() as f32; k];
+            let warm = {
+                let blocks = all_gather_f32_scratch(peer, &payload, &members, &mut scratch);
+                for b in blocks {
+                    scratch.put_f32(b);
+                }
+                scratch.misses()
+            };
+            for _ in 0..3 {
+                let blocks = all_gather_f32_scratch(peer, &payload, &members, &mut scratch);
+                for b in blocks {
+                    scratch.put_f32(b);
+                }
+            }
+            (warm, scratch.misses())
+        });
+        for (warm, total) in &miss_growth {
+            assert_eq!(total, warm, "recycled gathers must not re-allocate");
         }
     }
 

@@ -93,7 +93,12 @@ mod tests {
 
     #[test]
     fn torus_matches_sequential_sum() {
-        for (m, n, d) in [(2usize, 2usize, 16usize), (2, 4, 37), (4, 2, 100), (3, 3, 50)] {
+        for (m, n, d) in [
+            (2usize, 2usize, 16usize),
+            (2, 4, 37),
+            (4, 2, 100),
+            (3, 3, 50),
+        ] {
             let p = m * n;
             let expect = expected_sum(p, d);
             let results = run_on_group(p, |peer| {

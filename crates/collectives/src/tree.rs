@@ -106,7 +106,14 @@ mod tests {
 
     #[test]
     fn tree_all_reduce_matches_sum_for_many_sizes() {
-        for (p, d) in [(2usize, 8usize), (3, 11), (4, 64), (5, 7), (8, 100), (16, 33)] {
+        for (p, d) in [
+            (2usize, 8usize),
+            (3, 11),
+            (4, 64),
+            (5, 7),
+            (8, 100),
+            (16, 33),
+        ] {
             let members: Vec<usize> = (0..p).collect();
             let expect = expected_sum(p, d);
             let results = run_on_group(p, |peer| {

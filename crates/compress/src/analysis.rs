@@ -30,7 +30,11 @@ pub struct SelectionQuality {
 /// # Panics
 /// Panics if the selection's `dim` does not match `x`.
 pub fn score_selection(x: &[f32], selection: &SparseGrad) -> SelectionQuality {
-    assert_eq!(selection.dim, x.len(), "score_selection: dimension mismatch");
+    assert_eq!(
+        selection.dim,
+        x.len(),
+        "score_selection: dimension mismatch"
+    );
     let k = selection.len();
     let exact = topk_sort(x, k);
     let exact_mass = exact.abs_mass();
@@ -96,7 +100,11 @@ mod tests {
         let qm = score_selection(&x, &ms);
         let qr = score_selection(&x, &rnd);
         assert!(qm.mass_capture > 0.97, "mstopk mass {}", qm.mass_capture);
-        assert!(qm.index_overlap > 0.8, "mstopk overlap {}", qm.index_overlap);
+        assert!(
+            qm.index_overlap > 0.8,
+            "mstopk overlap {}",
+            qm.index_overlap
+        );
         assert!(
             qr.mass_capture < 0.3,
             "random-k should capture little: {}",

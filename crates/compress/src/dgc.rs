@@ -57,8 +57,7 @@ impl Compressor for Dgc {
         // Step 1: uniform sample (with replacement — cheap and unbiased for
         // threshold estimation). Sample at least 4k magnitudes so the
         // estimated quantile has usable resolution at small k.
-        let sample_len = ((d as f64 * self.sample_ratio) as usize)
-            .clamp((4 * k).min(d), d);
+        let sample_len = ((d as f64 * self.sample_ratio) as usize).clamp((4 * k).min(d), d);
         let mut sample: Vec<f32> = Vec::with_capacity(sample_len);
         for _ in 0..sample_len {
             let i = self.rng.random_range(0..d);

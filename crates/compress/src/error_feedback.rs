@@ -53,7 +53,11 @@ impl ErrorFeedback {
     /// differs.
     pub fn absorb(&mut self, grad: &[f32], transmitted: &SparseGrad) {
         assert_eq!(grad.len(), self.dim(), "absorb: dimension mismatch");
-        assert_eq!(transmitted.dim, self.dim(), "absorb: selection dimension mismatch");
+        assert_eq!(
+            transmitted.dim,
+            self.dim(),
+            "absorb: selection dimension mismatch"
+        );
         self.residual.copy_from_slice(grad);
         ops::zero_at(&mut self.residual, &transmitted.indices);
     }

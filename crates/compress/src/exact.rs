@@ -45,8 +45,9 @@ pub fn topk_quickselect(x: &[f32], k: usize) -> SparseGrad {
     let mut mags: Vec<f32> = x.iter().map(|v| v.abs()).collect();
     // Partition so the k-th largest magnitude sits at position k-1 when
     // ordered descending — i.e. position k-1 of a descending sort.
-    let (_, kth, _) =
-        mags.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
     let thres = *kth;
 
     // Take everything strictly above the threshold, then fill the remainder

@@ -40,7 +40,7 @@ pub mod randomk;
 mod sparse;
 
 pub use error_feedback::ErrorFeedback;
-pub use mstopk::MsTopK;
+pub use mstopk::{MsTopK, MsTopKNaive};
 pub use sparse::SparseGrad;
 
 /// A top-k (or top-k-like) gradient compressor.

@@ -2,9 +2,9 @@
 //!
 //! The exact top-k selection is hostile to many-core hardware: it needs
 //! data-dependent, irregular memory access (sorting or partitioning).
-//! MSTopK replaces it with `N` *branch-free streaming passes*: a binary
-//! search over candidate thresholds in `[mean|x|, max|x|]`, where each step
-//! only counts how many elements exceed the candidate (a coalesced scan).
+//! MSTopK replaces it with a binary search over candidate thresholds in
+//! `[mean|x|, max|x|]`, where each step only needs to know how many elements
+//! exceed the candidate (a coalesced scan).
 //!
 //! After the search, two bracketing thresholds remain:
 //!
@@ -18,6 +18,45 @@
 //! `thres2 <= |x| < thres1` (Algorithm 1 lines 25–29), so the operator
 //! returns **exactly `k` elements** — the property the fixed-size AllGather
 //! of HiTopKComm depends on.
+//!
+//! # Single-pass histogram search
+//!
+//! The paper's formulation ([`MsTopKNaive`] here) executes `N` streaming
+//! `count_ge` passes — `N + 2` full scans of the gradient. [`MsTopK`]
+//! answers the same probes from a magnitude histogram built over one
+//! compacted pass:
+//!
+//! * While every probe under-selects, the probed ratios descend `1/2,
+//!   1/4, ...`; the first probe that *over*-selects pins the bracket's
+//!   lower wall, and no later threshold drops below it. The first few
+//!   probes are therefore answered by direct counting passes (exactly
+//!   the naive loop's own passes), after which one branch-free pass
+//!   compacts the magnitudes at or above the wall — typically a few
+//!   multiples of `k` out of millions — into a dense buffer plus a
+//!   membership bitmap; everything after touches only that buffer. (No
+//!   probed threshold can drop below `mean|x|` either — `t = mean +
+//!   ratio * (max - mean)` with `ratio >= 0` — so when no wall is pinned
+//!   within the gallop budget the compaction falls back to the mean as
+//!   its cutoff, still dropping ~70% of a gradient-like tensor.)
+//! * The binary search only ever probes thresholds `t = mean + (j/2^i) *
+//!   (max - mean)`. For `i <= 23` every probed ratio `j/2^i` is a dyadic
+//!   rational that is exactly representable in `f32`, and the iterative
+//!   midpoint `l + (r - l) / 2` computes it *exactly* — so each bucket
+//!   boundary `t_j`, evaluated with the identical
+//!   `mean + ratio * (max - mean)` expression, is **bitwise equal** to the
+//!   threshold the naive search would probe. (The gallop depth plus the
+//!   histogram depth stays well under 23.)
+//! * Bucket `j` counts elements with `t_j <= |x| < t_{j+1}` (elements are
+//!   placed by a guess-then-fix step against the exact boundary array, so
+//!   float rounding in the guess cannot misplace them). Suffix sums then
+//!   answer `count_ge(t_j)` exactly for every boundary.
+//! * After the histogram's levels are spent the search interval *is* one
+//!   bucket. Any remaining probes are answered by scanning just that
+//!   bucket's elements gathered from the live buffer.
+//!
+//! The result — selection, statistics, and RNG consumption — is bitwise
+//! identical to the naive search; `MsTopKNaive` is retained precisely so
+//! tests can assert that equivalence.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -25,6 +64,32 @@ use rand::{RngExt, SeedableRng};
 use cloudtrain_tensor::ops;
 
 use crate::{Compressor, SparseGrad};
+
+/// Histogram resolution cap: at most `2^12` buckets, keeping the boundary
+/// and count tables L1-resident during placement. Any value with
+/// `GALLOP_MAX + MAX_HIST_LEVELS <= 23` keeps the dyadic-ratio exactness
+/// argument valid (24-bit `f32` mantissa).
+const MAX_HIST_LEVELS: usize = 12;
+
+/// Direct-counting probe caps before the histogram is built. While every
+/// probe under-selects, the bracket's lower wall stays at ratio 0 and the
+/// probed ratios descend `1/2, 1/4, ...`; the first *over*-selecting probe
+/// pins the wall, and every later threshold sits at or above it. Answering
+/// those first probes by counting lets the compaction cutoff sit at the
+/// wall instead of the mean, shrinking the survivor buffer from ~30% of
+/// the tensor to a few multiples of `k`. The first [`GALLOP_DIRECT`]
+/// probes count the raw tensor (exactly the naive loop's passes); if no
+/// wall is pinned by then, the tensor is compacted at the mean and up to
+/// [`GALLOP_MAX`] total probes continue on the (4x smaller) survivor
+/// buffer, bounding the worst case — a bracket that never over-selects —
+/// at a few extra vectorizable scans.
+const GALLOP_DIRECT: usize = 2;
+const GALLOP_MAX: usize = 4;
+
+/// Chunk width for the skip-scan in [`finish_selection`]: each chunk is
+/// first screened with a vectorizable count, and index materialisation only
+/// runs on chunks that contain at least one candidate.
+const SCAN_CHUNK: usize = 4096;
 
 /// Statistics of one MSTopK invocation, useful for ablations
 /// (threshold-search convergence as a function of the sampling count `N`).
@@ -38,11 +103,11 @@ pub struct MsTopKStats {
     pub thres1: f32,
     /// Final over-selecting threshold.
     pub thres2: f32,
-    /// Streaming passes executed (equals the configured `N`).
+    /// Threshold-search iterations executed (equals the configured `N`).
     pub passes: usize,
 }
 
-/// The MSTopK approximate top-k operator.
+/// The MSTopK approximate top-k operator (histogram-accelerated).
 ///
 /// # Examples
 /// ```
@@ -87,15 +152,97 @@ impl Compressor for MsTopK {
     }
 }
 
-/// Algorithm 1 with an explicit RNG (deterministic given the RNG state).
-pub fn mstopk_with_rng(
-    x: &[f32],
-    k: usize,
-    samplings: usize,
-    rng: &mut StdRng,
-) -> (SparseGrad, MsTopKStats) {
-    let d = x.len();
-    let k = k.min(d);
+/// The paper-literal `N`-pass MSTopK, kept as the differential-testing
+/// reference for the histogram implementation. Identical semantics and RNG
+/// consumption; `N + 2` streaming passes instead of ~3.
+#[derive(Debug)]
+pub struct MsTopKNaive {
+    /// Number of threshold-search iterations.
+    pub samplings: usize,
+    rng: StdRng,
+}
+
+impl MsTopKNaive {
+    /// Creates an operator with `samplings` search iterations and a seeded
+    /// RNG for the band slice choice.
+    pub fn new(samplings: usize, seed: u64) -> Self {
+        Self {
+            samplings,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs Algorithm 1 literally, returning the selection and statistics.
+    pub fn select_with_stats(&mut self, x: &[f32], k: usize) -> (SparseGrad, MsTopKStats) {
+        mstopk_naive_with_rng(x, k, self.samplings, &mut self.rng)
+    }
+}
+
+impl Compressor for MsTopKNaive {
+    fn compress(&mut self, x: &[f32], k: usize) -> SparseGrad {
+        self.select_with_stats(x, k).0
+    }
+
+    fn name(&self) -> &'static str {
+        "MSTopKNaive"
+    }
+}
+
+/// Threshold-search state shared by both implementations (Algorithm 1 lines
+/// 4–6 plus the bracketing bookkeeping of lines 11–23).
+struct Bracket {
+    l: f32,
+    r: f32,
+    k1: usize,
+    k2: usize,
+    thres1: f32,
+    thres2: f32,
+}
+
+impl Bracket {
+    /// Initial state. `thres1` starts "unset"; we represent the unset state
+    /// as +inf (select nothing) rather than the paper's 0 (select
+    /// everything) so that degenerate inputs — e.g. all-equal magnitudes,
+    /// where no candidate threshold ever under-selects — still yield a valid
+    /// k-element result from the band.
+    fn new(d: usize) -> Self {
+        Self {
+            l: 0.0,
+            r: 1.0,
+            k1: 0,
+            k2: d,
+            thres1: f32::INFINITY,
+            thres2: 0.0,
+        }
+    }
+
+    /// The next midpoint ratio, exactly as the naive loop computes it.
+    #[inline]
+    fn midpoint(&self) -> f32 {
+        self.l + (self.r - self.l) / 2.0
+    }
+
+    /// Folds one probe result into the bracket (lines 11–23).
+    #[inline]
+    fn observe(&mut self, nnz: usize, thres: f32, ratio: f32, k: usize) {
+        if nnz <= k {
+            self.r = ratio;
+            if nnz >= self.k1 && thres < self.thres1 {
+                self.k1 = nnz;
+                self.thres1 = thres;
+            }
+        } else {
+            self.l = ratio;
+            if nnz <= self.k2 {
+                self.k2 = nnz;
+                self.thres2 = thres;
+            }
+        }
+    }
+}
+
+/// Handles `k == 0`, `d == 0`, and `k == d`, where no search is needed.
+fn trivial_selection(x: &[f32], d: usize, k: usize) -> Option<(SparseGrad, MsTopKStats)> {
     if k == 0 || d == 0 {
         let stats = MsTopKStats {
             k1: 0,
@@ -104,7 +251,7 @@ pub fn mstopk_with_rng(
             thres2: 0.0,
             passes: 0,
         };
-        return (SparseGrad::empty(d), stats);
+        return Some((SparseGrad::empty(d), stats));
     }
     if k == d {
         let stats = MsTopKStats {
@@ -115,58 +262,104 @@ pub fn mstopk_with_rng(
             passes: 0,
         };
         let s = SparseGrad::new(x.to_vec(), (0..d as u32).collect(), d);
-        return (s, stats);
+        return Some((s, stats));
     }
+    None
+}
 
-    // Lines 1–3: one pass computes both statistics.
-    let a_mean = ops::mean_abs(x);
-    let u = ops::max_abs(x);
-
-    // Lines 4–6: search state. `thres1` starts "unset"; we represent the
-    // unset state as +inf (select nothing) rather than the paper's 0
-    // (select everything) so that degenerate inputs — e.g. all-equal
-    // magnitudes, where no candidate threshold ever under-selects — still
-    // yield a valid k-element result from the band.
-    let (mut l, mut r) = (0.0f32, 1.0f32);
-    let mut k1 = 0usize;
-    let mut k2 = d;
-    let mut thres1 = f32::INFINITY;
-    let mut thres2 = 0.0f32;
-
-    // Lines 7–24: N binary-search iterations, each a single streaming pass.
-    for _ in 0..samplings {
-        let ratio = l + (r - l) / 2.0;
-        let thres = a_mean + ratio * (u - a_mean);
-        let nnz = ops::count_ge(x, thres);
-        if nnz <= k {
-            r = ratio;
-            if nnz >= k1 && thres < thres1 {
-                k1 = nnz;
-                thres1 = thres;
+/// Materialises the final selection from a converged bracket (lines 25–29).
+/// Both implementations funnel through here, so RNG consumption — one
+/// `random_range` draw iff the band is actually sliced — is identical.
+///
+/// `accel` is an optional [`Survivors`] set covering every magnitude
+/// `>= thres2` (the histogram path's compaction buffer); when present the
+/// index sets are read from it directly instead of rescanning the tensor.
+fn finish_selection(
+    x: &[f32],
+    d: usize,
+    k: usize,
+    bracket: &Bracket,
+    samplings: usize,
+    rng: &mut StdRng,
+    accel: Option<&Survivors>,
+) -> (SparseGrad, MsTopKStats) {
+    // Lines 25–26: materialise the two index sets — `i1` as
+    // `ops::indices_ge(x, thres1)` would, `i2` as
+    // `ops::indices_in_band(x, thres2, band_hi)` would, fused into one
+    // scan. Survivor order matches input order, so both routes produce the
+    // same vectors. Without survivors, each chunk is screened with a
+    // vectorizable candidate count and the scalar index loop only runs on
+    // chunks that contain a magnitude above `thres2` (a few per million at
+    // trained sparsities).
+    let take_top = bracket.thres1.is_finite();
+    let band_hi = if take_top {
+        bracket.thres1
+    } else {
+        f32::INFINITY
+    };
+    let mut i1: Vec<u32> = Vec::new();
+    let mut i2: Vec<u32> = Vec::new();
+    if let Some(s) = accel {
+        // Candidates are the survivor ordinals with `m >= thres2` — a
+        // superset of both index sets, a few per million at trained
+        // sparsities. Each candidate's source index is recovered from the
+        // membership bitmap by skipping whole words with popcounts; the
+        // `p`-th survivor is the `(p - cum)`-th set bit of its word.
+        let cand: Vec<u32> = s
+            .mags
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m >= bracket.thres2)
+            .map(|(p, _)| p as u32)
+            .collect();
+        let mut wi = 0usize;
+        let mut cum = 0usize; // survivors in words before `wi`
+        let mut pc = s.bitmap.first().map_or(0, |w| w.count_ones() as usize);
+        for &p in &cand {
+            let p = p as usize;
+            while cum + pc <= p {
+                cum += pc;
+                wi += 1;
+                pc = s.bitmap[wi].count_ones() as usize;
             }
-        } else {
-            l = ratio;
-            if nnz <= k2 {
-                k2 = nnz;
-                thres2 = thres;
+            let mut w = s.bitmap[wi];
+            for _ in 0..(p - cum) {
+                w &= w - 1;
+            }
+            let idx = (wi * 64) as u32 + w.trailing_zeros();
+            // `band_hi` is `thres1` (or +inf when unset), so within the
+            // candidate set the original two-way split reduces to this:
+            // an infinite magnitude (which `m < band_hi` would exclude)
+            // forces `a_mean = +inf`, which disables the accel path.
+            let m = s.mags[p];
+            if take_top && m >= bracket.thres1 {
+                i1.push(idx);
+            } else {
+                i2.push(idx);
+            }
+        }
+    } else {
+        for (c, chunk) in x.chunks(SCAN_CHUNK).enumerate() {
+            if ops::count_ge(chunk, bracket.thres2) == 0 {
+                continue;
+            }
+            let base = (c * SCAN_CHUNK) as u32;
+            for (o, v) in chunk.iter().enumerate() {
+                let m = v.abs();
+                if take_top && m >= bracket.thres1 {
+                    i1.push(base + o as u32);
+                } else if m >= bracket.thres2 && m < band_hi {
+                    i2.push(base + o as u32);
+                }
             }
         }
     }
-
-    // Lines 25–26: materialise the two index sets.
-    let i1 = if thres1.is_finite() {
-        ops::indices_ge(x, thres1)
-    } else {
-        Vec::new()
-    };
-    let band_hi = if thres1.is_finite() { thres1 } else { f32::INFINITY };
-    let i2 = ops::indices_in_band(x, thres2, band_hi);
-    debug_assert_eq!(i1.len(), k1);
+    debug_assert_eq!(i1.len(), bracket.k1);
 
     // Lines 27–28: random contiguous run of k - k1 band elements. The run is
     // contiguous (not a random subset) precisely because that keeps the GPU
     // gather coalesced — the whole point of the operator.
-    let need = k - k1;
+    let need = k - bracket.k1;
     let mut indices = i1;
     if need > 0 {
         // The band always has at least `need` elements: every |x| >= thres2
@@ -183,13 +376,395 @@ pub fn mstopk_with_rng(
     let values = ops::gather(x, &indices);
 
     let stats = MsTopKStats {
-        k1,
-        k2,
-        thres1,
-        thres2,
+        k1: bracket.k1,
+        k2: bracket.k2,
+        thres1: bracket.thres1,
+        thres2: bracket.thres2,
         passes: samplings,
     };
     (SparseGrad::new(values, indices, d), stats)
+}
+
+/// The paper-literal search: one `count_ge` pass per iteration.
+fn search_counting(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    a_mean: f32,
+    u: f32,
+    bracket: &mut Bracket,
+) {
+    for _ in 0..samplings {
+        let ratio = bracket.midpoint();
+        let thres = a_mean + ratio * (u - a_mean);
+        let nnz = ops::count_ge(x, thres);
+        bracket.observe(nnz, thres, ratio, k);
+    }
+}
+
+/// The survivors of one [`compact_magnitudes`] pass: the magnitudes
+/// `>= cutoff` in original order plus a membership bitmap.
+struct Survivors {
+    /// Compacted magnitudes, in input order.
+    mags: Vec<f32>,
+    /// Bit `i` (word `i / 64`, bit `i % 64`) is set iff `|x[i]|` survived.
+    /// Walking the set bits in order enumerates `mags` alongside each
+    /// entry's source index.
+    bitmap: Vec<u64>,
+    /// The cutoff the buffer was compacted at: `mags` covers every
+    /// magnitude `>= cutoff` and nothing below it.
+    cutoff: f32,
+}
+
+/// One pass over `x`: compacts the magnitudes `>= cutoff` into a dense
+/// buffer, preserving input order, and records membership in a bitmap.
+///
+/// Each 64-element chunk is processed in two branch-free phases: the
+/// membership word is packed with a store-free compare loop (which the
+/// compiler can vectorise), then only the survivors named by the word's
+/// set bits are copied out — the per-word extraction loop runs once per
+/// survivor, not once per element, and the word store amortises to one
+/// per 64 elements. The magnitude buffer is created zero-filled (a
+/// lazily-mapped allocation), so untouched capacity costs nothing — with
+/// a wall cutoff only a few pages of it are ever written.
+fn compact_magnitudes(x: &[f32], cutoff: f32) -> Survivors {
+    let d = x.len();
+    debug_assert!(d <= u32::MAX as usize, "indices are u32 repo-wide");
+    let mut mags = vec![0.0f32; d];
+    let mut bitmap = vec![0u64; d.div_ceil(64)];
+    let mut n = 0usize;
+    let mut words = x.chunks_exact(64);
+    let mut wi = 0usize;
+    for chunk in &mut words {
+        // Constant-shift byte groups: the compiler turns each group of
+        // eight compares into one SIMD compare + mask extraction, where a
+        // variable-shift fold stays scalar (~3.5x slower measured).
+        let mut w = 0u64;
+        for (g, oct) in chunk.chunks_exact(8).enumerate() {
+            let byte = u8::from(oct[0].abs() >= cutoff)
+                | u8::from(oct[1].abs() >= cutoff) << 1
+                | u8::from(oct[2].abs() >= cutoff) << 2
+                | u8::from(oct[3].abs() >= cutoff) << 3
+                | u8::from(oct[4].abs() >= cutoff) << 4
+                | u8::from(oct[5].abs() >= cutoff) << 5
+                | u8::from(oct[6].abs() >= cutoff) << 6
+                | u8::from(oct[7].abs() >= cutoff) << 7;
+            w |= (byte as u64) << (8 * g);
+        }
+        bitmap[wi] = w;
+        wi += 1;
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            w &= w - 1;
+            mags[n] = chunk[b].abs();
+            n += 1;
+        }
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut w = 0u64;
+        for (b, v) in tail.iter().enumerate() {
+            w |= u64::from(v.abs() >= cutoff) << b;
+        }
+        bitmap[wi] = w;
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            w &= w - 1;
+            mags[n] = tail[b].abs();
+            n += 1;
+        }
+    }
+    mags.truncate(n);
+    Survivors {
+        mags,
+        bitmap,
+        cutoff,
+    }
+}
+
+/// Gathers the magnitudes `>= lo` from a survivor buffer, preserving order.
+/// Each chunk is screened with a vectorizable membership count so the
+/// scalar gather loop only runs on chunks that contain a hit.
+fn gather_ge(mags: &[f32], lo: f32) -> Vec<f32> {
+    let mut out: Vec<f32> = Vec::new();
+    for chunk in mags.chunks(SCAN_CHUNK) {
+        let hits: usize = chunk.iter().map(|&m| usize::from(m >= lo)).sum();
+        if hits == 0 {
+            continue;
+        }
+        out.reserve(hits);
+        for &m in chunk {
+            if m >= lo {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// The histogram search: identical probe sequence to [`search_counting`],
+/// answered in two phases. Requires `u > a_mean`. Returns the compacted
+/// survivor buffer so the selection scan can reuse it.
+///
+/// * **Gallop** — the first probes are answered by direct counting until
+///   one over-selects and pins the bracket's lower wall, or [`GALLOP_MAX`]
+///   probes pass. The first [`GALLOP_DIRECT`] of them count the raw
+///   tensor (exactly the naive passes); the tensor is then compacted at
+///   the wall — or at the mean, with counting continuing on the survivor
+///   buffer, if no wall is pinned yet.
+/// * **Histogram** — every remaining probe ratio lies inside the bracket
+///   `[l, r]`, so elements below `thres(l)` can never change a count
+///   again. A histogram over just the elements at or above the wall
+///   answers the next `levels` probes, and a gather of the final bucket
+///   answers any probes beyond the histogram depth.
+fn search_histogram(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    a_mean: f32,
+    u: f32,
+    bracket: &mut Bracket,
+) -> Survivors {
+    // Phase 1a: while every probe under-selects, the probed ratios descend
+    // 1/2, 1/4, ... — count them straight off the tensor, exactly as the
+    // naive loop would.
+    let mut consumed = 0usize;
+    while consumed < samplings && consumed < GALLOP_DIRECT && bracket.l == 0.0 {
+        let ratio = bracket.midpoint();
+        let thres = a_mean + ratio * (u - a_mean);
+        let nnz = ops::count_ge(x, thres);
+        bracket.observe(nnz, thres, ratio, k);
+        consumed += 1;
+    }
+
+    // Compact at the wall when one is pinned (every later threshold sits
+    // at or above it), else at the mean (no probed threshold can go
+    // below `a_mean + 0`). Either way the buffer covers every magnitude
+    // any remaining probe or the selection scan can touch.
+    let s = compact_magnitudes(x, a_mean + bracket.l * (u - a_mean));
+
+    // Phase 1b: if the wall is still unset, keep galloping on the (much
+    // smaller) survivor buffer. Dropped sub-mean elements can never reach
+    // a probed threshold, so the counts stay exact.
+    while consumed < samplings && consumed < GALLOP_MAX && bracket.l == 0.0 {
+        let ratio = bracket.midpoint();
+        let thres = a_mean + ratio * (u - a_mean);
+        let nnz = ops::count_ge(&s.mags, thres);
+        bracket.observe(nnz, thres, ratio, k);
+        consumed += 1;
+    }
+    let left = samplings - consumed;
+    if left == 0 {
+        return s;
+    }
+
+    // Phase 2: histogram over the elements at or above the lower wall.
+    // `rl` and `rr - rl` are dyadic rationals with denominator at most
+    // `2^GALLOP_MAX`, so the sub-grid ratios below stay exact.
+    let (rl, rr) = (bracket.l, bracket.r);
+    let lo_val = a_mean + rl * (u - a_mean);
+    let gathered;
+    let survivors: &[f32] = if lo_val <= s.cutoff {
+        &s.mags // buffer already compacted at the wall: all of it is live
+    } else {
+        gathered = gather_ge(&s.mags, lo_val);
+        &gathered
+    };
+
+    // Depth: no deeper than the probe count, the exactness cap, or a bucket
+    // count comparable to the live element count (finer buys nothing).
+    let d_levels = usize::BITS as usize - survivors.len().leading_zeros() as usize;
+    let levels = left.min(MAX_HIST_LEVELS).min(d_levels.max(1));
+    let buckets = 1usize << levels;
+
+    // Exact bucket boundaries: the same f32 expression the probe loop uses,
+    // at every dyadic subdivision of the bracket. Every quantity involved
+    // (`rl`, `rr - rl`, `j / buckets`, and their combination) is a dyadic
+    // rational with well under 24 mantissa bits, so each arithmetic step is
+    // exact and the closed form below reproduces the naive loop's iterative
+    // midpoints bit for bit (the replay asserts pin this).
+    let span = rr - rl;
+    let ratio_of = |j: usize| rl + (j as f32 / buckets as f32) * span;
+    let bounds: Vec<f32> = (0..=buckets)
+        .map(|j| a_mean + ratio_of(j) * (u - a_mean))
+        .collect();
+
+    // Histogram of the live magnitudes over the boundary grid. A float
+    // guess lands near the right bucket; the fix-up loops settle it against
+    // the exact boundaries so rounding can never misplace an element.
+    // Every live magnitude is `>= bounds[0]` (the wall threshold), so
+    // `m - bounds[0]` is non-negative and the guess cast is direct.
+    // Bucket `j` holds
+    // `bounds[j] <= m < bounds[j+1]`; the last bucket also absorbs
+    // `m >= bounds[buckets]` (rounding can leave that boundary slightly
+    // below the true top). u32 counts suffice: the repo-wide index type
+    // caps the element count at `u32::MAX`.
+    // Two loops per chunk: the guess arithmetic (subtract, scale, cast,
+    // clamp) vectorises when split from the data-dependent fix-up, which
+    // stays scalar but only has the table work left to do. The `as i32`
+    // cast truncates toward zero exactly like the scalar cast would; the
+    // guesses are in `[0, buckets]` (plus rounding), so the clamp makes
+    // them valid u16 bucket ids. (A degenerate grid — all boundaries
+    // rounding to one value — makes the scale infinite and the guesses
+    // NaN, which the cast maps to 0 and the fix-up walk resolves; the
+    // counts stay exact.)
+    let guess_scale = buckets as f32 / (bounds[buckets] - bounds[0]);
+    let mut counts = vec![0u32; buckets];
+    let mut keys = [0u16; SCAN_CHUNK];
+    for chunk in survivors.chunks(SCAN_CHUNK) {
+        for (kk, &m) in keys.iter_mut().zip(chunk) {
+            *kk = (((m - bounds[0]) * guess_scale) as i32).min(buckets as i32 - 1) as u16;
+        }
+        for (&kk, &m) in keys.iter().zip(chunk) {
+            let mut j = kk as usize;
+            while m < bounds[j] {
+                j -= 1;
+            }
+            while j + 1 < buckets && m >= bounds[j + 1] {
+                j += 1;
+            }
+            counts[j] += 1;
+        }
+    }
+
+    // suffix[j] = exact count_ge(x, bounds[j]) — every dropped element is
+    // below `bounds[0]` and hence below every boundary, so the live
+    // elements alone determine the counts.
+    let mut suffix = vec![0usize; buckets + 1];
+    for j in (0..buckets).rev() {
+        suffix[j] = suffix[j + 1] + counts[j] as usize;
+    }
+
+    // Replay the next `levels` probes from the suffix sums. Integer bucket
+    // indices shadow the float bracket; the debug asserts pin the bitwise
+    // equivalence the module docs argue.
+    let (mut lj, mut rj) = (0usize, buckets);
+    for _ in 0..levels {
+        let mj = (lj + rj) / 2;
+        let ratio = bracket.midpoint();
+        debug_assert_eq!(ratio, ratio_of(mj));
+        let thres = a_mean + ratio * (u - a_mean);
+        debug_assert_eq!(thres, bounds[mj]);
+        let nnz = suffix[mj];
+        let under = nnz <= k;
+        bracket.observe(nnz, thres, ratio, k);
+        if under {
+            rj = mj;
+        } else {
+            lj = mj;
+        }
+    }
+
+    // Any remaining probes land strictly inside one bucket (monotone f32
+    // rounding keeps every later threshold within its boundary pair), so a
+    // scan of just that bucket's magnitudes answers them exactly.
+    if left > levels {
+        debug_assert_eq!(lj + 1, rj);
+        let cell = lj;
+        let lo = bounds[cell];
+        let (hi, tail) = if cell + 1 == buckets {
+            (f32::INFINITY, 0)
+        } else {
+            (bounds[cell + 1], suffix[cell + 1])
+        };
+        // The cell holds a handful of magnitudes; screen each chunk with a
+        // vectorizable membership count and only gather from chunks that
+        // hit.
+        let mut cell_m: Vec<f32> = Vec::with_capacity(counts[cell] as usize);
+        for chunk in survivors.chunks(SCAN_CHUNK) {
+            let hits: usize = chunk.iter().map(|&m| usize::from(m >= lo && m < hi)).sum();
+            if hits == 0 {
+                continue;
+            }
+            for &m in chunk {
+                if m >= lo && m < hi {
+                    cell_m.push(m);
+                }
+            }
+        }
+        debug_assert_eq!(cell_m.len(), counts[cell] as usize);
+        for _ in levels..left {
+            let ratio = bracket.midpoint();
+            let thres = a_mean + ratio * (u - a_mean);
+            let nnz = tail + cell_m.iter().filter(|&&m| m >= thres).count();
+            bracket.observe(nnz, thres, ratio, k);
+        }
+    }
+    s
+}
+
+/// Algorithm 1 with an explicit RNG (deterministic given the RNG state),
+/// histogram-accelerated: ~3 streaming passes regardless of `samplings`.
+/// Bitwise identical to [`mstopk_naive_with_rng`] on every input.
+pub fn mstopk_with_rng(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    rng: &mut StdRng,
+) -> (SparseGrad, MsTopKStats) {
+    let d = x.len();
+    let k = k.min(d);
+    if let Some(out) = trivial_selection(x, d, k) {
+        return out;
+    }
+
+    // Line 1: the mean pass (block-ordered, matches the naive path).
+    let a_mean = ops::mean_abs(x);
+
+    let mut bracket = Bracket::new(d);
+    let mut survivors = None;
+    if samplings > 0 {
+        // Lines 2–3: the max pass, exactly the statistic the naive path
+        // computes.
+        let u = ops::max_abs(x);
+        if u > a_mean {
+            survivors = Some(search_histogram(x, k, samplings, a_mean, u, &mut bracket));
+        } else if u == a_mean {
+            // Degenerate grid: every probe threshold collapses to
+            // `a_mean` (`ratio * 0.0 == 0.0`), so the naive loop
+            // evaluates the same count every iteration and only the
+            // first updates the bracket.
+            let nnz = ops::count_ge(x, a_mean);
+            bracket.observe(nnz, a_mean, bracket.midpoint(), k);
+        } else {
+            // `mean_abs` rounding pathologically exceeded `max_abs` (or
+            // NaN poisoned a statistic): the histogram grid would be
+            // inverted. Fall back to the literal search (still
+            // identical, just not accelerated).
+            search_counting(x, k, samplings, a_mean, u, &mut bracket);
+        }
+    }
+
+    // The survivor buffer can stand in for a selection rescan only if it
+    // covers everything `>= thres2`. A set `thres2` is a probed threshold
+    // at or above the compaction cutoff; unset it is 0.0, which qualifies
+    // only in the all-magnitudes-survive case `cutoff == 0`.
+    let accel = survivors.as_ref().filter(|s| bracket.thres2 >= s.cutoff);
+    finish_selection(x, d, k, &bracket, samplings, rng, accel)
+}
+
+/// Algorithm 1 with an explicit RNG, exactly as printed in the paper: `N`
+/// streaming `count_ge` passes. Kept as the reference implementation for
+/// differential tests against [`mstopk_with_rng`].
+pub fn mstopk_naive_with_rng(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    rng: &mut StdRng,
+) -> (SparseGrad, MsTopKStats) {
+    let d = x.len();
+    let k = k.min(d);
+    if let Some(out) = trivial_selection(x, d, k) {
+        return out;
+    }
+
+    let a_mean = ops::mean_abs(x);
+    let u = ops::max_abs(x);
+
+    let mut bracket = Bracket::new(d);
+    search_counting(x, k, samplings, a_mean, u, &mut bracket);
+
+    finish_selection(x, d, k, &bracket, samplings, rng, None)
 }
 
 #[cfg(test)]
@@ -276,7 +851,9 @@ mod tests {
 
     #[test]
     fn constant_magnitude_signs_are_preserved() {
-        let x: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let s = MsTopK::new(10, 3).compress(&x, 10);
         for (v, &i) in s.values.iter().zip(&s.indices) {
             assert_eq!(*v, x[i as usize]);
@@ -300,5 +877,32 @@ mod tests {
         let a = MsTopK::new(30, 99).compress(&x, 64);
         let b = MsTopK::new(30, 99).compress(&x, 64);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_matches_naive_selection_and_stats() {
+        for (seed, d) in [(21u64, 1_000usize), (22, 10_000), (23, 65_537)] {
+            let x = grad(seed, d);
+            for k in [1usize, 7, d / 100 + 1, d / 10, d - 1] {
+                for samplings in [1usize, 5, 16, 17, 30, 39] {
+                    let (sh, th) = MsTopK::new(samplings, 77).select_with_stats(&x, k);
+                    let (sn, tn) = MsTopKNaive::new(samplings, 77).select_with_stats(&x, k);
+                    assert_eq!(sh, sn, "selection diverged d={d} k={k} n={samplings}");
+                    assert_eq!(th, tn, "stats diverged d={d} k={k} n={samplings}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_matches_naive_on_degenerate_magnitudes() {
+        // mean == max: the constant-threshold replay path.
+        let x = vec![-3.0f32; 513];
+        for k in [1usize, 256, 512] {
+            let (sh, th) = MsTopK::new(30, 5).select_with_stats(&x, k);
+            let (sn, tn) = MsTopKNaive::new(30, 5).select_with_stats(&x, k);
+            assert_eq!(sh, sn);
+            assert_eq!(th, tn);
+        }
     }
 }

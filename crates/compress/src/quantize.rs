@@ -53,7 +53,9 @@ impl QuantizedGrad {
     /// Wire size in bytes: the scale plus `ceil(log2(2s+1))` bits per
     /// element (packed).
     pub fn wire_bytes(&self) -> usize {
-        let bits_per_elem = (2 * self.levels as u32 + 1).next_power_of_two().trailing_zeros();
+        let bits_per_elem = (2 * self.levels as u32 + 1)
+            .next_power_of_two()
+            .trailing_zeros();
         4 + (self.codes.len() * bits_per_elem as usize).div_ceil(8)
     }
 }
@@ -176,10 +178,7 @@ pub struct ScaledSign;
 impl Quantizer for ScaledSign {
     fn quantize(&mut self, x: &[f32]) -> QuantizedGrad {
         let scale = ops::mean_abs(x);
-        let codes = x
-            .iter()
-            .map(|&v| if v >= 0.0 { 1i8 } else { -1 })
-            .collect();
+        let codes = x.iter().map(|&v| if v >= 0.0 { 1i8 } else { -1 }).collect();
         QuantizedGrad {
             scale,
             codes,
@@ -252,10 +251,7 @@ mod tests {
         let x = grad(3, 1000);
         for levels in [1u8, 4, 127] {
             let g = Qsgd::new(levels, 1).quantize(&x);
-            assert!(g
-                .codes
-                .iter()
-                .all(|&c| (c as i32).abs() <= levels as i32));
+            assert!(g.codes.iter().all(|&c| (c as i32).abs() <= levels as i32));
             assert_eq!(g.decode().len(), x.len());
         }
     }

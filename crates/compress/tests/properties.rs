@@ -1,7 +1,7 @@
 //! Property-based tests for the compression operators.
 
 use cloudtrain_compress::exact::{topk_quickselect, topk_sort};
-use cloudtrain_compress::{Compressor, ErrorFeedback, MsTopK, SparseGrad};
+use cloudtrain_compress::{Compressor, ErrorFeedback, MsTopK, MsTopKNaive, SparseGrad};
 use cloudtrain_tensor::ops;
 use proptest::prelude::*;
 
@@ -63,6 +63,49 @@ proptest! {
         let mut acc = vec![0.0; x.len()];
         s.add_into(&mut acc);
         prop_assert_eq!(dense, acc);
+    }
+
+    /// The histogram MSTopK is bitwise identical to the paper-literal N-pass
+    /// search: same SparseGrad, same MsTopKStats, same RNG consumption —
+    /// across random dimensions, sampling counts, and k (including 0, 1, d).
+    #[test]
+    fn histogram_mstopk_equals_naive(
+        x in grad_vec(),
+        k_frac in 0.0f64..1.0,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let d = x.len();
+        for k in [0usize, 1, ((d as f64) * k_frac) as usize, d] {
+            let mut hist = MsTopK::new(n, seed);
+            let mut naive = MsTopKNaive::new(n, seed);
+            let (sh, th) = hist.select_with_stats(&x, k);
+            let (sn, tn) = naive.select_with_stats(&x, k);
+            prop_assert_eq!(&sh, &sn, "selection diverged at k={} n={}", k, n);
+            prop_assert_eq!(th, tn, "stats diverged at k={} n={}", k, n);
+            // Same RNG state afterwards: a second draw must also agree.
+            let (sh2, _) = hist.select_with_stats(&x, k.min(d.saturating_sub(1)).max(1).min(d));
+            let (sn2, _) = naive.select_with_stats(&x, k.min(d.saturating_sub(1)).max(1).min(d));
+            prop_assert_eq!(sh2, sn2, "RNG state diverged at k={} n={}", k, n);
+        }
+    }
+
+    /// Histogram/naive equivalence holds on all-equal-magnitude inputs,
+    /// where no threshold ever under-selects and the band supplies all k.
+    #[test]
+    fn histogram_mstopk_equals_naive_all_equal(
+        mag in 0.5f32..100.0,
+        d in 1usize..400,
+        k_frac in 0.0f64..1.0,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let x = vec![mag; d];
+        let k = ((d as f64) * k_frac) as usize;
+        let (sh, th) = MsTopK::new(n, seed).select_with_stats(&x, k);
+        let (sn, tn) = MsTopKNaive::new(n, seed).select_with_stats(&x, k);
+        prop_assert_eq!(sh, sn);
+        prop_assert_eq!(th, tn);
     }
 
     /// The k-th largest magnitude of the exact selection is a true

@@ -45,7 +45,10 @@ impl std::error::Error for DecodeError {}
 /// the payload length.
 pub fn decode(blob: &Bytes, cpu: &CpuModel) -> Result<(Sample, f64), DecodeError> {
     if blob.len() < BLOB_HEADER {
-        return Err(DecodeError(format!("blob of {} bytes has no header", blob.len())));
+        return Err(DecodeError(format!(
+            "blob of {} bytes has no header",
+            blob.len()
+        )));
     }
     let pixels = u32::from_le_bytes([blob[0], blob[1], blob[2], blob[3]]) as usize;
     let label = u32::from_le_bytes([blob[4], blob[5], blob[6], blob[7]]);
@@ -72,8 +75,8 @@ pub fn augment(sample: &mut Sample, flip: bool, cpu: &CpuModel) -> f64 {
     if flip {
         sample.data.reverse();
     }
-    let t = cpu.augment_time(sample.data.len());
-    t
+
+    cpu.augment_time(sample.data.len())
 }
 
 #[cfg(test)]

@@ -154,9 +154,8 @@ impl CachedLoader {
         };
 
         // CPU stage: decode + augment.
-        let (mut sample, t_dec) =
-            decode(&blob, &self.cfg.cpu).expect("synthetic blob must decode");
-        let t_aug = augment(&mut sample, id % 2 == 0, &self.cfg.cpu);
+        let (mut sample, t_dec) = decode(&blob, &self.cfg.cpu).expect("synthetic blob must decode");
+        let t_aug = augment(&mut sample, id.is_multiple_of(2), &self.cfg.cpu);
         let sample = Arc::new(sample);
 
         if let Some(mem) = self.mem.as_mut() {
@@ -180,19 +179,15 @@ mod tests {
     use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "cloudtrain-loader-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("cloudtrain-loader-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
 
     fn loader(tag: &str, cfg: LoaderConfig) -> CachedLoader {
         let nfs = SyntheticNfs::new(96 * 96 * 3, 1);
-        let disk = cfg
-            .use_disk
-            .then(|| DiskCache::open(tmpdir(tag)).unwrap());
+        let disk = cfg.use_disk.then(|| DiskCache::open(tmpdir(tag)).unwrap());
         CachedLoader::new(nfs, disk, cfg)
     }
 

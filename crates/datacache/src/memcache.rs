@@ -169,7 +169,14 @@ mod tests {
         let (s, t) = c.get(1).unwrap();
         assert_eq!(s.data.len(), 10);
         assert!(t > 0.0 && t < 1e-5);
-        assert_eq!(c.stats(), MemStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(
+            c.stats(),
+            MemStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]

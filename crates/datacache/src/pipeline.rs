@@ -74,6 +74,7 @@ impl Prefetcher {
 
     /// Receives the next prefetched sample, or `None` when the sequence is
     /// exhausted.
+    #[allow(clippy::should_implement_trait)] // blocking recv, not an Iterator
     pub fn next(&mut self) -> Option<Prefetched> {
         self.rx.recv().ok()
     }

@@ -48,8 +48,7 @@ impl ShardedSampler {
 
     /// Number of samples in this node's shard.
     pub fn shard_len(&self) -> u64 {
-        self.dataset_len / self.nodes
-            + u64::from(self.dataset_len % self.nodes > self.node)
+        self.dataset_len / self.nodes + u64::from(self.dataset_len % self.nodes > self.node)
     }
 
     /// The shard, shuffled for the given epoch (Fisher–Yates with a

@@ -34,11 +34,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, mut dy: Tensor) -> Tensor {
-        assert_eq!(
-            dy.len(),
-            self.mask.len(),
-            "Relu: backward shape mismatch"
-        );
+        assert_eq!(dy.len(), self.mask.len(), "Relu: backward shape mismatch");
         for (g, &pass) in dy.as_mut_slice().iter_mut().zip(&self.mask) {
             if !pass {
                 *g = 0.0;
@@ -122,7 +118,11 @@ impl Layer for Gelu {
     }
 
     fn backward(&mut self, mut dy: Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.cached_x.len(), "Gelu: backward shape mismatch");
+        assert_eq!(
+            dy.len(),
+            self.cached_x.len(),
+            "Gelu: backward shape mismatch"
+        );
         for (g, &x) in dy.as_mut_slice().iter_mut().zip(&self.cached_x) {
             *g *= Self::dgelu(x);
         }
@@ -181,7 +181,11 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, mut dy: Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.mask.len(), "Dropout: backward shape mismatch");
+        assert_eq!(
+            dy.len(),
+            self.mask.len(),
+            "Dropout: backward shape mismatch"
+        );
         let scale = 1.0 / (1.0 - self.p);
         for (g, &keep) in dy.as_mut_slice().iter_mut().zip(&self.mask) {
             *g = if keep { *g * scale } else { 0.0 };

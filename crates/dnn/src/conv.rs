@@ -156,8 +156,14 @@ impl Layer for Conv2d {
             self.cached_cols.clear();
             let ck2 = self.in_c * self.k * self.k;
             for bi in 0..b {
-                let (cols, coh, cow) =
-                    im2col(&x.as_slice()[bi * c * h * w..(bi + 1) * c * h * w], c, h, w, self.k, self.stride);
+                let (cols, coh, cow) = im2col(
+                    &x.as_slice()[bi * c * h * w..(bi + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    self.k,
+                    self.stride,
+                );
                 debug_assert_eq!((coh, cow), (oh, ow));
                 let out = &mut y.as_mut_slice()
                     [bi * self.out_c * oh * ow..(bi + 1) * self.out_c * oh * ow];
@@ -213,7 +219,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let x = self.cached_x.take().expect("Conv2d: backward before forward");
+        let x = self
+            .cached_x
+            .take()
+            .expect("Conv2d: backward before forward");
         let (b, c, h, w) = unpack4(&x);
         let (oh, ow) = self.out_hw(h, w);
         if self.fast {
@@ -395,11 +404,7 @@ impl Layer for GlobalAvgPool {
         let (b, c, h, w) = unpack4(&x);
         let mut y = Tensor::zeros(vec![b, c]);
         let inv = 1.0 / (h * w) as f32;
-        for (plane, out) in x
-            .as_slice()
-            .chunks(h * w)
-            .zip(y.as_mut_slice().iter_mut())
-        {
+        for (plane, out) in x.as_slice().chunks(h * w).zip(y.as_mut_slice().iter_mut()) {
             *out = plane.iter().sum::<f32>() * inv;
         }
         self.in_shape = vec![b, c, h, w];
@@ -581,8 +586,11 @@ mod tests {
     #[test]
     fn global_avg_pool_roundtrip() {
         let mut g = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], vec![1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0],
+            vec![1, 2, 2, 2],
+        )
+        .unwrap();
         let y = g.forward(x, true);
         assert_eq!(y.as_slice(), &[4.0, 2.0]);
         let dx = g.backward(Tensor::from_vec_1d(vec![4.0, 8.0]));

@@ -104,9 +104,8 @@ impl SyntheticImages {
             data.extend_from_slice(&x);
             labels.push(y);
         }
-        let tensor =
-            Tensor::from_vec(data, vec![ids.len(), self.channels, self.res, self.res])
-                .expect("batch shape");
+        let tensor = Tensor::from_vec(data, vec![ids.len(), self.channels, self.res, self.res])
+            .expect("batch shape");
         Batch {
             input: Input::Dense(tensor),
             labels,
@@ -210,9 +209,8 @@ mod tests {
         assert_eq!(lc, 10 % 4);
         assert_ne!(a, c);
         // Samples of the same class are closer than cross-class samples.
-        let dist = |x: &[f32], y: &[f32]| -> f32 {
-            x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum()
-        };
+        let dist =
+            |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum() };
         let (d, _) = g.sample(11); // different class
         assert!(dist(&a, &c) < dist(&a, &d));
     }
@@ -235,7 +233,7 @@ mod tests {
             let (ids, label) = g.sample(idx);
             assert_eq!(ids.len(), 16);
             assert!(
-                ids.iter().any(|&t| t == label),
+                ids.contains(&label),
                 "sample {idx} lacks marker {label}: {ids:?}"
             );
             assert!(ids.iter().all(|&t| (t as usize) < 32));

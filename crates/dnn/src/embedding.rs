@@ -58,7 +58,10 @@ impl Embedding {
         let rows = ids.len();
         let mut out = Tensor::zeros(vec![rows, self.dim]);
         for (r, &id) in ids.iter().enumerate() {
-            assert!((id as usize) < self.vocab, "Embedding: token {id} out of vocab");
+            assert!(
+                (id as usize) < self.vocab,
+                "Embedding: token {id} out of vocab"
+            );
             let tok = &self.tokens.value[id as usize * self.dim..(id as usize + 1) * self.dim];
             let pos_idx = r % seq_len;
             let pos = &self.positions.value[pos_idx * self.dim..(pos_idx + 1) * self.dim];
@@ -77,8 +80,7 @@ impl Embedding {
         assert_eq!(dy.len(), self.cached_ids.len() * self.dim);
         for (r, &id) in self.cached_ids.iter().enumerate() {
             let g = &dy.as_slice()[r * self.dim..(r + 1) * self.dim];
-            let tok =
-                &mut self.tokens.grad[id as usize * self.dim..(id as usize + 1) * self.dim];
+            let tok = &mut self.tokens.grad[id as usize * self.dim..(id as usize + 1) * self.dim];
             for (t, v) in tok.iter_mut().zip(g) {
                 *t += v;
             }

@@ -65,7 +65,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let x = self.cached_x.take().expect("Linear: backward before forward");
+        let x = self
+            .cached_x
+            .take()
+            .expect("Linear: backward before forward");
         let batch = dy.len() / self.out_dim;
 
         // dW += dy^T @ x  (shape [out, in]).
@@ -137,11 +140,8 @@ mod tests {
     fn gradcheck_weights_and_input() {
         // Finite-difference check of dL/dw and dL/dx with L = sum(y^2)/2.
         let mut l = layer(4, 3);
-        let x = Tensor::from_vec(
-            vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2, 0.0, 0.7],
-            vec![2, 4],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2, 0.0, 0.7], vec![2, 4]).unwrap();
         let y = l.forward(x.clone(), true);
         let dy = y.clone(); // dL/dy = y for L = sum(y^2)/2
         let dx = l.backward(dy);

@@ -78,8 +78,7 @@ mod tests {
 
     #[test]
     fn gradient_rows_sum_to_zero() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], vec![2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], vec![2, 3]).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
         for row in grad.as_slice().chunks(3) {
             assert!(row.iter().sum::<f32>().abs() < 1e-6);
@@ -88,8 +87,7 @@ mod tests {
 
     #[test]
     fn loss_gradcheck() {
-        let logits =
-            Tensor::from_vec(vec![0.2, -0.3, 0.7, 1.1, -0.5, 0.0], vec![2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.2, -0.3, 0.7, 1.1, -0.5, 0.0], vec![2, 3]).unwrap();
         let labels = [1u32, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3;

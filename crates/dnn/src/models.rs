@@ -49,8 +49,12 @@ impl ResidualBlock {
     /// stride; a 1×1 projection shortcut is added whenever the shape
     /// changes.
     pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut StdRng) -> Self {
-        let shortcut = (in_c != out_c || stride != 1)
-            .then(|| (Conv2d::new(in_c, out_c, 1, stride, rng).fast(), BatchNorm2d::new(out_c)));
+        let shortcut = (in_c != out_c || stride != 1).then(|| {
+            (
+                Conv2d::new(in_c, out_c, 1, stride, rng).fast(),
+                BatchNorm2d::new(out_c),
+            )
+        });
         Self {
             conv1: Conv2d::new(in_c, out_c, 3, stride, rng).fast(),
             bn1: BatchNorm2d::new(out_c),
@@ -174,7 +178,8 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, mut dy: Tensor) -> Tensor {
-        dy.reshape(self.in_shape.clone()).expect("Flatten: reshape back");
+        dy.reshape(self.in_shape.clone())
+            .expect("Flatten: reshape back");
         dy
     }
 
@@ -208,7 +213,10 @@ pub fn resnet_lite(width: usize, classes: usize, rng: &mut StdRng) -> Sequential
 /// A plain CNN with a large fully connected head (VGG-19 stand-in) for
 /// `[b, 3, res, res]` inputs with `res` divisible by 4.
 pub fn vgg_lite(width: usize, res: usize, classes: usize, rng: &mut StdRng) -> Sequential {
-    assert!(res % 4 == 0, "vgg_lite: resolution must be divisible by 4");
+    assert!(
+        res.is_multiple_of(4),
+        "vgg_lite: resolution must be divisible by 4"
+    );
     let w = width;
     let flat = 2 * w * (res / 4) * (res / 4);
     Sequential::new(
@@ -358,7 +366,9 @@ impl TransformerModel {
     ) -> Self {
         Self {
             embed: Embedding::new(vocab, dim, seq, rng),
-            blocks: (0..n_blocks).map(|_| TransformerBlock::new(dim, seq, rng)).collect(),
+            blocks: (0..n_blocks)
+                .map(|_| TransformerBlock::new(dim, seq, rng))
+                .collect(),
             head: Linear::new(dim, classes, rng),
             seq,
             dim,
@@ -506,7 +516,7 @@ mod tests {
     fn residual_block_gradcheck() {
         let mut rng = rng_from_seed(2);
         let mut blk = ResidualBlock::new(2, 4, 2, &mut rng);
-        let mut x = init::uniform_tensor(1 * 2 * 4 * 4, -1.0, 1.0, &mut rng);
+        let mut x = init::uniform_tensor(2 * 4 * 4, -1.0, 1.0, &mut rng);
         x.reshape(vec![1, 2, 4, 4]).unwrap();
         let y = blk.forward(x.clone(), true);
         let dx = blk.backward(y);

@@ -53,44 +53,44 @@ impl Layer for BatchNorm2d {
         self.inv_std = vec![0.0; c];
         let mut means = vec![0.0f32; c];
         if train {
-            for ch in 0..c {
+            for (ch, mean) in means.iter_mut().enumerate() {
                 let mut sum = 0.0;
                 for bi in 0..b {
                     let base = (bi * c + ch) * plane;
                     sum += x.as_slice()[base..base + plane].iter().sum::<f32>();
                 }
-                means[ch] = sum / count;
+                *mean = sum / count;
             }
-            for ch in 0..c {
+            for (ch, &mean) in means.iter().enumerate() {
                 let mut var = 0.0;
                 for bi in 0..b {
                     let base = (bi * c + ch) * plane;
                     var += x.as_slice()[base..base + plane]
                         .iter()
-                        .map(|v| (v - means[ch]).powi(2))
+                        .map(|v| (v - mean).powi(2))
                         .sum::<f32>();
                 }
                 let var = var / count;
                 self.inv_std[ch] = 1.0 / (var + EPS).sqrt();
                 self.running_mean[ch] =
-                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * means[ch];
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
                 self.running_var[ch] =
                     (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
             }
         } else {
-            for ch in 0..c {
-                means[ch] = self.running_mean[ch];
+            for (ch, mean) in means.iter_mut().enumerate() {
+                *mean = self.running_mean[ch];
                 self.inv_std[ch] = 1.0 / (self.running_var[ch] + EPS).sqrt();
             }
         }
 
         self.xhat = vec![0.0; x.len()];
         for bi in 0..b {
-            for ch in 0..c {
+            for (ch, &mean) in means.iter().enumerate() {
                 let base = (bi * c + ch) * plane;
                 let (g, bta) = (self.gamma.value[ch], self.beta.value[ch]);
                 for i in base..base + plane {
-                    let xh = (x.as_slice()[i] - means[ch]) * self.inv_std[ch];
+                    let xh = (x.as_slice()[i] - mean) * self.inv_std[ch];
                     self.xhat[i] = xh;
                     x.as_mut_slice()[i] = g * xh + bta;
                 }
@@ -132,8 +132,8 @@ impl Layer for BatchNorm2d {
                 let base = (bi * c + ch) * plane;
                 for i in base..base + plane {
                     let dxh = dy.as_slice()[i] * g;
-                    dx.as_mut_slice()[i] = inv_std / count
-                        * (count * dxh - sum_dxh - self.xhat[i] * sum_dxh_xh);
+                    dx.as_mut_slice()[i] =
+                        inv_std / count * (count * dxh - sum_dxh - self.xhat[i] * sum_dxh_xh);
                 }
             }
         }
@@ -261,8 +261,7 @@ mod tests {
                 vals.extend_from_slice(&y.as_slice()[base..base + 9]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -281,7 +280,11 @@ mod tests {
         // In eval mode, an input at the running mean maps near beta (0).
         let x = Tensor::full(vec![1, 1, 3, 3], 3.0);
         let y = bn.forward(x, false);
-        assert!(y.as_slice().iter().all(|v| v.abs() < 0.2), "{:?}", y.as_slice());
+        assert!(
+            y.as_slice().iter().all(|v| v.abs() < 0.2),
+            "{:?}",
+            y.as_slice()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use cloudtrain_dnn::loss::{softmax_cross_entropy, top_k_accuracy};
 use cloudtrain_dnn::math::{matmul, matmul_bt, softmax_rows, transpose};
 use cloudtrain_dnn::model::{Input, Model};
 use cloudtrain_dnn::models::mlp;
-use cloudtrain_tensor::{init, Tensor};
+use cloudtrain_tensor::init;
 use proptest::prelude::*;
 
 proptest! {
@@ -133,7 +133,7 @@ proptest! {
         let (tb, yb) = seq.sample(idx);
         prop_assert_eq!(&ta, &tb);
         prop_assert_eq!(ya, yb);
-        prop_assert!(ta.iter().any(|&t| t == ya));
+        prop_assert!(ta.contains(&ya));
     }
 
     /// One gradient step on a fixed batch reduces the loss for any seed

@@ -224,7 +224,12 @@ mod tests {
             let d = evaluate_schedule(c, &dense_only_schedule()).total_seconds;
             d / p
         };
-        assert!(gap(slow) > gap(fast), "slow gap {} fast gap {}", gap(slow), gap(fast));
+        assert!(
+            gap(slow) > gap(fast),
+            "slow gap {} fast gap {}",
+            gap(slow),
+            gap(fast)
+        );
     }
 
     #[test]

@@ -64,8 +64,15 @@ impl Bucket {
 ///
 /// # Panics
 /// Panics if `threshold_bytes == 0`.
-pub fn plan_buckets(ranges: &[ParamRange], elem_bytes: usize, threshold_bytes: usize) -> Vec<Bucket> {
-    assert!(threshold_bytes > 0, "plan_buckets: threshold must be positive");
+pub fn plan_buckets(
+    ranges: &[ParamRange],
+    elem_bytes: usize,
+    threshold_bytes: usize,
+) -> Vec<Bucket> {
+    assert!(
+        threshold_bytes > 0,
+        "plan_buckets: threshold must be positive"
+    );
     let mut buckets = Vec::new();
     let mut start = 0;
     let mut bytes = 0usize;
@@ -199,7 +206,9 @@ mod tests {
     fn oversized_layer_gets_own_bucket() {
         let r = ranges(&[10, 5000, 10]);
         let buckets = plan_buckets(&r, 4, 100);
-        assert!(buckets.iter().any(|b| b.bytes == 20000 && b.layer_count() == 1));
+        assert!(buckets
+            .iter()
+            .any(|b| b.bytes == 20000 && b.layer_count() == 1));
     }
 
     #[test]

@@ -151,9 +151,7 @@ impl IterationModel {
         let d = self.profile.params;
         match self.system.strategy {
             // Horovod's dense path all-reduces FP32 gradients.
-            Strategy::DenseTreeAr => {
-                sim_tree_all_reduce_hier(&mut sim, &self.cluster, d * 4).total
-            }
+            Strategy::DenseTreeAr => sim_tree_all_reduce_hier(&mut sim, &self.cluster, d * 4).total,
             // CommLib's dense path uses the FP16 wire (§5.3).
             Strategy::DenseTorus => sim_torus_all_reduce(&mut sim, &self.cluster, d * 2).total,
             Strategy::TopKNaiveAg { rho } => {
@@ -241,8 +239,7 @@ impl IterationModel {
     /// Scaling efficiency versus `world ×` the single-GPU throughput
     /// (the paper's Table 3 metric).
     pub fn scaling_efficiency(&self) -> f64 {
-        self.throughput()
-            / (self.cluster.world() as f64 * self.profile.single_gpu_throughput)
+        self.throughput() / (self.cluster.world() as f64 * self.profile.single_gpu_throughput)
     }
 }
 
@@ -276,7 +273,10 @@ mod tests {
         assert!(se_m > 0.80, "mstopk SE {se_m}");
         // At 224 the compute window hides 2DTAR's communication, so 2DTAR
         // edges out MSTopK by the compression overhead (§5.5.2).
-        assert!(se_t >= se_m, "2dtar {se_t} should be >= mstopk {se_m} at 224");
+        assert!(
+            se_t >= se_m,
+            "2dtar {se_t} should be >= mstopk {se_m} at 224"
+        );
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl Strategy {
     pub fn is_sparse(&self) -> bool {
         matches!(
             self,
-            Strategy::TopKNaiveAg { .. }
-                | Strategy::MsTopKHiTopK { .. }
-                | Strategy::GTopK { .. }
+            Strategy::TopKNaiveAg { .. } | Strategy::MsTopKHiTopK { .. } | Strategy::GTopK { .. }
         )
     }
 

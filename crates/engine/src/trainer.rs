@@ -9,13 +9,13 @@
 //! across workers, which the test suite asserts.
 
 use cloudtrain_collectives::group::run_on_group;
-use cloudtrain_collectives::gtopk::gtopk_all_reduce;
-use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef, sparse_all_reduce_naive};
+use cloudtrain_collectives::gtopk::gtopk_all_reduce_scratch;
+use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef_scratch, sparse_all_reduce_naive};
 use cloudtrain_collectives::quantized::quantized_all_reduce;
 use cloudtrain_collectives::ring::all_gather_f32;
 use cloudtrain_collectives::torus::torus_all_reduce;
 use cloudtrain_collectives::tree::tree_all_reduce;
-use cloudtrain_collectives::Peer;
+use cloudtrain_collectives::{CommScratch, Peer};
 use cloudtrain_compress::exact::QuickTopK;
 use cloudtrain_compress::quantize::Qsgd;
 use cloudtrain_compress::{ErrorFeedback, MsTopK};
@@ -27,8 +27,8 @@ use cloudtrain_optim::adam::{Adam, AdamConfig};
 use cloudtrain_optim::lamb::{Lamb, LambConfig};
 use cloudtrain_optim::lars::{apply_with_rates, compute_rates, LarsConfig};
 use cloudtrain_optim::mixed::{fp16_wire, LossScaler};
-use cloudtrain_optim::Optimizer;
 use cloudtrain_optim::schedule::{LrSchedule, WarmupCosine};
+use cloudtrain_optim::Optimizer;
 use cloudtrain_tensor::{init, ops, partition};
 use serde::{Deserialize, Serialize};
 
@@ -194,14 +194,9 @@ fn build_model(cfg: &DistConfig) -> Box<dyn Model> {
         Workload::ResNetLite => Box::new(resnet_lite(8, cfg.classes, &mut rng)),
         Workload::VggLite => Box::new(vgg_lite(8, 16, cfg.classes, &mut rng)),
         Workload::Mlp => Box::new(mlp(3 * 16 * 16, 64, cfg.classes, &mut rng)),
-        Workload::Transformer => Box::new(TransformerModel::new(
-            64,
-            16,
-            16,
-            2,
-            cfg.classes,
-            &mut rng,
-        )),
+        Workload::Transformer => {
+            Box::new(TransformerModel::new(64, 16, 16, 2, cfg.classes, &mut rng))
+        }
     }
 }
 
@@ -313,6 +308,9 @@ impl DistTrainer {
         let mut scaler = LossScaler::default();
         let mut params = vec![0.0f32; d];
         let mut grads = vec![0.0f32; d];
+        // One communication arena per worker: after the first iteration the
+        // sparse collectives run without per-hop allocations.
+        let mut scratch = CommScratch::new();
         let mut report = TrainReport {
             strategy: cfg.strategy.label().to_string(),
             epochs: Vec::new(),
@@ -328,133 +326,144 @@ impl DistTrainer {
                 ef_shard.reset();
             }
             for _ in 0..phase_epochs {
-            let mut loss_sum = 0.0f32;
-            for _ in 0..cfg.iters_per_epoch {
-                let batch = adapt_input(cfg, data.train_batch(cfg, step, rank));
-                let logits = model.forward(&batch.input, true);
-                let (loss, mut dlogits) = softmax_cross_entropy(&logits, &batch.labels);
-                loss_sum += loss;
-                if cfg.mixed_precision {
-                    // Backprop on the scaled loss (linear, so scaling the
-                    // logits gradient is equivalent).
-                    scaler.scale_grad(dlogits.as_mut_slice());
-                }
-                model.backward(dlogits);
-                model.read_grads(&mut grads);
-                model.zero_grads();
-                if cfg.fp16_wire && !cfg.strategy.is_sparse() {
-                    fp16_wire(&mut grads);
-                }
+                let mut loss_sum = 0.0f32;
+                for _ in 0..cfg.iters_per_epoch {
+                    let batch = adapt_input(cfg, data.train_batch(cfg, step, rank));
+                    let logits = model.forward(&batch.input, true);
+                    let (loss, mut dlogits) = softmax_cross_entropy(&logits, &batch.labels);
+                    loss_sum += loss;
+                    if cfg.mixed_precision {
+                        // Backprop on the scaled loss (linear, so scaling the
+                        // logits gradient is equivalent).
+                        scaler.scale_grad(dlogits.as_mut_slice());
+                    }
+                    model.backward(dlogits);
+                    model.read_grads(&mut grads);
+                    model.zero_grads();
+                    if cfg.fp16_wire && !cfg.strategy.is_sparse() {
+                        fp16_wire(&mut grads);
+                    }
 
-                // Aggregate.
-                match strategy {
-                    Strategy::DenseTreeAr => {
-                        let members: Vec<usize> = (0..peer.size()).collect();
-                        tree_all_reduce(peer, &mut grads, &members);
-                    }
-                    Strategy::DenseTorus => {
-                        torus_all_reduce(peer, &mut grads, m, n);
-                    }
-                    Strategy::TopKNaiveAg { rho } => {
-                        ef_full.compensate(&mut grads);
-                        let k = ((d as f64 * rho).round() as usize).max(1);
-                        // The selection is recomputed inside the collective;
-                        // absorb needs it too, so compress once here.
-                        let sel = cloudtrain_compress::Compressor::compress(
-                            &mut exact, &grads, k,
-                        );
-                        ef_full.absorb(&grads, &sel);
-                        sparse_all_reduce_naive(peer, &mut grads, k, &mut exact);
-                    }
-                    Strategy::MsTopKHiTopK { rho, .. } => {
-                        hitopk_all_reduce_ef(
-                            peer, &mut grads, m, n, rho, &mut mstopk, &mut ef_shard,
-                        );
-                    }
-                    Strategy::GTopK { rho } => {
-                        ef_full.compensate(&mut grads);
-                        let k = ((d as f64 * rho).round() as usize).max(1);
-                        let sel = cloudtrain_compress::Compressor::compress(
-                            &mut exact, &grads, k,
-                        );
-                        ef_full.absorb(&grads, &sel);
-                        gtopk_all_reduce(peer, &mut grads, k, &mut exact);
-                    }
-                    Strategy::Qsgd { .. } => {
-                        // Unbiased quantization needs no error feedback.
-                        quantized_all_reduce(peer, &mut grads, &mut qsgd);
-                    }
-                }
-                ops::scale(&mut grads, 1.0 / world);
-                if cfg.mixed_precision {
-                    // Unscale *after* aggregation: the aggregated gradient
-                    // is identical on every rank, so the overflow/skip
-                    // decision is too, keeping replicas in lockstep.
-                    if !scaler.unscale_and_update(&mut grads) {
-                        step += 1;
-                        continue; // skipped step (grads were zeroed)
-                    }
-                }
-
-                // Update.
-                let lr = schedule.lr(step);
-                model.read_params(&mut params);
-                match cfg.optimizer {
-                    OptimizerKind::Lars => {
-                        let rates = if cfg.use_pto {
-                            cloudtrain_pto::lars_rates(peer, &params, &grads, &ranges, &lars_cfg)
-                        } else {
-                            compute_rates(&params, &grads, &ranges, &lars_cfg)
-                        };
-                        apply_with_rates(
-                            &mut params,
-                            &grads,
-                            &mut velocity,
-                            &ranges,
-                            &rates,
-                            lr,
-                            &lars_cfg,
-                        );
-                    }
-                    OptimizerKind::Momentum => {
-                        for ((w, g), v) in params.iter_mut().zip(&grads).zip(&mut velocity) {
-                            *v = 0.9 * *v + g;
-                            *w -= lr * *v;
+                    // Aggregate.
+                    match strategy {
+                        Strategy::DenseTreeAr => {
+                            let members: Vec<usize> = (0..peer.size()).collect();
+                            tree_all_reduce(peer, &mut grads, &members);
+                        }
+                        Strategy::DenseTorus => {
+                            torus_all_reduce(peer, &mut grads, m, n);
+                        }
+                        Strategy::TopKNaiveAg { rho } => {
+                            ef_full.compensate(&mut grads);
+                            let k = ((d as f64 * rho).round() as usize).max(1);
+                            // The selection is recomputed inside the collective;
+                            // absorb needs it too, so compress once here.
+                            let sel =
+                                cloudtrain_compress::Compressor::compress(&mut exact, &grads, k);
+                            ef_full.absorb(&grads, &sel);
+                            sparse_all_reduce_naive(peer, &mut grads, k, &mut exact);
+                        }
+                        Strategy::MsTopKHiTopK { rho, .. } => {
+                            hitopk_all_reduce_ef_scratch(
+                                peer,
+                                &mut grads,
+                                m,
+                                n,
+                                rho,
+                                &mut mstopk,
+                                &mut ef_shard,
+                                &mut scratch,
+                            );
+                        }
+                        Strategy::GTopK { rho } => {
+                            ef_full.compensate(&mut grads);
+                            let k = ((d as f64 * rho).round() as usize).max(1);
+                            let sel =
+                                cloudtrain_compress::Compressor::compress(&mut exact, &grads, k);
+                            ef_full.absorb(&grads, &sel);
+                            gtopk_all_reduce_scratch(peer, &mut grads, k, &mut exact, &mut scratch);
+                        }
+                        Strategy::Qsgd { .. } => {
+                            // Unbiased quantization needs no error feedback.
+                            quantized_all_reduce(peer, &mut grads, &mut qsgd);
                         }
                     }
-                    OptimizerKind::Lamb => {
-                        lamb.as_mut().expect("lamb state").step(&mut params, &grads, lr)
+                    ops::scale(&mut grads, 1.0 / world);
+                    if cfg.mixed_precision {
+                        // Unscale *after* aggregation: the aggregated gradient
+                        // is identical on every rank, so the overflow/skip
+                        // decision is too, keeping replicas in lockstep.
+                        if !scaler.unscale_and_update(&mut grads) {
+                            step += 1;
+                            continue; // skipped step (grads were zeroed)
+                        }
                     }
-                    OptimizerKind::Adam => {
-                        adam.as_mut().expect("adam state").step(&mut params, &grads, lr)
-                    }
-                }
-                model.write_params(&params);
-                step += 1;
-            }
 
-            // Validation (same batch on every rank — no communication).
-            let val = adapt_input(cfg, data.val_batch(cfg));
-            let logits = model.forward(&val.input, false);
-            let top1 = top_k_accuracy(&logits, &val.labels, 1);
-            let top5 = top_k_accuracy(&logits, &val.labels, 5.min(cfg.classes));
-            let residual_norm = match strategy {
-                Strategy::TopKNaiveAg { .. } | Strategy::GTopK { .. } => {
-                    ef_full.residual_norm()
+                    // Update.
+                    let lr = schedule.lr(step);
+                    model.read_params(&mut params);
+                    match cfg.optimizer {
+                        OptimizerKind::Lars => {
+                            let rates = if cfg.use_pto {
+                                cloudtrain_pto::lars_rates(
+                                    peer, &params, &grads, &ranges, &lars_cfg,
+                                )
+                            } else {
+                                compute_rates(&params, &grads, &ranges, &lars_cfg)
+                            };
+                            apply_with_rates(
+                                &mut params,
+                                &grads,
+                                &mut velocity,
+                                &ranges,
+                                &rates,
+                                lr,
+                                &lars_cfg,
+                            );
+                        }
+                        OptimizerKind::Momentum => {
+                            for ((w, g), v) in params.iter_mut().zip(&grads).zip(&mut velocity) {
+                                *v = 0.9 * *v + g;
+                                *w -= lr * *v;
+                            }
+                        }
+                        OptimizerKind::Lamb => {
+                            lamb.as_mut()
+                                .expect("lamb state")
+                                .step(&mut params, &grads, lr)
+                        }
+                        OptimizerKind::Adam => {
+                            adam.as_mut()
+                                .expect("adam state")
+                                .step(&mut params, &grads, lr)
+                        }
+                    }
+                    model.write_params(&params);
+                    step += 1;
                 }
-                Strategy::MsTopKHiTopK { .. } => ef_shard.residual_norm(),
-                _ => 0.0,
-            };
-            report.epochs.push(EpochMetrics {
-                epoch,
-                train_loss: loss_sum / cfg.iters_per_epoch as f32,
-                val_top1: top1,
-                val_top5: top5,
-                residual_norm,
-            });
-            epoch += 1;
-            // Keep collective schedules aligned across ranks.
-            let _ = all_gather_f32(peer, &[top1], &(0..peer.size()).collect::<Vec<_>>());
+
+                // Validation (same batch on every rank — no communication).
+                let val = adapt_input(cfg, data.val_batch(cfg));
+                let logits = model.forward(&val.input, false);
+                let top1 = top_k_accuracy(&logits, &val.labels, 1);
+                let top5 = top_k_accuracy(&logits, &val.labels, 5.min(cfg.classes));
+                let residual_norm = match strategy {
+                    Strategy::TopKNaiveAg { .. } | Strategy::GTopK { .. } => {
+                        ef_full.residual_norm()
+                    }
+                    Strategy::MsTopKHiTopK { .. } => ef_shard.residual_norm(),
+                    _ => 0.0,
+                };
+                report.epochs.push(EpochMetrics {
+                    epoch,
+                    train_loss: loss_sum / cfg.iters_per_epoch as f32,
+                    val_top1: top1,
+                    val_top5: top5,
+                    residual_norm,
+                });
+                epoch += 1;
+                // Keep collective schedules aligned across ranks.
+                let _ = all_gather_f32(peer, &[top1], &(0..peer.size()).collect::<Vec<_>>());
             }
         }
         report
@@ -684,6 +693,9 @@ mod tests {
         let report = DistTrainer::new(cfg).run();
         let first = report.epochs.first().unwrap().train_loss;
         let last = report.epochs.last().unwrap().train_loss;
-        assert!(last < first, "transformer loss did not drop: {first} -> {last}");
+        assert!(
+            last < first,
+            "transformer loss did not drop: {first} -> {last}"
+        );
     }
 }

@@ -62,8 +62,7 @@ impl Optimizer for Adam {
             self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * grads[i] * grads[i];
             let mh = self.m[i] / b1c;
             let vh = self.v[i] / b2c;
-            params[i] -=
-                lr * (mh / (vh.sqrt() + self.cfg.eps) + self.cfg.weight_decay * params[i]);
+            params[i] -= lr * (mh / (vh.sqrt() + self.cfg.eps) + self.cfg.weight_decay * params[i]);
         }
     }
 
@@ -107,7 +106,10 @@ mod tests {
             opt.step(&mut w, &[100.0, 1.0], 0.01);
         }
         let ratio = w[0] / w[1];
-        assert!(ratio.abs() < 1.5, "steps should be comparable: ratio {ratio}");
+        assert!(
+            ratio.abs() < 1.5,
+            "steps should be comparable: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@ use cloudtrain_tensor::ops;
 /// # Panics
 /// Panics if `max_norm` is not positive.
 pub fn clip_global_norm(grads: &mut [f32], max_norm: f32) -> f32 {
-    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    assert!(
+        max_norm > 0.0,
+        "clip_global_norm: max_norm must be positive"
+    );
     let norm = ops::l2_norm(grads);
     if norm > max_norm {
         ops::scale(grads, max_norm / norm);

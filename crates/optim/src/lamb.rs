@@ -71,9 +71,10 @@ impl Optimizer for Lamb {
         let b2c = 1.0 - self.cfg.beta2.powi(self.t as i32);
 
         // Adam moments (elementwise).
-        for i in 0..params.len() {
-            self.m[i] = self.cfg.beta1 * self.m[i] + (1.0 - self.cfg.beta1) * grads[i];
-            self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * grads[i] * grads[i];
+        let (beta1, beta2) = (self.cfg.beta1, self.cfg.beta2);
+        for ((m, v), &g) in self.m.iter_mut().zip(&mut self.v).zip(grads) {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
         }
 
         // Per-layer trust ratio and update.
@@ -104,7 +105,10 @@ mod tests {
     use super::*;
 
     fn one_range(dim: usize) -> Vec<ParamRange> {
-        vec![ParamRange { offset: 0, len: dim }]
+        vec![ParamRange {
+            offset: 0,
+            len: dim,
+        }]
     }
 
     #[test]
@@ -140,7 +144,11 @@ mod tests {
             .sum::<f32>()
             .sqrt();
         let wn = ops::l2_norm(&before);
-        assert!(step <= 0.1 * wn * 1.01, "step {step} vs 0.1*||w|| {}", 0.1 * wn);
+        assert!(
+            step <= 0.1 * wn * 1.01,
+            "step {step} vs 0.1*||w|| {}",
+            0.1 * wn
+        );
     }
 
     #[test]

@@ -56,12 +56,7 @@ pub fn compute_rates(
 }
 
 /// Rate of a single layer — the unit PTO distributes across GPUs.
-pub fn rate_for_layer(
-    params: &[f32],
-    grads: &[f32],
-    range: &ParamRange,
-    cfg: &LarsConfig,
-) -> f32 {
+pub fn rate_for_layer(params: &[f32], grads: &[f32], range: &ParamRange, cfg: &LarsConfig) -> f32 {
     let w = &params[range.offset..range.offset + range.len];
     let g = &grads[range.offset..range.offset + range.len];
     let wn = ops::l2_norm(w);
@@ -85,9 +80,21 @@ pub fn apply_with_rates(
     lr: f32,
     cfg: &LarsConfig,
 ) {
-    assert_eq!(params.len(), grads.len(), "apply_with_rates: length mismatch");
-    assert_eq!(params.len(), velocity.len(), "apply_with_rates: velocity mismatch");
-    assert_eq!(ranges.len(), rates.len(), "apply_with_rates: rates mismatch");
+    assert_eq!(
+        params.len(),
+        grads.len(),
+        "apply_with_rates: length mismatch"
+    );
+    assert_eq!(
+        params.len(),
+        velocity.len(),
+        "apply_with_rates: velocity mismatch"
+    );
+    assert_eq!(
+        ranges.len(),
+        rates.len(),
+        "apply_with_rates: rates mismatch"
+    );
     for (range, &rate) in ranges.iter().zip(rates) {
         let local_lr = lr * rate;
         for i in range.offset..range.offset + range.len {

@@ -55,7 +55,11 @@ impl Momentum {
 impl Optimizer for Momentum {
     fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
         assert_eq!(params.len(), grads.len(), "Momentum: length mismatch");
-        assert_eq!(params.len(), self.velocity.len(), "Momentum: wrong model size");
+        assert_eq!(
+            params.len(),
+            self.velocity.len(),
+            "Momentum: wrong model size"
+        );
         for ((w, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             *v = self.momentum * *v + g + self.weight_decay * *w;
             *w -= lr * *v;

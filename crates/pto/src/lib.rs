@@ -113,9 +113,7 @@ mod tests {
     fn scalar_map_matches_sequential() {
         let expect: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
         for p in [1usize, 3, 8] {
-            let results = run_on_group(p, |peer| {
-                pto_scalar_map(peer, 37, |i| (i as f32).sin())
-            });
+            let results = run_on_group(p, |peer| pto_scalar_map(peer, 37, |i| (i as f32).sin()));
             for r in &results {
                 assert_eq!(r, &expect, "p={p}");
             }
@@ -153,9 +151,7 @@ mod tests {
         }
         let cfg = LarsConfig::default();
         let expect = compute_rates(&params, &grads, &ranges, &cfg);
-        let results = run_on_group(8, |peer| {
-            lars_rates(peer, &params, &grads, &ranges, &cfg)
-        });
+        let results = run_on_group(8, |peer| lars_rates(peer, &params, &grads, &ranges, &cfg));
         for r in &results {
             assert_eq!(r, &expect);
         }

@@ -110,12 +110,12 @@ pub fn sim_ring_all_reduce(sim: &mut NetSim, members: &[usize], total_bytes: usi
 /// the rounds of all groups interleaved so that groups sharing a resource
 /// (e.g. the `n` inter-node streams sharing each node's NIC) contend round
 /// by round instead of being falsely serialised.
-pub fn sim_ring_reduce_scatter_groups(
-    sim: &mut NetSim,
-    groups: &[Vec<usize>],
-    total_bytes: usize,
-) {
-    let rounds = groups.iter().map(|g| g.len().saturating_sub(1)).max().unwrap_or(0);
+pub fn sim_ring_reduce_scatter_groups(sim: &mut NetSim, groups: &[Vec<usize>], total_bytes: usize) {
+    let rounds = groups
+        .iter()
+        .map(|g| g.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0);
     for r in 0..rounds {
         let mut transfers = Vec::new();
         for g in groups {
@@ -137,7 +137,11 @@ pub fn sim_ring_reduce_scatter_groups(
 /// (see [`sim_ring_reduce_scatter_groups`]); each member of group `g`
 /// contributes `block_bytes`.
 pub fn sim_ring_all_gather_groups(sim: &mut NetSim, groups: &[Vec<usize>], block_bytes: usize) {
-    let rounds = groups.iter().map(|g| g.len().saturating_sub(1)).max().unwrap_or(0);
+    let rounds = groups
+        .iter()
+        .map(|g| g.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0);
     for r in 0..rounds {
         let mut transfers = Vec::new();
         for g in groups {
@@ -228,7 +232,11 @@ fn fenwick_parent(k: usize, p: usize) -> Option<usize> {
     let parent = if (k >> (h + 1)) & 1 == 1 { down } else { up };
     // Clamp for non-power-of-two sizes: fall back to the in-range candidate.
     let parent = if parent == 0 || parent > p {
-        if down >= 1 && down != k { down } else { up }
+        if down >= 1 && down != k {
+            down
+        } else {
+            up
+        }
     } else {
         parent
     };
@@ -253,7 +261,7 @@ fn binary_tree_levels(order: &[usize]) -> Vec<Vec<(usize, usize)>> {
     // Depth of each node = hops to the root.
     let mut depth = vec![0usize; p + 1];
     let mut max_depth = 0;
-    for k in 1..=p {
+    for (k, slot) in depth.iter_mut().enumerate().skip(1) {
         let mut d = 0;
         let mut cur = k;
         while let Some(par) = fenwick_parent(cur, p) {
@@ -261,7 +269,7 @@ fn binary_tree_levels(order: &[usize]) -> Vec<Vec<(usize, usize)>> {
             cur = par;
             debug_assert!(d <= 2 * 64, "fenwick parent loop");
         }
-        depth[k] = d;
+        *slot = d;
         max_depth = max_depth.max(d);
     }
     let mut up = vec![Vec::new(); max_depth];
@@ -314,7 +322,12 @@ pub fn sim_tree_all_reduce_hier(
     let t1 = measure(sim, |sim| {
         for i in 0..m {
             let members = spec.node_members(i);
-            sim_pipelined_levels(sim, &chain_levels(&members, true), total_bytes, pipeline_chunk(total_bytes));
+            sim_pipelined_levels(
+                sim,
+                &chain_levels(&members, true),
+                total_bytes,
+                pipeline_chunk(total_bytes),
+            );
         }
     });
     sim.barrier();
@@ -343,16 +356,30 @@ pub fn sim_tree_all_reduce_hier(
     let t3 = measure(sim, |sim| {
         for i in 0..m {
             let members = spec.node_members(i);
-            sim_pipelined_levels(sim, &chain_levels(&members, false), total_bytes, pipeline_chunk(total_bytes));
+            sim_pipelined_levels(
+                sim,
+                &chain_levels(&members, false),
+                total_bytes,
+                pipeline_chunk(total_bytes),
+            );
         }
     });
 
     CollectiveTiming {
         total: t1 + t2 + t3,
         phases: vec![
-            PhaseTiming { label: "intra chain reduce", seconds: t1 },
-            PhaseTiming { label: "inter double tree", seconds: t2 },
-            PhaseTiming { label: "intra chain broadcast", seconds: t3 },
+            PhaseTiming {
+                label: "intra chain reduce",
+                seconds: t1,
+            },
+            PhaseTiming {
+                label: "inter double tree",
+                seconds: t2,
+            },
+            PhaseTiming {
+                label: "intra chain broadcast",
+                seconds: t3,
+            },
         ],
     }
 }
@@ -383,8 +410,14 @@ pub fn sim_naive_sparse_all_gather(
     CollectiveTiming {
         total: t_values + t_indices,
         phases: vec![
-            PhaseTiming { label: "all-gather values", seconds: t_values },
-            PhaseTiming { label: "all-gather indices", seconds: t_indices },
+            PhaseTiming {
+                label: "all-gather values",
+                seconds: t_values,
+            },
+            PhaseTiming {
+                label: "all-gather indices",
+                seconds: t_indices,
+            },
         ],
     }
 }
@@ -470,9 +503,18 @@ pub fn sim_torus_all_reduce(
     CollectiveTiming {
         total: t1 + t2 + t3,
         phases: vec![
-            PhaseTiming { label: "intra reduce-scatter", seconds: t1 },
-            PhaseTiming { label: "inter all-reduce", seconds: t2 },
-            PhaseTiming { label: "intra all-gather", seconds: t3 },
+            PhaseTiming {
+                label: "intra reduce-scatter",
+                seconds: t1,
+            },
+            PhaseTiming {
+                label: "inter all-reduce",
+                seconds: t2,
+            },
+            PhaseTiming {
+                label: "intra all-gather",
+                seconds: t3,
+            },
         ],
     }
 }
@@ -534,10 +576,22 @@ pub fn sim_hitopk(
     CollectiveTiming {
         total: t1 + t2 + t3 + t4,
         phases: vec![
-            PhaseTiming { label: "intra reduce-scatter", seconds: t1 },
-            PhaseTiming { label: "top-k compression", seconds: t2 },
-            PhaseTiming { label: "inter all-gather", seconds: t3 },
-            PhaseTiming { label: "intra all-gather", seconds: t4 },
+            PhaseTiming {
+                label: "intra reduce-scatter",
+                seconds: t1,
+            },
+            PhaseTiming {
+                label: "top-k compression",
+                seconds: t2,
+            },
+            PhaseTiming {
+                label: "inter all-gather",
+                seconds: t3,
+            },
+            PhaseTiming {
+                label: "intra all-gather",
+                seconds: t4,
+            },
         ],
     }
 }
@@ -576,7 +630,11 @@ mod tests {
         let nic_bytes = 15.0 * (k * 12) as f64 * NAIVE_STAGING_FACTOR * spec.inter.beta;
         // Upper bound: add the dependency path's per-round latency.
         let upper = nic_bytes + 2.0 * 16.0 * spec.inter.alpha + 1e-4;
-        assert!(t.total >= nic_bytes, "total {} < bw bound {nic_bytes}", t.total);
+        assert!(
+            t.total >= nic_bytes,
+            "total {} < bw bound {nic_bytes}",
+            t.total
+        );
         assert!(t.total <= upper, "total {} > upper {upper}", t.total);
         assert_eq!(t.phases.len(), 2);
     }
@@ -701,7 +759,12 @@ mod tests {
         let mut sim = NetSim::new(spec);
         let members: Vec<usize> = (0..8).collect();
         let v = 64 << 20;
-        sim_pipelined_levels(&mut sim, &chain_levels(&members, true), v, pipeline_chunk(v));
+        sim_pipelined_levels(
+            &mut sim,
+            &chain_levels(&members, true),
+            v,
+            pipeline_chunk(v),
+        );
         let t = sim.makespan();
         let ideal = spec.intra.beta * v as f64;
         assert!(t < 1.6 * ideal, "t {t} vs ideal {ideal}");

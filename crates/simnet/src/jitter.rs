@@ -82,7 +82,10 @@ pub fn bsp_straggler_stats(
     iterations: u64,
     seed: u64,
 ) -> BspStats {
-    assert!(world > 0 && iterations > 0, "bsp_straggler_stats: empty input");
+    assert!(
+        world > 0 && iterations > 0,
+        "bsp_straggler_stats: empty input"
+    );
     let mut sum_makespan = 0.0;
     let mut sum_compute = 0.0;
     for it in 0..iterations {

@@ -30,10 +30,10 @@
 pub mod clouds;
 pub mod collectives;
 pub mod jitter;
-pub mod timeline;
-pub mod tuner;
 mod netsim;
+pub mod timeline;
 mod topology;
+pub mod tuner;
 
 pub use netsim::{NetSim, TransferEvent};
 pub use topology::{ClusterSpec, LinkSpec};

@@ -26,12 +26,12 @@ pub fn render_timeline(
         if e.inter_node {
             // Charge the sender's node NIC row.
             let node = (e.src / gpus_per_node.max(1)).min(nodes - 1);
-            for c in a..=b {
-                rows[node][c] += 1;
+            for cell in &mut rows[node][a..=b] {
+                *cell += 1;
             }
         } else {
-            for c in a..=b {
-                rows[nodes][c] += 1;
+            for cell in &mut rows[nodes][a..=b] {
+                *cell += 1;
             }
         }
     }
@@ -55,7 +55,11 @@ pub fn render_timeline(
         }
         out.push_str("|\n");
     }
-    out.push_str(&format!("       0 {:>width$.3} s\n", makespan, width = width - 2));
+    out.push_str(&format!(
+        "       0 {:>width$.3} s\n",
+        makespan,
+        width = width - 2
+    ));
     out
 }
 

@@ -125,7 +125,11 @@ impl Tensor {
     /// Returns a [`ShapeError`] on a length mismatch.
     pub fn add_assign(&mut self, other: &Tensor) -> ShapeResult<()> {
         if self.len() != other.len() {
-            return Err(ShapeError::len_mismatch("add_assign", self.len(), other.len()));
+            return Err(ShapeError::len_mismatch(
+                "add_assign",
+                self.len(),
+                other.len(),
+            ));
         }
         ops::add_assign(&mut self.data, &other.data);
         Ok(())
@@ -137,7 +141,11 @@ impl Tensor {
     /// Returns a [`ShapeError`] on a length mismatch.
     pub fn sub_assign(&mut self, other: &Tensor) -> ShapeResult<()> {
         if self.len() != other.len() {
-            return Err(ShapeError::len_mismatch("sub_assign", self.len(), other.len()));
+            return Err(ShapeError::len_mismatch(
+                "sub_assign",
+                self.len(),
+                other.len(),
+            ));
         }
         ops::sub_assign(&mut self.data, &other.data);
         Ok(())

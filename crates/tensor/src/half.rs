@@ -46,7 +46,11 @@ fn f32_to_f16_bits(x: f32) -> u16 {
 
     if exp == 0xFF {
         // Inf or NaN. Preserve a quiet-NaN payload bit so NaN stays NaN.
-        return if mant == 0 { sign | 0x7C00 } else { sign | 0x7E00 };
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
     }
 
     // Unbiased exponent, rebiased for f16 (bias 15 vs 127).

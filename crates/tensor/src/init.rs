@@ -148,8 +148,7 @@ mod tests {
         let n = t.len() as f32;
         let mean = t.as_slice().iter().sum::<f32>() / n;
         let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
-        let kurt =
-            t.as_slice().iter().map(|v| (v - mean).powi(4)).sum::<f32>() / (n * var * var);
+        let kurt = t.as_slice().iter().map(|v| (v - mean).powi(4)).sum::<f32>() / (n * var * var);
         assert!(kurt > 4.0, "kurtosis {kurt} not heavy-tailed");
     }
 }

@@ -1,20 +1,319 @@
 //! Flat slice kernels shared by the compression operators, collectives, and
 //! optimizers.
 //!
-//! These are deliberately written as simple sequential loops over contiguous
-//! slices: the compiler auto-vectorises all of them, and the branch-free
-//! counting kernels ([`count_ge`], [`mean_abs`], [`max_abs`]) are the CPU
-//! analogue of the coalesced streaming passes that make MSTopK GPU-friendly
-//! in the paper (§3.1).
+//! The kernels are written as simple loops over contiguous slices: the
+//! compiler auto-vectorises all of them, and the branch-free counting
+//! kernels ([`count_ge`], [`mean_abs`], [`max_abs`]) are the CPU analogue of
+//! the coalesced streaming passes that make MSTopK GPU-friendly in the
+//! paper (§3.1).
+//!
+//! # Execution tiers
+//!
+//! The hot kernels (`count_ge`, `mean_abs`, `max_abs`, `axpy`, `add_assign`,
+//! `scatter_add`) exist in two tiers with **bitwise identical** results:
+//!
+//! * [`serial`] — always compiled; the default dispatch target.
+//! * [`parallel`] — scoped-thread implementations, compiled behind the
+//!   `parallel` feature (alias: `rayon`) and dispatched to when enabled.
+//!
+//! Determinism contract: every floating-point reduction — in *both* tiers —
+//! folds fixed-width blocks of [`REDUCE_BLOCK`] elements and combines the
+//! per-block partials in block-index order. Thread count and scheduling can
+//! therefore never change a result: the parallel tier computes the same
+//! partials on worker threads and folds them in the same order. Mutating
+//! kernels partition their output disjointly (element ranges for `axpy` /
+//! `add_assign`, index ranges for `scatter_add`, preserving per-position
+//! accumulation order), which makes them trivially deterministic.
+
+/// Width of the fixed reduction blocks shared by the serial and parallel
+/// tiers. Floating-point partials are combined in block-index order, so the
+/// tier choice (and the thread count) never changes a result.
+pub const REDUCE_BLOCK: usize = 1 << 16;
+
+/// Per-block inner kernels shared verbatim by both tiers.
+mod block {
+    /// Sum of absolute values of one block.
+    pub(super) fn sum_abs(b: &[f32]) -> f32 {
+        b.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Maximum absolute value of one block.
+    pub(super) fn max_abs(b: &[f32]) -> f32 {
+        b.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Elements of one block with `|v| >= thres`.
+    pub(super) fn count_ge(b: &[f32], thres: f32) -> usize {
+        b.iter().map(|v| usize::from(v.abs() >= thres)).sum()
+    }
+
+    /// `y[i] += a * x[i]` over one block pair.
+    pub(super) fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    /// `y[i] += x[i]` over one block pair.
+    pub(super) fn add_assign(y: &mut [f32], x: &[f32]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += xi;
+        }
+    }
+}
+
+/// Sequential reference tier of the hot kernels.
+///
+/// Reductions fold [`REDUCE_BLOCK`]-wide blocks in block-index order — the
+/// exact combine schedule of the [`parallel`] tier — so the two are bitwise
+/// interchangeable.
+pub mod serial {
+    use super::{block, REDUCE_BLOCK};
+
+    /// Counts elements whose absolute value is `>= thres`.
+    pub fn count_ge(x: &[f32], thres: f32) -> usize {
+        x.chunks(REDUCE_BLOCK)
+            .map(|b| block::count_ge(b, thres))
+            .sum()
+    }
+
+    /// Arithmetic mean of absolute values; 0 for an empty slice.
+    ///
+    /// Keeps four independent block chains in flight to overlap the
+    /// latency of the strictly-ordered `f32` adds. Each block partial is
+    /// still the exact left fold of [`block::sum_abs`] and partials are
+    /// still combined in block-index order, so the result is bitwise
+    /// unchanged — only the schedule across blocks differs.
+    pub fn mean_abs(x: &[f32]) -> f32 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        let mut quads = x.chunks_exact(4 * REDUCE_BLOCK);
+        for quad in &mut quads {
+            let (b0, rest) = quad.split_at(REDUCE_BLOCK);
+            let (b1, rest) = rest.split_at(REDUCE_BLOCK);
+            let (b2, b3) = rest.split_at(REDUCE_BLOCK);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for i in 0..REDUCE_BLOCK {
+                s0 += b0[i].abs();
+                s1 += b1[i].abs();
+                s2 += b2[i].abs();
+                s3 += b3[i].abs();
+            }
+            total += s0;
+            total += s1;
+            total += s2;
+            total += s3;
+        }
+        for b in quads.remainder().chunks(REDUCE_BLOCK) {
+            total += block::sum_abs(b);
+        }
+        total / x.len() as f32
+    }
+
+    /// Maximum absolute value; 0 for an empty slice.
+    pub fn max_abs(x: &[f32]) -> f32 {
+        x.chunks(REDUCE_BLOCK)
+            .map(block::max_abs)
+            .fold(0.0f32, f32::max)
+    }
+
+    /// `y[i] = a * x[i] + y[i]` (BLAS `axpy`).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+        block::axpy(a, x, y);
+    }
+
+    /// `y[i] += x[i]` for all `i`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        assert_eq!(y.len(), x.len(), "add_assign: length mismatch");
+        block::add_assign(y, x);
+    }
+
+    /// Scatter-add: `y[idx[i]] += vals[i]`, applied in `idx` order.
+    ///
+    /// # Panics
+    /// Panics if `idx` and `vals` have different lengths or an index is out
+    /// of bounds.
+    pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
+        assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+        for (&i, &v) in idx.iter().zip(vals) {
+            y[i as usize] += v;
+        }
+    }
+}
+
+/// Deterministic scoped-thread tier of the hot kernels (feature
+/// `parallel`, alias `rayon`).
+///
+/// Reductions map the same [`REDUCE_BLOCK`]-wide blocks as [`serial`] on
+/// worker threads and fold the partials in block-index order; mutating
+/// kernels partition their output into disjoint ranges. Results are
+/// bitwise identical to the serial tier for every input, thread count, and
+/// schedule — the property tests assert so.
+///
+/// Inputs below [`parallel::PAR_THRESHOLD`] run the serial code directly:
+/// thread spawns cost more than the kernels save there, and the identical
+/// combine order makes the switch invisible.
+#[cfg(feature = "parallel")]
+pub mod parallel {
+    use super::{block, serial, REDUCE_BLOCK};
+
+    /// Minimum element count before a kernel spawns worker threads.
+    pub const PAR_THRESHOLD: usize = 1 << 17;
+
+    /// Worker threads for a `len`-element kernel: the machine's available
+    /// parallelism, capped by the number of blocks.
+    fn threads_for(len: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        hw.clamp(1, len.div_ceil(REDUCE_BLOCK).max(1))
+    }
+
+    /// Maps every block and folds the partials in block-index order —
+    /// the serial tier's exact combine schedule.
+    fn reduce_blocks<T, M, F>(x: &[f32], identity: T, map: M, fold: F) -> T
+    where
+        T: Send,
+        M: Fn(&[f32]) -> T + Sync,
+        F: FnMut(T, T) -> T,
+    {
+        let threads = threads_for(x.len());
+        if threads <= 1 || x.len() < PAR_THRESHOLD {
+            return x.chunks(REDUCE_BLOCK).map(&map).fold(identity, fold);
+        }
+        let blocks: Vec<&[f32]> = x.chunks(REDUCE_BLOCK).collect();
+        let per_thread = blocks.len().div_ceil(threads);
+        let map = &map;
+        let partials: Vec<Vec<T>> = std::thread::scope(|s| {
+            let handles: Vec<_> = blocks
+                .chunks(per_thread)
+                .map(|range| s.spawn(move || range.iter().map(|b| map(b)).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel reduce worker panicked"))
+                .collect()
+        });
+        partials.into_iter().flatten().fold(identity, fold)
+    }
+
+    /// Applies `f` to disjoint `(y, x)` range pairs on worker threads.
+    fn zip_ranges_mut<F>(y: &mut [f32], x: &[f32], f: F)
+    where
+        F: Fn(&mut [f32], &[f32]) + Sync,
+    {
+        let threads = threads_for(y.len());
+        if threads <= 1 || y.len() < PAR_THRESHOLD {
+            f(y, x);
+            return;
+        }
+        let per_thread = y.len().div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|s| {
+            for (yc, xc) in y.chunks_mut(per_thread).zip(x.chunks(per_thread)) {
+                s.spawn(move || f(yc, xc));
+            }
+        });
+    }
+
+    /// Counts elements whose absolute value is `>= thres`.
+    pub fn count_ge(x: &[f32], thres: f32) -> usize {
+        reduce_blocks(x, 0usize, |b| block::count_ge(b, thres), |a, b| a + b)
+    }
+
+    /// Arithmetic mean of absolute values; 0 for an empty slice.
+    pub fn mean_abs(x: &[f32]) -> f32 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        reduce_blocks(x, 0.0f32, block::sum_abs, |a, b| a + b) / x.len() as f32
+    }
+
+    /// Maximum absolute value; 0 for an empty slice.
+    pub fn max_abs(x: &[f32]) -> f32 {
+        reduce_blocks(x, 0.0f32, block::max_abs, f32::max)
+    }
+
+    /// `y[i] = a * x[i] + y[i]` (BLAS `axpy`).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+        zip_ranges_mut(y, x, |yc, xc| block::axpy(a, xc, yc));
+    }
+
+    /// `y[i] += x[i]` for all `i`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        assert_eq!(y.len(), x.len(), "add_assign: length mismatch");
+        zip_ranges_mut(y, x, block::add_assign);
+    }
+
+    /// Scatter-add: `y[idx[i]] += vals[i]`.
+    ///
+    /// Each worker owns a disjoint output range and applies, in `idx`
+    /// order, exactly the contributions that land in its range — the same
+    /// per-position accumulation order as the serial tier.
+    ///
+    /// # Panics
+    /// Panics if `idx` and `vals` have different lengths or an index is
+    /// out of bounds.
+    pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
+        assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+        let threads = threads_for(y.len());
+        if threads <= 1 || y.len() < PAR_THRESHOLD || idx.len() < threads {
+            serial::scatter_add(y, idx, vals);
+            return;
+        }
+        // The bounds check the serial loop performs implicitly, hoisted so
+        // out-of-range indices panic instead of being silently dropped by
+        // the range partition below.
+        let d = y.len();
+        assert!(
+            idx.iter().all(|&i| (i as usize) < d),
+            "scatter_add: index out of bounds"
+        );
+        let per_thread = d.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (part, yc) in y.chunks_mut(per_thread).enumerate() {
+                let lo = part * per_thread;
+                s.spawn(move || {
+                    for (&i, &v) in idx.iter().zip(vals) {
+                        let i = i as usize;
+                        if i >= lo && i < lo + yc.len() {
+                            yc[i - lo] += v;
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
 
 /// `y[i] += x[i]` for all `i`.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn add_assign(y: &mut [f32], x: &[f32]) {
-    assert_eq!(y.len(), x.len(), "add_assign: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += xi;
+    #[cfg(feature = "parallel")]
+    {
+        parallel::add_assign(y, x)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        serial::add_assign(y, x)
     }
 }
 
@@ -34,9 +333,13 @@ pub fn sub_assign(y: &mut [f32], x: &[f32]) {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+    #[cfg(feature = "parallel")]
+    {
+        parallel::axpy(a, x, y)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        serial::axpy(a, x, y)
     }
 }
 
@@ -76,24 +379,42 @@ pub fn sum(x: &[f32]) -> f32 {
 /// Arithmetic mean of the absolute values (the `mean(abs(x))` pass of
 /// MSTopK, Algorithm 1 line 2). Returns 0 for an empty slice.
 pub fn mean_abs(x: &[f32]) -> f32 {
-    if x.is_empty() {
-        return 0.0;
+    #[cfg(feature = "parallel")]
+    {
+        parallel::mean_abs(x)
     }
-    x.iter().map(|v| v.abs()).sum::<f32>() / x.len() as f32
+    #[cfg(not(feature = "parallel"))]
+    {
+        serial::mean_abs(x)
+    }
 }
 
 /// Maximum absolute value (Algorithm 1 line 3). Returns 0 for an empty slice.
 pub fn max_abs(x: &[f32]) -> f32 {
-    x.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    #[cfg(feature = "parallel")]
+    {
+        parallel::max_abs(x)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        serial::max_abs(x)
+    }
 }
 
 /// Counts elements whose absolute value is `>= thres` (Algorithm 1 line 10's
 /// `count_nonzero(a >= thres)` with `a = abs(x)`).
 ///
-/// Branch-free single streaming pass — this is the kernel MSTopK repeats `N`
-/// times instead of performing a data-dependent selection.
+/// Branch-free streaming pass — this is the kernel MSTopK repeats `N` times
+/// instead of performing a data-dependent selection.
 pub fn count_ge(x: &[f32], thres: f32) -> usize {
-    x.iter().map(|v| usize::from(v.abs() >= thres)).sum()
+    #[cfg(feature = "parallel")]
+    {
+        parallel::count_ge(x, thres)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        serial::count_ge(x, thres)
+    }
 }
 
 /// Collects the indices of elements with `|x[i]| >= thres`, preserving order.
@@ -135,9 +456,13 @@ pub fn gather(x: &[f32], idx: &[u32]) -> Vec<f32> {
 /// Panics if `idx` and `vals` have different lengths or an index is out of
 /// bounds.
 pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
-    assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
-    for (&i, &v) in idx.iter().zip(vals) {
-        y[i as usize] += v;
+    #[cfg(feature = "parallel")]
+    {
+        parallel::scatter_add(y, idx, vals)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        serial::scatter_add(y, idx, vals)
     }
 }
 
@@ -243,5 +568,62 @@ mod tests {
         assert_eq!(x, [-2.0, 4.0]);
         fill(&mut x, 7.0);
         assert_eq!(x, [7.0, 7.0]);
+    }
+
+    #[test]
+    fn reductions_span_block_boundaries() {
+        // Straddle several REDUCE_BLOCK boundaries so the block-ordered
+        // combine path is exercised (not just the single-block fast case).
+        let d = 2 * REDUCE_BLOCK + 17;
+        let x: Vec<f32> = (0..d).map(|i| ((i % 101) as f32 - 50.0) * 0.25).collect();
+        let linear_count = x.iter().filter(|v| v.abs() >= 6.0).count();
+        assert_eq!(count_ge(&x, 6.0), linear_count);
+        let max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert_eq!(max_abs(&x), max);
+        // Mean over blocks stays within float noise of the linear mean.
+        let linear_mean = x.iter().map(|v| v.abs() as f64).sum::<f64>() / d as f64;
+        assert!((mean_abs(&x) as f64 - linear_mean).abs() < 1e-3);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_tier_matches_serial_bitwise() {
+        let d = parallel::PAR_THRESHOLD + 3 * REDUCE_BLOCK + 11;
+        let x: Vec<f32> = (0..d)
+            .map(|i| (((i * 2654435761) % 1000) as f32 - 500.0) * 1e-3)
+            .collect();
+        assert_eq!(parallel::count_ge(&x, 0.25), serial::count_ge(&x, 0.25));
+        assert_eq!(parallel::mean_abs(&x), serial::mean_abs(&x));
+        assert_eq!(parallel::max_abs(&x), serial::max_abs(&x));
+
+        let mut ya = vec![1.0f32; d];
+        let mut yb = ya.clone();
+        parallel::axpy(0.5, &x, &mut ya);
+        serial::axpy(0.5, &x, &mut yb);
+        assert_eq!(ya, yb);
+        parallel::add_assign(&mut ya, &x);
+        serial::add_assign(&mut yb, &x);
+        assert_eq!(ya, yb);
+
+        // Duplicate indices: accumulation order per position must match.
+        let idx: Vec<u32> = (0..4096u32).map(|i| (i * 37) % (d as u32)).collect();
+        let vals: Vec<f32> = idx.iter().map(|&i| (i as f32).sin()).collect();
+        let mut sa = vec![0.0f32; d];
+        let mut sb = sa.clone();
+        parallel::scatter_add(&mut sa, &idx, &vals);
+        serial::scatter_add(&mut sb, &idx, &vals);
+        assert_eq!(sa, sb);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn parallel_scatter_add_rejects_out_of_bounds() {
+        let mut y = vec![0.0f32; parallel::PAR_THRESHOLD + 1];
+        let idx: Vec<u32> = (0..64)
+            .map(|i| if i == 63 { y.len() as u32 } else { i })
+            .collect();
+        let vals = vec![1.0; idx.len()];
+        parallel::scatter_add(&mut y, &idx, &vals);
     }
 }

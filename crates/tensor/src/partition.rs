@@ -49,7 +49,10 @@ impl Shard {
 /// Panics if `parts == 0` or `rank >= parts`.
 pub fn shard_for(d: usize, parts: usize, rank: usize) -> Shard {
     assert!(parts > 0, "shard_for: parts must be positive");
-    assert!(rank < parts, "shard_for: rank {rank} out of range for {parts} parts");
+    assert!(
+        rank < parts,
+        "shard_for: rank {rank} out of range for {parts} parts"
+    );
     let base = d / parts;
     let extra = d % parts;
     let start = rank * base + rank.min(extra);
@@ -113,7 +116,7 @@ mod tests {
     #[test]
     fn layer_assignment_covers_all_layers() {
         // 161 ResNet-50 layers over 128 GPUs: first 33 GPUs get 2, rest get 1.
-        let mut seen = vec![false; 161];
+        let mut seen = [false; 161];
         for rank in 0..128 {
             for l in item_range_for(161, 128, rank) {
                 assert!(!seen[l]);

@@ -70,7 +70,10 @@ fn main() {
         let mut acc = vec![0.0; d];
         for r in 0..check_world {
             let mut rng = init::rng_from_seed(900 + r as u64);
-            ops::add_assign(&mut acc, init::uniform_tensor(d, -1.0, 1.0, &mut rng).as_slice());
+            ops::add_assign(
+                &mut acc,
+                init::uniform_tensor(d, -1.0, 1.0, &mut rng).as_slice(),
+            );
         }
         acc
     };

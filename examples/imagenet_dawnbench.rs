@@ -54,7 +54,10 @@ fn main() {
     }
 
     println!("\nDAWNBench leaderboard (time to 93% top-5, 128 V100s):");
-    println!("{:<10} {:>10} {:>14} {:>8}", "team", "date", "interconnect", "time");
+    println!(
+        "{:<10} {:>10} {:>14} {:>8}",
+        "team", "date", "interconnect", "time"
+    );
     for e in published_leaderboard() {
         println!(
             "{:<10} {:>10} {:>14} {:>7.0}s",

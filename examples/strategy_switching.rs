@@ -12,10 +12,8 @@ use cloudtrain::engine::checkpoint::Checkpoint;
 use cloudtrain::prelude::*;
 
 fn main() {
-    let ckpt_path = std::env::temp_dir().join(format!(
-        "cloudtrain-switch-{}.ckpt",
-        std::process::id()
-    ));
+    let ckpt_path =
+        std::env::temp_dir().join(format!("cloudtrain-switch-{}.ckpt", std::process::id()));
 
     // Phase 1: sparse warmup (high throughput, slower convergence).
     println!("phase 1: MSTopK-SGD warmup (3 epochs)");

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_topk.json: histogram vs naive MSTopK threshold search
+# at d = 1M and d = 25M (best-of-3 release-mode wall time).
+#
+# Usage: scripts/bench_snapshot.sh [output-path]   (default: BENCH_topk.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cloudtrain-bench --bin bench_topk_snapshot
+exec cargo run --release -q -p cloudtrain-bench --bin bench_topk_snapshot -- "${1:-BENCH_topk.json}"

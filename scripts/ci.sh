@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: format check, lints, and the full test suite with the
+# parallel kernel tier both off (default) and on.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (default features)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (parallel kernels)"
+cargo clippy --workspace --all-targets --features cloudtrain-tensor/parallel -- -D warnings
+
+echo "==> cargo test (default features)"
+cargo test --workspace -q
+
+echo "==> cargo test (parallel kernels)"
+cargo test --workspace -q --features cloudtrain-tensor/parallel
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,285 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item is
+//! parsed directly from the `proc_macro` token stream, and the generated
+//! impls are built as strings and re-parsed. Supported item shapes — the only
+//! ones this workspace derives on:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit or struct-like (named fields).
+//!
+//! Anything else (tuple structs, generics, tuple variants) panics at compile
+//! time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree construction).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree destructuring).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+enum Body {
+    /// Struct with named fields.
+    Struct(Vec<String>),
+    /// Enum: (variant name, None for unit | Some(field names) for struct variant).
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (deriving on `{name}`)");
+        }
+    }
+    let body_group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde shim derive: `{name}` must have a braced body (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Parses `{ attr* vis? name : type , ... }` into the list of field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde shim derive: expected field name, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parses enum variants: `attr* Name` optionally followed by `{ fields }`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde shim derive: expected variant name, got {tree:?}");
+        };
+        let name = variant.to_string();
+        let mut fields = None;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else {
+                    unreachable!()
+                };
+                fields = Some(parse_named_fields(g.stream()));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple variant `{name}` is not supported");
+            }
+            _ => {}
+        }
+        variants.push((name, fields));
+        // Optional trailing comma (and discriminants are unsupported anyway).
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    variants
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Some(fs) => {
+                        let bindings = fs.join(", ");
+                        let mut pushes = String::new();
+                        for f in fs {
+                            pushes.push_str(&format!(
+                                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{\n\
+                             let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(fields))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::from_field(v, \"{f}\")?,\n"));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Some(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits
+                                .push_str(&format!("{f}: ::serde::from_field(inner, \"{f}\")?,\n"));
+                        }
+                        struct_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{struct_arms}\
+                 other => ::std::result::Result::Err(::serde::Error(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::Error(format!(\
+                 \"expected {name}, got {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

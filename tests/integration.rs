@@ -86,7 +86,10 @@ fn hitopk_distributed_equals_sequential_composition() {
     // Sequential reference: per-node dense sums, exact top-k per shard.
     let k = cloudtrain::collectives::hierarchical::shard_k(d, n, rho);
     let mut expect = vec![0.0f32; d];
-    for (j, shard) in cloudtrain::tensor::partition::shards(d, n).iter().enumerate() {
+    for (j, shard) in cloudtrain::tensor::partition::shards(d, n)
+        .iter()
+        .enumerate()
+    {
         let _ = j;
         for node in 0..m {
             let mut node_sum = vec![0.0f32; shard.len()];
@@ -190,5 +193,8 @@ fn dawnbench_schedule_end_to_end() {
         .iter()
         .map(|e| e.seconds)
         .fold(f64::INFINITY, f64::min);
-    assert!(r.total_seconds < best * 1.2, "not in the leaderboard's league");
+    assert!(
+        r.total_seconds < best * 1.2,
+        "not in the leaderboard's league"
+    );
 }
