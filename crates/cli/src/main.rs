@@ -5,6 +5,7 @@
 //! cloudtrain simulate  --model resnet50-96 --strategy 2dtar --nodes 16
 //! cloudtrain sweep     --model resnet50-96 --nodes 16
 //! cloudtrain dawnbench --cloud tencent
+//! cloudtrain faults    --model resnet50-96 --drops 0.01 --stragglers 2
 //! cloudtrain help
 //! ```
 

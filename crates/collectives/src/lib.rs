@@ -31,6 +31,10 @@
 //!   `*_scratch` collective variants: pooled send copies instead of
 //!   per-hop allocations, so steady-state training iterations are
 //!   allocation-free on the communication path.
+//! * [`resilience`] — fault decisions ([`resilience::CommFaults`]) and the
+//!   [`resilience::ResilientPeer`] wrapper applying timeout/retry/backoff
+//!   accounting to dense collectives and graceful degradation (empty
+//!   sparse blocks, safe under error feedback) to HiTopKComm / gTop-k.
 //!
 //! All collectives run on a [`group::Group`] of mesh-connected peers created
 //! with [`group::Group::connect`]; each worker thread owns one
@@ -44,6 +48,7 @@ pub mod gtopk;
 pub mod hierarchical;
 pub mod primitives;
 pub mod quantized;
+pub mod resilience;
 pub mod rhd;
 pub mod ring;
 pub mod scratch;
@@ -51,4 +56,5 @@ pub mod torus;
 pub mod tree;
 
 pub use group::{Group, Peer};
+pub use resilience::{CommFaults, ResiliencePolicy, ResilienceReport, ResilientPeer};
 pub use scratch::CommScratch;

@@ -145,6 +145,18 @@ impl CommScratch {
     pub fn pooled(&self) -> usize {
         self.f32_pool.len() + self.u32_pool.len()
     }
+
+    /// Zeroes both pools' counters while keeping the pooled buffers.
+    ///
+    /// Long trainer sessions measure allocation behaviour *per window*
+    /// (per epoch, per phase): warmup legitimately misses, so without a
+    /// reset the cumulative counters would hide a regression where a later
+    /// phase starts allocating again. Reset after warmup, then assert
+    /// `misses() == 0` at the end of the window.
+    pub fn reset_stats(&mut self) {
+        self.f32_stats = ScratchStats::default();
+        self.u32_stats = ScratchStats::default();
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +198,25 @@ mod tests {
         assert_eq!(s.f32_stats(), ScratchStats::default());
         assert_eq!(s.misses(), 1);
         assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_pooled_buffers() {
+        let mut s = CommScratch::new();
+        let a = s.copy_f32(&[1.0; 8]);
+        let b = s.copy_u32(&[2; 8]);
+        s.put_f32(a);
+        s.put_u32(b);
+        assert_eq!(s.misses(), 2);
+        s.reset_stats();
+        assert_eq!(s.misses(), 0);
+        assert_eq!(s.f32_stats(), ScratchStats::default());
+        assert_eq!(s.u32_stats(), ScratchStats::default());
+        // The buffers survive the reset: the next takes are hits.
+        assert_eq!(s.pooled(), 2);
+        let _ = s.take_f32(4);
+        let _ = s.take_u32(4);
+        assert_eq!(s.misses(), 0);
     }
 
     #[test]

@@ -73,11 +73,11 @@ pub mod prelude {
     pub use cloudtrain_engine::dawnbench;
     pub use cloudtrain_engine::trainer::Workload;
     pub use cloudtrain_engine::{
-        DistConfig, DistTrainer, IterationModel, ModelProfile, OptimizerKind, Strategy,
-        SystemConfig, TrainReport,
+        DistConfig, DistTrainer, FaultConfig, IterationModel, ModelProfile, OptimizerKind,
+        Strategy, SystemConfig, TrainReport,
     };
     pub use cloudtrain_optim::{Lars, LarsConfig, Optimizer};
-    pub use cloudtrain_simnet::{ClusterSpec, NetSim};
+    pub use cloudtrain_simnet::{ClusterSpec, DeadlineMode, FaultPlan, NetSim, SimResilience};
     pub use cloudtrain_tensor::Tensor;
 }
 

@@ -30,4 +30,4 @@ pub mod trainer;
 pub use perf::{IterationBreakdown, IterationModel, SystemConfig};
 pub use profile::ModelProfile;
 pub use strategy::Strategy;
-pub use trainer::{DistConfig, DistTrainer, EpochMetrics, OptimizerKind, TrainReport};
+pub use trainer::{DistConfig, DistTrainer, EpochMetrics, FaultConfig, OptimizerKind, TrainReport};

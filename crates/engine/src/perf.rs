@@ -7,7 +7,7 @@ use cloudtrain_simnet::collectives::{
     sim_gtopk_all_reduce, sim_hitopk, sim_naive_sparse_all_gather, sim_quantized_all_reduce,
     sim_torus_all_reduce, sim_tree_all_reduce_hier,
 };
-use cloudtrain_simnet::{ClusterSpec, NetSim};
+use cloudtrain_simnet::{ClusterSpec, FaultCounters, FaultPlan, NetSim, SimResilience};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::ModelProfile;
@@ -89,6 +89,12 @@ pub struct IterationBreakdown {
     pub comm_visible: f64,
     /// Learning-rate (LARS) computation time.
     pub lars: f64,
+    /// Extra barrier time lost to the slowest straggling node (BSP pays
+    /// the max over nodes; 0 without a fault plan).
+    pub straggler: f64,
+    /// Communication time attributable to faults: the faulted collective's
+    /// makespan minus a clean replay of the same schedule.
+    pub fault_delay: f64,
     /// Iteration wall-clock time.
     pub total: f64,
 }
@@ -117,6 +123,9 @@ pub struct IterationModel {
     pub system: SystemConfig,
     /// Workload compute profile.
     pub profile: ModelProfile,
+    /// Fault plan injected into the communication simulation (`None` for
+    /// the clean model).
+    pub faults: Option<FaultPlan>,
 }
 
 impl IterationModel {
@@ -126,6 +135,29 @@ impl IterationModel {
             cluster,
             system,
             profile,
+            faults: None,
+        }
+    }
+
+    /// Injects a fault plan into the communication model.
+    ///
+    /// The resilience policy follows the strategy: dense schedules run the
+    /// retry ladder (every payload must arrive — the BSP penalty), sparse
+    /// schedules degrade (abandon a dropped hop after one timeout; error
+    /// feedback makes that safe). That asymmetry *is* the
+    /// BSP-penalty-vs-resilience ablation.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The resilience policy this model's strategy runs under.
+    pub fn policy(&self) -> SimResilience {
+        if self.system.strategy.is_sparse() {
+            SimResilience::degrading()
+        } else {
+            SimResilience::default()
         }
     }
 
@@ -145,29 +177,55 @@ impl IterationModel {
         }
     }
 
-    /// Raw collective time for one aggregation.
+    /// Raw collective time for one aggregation, on a clean simulator.
     fn comm_seconds(&self) -> f64 {
         let mut sim = NetSim::new(self.cluster);
+        self.comm_seconds_on(&mut sim)
+    }
+
+    /// Raw collective time with this model's fault plan injected (equals
+    /// the clean time when no plan is set).
+    fn comm_seconds_faulted(&self) -> f64 {
+        let mut sim = NetSim::new(self.cluster);
+        if let Some(plan) = &self.faults {
+            sim.inject_faults(plan.clone(), self.policy());
+        }
+        self.comm_seconds_on(&mut sim)
+    }
+
+    /// Fault counters accumulated over one simulated aggregation (all zero
+    /// without a plan).
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut sim = NetSim::new(self.cluster);
+        if let Some(plan) = &self.faults {
+            sim.inject_faults(plan.clone(), self.policy());
+        }
+        self.comm_seconds_on(&mut sim);
+        sim.fault_counters()
+    }
+
+    /// Runs this model's collective schedule on `sim` and returns its time.
+    fn comm_seconds_on(&self, sim: &mut NetSim) -> f64 {
         let d = self.profile.params;
         match self.system.strategy {
             // Horovod's dense path all-reduces FP32 gradients.
-            Strategy::DenseTreeAr => sim_tree_all_reduce_hier(&mut sim, &self.cluster, d * 4).total,
+            Strategy::DenseTreeAr => sim_tree_all_reduce_hier(sim, &self.cluster, d * 4).total,
             // CommLib's dense path uses the FP16 wire (§5.3).
-            Strategy::DenseTorus => sim_torus_all_reduce(&mut sim, &self.cluster, d * 2).total,
+            Strategy::DenseTorus => sim_torus_all_reduce(sim, &self.cluster, d * 2).total,
             Strategy::TopKNaiveAg { rho } => {
                 let k = ((d as f64 * rho) as usize).max(1);
-                sim_naive_sparse_all_gather(&mut sim, &self.cluster, k).total
+                sim_naive_sparse_all_gather(sim, &self.cluster, k).total
             }
             Strategy::MsTopKHiTopK { rho, .. } => {
-                sim_hitopk(&mut sim, &self.cluster, d, 4, rho, 0.0).total
+                sim_hitopk(sim, &self.cluster, d, 4, rho, 0.0).total
             }
             Strategy::GTopK { rho } => {
                 let k = ((d as f64 * rho) as usize).max(1);
-                sim_gtopk_all_reduce(&mut sim, &self.cluster, k, 4).total
+                sim_gtopk_all_reduce(sim, &self.cluster, k, 4).total
             }
             Strategy::Qsgd { levels } => {
                 let bits = (2 * levels as u32 + 1).next_power_of_two().trailing_zeros();
-                sim_quantized_all_reduce(&mut sim, &self.cluster, d, bits as usize).total
+                sim_quantized_all_reduce(sim, &self.cluster, d, bits as usize).total
             }
         }
     }
@@ -215,7 +273,19 @@ impl IterationModel {
     pub fn breakdown(&self) -> IterationBreakdown {
         let ffbp = self.profile.iter_compute_seconds();
         let io = self.io_seconds();
-        let comm_total = self.comm_seconds();
+        let comm_total = self.comm_seconds_faulted();
+        // BSP waits for the slowest node's backward pass; only the excess
+        // over the healthy ffbp is attributed to the straggler.
+        let straggler = self
+            .faults
+            .as_ref()
+            .map(|p| ffbp * (p.max_compute_factor() - 1.0))
+            .unwrap_or(0.0);
+        let fault_delay = if self.faults.is_some() {
+            (comm_total - self.comm_seconds()).max(0.0)
+        } else {
+            0.0
+        };
         let comm_visible = (comm_total - OVERLAP_FRACTION * ffbp).max(0.0);
         let compression = self.compression_seconds();
         let lars = self.lars_seconds();
@@ -226,7 +296,9 @@ impl IterationModel {
             comm_total,
             comm_visible,
             lars,
-            total: io + ffbp + comm_visible + compression + lars,
+            straggler,
+            fault_delay,
+            total: io + ffbp + straggler + comm_visible + compression + lars,
         }
     }
 
@@ -378,6 +450,55 @@ mod tests {
         let b = m.breakdown();
         assert!(b.comm_visible > 0.5 * b.comm_total);
         assert!(b.comm_visible > b.ffbp);
+    }
+
+    #[test]
+    fn clean_fault_plan_is_a_no_op() {
+        let base = model(Strategy::DenseTorus, ModelProfile::resnet50_96());
+        let faulted = base.clone().with_faults(FaultPlan::new(7));
+        let (a, b) = (base.breakdown(), faulted.breakdown());
+        assert_eq!(a.total, b.total);
+        assert_eq!(b.straggler, 0.0);
+        assert_eq!(b.fault_delay, 0.0);
+        let c = faulted.fault_counters();
+        assert!(c.transfers > 0);
+        assert_eq!(c.drops + c.spikes + c.slowed, 0);
+    }
+
+    #[test]
+    fn drops_charge_fault_delay_and_slow_the_iteration() {
+        let base = model(Strategy::DenseTorus, ModelProfile::resnet50_96());
+        let faulted = base
+            .clone()
+            .with_faults(FaultPlan::new(11).with_drops(0.05));
+        let (a, b) = (base.breakdown(), faulted.breakdown());
+        assert!(b.fault_delay > 0.0, "5% drops charged no delay");
+        assert!(b.total > a.total, "faults did not extend the iteration");
+        // Dense runs the retry ladder: drops split into retries and
+        // escalations, never degradations.
+        let c = faulted.fault_counters();
+        assert_eq!(c.drops, c.retries + c.escalations);
+        assert_eq!(c.degraded, 0);
+    }
+
+    #[test]
+    fn sparse_strategy_degrades_instead_of_escalating() {
+        let m = model(Strategy::mstopk_default(), ModelProfile::resnet50_96())
+            .with_faults(FaultPlan::new(11).with_drops(0.05));
+        assert_eq!(m.policy().mode, cloudtrain_simnet::DeadlineMode::Degrade);
+        let c = m.fault_counters();
+        assert!(c.degraded > 0, "sparse plan never degraded a hop");
+        assert_eq!(c.escalations, 0, "degrade mode must not escalate");
+        assert!(m.breakdown().fault_delay > 0.0);
+    }
+
+    #[test]
+    fn straggler_time_is_attributed_separately() {
+        let base = model(Strategy::DenseTorus, ModelProfile::resnet50_224());
+        let faulted = base.clone().with_faults(FaultPlan::new(1).straggle(2, 1.5));
+        let (a, b) = (base.breakdown(), faulted.breakdown());
+        assert!((b.straggler - 0.5 * b.ffbp).abs() < 1e-12);
+        assert!(b.total >= a.total + b.straggler - 1e-12);
     }
 
     #[test]

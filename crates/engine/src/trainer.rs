@@ -12,10 +12,14 @@ use cloudtrain_collectives::group::run_on_group;
 use cloudtrain_collectives::gtopk::gtopk_all_reduce_scratch;
 use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef_scratch, sparse_all_reduce_naive};
 use cloudtrain_collectives::quantized::quantized_all_reduce;
+use cloudtrain_collectives::resilience::{
+    gtopk_all_reduce_ef_resilient, hitopk_all_reduce_ef_resilient, torus_all_reduce_resilient,
+    ResilienceReport,
+};
 use cloudtrain_collectives::ring::all_gather_f32;
 use cloudtrain_collectives::torus::torus_all_reduce;
 use cloudtrain_collectives::tree::tree_all_reduce;
-use cloudtrain_collectives::{CommScratch, Peer};
+use cloudtrain_collectives::{CommFaults, CommScratch, Peer, ResiliencePolicy, ResilientPeer};
 use cloudtrain_compress::exact::QuickTopK;
 use cloudtrain_compress::quantize::Qsgd;
 use cloudtrain_compress::{ErrorFeedback, MsTopK};
@@ -62,6 +66,72 @@ pub enum OptimizerKind {
     Adam,
 }
 
+/// Fault schedule of one run's communication plane (convergence side).
+///
+/// The decisions expand into a [`CommFaults`] plan: virtual hop drops are
+/// absorbed by the retry ladder (dense traffic stays exact), and degraded
+/// contributions collapse to empty sparse blocks that the error-feedback
+/// residual re-injects on the next step — so a faulted run *completes every
+/// step* and differs from the clean run only through the gradient subsets
+/// that arrived late.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the fault decision stream (independent of the model seed).
+    pub seed: u64,
+    /// Per-hop virtual drop probability.
+    pub drop_prob: f64,
+    /// Baseline per-(step, member) degradation probability for sparse
+    /// contributions.
+    pub degrade_prob: f64,
+    /// Ranks behaving as stragglers.
+    pub straggler_ranks: Vec<usize>,
+    /// Elevated degradation probability applied to straggler ranks.
+    pub straggler_degrade_prob: f64,
+}
+
+impl FaultConfig {
+    /// A clean plan under `seed` — decisions all come up "no fault".
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            degrade_prob: 0.0,
+            straggler_ranks: Vec::new(),
+            straggler_degrade_prob: 0.0,
+        }
+    }
+
+    /// Sets the per-hop drop probability.
+    pub fn with_drops(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Sets the baseline degradation probability.
+    pub fn with_degrade(mut self, prob: f64) -> Self {
+        self.degrade_prob = prob;
+        self
+    }
+
+    /// Marks `rank` as a straggler degrading with probability `prob`.
+    pub fn straggle(mut self, rank: usize, prob: f64) -> Self {
+        self.straggler_ranks.push(rank);
+        self.straggler_degrade_prob = prob;
+        self
+    }
+
+    /// Expands the schedule into the collectives-layer fault plan.
+    pub fn comm_faults(&self) -> CommFaults {
+        let mut f = CommFaults::new(self.seed)
+            .with_drops(self.drop_prob)
+            .with_degrade(self.degrade_prob);
+        for &rank in &self.straggler_ranks {
+            f = f.straggle(rank, self.straggler_degrade_prob);
+        }
+        f
+    }
+}
+
 /// Configuration of one distributed training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DistConfig {
@@ -96,6 +166,10 @@ pub struct DistConfig {
     pub fp16_wire: bool,
     /// Master seed (model init, data, compressor randomness).
     pub seed: u64,
+    /// Communication fault schedule; `None` trains on the clean plane.
+    /// When set, `DenseTorus`, `MsTopKHiTopK` and `GTopK` route through the
+    /// resilient collectives (other strategies keep the clean path).
+    pub faults: Option<FaultConfig>,
 }
 
 impl DistConfig {
@@ -117,6 +191,7 @@ impl DistConfig {
             mixed_precision: false,
             fp16_wire: false,
             seed: 42,
+            faults: None,
         }
     }
 
@@ -140,6 +215,15 @@ pub struct EpochMetrics {
     pub val_top5: f32,
     /// L2 norm of this worker's error-feedback residual (0 for dense).
     pub residual_norm: f32,
+    /// Hop retries this worker's resilience policy charged this epoch
+    /// (0 on the clean plane).
+    pub fault_retries: u64,
+    /// Sparse contributions this worker degraded to empty blocks this
+    /// epoch (0 on the clean plane).
+    pub fault_degraded: u64,
+    /// Allocating scratch-arena takes this epoch — must drop to 0 once
+    /// the communication path reaches steady state, faults or not.
+    pub scratch_misses: u64,
 }
 
 /// Result of one distributed run.
@@ -311,6 +395,14 @@ impl DistTrainer {
         // One communication arena per worker: after the first iteration the
         // sparse collectives run without per-hop allocations.
         let mut scratch = CommScratch::new();
+        // Resilience wrapper (per-pair hop counters persist across steps so
+        // sender and receiver replay identical fault ladders).
+        let mut resilient = cfg
+            .faults
+            .as_ref()
+            .map(|f| ResilientPeer::new(peer, f.comm_faults(), ResiliencePolicy::default()));
+        let mut fault_mark = ResilienceReport::default();
+        let mut miss_mark = 0usize;
         let mut report = TrainReport {
             strategy: cfg.strategy.label().to_string(),
             epochs: Vec::new(),
@@ -321,9 +413,13 @@ impl DistTrainer {
         for (phase_idx, &(strategy, phase_epochs)) in phases.iter().enumerate() {
             if phase_idx > 0 {
                 // Strategy switch: drop stale residuals (their content was
-                // meaningful only under the previous sparsifier).
+                // meaningful only under the previous sparsifier) and open a
+                // fresh allocation window — the new schedule's first epoch
+                // legitimately warms the arena up again.
                 ef_full.reset();
                 ef_shard.reset();
+                scratch.reset_stats();
+                miss_mark = 0;
             }
             for _ in 0..phase_epochs {
                 let mut loss_sum = 0.0f32;
@@ -351,7 +447,13 @@ impl DistTrainer {
                             tree_all_reduce(peer, &mut grads, &members);
                         }
                         Strategy::DenseTorus => {
-                            torus_all_reduce(peer, &mut grads, m, n);
+                            if let Some(rp) = resilient.as_mut() {
+                                // Retry ladder: dense traffic always arrives,
+                                // so the sum stays exact under any drop rate.
+                                torus_all_reduce_resilient(rp, &mut grads, m, n, &mut scratch);
+                            } else {
+                                torus_all_reduce(peer, &mut grads, m, n);
+                            }
                         }
                         Strategy::TopKNaiveAg { rho } => {
                             ef_full.compensate(&mut grads);
@@ -364,24 +466,61 @@ impl DistTrainer {
                             sparse_all_reduce_naive(peer, &mut grads, k, &mut exact);
                         }
                         Strategy::MsTopKHiTopK { rho, .. } => {
-                            hitopk_all_reduce_ef_scratch(
-                                peer,
-                                &mut grads,
-                                m,
-                                n,
-                                rho,
-                                &mut mstopk,
-                                &mut ef_shard,
-                                &mut scratch,
-                            );
+                            if let Some(rp) = resilient.as_mut() {
+                                // Graceful degradation: a member missing its
+                                // deadline ships an empty block; its shard
+                                // gradient survives in `ef_shard`.
+                                hitopk_all_reduce_ef_resilient(
+                                    rp,
+                                    &mut grads,
+                                    m,
+                                    n,
+                                    rho,
+                                    &mut mstopk,
+                                    &mut ef_shard,
+                                    &mut scratch,
+                                );
+                            } else {
+                                hitopk_all_reduce_ef_scratch(
+                                    peer,
+                                    &mut grads,
+                                    m,
+                                    n,
+                                    rho,
+                                    &mut mstopk,
+                                    &mut ef_shard,
+                                    &mut scratch,
+                                );
+                            }
                         }
                         Strategy::GTopK { rho } => {
-                            ef_full.compensate(&mut grads);
                             let k = ((d as f64 * rho).round() as usize).max(1);
-                            let sel =
-                                cloudtrain_compress::Compressor::compress(&mut exact, &grads, k);
-                            ef_full.absorb(&grads, &sel);
-                            gtopk_all_reduce_scratch(peer, &mut grads, k, &mut exact, &mut scratch);
+                            if let Some(rp) = resilient.as_mut() {
+                                // Compensate/select/absorb happen inside the
+                                // resilient variant (degradation must precede
+                                // absorb to park the full shard as residual).
+                                gtopk_all_reduce_ef_resilient(
+                                    rp,
+                                    &mut grads,
+                                    k,
+                                    &mut exact,
+                                    &mut ef_full,
+                                    &mut scratch,
+                                );
+                            } else {
+                                ef_full.compensate(&mut grads);
+                                let sel = cloudtrain_compress::Compressor::compress(
+                                    &mut exact, &grads, k,
+                                );
+                                ef_full.absorb(&grads, &sel);
+                                gtopk_all_reduce_scratch(
+                                    peer,
+                                    &mut grads,
+                                    k,
+                                    &mut exact,
+                                    &mut scratch,
+                                );
+                            }
                         }
                         Strategy::Qsgd { .. } => {
                             // Unbiased quantization needs no error feedback.
@@ -454,13 +593,22 @@ impl DistTrainer {
                     Strategy::MsTopKHiTopK { .. } => ef_shard.residual_norm(),
                     _ => 0.0,
                 };
+                // Fault accounting: per-epoch deltas of the cumulative
+                // resilience report and the arena's allocation counter.
+                let fr = resilient.as_ref().map(|rp| rp.report()).unwrap_or_default();
+                let misses = scratch.misses();
                 report.epochs.push(EpochMetrics {
                     epoch,
                     train_loss: loss_sum / cfg.iters_per_epoch as f32,
                     val_top1: top1,
                     val_top5: top5,
                     residual_norm,
+                    fault_retries: fr.retries - fault_mark.retries,
+                    fault_degraded: fr.degraded_members - fault_mark.degraded_members,
+                    scratch_misses: (misses - miss_mark) as u64,
                 });
+                fault_mark = fr;
+                miss_mark = misses;
                 epoch += 1;
                 // Keep collective schedules aligned across ranks.
                 let _ = all_gather_f32(peer, &[top1], &(0..peer.size()).collect::<Vec<_>>());
@@ -682,6 +830,155 @@ mod tests {
                 "{optimizer:?} failed to reduce loss: {first} -> {last}"
             );
         }
+    }
+
+    /// The acceptance scenario: 1% hop drops plus two stragglers whose
+    /// contributions frequently degrade to empty blocks.
+    fn hostile_faults() -> FaultConfig {
+        FaultConfig::new(77)
+            .with_drops(0.01)
+            .straggle(1, 0.7)
+            .straggle(5, 0.7)
+    }
+
+    #[test]
+    fn resilient_hitopk_completes_and_converges_under_faults() {
+        let mut clean_cfg = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 20,
+            },
+            Workload::Mlp,
+        );
+        clean_cfg.epochs = 3;
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.faults = Some(hostile_faults());
+
+        let clean = DistTrainer::new(clean_cfg).run();
+        let reports = DistTrainer::new(faulty_cfg).run_all_ranks();
+        let faulty = &reports[0];
+
+        // Every simulated step completed: full epoch roster, replicas in
+        // lockstep despite per-rank degradation decisions.
+        assert_eq!(faulty.epochs.len(), clean.epochs.len());
+        for r in &reports[1..] {
+            for (a, b) in r.epochs.iter().zip(&faulty.epochs) {
+                assert_eq!(a.val_top1, b.val_top1, "faulted ranks diverged");
+            }
+        }
+        // Converges within tolerance of the fault-free run.
+        assert!(
+            faulty.final_top1() > 0.5,
+            "faulted run failed to learn: {:?}",
+            faulty.epochs
+        );
+        assert!(
+            (faulty.final_top1() - clean.final_top1()).abs() < 0.2,
+            "faulted {} vs clean {} outside tolerance",
+            faulty.final_top1(),
+            clean.final_top1()
+        );
+        // The stragglers really did degrade (rank 1 is one of them), and the
+        // retry ladder really did fire somewhere.
+        let total_degraded: u64 = reports[1].epochs.iter().map(|e| e.fault_degraded).sum();
+        assert!(total_degraded > 0, "straggler never degraded");
+        let total_retries: u64 = reports
+            .iter()
+            .flat_map(|r| r.epochs.iter().map(|e| e.fault_retries))
+            .sum();
+        assert!(total_retries > 0, "1% drops never triggered a retry");
+    }
+
+    #[test]
+    fn resilient_dense_torus_matches_clean_run_exactly() {
+        // Hop drops are virtual: the retry ladder charges time but every
+        // payload still arrives, so dense training under heavy drops is
+        // bitwise the clean run.
+        let base = quick(Strategy::DenseTorus, Workload::Mlp);
+        let clean = DistTrainer::new(base.clone()).run();
+        let mut cfg = base;
+        cfg.faults = Some(FaultConfig::new(9).with_drops(0.3));
+        let faulty = DistTrainer::new(cfg).run();
+        for (a, b) in clean.epochs.iter().zip(&faulty.epochs) {
+            assert_eq!(a.val_top1, b.val_top1);
+            assert_eq!(a.train_loss, b.train_loss);
+        }
+        let retries: u64 = faulty.epochs.iter().map(|e| e.fault_retries).sum();
+        assert!(retries > 0, "30% drops must exercise the ladder");
+        assert_eq!(
+            faulty.epochs.iter().map(|e| e.fault_degraded).sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn resilient_gtopk_learns_and_ranks_agree_under_faults() {
+        let mut cfg = quick(Strategy::GTopK { rho: 0.05 }, Workload::Mlp);
+        cfg.epochs = 3;
+        cfg.faults = Some(FaultConfig::new(3).with_drops(0.02).with_degrade(0.2));
+        let reports = DistTrainer::new(cfg).run_all_ranks();
+        for r in &reports[1..] {
+            for (a, b) in r.epochs.iter().zip(&reports[0].epochs) {
+                assert_eq!(a.val_top1, b.val_top1, "gtopk faulted ranks diverged");
+            }
+        }
+        assert!(
+            reports[0].final_top1() > 0.5,
+            "faulted gtopk failed to learn: {:?}",
+            reports[0].epochs
+        );
+        assert!(reports[0].epochs.last().unwrap().residual_norm > 0.0);
+    }
+
+    #[test]
+    fn scratch_misses_reach_zero_steady_state_under_faults() {
+        let mut cfg = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.1,
+                samplings: 15,
+            },
+            Workload::Mlp,
+        );
+        cfg.epochs = 3;
+        cfg.faults = Some(hostile_faults());
+        let report = DistTrainer::new(cfg).run();
+        assert!(report.epochs[0].scratch_misses > 0, "warmup must allocate");
+        for e in &report.epochs[1..] {
+            assert_eq!(
+                e.scratch_misses, 0,
+                "epoch {} allocated on the comm path under faults",
+                e.epoch
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_phase_switch_keeps_training() {
+        // DAWNBench mechanic under faults: sparse warmup phase, then dense —
+        // the switch resets residuals and the allocation window, and the
+        // model keeps converging.
+        let mut cfg = quick(Strategy::DenseTorus, Workload::Mlp);
+        cfg.faults = Some(hostile_faults());
+        let report = DistTrainer::new(cfg).run_phases(&[
+            (
+                Strategy::MsTopKHiTopK {
+                    rho: 0.05,
+                    samplings: 20,
+                },
+                2,
+            ),
+            (Strategy::DenseTorus, 2),
+        ]);
+        assert_eq!(report.epochs.len(), 4);
+        assert_eq!(report.epochs[2].residual_norm, 0.0);
+        assert_eq!(report.epochs[2].fault_degraded, 0, "dense phase degraded");
+        let before = report.epochs[1].val_top1;
+        let after = report.epochs[2].val_top1;
+        assert!(
+            after >= before - 0.1,
+            "faulted switch destroyed progress: {before} -> {after}"
+        );
+        assert!(report.final_top1() > 0.6, "{:?}", report.epochs);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Seeded fault injection for the network simulator.
+//!
+//! Public-cloud fabrics are not the happy path the α–β model assumes:
+//! shared NICs take latency spikes from noisy neighbours, links degrade
+//! transiently, TCP segments are dropped and retransmitted after a timeout,
+//! and whole VMs straggle. A [`FaultPlan`] describes such a hostile episode
+//! as a *pure function of a seed*: every fault decision is derived by
+//! hashing `(seed, transfer-sequence-number, attempt)` — no global RNG, no
+//! wall clock — so the same plan replayed against the same schedule yields
+//! a byte-identical timeline. That determinism is what makes the CI fault
+//! gauntlet trustworthy: a failure reproduces exactly, on any machine.
+//!
+//! The fault taxonomy (inter-node transfers only — NVLink is an in-box
+//! interconnect and modelled as reliable):
+//!
+//! * **message drops** — a transfer attempt is lost; the sender waits out a
+//!   timeout, backs off, and retries ([`SimResilience`] bounds the ladder);
+//! * **latency spikes** — a transfer pays extra one-off latency on top of α;
+//! * **transient link degradation** — a node's NIC runs at a fraction of
+//!   line rate during a time window (β is multiplied);
+//! * **node-level stragglers** — a node's GPUs compute at `1/factor` speed
+//!   ([`crate::NetSim::compute`] charges the extra time).
+//!
+//! How a hop that exhausts its retry budget ends depends on
+//! [`DeadlineMode`]: dense collectives must deliver every byte
+//! (`Retry` escalates: the final attempt always lands, after paying the
+//! full penalty), while sparse collectives may *degrade* (`Degrade`
+//! abandons the hop after one timeout — the receiving rank proceeds with an
+//! empty sparse block and error feedback re-queues the mass next step).
+
+use serde::{Deserialize, Serialize};
+
+/// A transient degradation window of one node's NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegrade {
+    /// Node whose NIC is degraded.
+    pub node: usize,
+    /// Bandwidth divisor while active (2.0 = half line rate). Must be ≥ 1.
+    pub factor: f64,
+    /// Window start, seconds of simulated time.
+    pub from: f64,
+    /// Window end, seconds of simulated time (`f64::INFINITY` = forever).
+    pub until: f64,
+}
+
+/// A persistently slow node (degraded VM / noisy neighbour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// Node index.
+    pub node: usize,
+    /// Compute slowdown factor (1.5 = 50% slower). Must be ≥ 1.
+    pub factor: f64,
+}
+
+/// A seeded, replayable description of one hostile-network episode.
+///
+/// All probability draws are pure functions of `(seed, identifiers)`, so a
+/// plan injected into [`crate::NetSim`] produces the same faults on every
+/// replay of the same schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed for all fault decisions.
+    pub seed: u64,
+    /// Per-attempt probability that an inter-node transfer is dropped.
+    pub drop_prob: f64,
+    /// Per-transfer probability of a latency spike.
+    pub spike_prob: f64,
+    /// Extra latency a spiked transfer pays, seconds.
+    pub spike_seconds: f64,
+    /// Transient NIC degradation windows.
+    pub degradations: Vec<LinkDegrade>,
+    /// Persistently slow nodes.
+    pub stragglers: Vec<Straggler>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan under `seed` (builder entry point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            spike_prob: 0.0,
+            spike_seconds: 0.0,
+            degradations: Vec::new(),
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// Sets the per-attempt message-drop probability.
+    #[must_use]
+    pub fn with_drops(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "drop_prob out of [0,1]");
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Sets the latency-spike probability and magnitude.
+    #[must_use]
+    pub fn with_spikes(mut self, prob: f64, seconds: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "spike_prob out of [0,1]");
+        self.spike_prob = prob;
+        self.spike_seconds = seconds;
+        self
+    }
+
+    /// Adds a transient degradation window on `node`'s NIC.
+    #[must_use]
+    pub fn degrade_link(mut self, node: usize, factor: f64, from: f64, until: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.degradations.push(LinkDegrade {
+            node,
+            factor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Marks `node` as a persistent compute straggler.
+    #[must_use]
+    pub fn straggle(mut self, node: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.stragglers.push(Straggler { node, factor });
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.spike_prob == 0.0
+            && self.degradations.is_empty()
+            && self.stragglers.is_empty()
+    }
+
+    /// Whether attempt `attempt` of inter-node transfer number `seq` is
+    /// dropped. Pure in `(seed, seq, attempt)`.
+    pub fn dropped(&self, seq: u64, attempt: u32) -> bool {
+        self.drop_prob > 0.0
+            && unit(hash3(self.seed ^ DROP_SALT, seq, attempt as u64)) < self.drop_prob
+    }
+
+    /// Whether inter-node transfer number `seq` takes a latency spike.
+    pub fn spiked(&self, seq: u64) -> bool {
+        self.spike_prob > 0.0 && unit(hash3(self.seed ^ SPIKE_SALT, seq, 1)) < self.spike_prob
+    }
+
+    /// Bandwidth divisor of the link touching `node` at simulated time
+    /// `at` (product of all active windows; 1.0 when none).
+    pub fn beta_factor(&self, node: usize, at: f64) -> f64 {
+        self.degradations
+            .iter()
+            .filter(|d| d.node == node && at >= d.from && at < d.until)
+            .map(|d| d.factor)
+            .product()
+    }
+
+    /// Compute slowdown of `node` (max of matching stragglers; 1.0 when
+    /// none).
+    pub fn compute_factor(&self, node: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| s.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Worst compute slowdown over all nodes — what a BSP step pays.
+    pub fn max_compute_factor(&self) -> f64 {
+        self.stragglers.iter().map(|s| s.factor).fold(1.0, f64::max)
+    }
+}
+
+/// What happens when a hop exhausts its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeadlineMode {
+    /// Escalate: the final attempt always delivers (reliable transport —
+    /// dense collectives need every byte). The full retry penalty is still
+    /// charged.
+    Retry,
+    /// Abandon after the *first* timeout: the payload never arrives and the
+    /// receiver proceeds without it (sparse collectives substitute an empty
+    /// block; error feedback preserves the mass).
+    Degrade,
+}
+
+/// Timeout/retry policy the simulator applies to faulted transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResilience {
+    /// Seconds a sender waits before declaring an attempt lost.
+    pub hop_timeout: f64,
+    /// Re-transmissions allowed after the first attempt (`Retry` mode).
+    pub max_retries: u32,
+    /// Extra wait added per attempt number (linear backoff), seconds.
+    pub backoff: f64,
+    /// Deadline semantics (see [`DeadlineMode`]).
+    pub mode: DeadlineMode,
+}
+
+impl Default for SimResilience {
+    fn default() -> Self {
+        Self {
+            hop_timeout: 1e-3,
+            max_retries: 3,
+            backoff: 5e-4,
+            mode: DeadlineMode::Retry,
+        }
+    }
+}
+
+impl SimResilience {
+    /// The degradation policy sparse collectives run under.
+    pub fn degrading() -> Self {
+        Self {
+            mode: DeadlineMode::Degrade,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregate fault accounting of one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Inter-node transfers examined.
+    pub transfers: u64,
+    /// Dropped attempts.
+    pub drops: u64,
+    /// Re-transmissions performed (`Retry` mode).
+    pub retries: u64,
+    /// Transfers that exhausted the budget and were force-delivered.
+    pub escalations: u64,
+    /// Transfers abandoned after a timeout (`Degrade` mode).
+    pub degraded: u64,
+    /// Latency spikes taken.
+    pub spikes: u64,
+    /// Transfers that crossed a degraded link window.
+    pub slowed: u64,
+    /// Total virtual seconds of timeout + backoff charged.
+    pub fault_delay: f64,
+    /// Extra compute seconds attributable to straggler nodes.
+    pub straggler_seconds: f64,
+}
+
+/// Which fault hit a transfer (for the timeline event log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// Attempt `attempt` of the transfer was dropped.
+    Drop {
+        /// 0-based attempt number.
+        attempt: u32,
+    },
+    /// The transfer took a latency spike.
+    Spike,
+    /// The transfer crossed a degraded link window.
+    Slowed,
+    /// The retry budget was exhausted; the payload was force-delivered.
+    Escalated,
+    /// The transfer was abandoned; the payload never arrived.
+    Degraded,
+}
+
+impl FaultEventKind {
+    /// Stable short code for log serialization.
+    pub fn code(&self) -> String {
+        match self {
+            FaultEventKind::Drop { attempt } => format!("drop[{attempt}]"),
+            FaultEventKind::Spike => "spike".to_string(),
+            FaultEventKind::Slowed => "slowed".to_string(),
+            FaultEventKind::Escalated => "escalated".to_string(),
+            FaultEventKind::Degraded => "degraded".to_string(),
+        }
+    }
+}
+
+/// One injected fault, recorded in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Inter-node transfer sequence number the fault hit.
+    pub seq: u64,
+    /// Sender GPU.
+    pub src: usize,
+    /// Receiver GPU.
+    pub dst: usize,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+/// Domain-separation salts keeping the drop and spike decision streams
+/// independent under one seed.
+const DROP_SALT: u64 = 0xD20F_D20F_D20F_D20F;
+const SPIKE_SALT: u64 = 0x5B1C_5B1C_5B1C_5B1C;
+
+/// SplitMix64-style hash over three words (same construction as the
+/// jitter model's sampler — deterministic, no global RNG).
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(41));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let p = FaultPlan::new(7).with_drops(0.3).with_spikes(0.2, 1e-3);
+        for seq in 0..50 {
+            assert_eq!(p.dropped(seq, 0), p.clone().dropped(seq, 0));
+            assert_eq!(p.spiked(seq), p.clone().spiked(seq));
+        }
+        // A different seed flips at least one decision over a window.
+        let q = FaultPlan::new(8).with_drops(0.3);
+        assert!((0..200).any(|s| p.dropped(s, 0) != q.dropped(s, 0)));
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let p = FaultPlan::new(42).with_drops(0.25);
+        let hits = (0..10_000u64).filter(|&s| p.dropped(s, 0)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn clean_plan_injects_nothing() {
+        let p = FaultPlan::new(3);
+        assert!(p.is_clean());
+        assert!(!p.dropped(0, 0) && !p.spiked(0));
+        assert_eq!(p.beta_factor(0, 1.0), 1.0);
+        assert_eq!(p.compute_factor(0), 1.0);
+        assert_eq!(p.max_compute_factor(), 1.0);
+    }
+
+    #[test]
+    fn degradation_windows_gate_on_time_and_node() {
+        let p = FaultPlan::new(1).degrade_link(2, 4.0, 1.0, 2.0);
+        assert_eq!(p.beta_factor(2, 1.5), 4.0);
+        assert_eq!(p.beta_factor(2, 0.5), 1.0);
+        assert_eq!(p.beta_factor(2, 2.0), 1.0); // half-open window
+        assert_eq!(p.beta_factor(1, 1.5), 1.0);
+        // Overlapping windows compound.
+        let q = p.degrade_link(2, 2.0, 0.0, 10.0);
+        assert_eq!(q.beta_factor(2, 1.5), 8.0);
+    }
+
+    #[test]
+    fn stragglers_report_per_node_and_max() {
+        let p = FaultPlan::new(1).straggle(0, 1.5).straggle(3, 2.0);
+        assert_eq!(p.compute_factor(0), 1.5);
+        assert_eq!(p.compute_factor(3), 2.0);
+        assert_eq!(p.compute_factor(1), 1.0);
+        assert_eq!(p.max_compute_factor(), 2.0);
+    }
+
+    #[test]
+    fn attempts_redraw_independently() {
+        // With p = 0.5 some sequence must drop attempt 0 but deliver
+        // attempt 1 — retries genuinely re-roll.
+        let p = FaultPlan::new(11).with_drops(0.5);
+        assert!((0..100).any(|s| p.dropped(s, 0) && !p.dropped(s, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::new(0).with_drops(1.5);
+    }
+}

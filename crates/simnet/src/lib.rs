@@ -23,17 +23,25 @@
 //! the source of Figs. 7 and 8 and the communication leg of Tables 3–5.
 //! [`jitter`] adds multi-tenant compute jitter and straggler statistics
 //! for the BSP-penalty ablation.
+//! [`faults`] injects seeded link faults (drops, latency spikes, transient
+//! degradation) and node-level stragglers so resilience policies can be
+//! evaluated deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clouds;
 pub mod collectives;
+pub mod faults;
 pub mod jitter;
 mod netsim;
 pub mod timeline;
 mod topology;
 pub mod tuner;
 
+pub use faults::{
+    DeadlineMode, FaultCounters, FaultEvent, FaultEventKind, FaultPlan, LinkDegrade, SimResilience,
+    Straggler,
+};
 pub use netsim::{NetSim, TransferEvent};
 pub use topology::{ClusterSpec, LinkSpec};

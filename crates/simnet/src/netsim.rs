@@ -1,3 +1,6 @@
+use crate::faults::{
+    DeadlineMode, FaultCounters, FaultEvent, FaultEventKind, FaultPlan, SimResilience,
+};
 use crate::topology::ClusterSpec;
 
 /// One recorded transfer (produced when tracing is enabled via
@@ -44,6 +47,19 @@ pub struct NetSim {
     nic_tx_bytes: Vec<usize>,
     nic_rx_bytes: Vec<usize>,
     trace: Option<Vec<TransferEvent>>,
+    faults: Option<FaultState>,
+}
+
+/// Live fault-injection state (plan + policy + accounting).
+#[derive(Debug, Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    policy: SimResilience,
+    /// Monotone inter-node transfer counter — the identifier every fault
+    /// decision is hashed on.
+    seq: u64,
+    counters: FaultCounters,
+    events: Vec<FaultEvent>,
 }
 
 impl NetSim {
@@ -60,7 +76,40 @@ impl NetSim {
             nic_tx_bytes: vec![0; spec.nodes],
             nic_rx_bytes: vec![0; spec.nodes],
             trace: None,
+            faults: None,
         }
+    }
+
+    /// Installs a seeded fault plan and the resilience policy applied to
+    /// faulted transfers. Subsequent inter-node transfers and
+    /// [`NetSim::compute`] calls consult the plan; accounting is readable
+    /// via [`NetSim::fault_counters`] / [`NetSim::fault_events`].
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: SimResilience) {
+        self.faults = Some(FaultState {
+            plan,
+            policy,
+            seq: 0,
+            counters: FaultCounters::default(),
+            events: Vec::new(),
+        });
+    }
+
+    /// Removes any installed fault plan (subsequent traffic is clean).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Aggregate fault accounting so far (zeros when no plan is installed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.as_ref().map(|f| f.counters).unwrap_or_default()
+    }
+
+    /// The injected faults in schedule order (empty when no plan).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.faults
+            .as_ref()
+            .map(|f| f.events.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Turns on transfer recording; every subsequent transfer is appended
@@ -102,6 +151,11 @@ impl NetSim {
         if let Some(t) = self.trace.as_mut() {
             t.clear();
         }
+        if let Some(f) = self.faults.as_mut() {
+            f.seq = 0;
+            f.counters = FaultCounters::default();
+            f.events.clear();
+        }
     }
 
     /// Total bytes each node's NIC has transmitted so far (traffic
@@ -115,9 +169,19 @@ impl NetSim {
         &self.nic_rx_bytes
     }
 
-    /// Advances a GPU's clock by `seconds` of local compute.
+    /// Advances a GPU's clock by `seconds` of local compute. A straggler
+    /// node in an installed [`FaultPlan`] runs at `1/factor` speed; the
+    /// extra time is attributed in the counters.
     pub fn compute(&mut self, gpu: usize, seconds: f64) {
-        self.gpu_clock[gpu] += seconds;
+        let mut t = seconds;
+        if let Some(f) = self.faults.as_mut() {
+            let factor = f.plan.compute_factor(self.spec.node_of(gpu));
+            if factor > 1.0 {
+                t = seconds * factor;
+                f.counters.straggler_seconds += t - seconds;
+            }
+        }
+        self.gpu_clock[gpu] += t;
     }
 
     /// Aligns all GPUs' clocks to the current makespan (a barrier).
@@ -160,7 +224,9 @@ impl NetSim {
             let src_node = self.spec.node_of(src);
             let dst_node = self.spec.node_of(dst);
             let inter_node = src_node != dst_node;
-            let (sent, end) = if src_node == dst_node {
+            let (record_start, sent, end) = if src_node == dst_node {
+                // Intra-node (NVLink): an in-box interconnect, modelled as
+                // reliable — fault plans do not touch it.
                 let link = self.spec.intra;
                 let start = snapshot[src]
                     .max(self.gpu_tx_free[src])
@@ -168,30 +234,115 @@ impl NetSim {
                 let sent = start + bytes as f64 * link.beta;
                 self.gpu_tx_free[src] = sent;
                 self.gpu_rx_free[dst] = sent;
-                (sent, sent + link.alpha)
+                (start, sent, sent + link.alpha)
             } else {
                 let link = self.spec.inter;
                 let start = snapshot[src]
                     .max(self.nic_tx_free[src_node])
                     .max(self.nic_rx_free[dst_node]);
-                let sent = start + bytes as f64 * link.beta;
+                let mut alpha = link.alpha;
+                let mut beta = link.beta;
+                // Consult the fault plan: degradation scales β, a spike
+                // adds to α, drops charge a timeout/backoff ladder, and the
+                // deadline mode decides whether the payload lands at all.
+                let mut wasted = 0.0;
+                let mut delivered = true;
+                if let Some(fs) = self.faults.as_mut() {
+                    let seq = fs.seq;
+                    fs.seq += 1;
+                    fs.counters.transfers += 1;
+                    let slow = fs
+                        .plan
+                        .beta_factor(src_node, start)
+                        .max(fs.plan.beta_factor(dst_node, start));
+                    if slow > 1.0 {
+                        beta *= slow;
+                        fs.counters.slowed += 1;
+                        fs.events.push(FaultEvent {
+                            seq,
+                            src,
+                            dst,
+                            kind: FaultEventKind::Slowed,
+                        });
+                    }
+                    if fs.plan.spiked(seq) {
+                        alpha += fs.plan.spike_seconds;
+                        fs.counters.spikes += 1;
+                        fs.events.push(FaultEvent {
+                            seq,
+                            src,
+                            dst,
+                            kind: FaultEventKind::Spike,
+                        });
+                    }
+                    let mut attempt = 0u32;
+                    loop {
+                        if !fs.plan.dropped(seq, attempt) {
+                            break;
+                        }
+                        fs.counters.drops += 1;
+                        fs.events.push(FaultEvent {
+                            seq,
+                            src,
+                            dst,
+                            kind: FaultEventKind::Drop { attempt },
+                        });
+                        wasted += fs.policy.hop_timeout + fs.policy.backoff * attempt as f64;
+                        match fs.policy.mode {
+                            DeadlineMode::Degrade => {
+                                delivered = false;
+                                fs.counters.degraded += 1;
+                                fs.events.push(FaultEvent {
+                                    seq,
+                                    src,
+                                    dst,
+                                    kind: FaultEventKind::Degraded,
+                                });
+                                break;
+                            }
+                            DeadlineMode::Retry => {
+                                if attempt == fs.policy.max_retries {
+                                    // Budget exhausted: force-deliver (the
+                                    // reliable-transport tail) after the
+                                    // full penalty.
+                                    fs.counters.escalations += 1;
+                                    fs.events.push(FaultEvent {
+                                        seq,
+                                        src,
+                                        dst,
+                                        kind: FaultEventKind::Escalated,
+                                    });
+                                    break;
+                                }
+                                fs.counters.retries += 1;
+                                attempt += 1;
+                            }
+                        }
+                    }
+                    fs.counters.fault_delay += wasted;
+                }
+                let (record_start, sent, end) = if delivered {
+                    let sent = start + wasted + bytes as f64 * beta;
+                    self.nic_tx_bytes[src_node] += bytes;
+                    self.nic_rx_bytes[dst_node] += bytes;
+                    (start + wasted, sent, sent + alpha)
+                } else {
+                    // Abandoned hop: the ports were tied up until the
+                    // deadline expired, but no payload arrived (the
+                    // receiver proceeds without it — end == sent).
+                    let sent = start + wasted;
+                    (start, sent, sent)
+                };
                 self.nic_tx_free[src_node] = sent;
                 self.nic_rx_free[dst_node] = sent;
-                self.nic_tx_bytes[src_node] += bytes;
-                self.nic_rx_bytes[dst_node] += bytes;
-                (sent, sent + link.alpha)
+                (record_start, sent, end)
             };
             if let Some(trace) = self.trace.as_mut() {
-                let beta = if inter_node {
-                    self.spec.inter.beta
-                } else {
-                    self.spec.intra.beta
-                };
                 trace.push(TransferEvent {
                     src,
                     dst,
                     bytes,
-                    start: sent - bytes as f64 * beta,
+                    start: record_start,
                     end,
                     inter_node,
                 });
@@ -300,6 +451,141 @@ mod tests {
     #[should_panic(expected = "src == dst")]
     fn self_transfer_panics() {
         sim().transfer(2, 2, 10);
+    }
+
+    #[test]
+    fn clean_fault_plan_changes_nothing_but_counts() {
+        let mut clean = sim();
+        let mut faulty = sim();
+        faulty.inject_faults(FaultPlan::new(7), SimResilience::default());
+        let mut schedule = Vec::new();
+        for j in 0..4 {
+            schedule.push((j, 8 + j, 1 << 18));
+        }
+        let a = clean.round(&schedule);
+        let b = faulty.round(&schedule);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let c = faulty.fault_counters();
+        assert_eq!(c.transfers, 4);
+        assert_eq!(c.drops + c.spikes + c.slowed, 0);
+        assert!(faulty.fault_events().is_empty());
+    }
+
+    #[test]
+    fn retry_mode_always_delivers_and_charges_delay() {
+        let mut s = sim();
+        let plan = FaultPlan::new(11).with_drops(0.5);
+        s.inject_faults(plan, SimResilience::default());
+        let mut bytes_expected = 0usize;
+        for i in 0..64 {
+            s.transfer(i % 8, 8 + (i % 8), 4096);
+            bytes_expected += 4096;
+        }
+        let c = s.fault_counters();
+        assert!(c.drops > 0, "p=0.5 over 64 transfers must drop some");
+        assert!(c.fault_delay > 0.0);
+        assert_eq!(c.degraded, 0);
+        // Retry mode delivers every payload: byte accounting is untouched.
+        assert_eq!(s.nic_tx_bytes()[0], bytes_expected);
+        assert_eq!(s.nic_rx_bytes()[1], bytes_expected);
+        // Retries + escalations reconcile with drops: every drop is either
+        // retried or ends an escalation ladder.
+        assert_eq!(c.drops, c.retries + c.escalations);
+    }
+
+    #[test]
+    fn degrade_mode_abandons_dropped_payloads() {
+        let mut s = sim();
+        let plan = FaultPlan::new(11).with_drops(0.5);
+        s.inject_faults(plan, SimResilience::degrading());
+        for i in 0..64 {
+            s.transfer(i % 8, 8 + (i % 8), 4096);
+        }
+        let c = s.fault_counters();
+        assert!(c.degraded > 0);
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.escalations, 0);
+        // Abandoned payloads never hit the byte counters.
+        let delivered = c.transfers - c.degraded;
+        assert_eq!(s.nic_tx_bytes()[0], delivered as usize * 4096);
+    }
+
+    #[test]
+    fn spikes_extend_latency_not_bandwidth() {
+        let mut s = sim();
+        let spec = *s.spec();
+        // spike_prob = 1: every inter-node transfer pays the spike.
+        let plan = FaultPlan::new(3).with_spikes(1.0, 0.25);
+        s.inject_faults(plan, SimResilience::default());
+        let end = s.transfer(0, 8, 1 << 20);
+        let expect = spec.inter.transfer_time(1 << 20) + 0.25;
+        assert!((end - expect).abs() < 1e-9, "end={end} expect={expect}");
+        assert_eq!(s.fault_counters().spikes, 1);
+    }
+
+    #[test]
+    fn degradation_window_scales_beta() {
+        let mut s = sim();
+        let spec = *s.spec();
+        let plan = FaultPlan::new(5).degrade_link(1, 3.0, 0.0, 1.0);
+        s.inject_faults(plan, SimResilience::default());
+        // dst node 1 is degraded at t=0: β is tripled, α unchanged.
+        let end = s.transfer(0, 8, 1 << 20);
+        let expect = 3.0 * (1 << 20) as f64 * spec.inter.beta + spec.inter.alpha;
+        assert!((end - expect).abs() < 1e-9, "end={end} expect={expect}");
+        assert_eq!(s.fault_counters().slowed, 1);
+    }
+
+    #[test]
+    fn straggler_scales_compute_and_is_attributed() {
+        let mut s = sim();
+        let plan = FaultPlan::new(5).straggle(1, 2.0);
+        s.inject_faults(plan, SimResilience::default());
+        s.compute(0, 1.0); // node 0: clean
+        s.compute(8, 1.0); // node 1: 2x straggler
+        assert!((s.time_of(0) - 1.0).abs() < 1e-12);
+        assert!((s.time_of(8) - 2.0).abs() < 1e-12);
+        assert!((s.fault_counters().straggler_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_runs() {
+        let run = || {
+            let mut s = sim();
+            s.enable_trace();
+            let plan = FaultPlan::new(42)
+                .with_drops(0.1)
+                .with_spikes(0.05, 0.01)
+                .degrade_link(0, 2.0, 0.0, 0.5)
+                .straggle(1, 1.5);
+            s.inject_faults(plan, SimResilience::default());
+            for i in 0..32 {
+                s.compute(i % 16, 1e-3);
+                s.transfer(i % 8, 8 + ((i + 3) % 8), 10_000);
+            }
+            (s.makespan(), s.fault_counters(), s.trace().to_vec())
+        };
+        let (m1, c1, t1) = run();
+        let (m2, c2, t2) = run();
+        assert_eq!(m1.to_bits(), m2.to_bits());
+        assert_eq!(c1.drops, c2.drops);
+        assert_eq!(c1.fault_delay.to_bits(), c2.fault_delay.to_bits());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn reset_clears_fault_accounting() {
+        let mut s = sim();
+        s.inject_faults(FaultPlan::new(1).with_drops(0.9), SimResilience::default());
+        for _ in 0..8 {
+            s.transfer(0, 8, 1000);
+        }
+        assert!(s.fault_counters().drops > 0);
+        s.reset();
+        assert_eq!(s.fault_counters().drops, 0);
+        assert!(s.fault_events().is_empty());
+        s.clear_faults();
+        assert_eq!(s.fault_counters(), FaultCounters::default());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! of what a collective's schedule actually does on the fabric (who is
 //! busy when, where the serialization is).
 
+use crate::faults::FaultEvent;
 use crate::netsim::TransferEvent;
 
 /// Renders one row per node NIC (tx side) plus one aggregate intra-node
@@ -63,6 +64,48 @@ pub fn render_timeline(
     out
 }
 
+/// Serialises a recorded trace plus its injected faults as a deterministic
+/// line-based event log.
+///
+/// One line per transfer (`>` inter-node, `-` intra-node) followed by one
+/// line per fault, all fields rendered with fixed-precision scientific
+/// notation — so two runs of the same schedule under the same
+/// [`crate::FaultPlan`] seed produce **byte-identical** logs. This is the
+/// artifact the CI fault gauntlet diffs: any nondeterminism in the fault
+/// path shows up as a byte difference.
+///
+/// ```
+/// use cloudtrain_simnet::timeline::event_log;
+/// use cloudtrain_simnet::{clouds, FaultPlan, NetSim, SimResilience};
+///
+/// let mut sim = NetSim::new(clouds::tencent(2));
+/// sim.enable_trace();
+/// sim.inject_faults(FaultPlan::new(7).with_drops(0.2), SimResilience::default());
+/// sim.transfer(0, 8, 4096);
+/// let log = event_log(sim.trace(), sim.fault_events());
+/// assert!(log.starts_with("transfer"));
+/// ```
+pub fn event_log(trace: &[TransferEvent], faults: &[FaultEvent]) -> String {
+    let mut out = String::new();
+    for e in trace {
+        let dir = if e.inter_node { '>' } else { '-' };
+        out.push_str(&format!(
+            "transfer {dir} src={} dst={} bytes={} start={:.9e} end={:.9e}\n",
+            e.src, e.dst, e.bytes, e.start, e.end
+        ));
+    }
+    for f in faults {
+        out.push_str(&format!(
+            "fault seq={} src={} dst={} kind={}\n",
+            f.seq,
+            f.src,
+            f.dst,
+            f.kind.code()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +132,40 @@ mod tests {
     #[test]
     fn empty_trace_is_graceful() {
         assert_eq!(render_timeline(&[], 4, 8, 40), "(no transfers)\n");
+    }
+
+    #[test]
+    fn event_log_lists_transfers_then_faults() {
+        use crate::{FaultPlan, SimResilience};
+        let spec = clouds::tencent(2);
+        let mut sim = NetSim::new(spec);
+        sim.enable_trace();
+        sim.inject_faults(FaultPlan::new(9).with_drops(0.9), SimResilience::default());
+        sim.transfer(0, 1, 100); // intra: no fault lines
+        sim.transfer(0, 8, 100);
+        let log = event_log(sim.trace(), sim.fault_events());
+        let lines: Vec<&str> = log.lines().collect();
+        assert!(lines[0].starts_with("transfer - src=0 dst=1"));
+        assert!(lines[1].starts_with("transfer > src=0 dst=8"));
+        assert!(lines[2..].iter().all(|l| l.starts_with("fault seq=0")));
+        assert!(log.contains("drop[0]"));
+    }
+
+    #[test]
+    fn event_log_is_byte_identical_across_replays() {
+        let run = || {
+            let spec = clouds::tencent(2);
+            let mut sim = NetSim::new(spec);
+            sim.enable_trace();
+            sim.inject_faults(
+                crate::FaultPlan::new(123)
+                    .with_drops(0.2)
+                    .with_spikes(0.2, 1e-3),
+                crate::SimResilience::default(),
+            );
+            sim_torus_all_reduce(&mut sim, &spec, 1 << 20);
+            event_log(sim.trace(), sim.fault_events())
+        };
+        assert_eq!(run(), run());
     }
 }

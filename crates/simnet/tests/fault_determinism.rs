@@ -1,0 +1,102 @@
+//! Golden-trace determinism of the fault-injection layer.
+//!
+//! The CI fault gauntlet relies on one property: the same [`FaultPlan`]
+//! seed replayed against the same schedule yields a **byte-identical**
+//! timeline event log. These tests pin that down across every collective
+//! schedule the simulator offers.
+
+use cloudtrain_simnet::collectives::{
+    sim_gtopk_all_reduce, sim_hitopk, sim_torus_all_reduce, sim_tree_all_reduce_hier,
+};
+use cloudtrain_simnet::timeline::event_log;
+use cloudtrain_simnet::{clouds, FaultPlan, NetSim, SimResilience};
+
+fn hostile(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_drops(0.05)
+        .with_spikes(0.05, 2e-3)
+        .degrade_link(0, 2.0, 0.0, 0.05)
+        .straggle(1, 1.5)
+}
+
+/// Runs every fault-relevant schedule under one plan and returns the full
+/// concatenated event log.
+fn run_gauntlet_schedules(seed: u64, policy: SimResilience) -> String {
+    let spec = clouds::tencent(4);
+    let mut sim = NetSim::new(spec);
+    sim.enable_trace();
+    sim.inject_faults(hostile(seed), policy);
+    let mut log = String::new();
+    sim_torus_all_reduce(&mut sim, &spec, 1 << 20);
+    log.push_str(&event_log(sim.trace(), sim.fault_events()));
+    sim.reset();
+    sim_tree_all_reduce_hier(&mut sim, &spec, 1 << 20);
+    log.push_str(&event_log(sim.trace(), sim.fault_events()));
+    sim.reset();
+    sim_hitopk(&mut sim, &spec, 1 << 18, 4, 0.01, 1e-4);
+    log.push_str(&event_log(sim.trace(), sim.fault_events()));
+    sim.reset();
+    sim_gtopk_all_reduce(&mut sim, &spec, 1 << 12, 4);
+    log.push_str(&event_log(sim.trace(), sim.fault_events()));
+    log
+}
+
+#[test]
+fn same_seed_yields_byte_identical_event_logs() {
+    for seed in [1u64, 7, 42, 0xDEAD] {
+        let a = run_gauntlet_schedules(seed, SimResilience::default());
+        let b = run_gauntlet_schedules(seed, SimResilience::default());
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "seed {seed}: replay must be byte-identical");
+        let c = run_gauntlet_schedules(seed, SimResilience::degrading());
+        let d = run_gauntlet_schedules(seed, SimResilience::degrading());
+        assert_eq!(c, d, "seed {seed}: degrade-mode replay must match too");
+    }
+}
+
+#[test]
+fn different_seeds_yield_different_logs() {
+    let a = run_gauntlet_schedules(1, SimResilience::default());
+    let b = run_gauntlet_schedules(2, SimResilience::default());
+    assert_ne!(a, b, "independent seeds should produce different faults");
+}
+
+#[test]
+fn faults_never_speed_up_a_schedule() {
+    let spec = clouds::tencent(4);
+    for seed in 0..8u64 {
+        let mut clean = NetSim::new(spec);
+        sim_torus_all_reduce(&mut clean, &spec, 1 << 20);
+        let mut faulty = NetSim::new(spec);
+        faulty.inject_faults(hostile(seed), SimResilience::default());
+        sim_torus_all_reduce(&mut faulty, &spec, 1 << 20);
+        assert!(
+            faulty.makespan() >= clean.makespan() - 1e-12,
+            "seed {seed}: faulted makespan shrank"
+        );
+    }
+}
+
+#[test]
+fn degrade_mode_never_exceeds_retry_mode_delay() {
+    // The BSP-penalty-vs-resilience core claim: abandoning a hop after one
+    // timeout caps the tail that the retry ladder would otherwise pay.
+    let spec = clouds::tencent(4);
+    for seed in 0..8u64 {
+        let plan = FaultPlan::new(seed).with_drops(0.1);
+        let mut retry = NetSim::new(spec);
+        retry.inject_faults(plan.clone(), SimResilience::default());
+        sim_torus_all_reduce(&mut retry, &spec, 1 << 20);
+        let mut degrade = NetSim::new(spec);
+        degrade.inject_faults(plan, SimResilience::degrading());
+        sim_torus_all_reduce(&mut degrade, &spec, 1 << 20);
+        let r = retry.fault_counters();
+        let d = degrade.fault_counters();
+        assert!(
+            d.fault_delay <= r.fault_delay + 1e-12,
+            "seed {seed}: degrade delay {} > retry delay {}",
+            d.fault_delay,
+            r.fault_delay
+        );
+    }
+}

@@ -13,7 +13,7 @@
 //! `scatter_add`) exist in two tiers with **bitwise identical** results:
 //!
 //! * [`serial`] — always compiled; the default dispatch target.
-//! * [`parallel`] — scoped-thread implementations, compiled behind the
+//! * `parallel` — scoped-thread implementations, compiled behind the
 //!   `parallel` feature (alias: `rayon`) and dispatched to when enabled.
 //!
 //! Determinism contract: every floating-point reduction — in *both* tiers —
@@ -65,7 +65,7 @@ mod block {
 /// Sequential reference tier of the hot kernels.
 ///
 /// Reductions fold [`REDUCE_BLOCK`]-wide blocks in block-index order — the
-/// exact combine schedule of the [`parallel`] tier — so the two are bitwise
+/// exact combine schedule of the `parallel` tier — so the two are bitwise
 /// interchangeable.
 pub mod serial {
     use super::{block, REDUCE_BLOCK};
@@ -81,7 +81,7 @@ pub mod serial {
     ///
     /// Keeps four independent block chains in flight to overlap the
     /// latency of the strictly-ordered `f32` adds. Each block partial is
-    /// still the exact left fold of [`block::sum_abs`] and partials are
+    /// still the exact left fold of `block::sum_abs` and partials are
     /// still combined in block-index order, so the result is bitwise
     /// unchanged — only the schedule across blocks differs.
     pub fn mean_abs(x: &[f32]) -> f32 {

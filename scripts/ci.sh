@@ -1,10 +1,38 @@
 #!/usr/bin/env bash
-# CI entry point: format check, lints, and the full test suite with the
-# parallel kernel tier both off (default) and on.
+# CI entry point: format check, lints, docs, and the full test suite with
+# the parallel kernel tier both off (default) and on.
 #
-# Usage: scripts/ci.sh
+# Usage:
+#   scripts/ci.sh            # lint + docs + tests
+#   scripts/ci.sh gauntlet   # deterministic fault gauntlet (8 seeds x
+#                            # {drops, spikes, stragglers}); runs the
+#                            # harness twice and requires byte-identical
+#                            # output, then snapshots BENCH_faults.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "gauntlet" ]]; then
+    echo "==> fault gauntlet: build"
+    cargo build --release -q -p cloudtrain-bench --bin fault_gauntlet
+
+    echo "==> fault gauntlet: run twice, require byte-identical output"
+    out_a=$(mktemp)
+    out_b=$(mktemp)
+    trap 'rm -f "$out_a" "$out_b"' EXIT
+    ./target/release/fault_gauntlet > "$out_a"
+    ./target/release/fault_gauntlet > "$out_b"
+    cmp "$out_a" "$out_b"
+
+    echo "==> fault gauntlet: snapshot BENCH_faults.json"
+    grep '^JSON fault_gauntlet ' "$out_a" | sed 's/^JSON fault_gauntlet //' \
+        > BENCH_faults.json
+    python3 -c 'import json,sys; rows=json.load(open("BENCH_faults.json")); \
+print(f"  {len(rows)} gauntlet rows")' 2>/dev/null \
+        || echo "  (python3 unavailable; snapshot written unvalidated)"
+
+    echo "==> fault gauntlet: green"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -14,6 +42,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy (parallel kernels)"
 cargo clippy --workspace --all-targets --features cloudtrain-tensor/parallel -- -D warnings
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> cargo test --doc"
+cargo test --workspace --doc -q
 
 echo "==> cargo test (default features)"
 cargo test --workspace -q

@@ -37,6 +37,7 @@ run ablation_pto
 run ablation_stragglers
 run ablation_tuner
 run ablation_fusion
+run fault_gauntlet
 
 # Convergence-plane harnesses (minutes: real distributed training).
 if [[ "$FAST" -eq 0 ]]; then
