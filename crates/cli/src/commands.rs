@@ -1,9 +1,16 @@
 //! Subcommand implementations.
 
+use cloudtrain::compress::gpu_cost::{mstopk_cost, GpuRates};
+use cloudtrain::datacache::disk::DiskCache;
 use cloudtrain::engine::dawnbench::{
     dense_only_schedule, evaluate_schedule, paper_schedule, published_leaderboard,
 };
+use cloudtrain::obs::Registry;
 use cloudtrain::prelude::*;
+use cloudtrain::simnet::collectives::{
+    sim_gtopk_all_reduce, sim_hitopk, sim_naive_sparse_all_gather, sim_quantized_all_reduce,
+    sim_torus_all_reduce, sim_tree_all_reduce_hier,
+};
 use cloudtrain::simnet::ClusterSpec;
 
 use crate::args::{Args, ParseError};
@@ -30,6 +37,11 @@ pub fn print_help() {
          \x20            MSTopK degrades instead\n\
          \x20            --model <m> --nodes N --cloud <c> --seeds N\n\
          \x20            --drops F --spikes F --stragglers N --rho F\n\
+         \x20 trace      deterministic observability snapshot: per-stage\n\
+         \x20            comm-plane spans (Fig. 8) and cache-tier hit\n\
+         \x20            rates (Fig. 9) as a table plus byte-stable JSONL\n\
+         \x20            --model <m> --strategy <s> --nodes N --cloud <c>\n\
+         \x20            --samples N --out FILE\n\
          \x20 help       this text\n\n\
          STRATEGIES: dense (TreeAR), 2dtar, topk, mstopk, gtopk, qsgd\n\
          MODELS: resnet50-224, resnet50-96, resnet50-128, resnet50-288,\n\
@@ -48,6 +60,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseError> {
         "sweep" => cmd_sweep(args),
         "dawnbench" => cmd_dawnbench(args),
         "faults" => cmd_faults(args),
+        "trace" => cmd_trace(args),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `cloudtrain help`)"
         ))),
@@ -362,6 +375,150 @@ fn cmd_faults(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+fn cmd_trace(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&[
+        "model",
+        "strategy",
+        "nodes",
+        "cloud",
+        "rho",
+        "samplings",
+        "levels",
+        "samples",
+        "out",
+    ])?;
+    let cluster = cluster_of(args)?;
+    let profile = model_of(args)?;
+    let strategy = strategy_of(args)?;
+    let samples: u64 = args.num_or("samples", 256)?;
+    let mut reg = Registry::new();
+
+    // Plane 1: the strategy's collective schedule on the simulated
+    // cluster, spans charged from virtual time (the same schedule
+    // IterationModel prices — see `comm_seconds_on`).
+    let d = profile.params;
+    let mut sim = NetSim::new(cluster);
+    sim.attach_obs();
+    match strategy {
+        Strategy::DenseTreeAr => {
+            sim_tree_all_reduce_hier(&mut sim, &cluster, d * 4);
+        }
+        Strategy::DenseTorus => {
+            sim_torus_all_reduce(&mut sim, &cluster, d * 2);
+        }
+        Strategy::TopKNaiveAg { rho } => {
+            let k = ((d as f64 * rho) as usize).max(1);
+            sim_naive_sparse_all_gather(&mut sim, &cluster, k);
+        }
+        Strategy::MsTopKHiTopK { rho, samplings } => {
+            let n = cluster.gpus_per_node;
+            let shard = d.div_ceil(n);
+            let k = ((d as f64 * rho / n as f64) as usize).max(1);
+            let topk_s = mstopk_cost(shard, k, samplings, &GpuRates::default()).seconds;
+            sim_hitopk(&mut sim, &cluster, d, 4, rho, topk_s);
+        }
+        Strategy::GTopK { rho } => {
+            let k = ((d as f64 * rho) as usize).max(1);
+            sim_gtopk_all_reduce(&mut sim, &cluster, k, 4);
+        }
+        Strategy::Qsgd { levels } => {
+            let bits = (2 * levels as u32 + 1).next_power_of_two().trailing_zeros();
+            sim_quantized_all_reduce(&mut sim, &cluster, d, bits as usize);
+        }
+    }
+    sim.publish_obs();
+    if let Some(comm) = sim.take_obs() {
+        reg.merge(&comm);
+    }
+
+    // The modelled iteration decomposition as gauges (`iter/*`).
+    IterationModel::new(
+        cluster,
+        SystemConfig {
+            strategy,
+            datacache: true,
+            pto: true,
+        },
+        profile.clone(),
+    )
+    .breakdown()
+    .publish(&mut reg);
+
+    // Plane 2: the real cache implementation, spans in modelled virtual
+    // seconds. Epoch 0 pulls everything from NFS, epoch 1 hits the
+    // memory tier; a fresh loader over the same disk directory plays the
+    // process-restart epoch where the disk tier serves.
+    // Keyed on the run parameters so concurrent invocations (e.g. the
+    // parallel test harness) never share a directory.
+    let cache_dir = std::env::temp_dir().join(format!(
+        "cloudtrain-trace-{}-{}-{samples}",
+        std::process::id(),
+        strategy.label()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let pixels = 96 * 96 * 3;
+    let open_disk =
+        || DiskCache::open(&cache_dir).map_err(|e| ParseError(format!("cache dir {e} (trace)")));
+    let mut loader = CachedLoader::new(
+        SyntheticNfs::new(pixels, 9),
+        Some(open_disk()?),
+        LoaderConfig::default(),
+    );
+    for epoch in 0..2 {
+        let _ = epoch;
+        for id in 0..samples {
+            loader.load_traced(id, &mut reg);
+        }
+    }
+    loader.publish_obs(&mut reg);
+    let mut restarted = CachedLoader::new(
+        SyntheticNfs::new(pixels, 9),
+        Some(open_disk()?),
+        LoaderConfig::default(),
+    );
+    for id in 0..samples {
+        restarted.load_traced(id, &mut reg);
+    }
+    restarted.publish_obs(&mut reg);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "trace: {} with {} on {} GPUs, {} samples/epoch\n",
+        profile.name,
+        strategy.label(),
+        cluster.world(),
+        samples
+    );
+    print!("{}", reg.breakdown_table());
+    let tiers = [
+        ("memory", reg.counter("cache/from_memory")),
+        ("disk", reg.counter("cache/from_disk")),
+        ("nfs", reg.counter("cache/from_nfs")),
+    ];
+    let total: u64 = tiers.iter().map(|(_, v)| v).sum();
+    println!("\ncache tier hit rates ({total} loads):");
+    for (name, served) in tiers {
+        println!(
+            "  {:<8} {:>8} {:>6.1}%",
+            name,
+            served,
+            100.0 * served as f64 / total.max(1) as f64
+        );
+    }
+    match args.get_or("out", "") {
+        "" => {
+            println!("\nJSONL snapshot:");
+            print!("{}", reg.to_jsonl());
+        }
+        path => {
+            std::fs::write(path, reg.to_jsonl())
+                .map_err(|e| ParseError(format!("--out {path}: {e}")))?;
+            println!("\nwrote JSONL snapshot to {path}");
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +568,38 @@ mod tests {
         assert!(dispatch(&args("faults --drops 1.5")).is_err());
         assert!(dispatch(&args("faults --nodes 2 --stragglers 3")).is_err());
         assert!(dispatch(&args("faults --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn trace_snapshot_is_byte_stable() {
+        let out =
+            std::env::temp_dir().join(format!("cloudtrain-trace-test-{}", std::process::id()));
+        let cmd = format!(
+            "trace --model resnet50-96 --strategy mstopk --nodes 4 --samples 32 --out {}",
+            out.display()
+        );
+        dispatch(&args(&cmd)).unwrap();
+        let first = std::fs::read(&out).unwrap();
+        dispatch(&args(&cmd)).unwrap();
+        let second = std::fs::read(&out).unwrap();
+        assert_eq!(first, second, "same-seed traces must be byte-identical");
+        let text = String::from_utf8(first).unwrap();
+        // Fig. 8 stage spans and Fig. 9 tier counters are both present.
+        assert!(text.contains("hitopk/inter all-gather"));
+        assert!(text.contains("cache/from_memory"));
+        assert!(text.contains("\"type\":\"gauge\",\"name\":\"iter/total\""));
+        let _ = std::fs::remove_file(&out);
+        assert!(dispatch(&args("trace --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn trace_runs_every_strategy_to_stdout() {
+        for s in ["dense", "2dtar", "topk", "gtopk", "qsgd"] {
+            dispatch(&args(&format!(
+                "trace --strategy {s} --nodes 2 --samples 4"
+            )))
+            .unwrap();
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cloudtrain sweep     --model resnet50-96 --nodes 16
 //! cloudtrain dawnbench --cloud tencent
 //! cloudtrain faults    --model resnet50-96 --drops 0.01 --stragglers 2
+//! cloudtrain trace     --model resnet50-96 --strategy mstopk --out obs.jsonl
 //! cloudtrain help
 //! ```
 

@@ -18,6 +18,7 @@
 //! exactly this (§5.5.1).
 
 use cloudtrain_compress::{Compressor, SparseGrad};
+use cloudtrain_obs::{self as obs, Registry};
 use cloudtrain_tensor::ops;
 use cloudtrain_tensor::partition::shard_for;
 
@@ -102,6 +103,44 @@ pub fn hitopk_all_reduce_scratch<C: Compressor + ?Sized>(
     compressor: &mut C,
     scratch: &mut CommScratch,
 ) -> HiTopKReport {
+    hitopk_impl(peer, x, m, n, rho, compressor, scratch, None)
+}
+
+/// [`hitopk_all_reduce_scratch`] with per-stage spans and counters recorded
+/// into `reg`.
+///
+/// The correctness plane has no clock, so spans are charged in *logical
+/// work units* (elements touched per stage: `d` for the dense intra-node
+/// steps, the shard length for selection, `2·m·k̃` for the inter-node
+/// gather-accumulate). The resulting breakdown has the same shape as the
+/// performance plane's Fig. 8 decomposition and is byte-stable across runs.
+/// Instrumentation does not perturb the aggregation: the traced variant is
+/// bitwise-identical to the plain one.
+#[allow(clippy::too_many_arguments)]
+pub fn hitopk_all_reduce_traced<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    m: usize,
+    n: usize,
+    rho: f64,
+    compressor: &mut C,
+    scratch: &mut CommScratch,
+    reg: &mut Registry,
+) -> HiTopKReport {
+    hitopk_impl(peer, x, m, n, rho, compressor, scratch, Some(reg))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hitopk_impl<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    m: usize,
+    n: usize,
+    rho: f64,
+    compressor: &mut C,
+    scratch: &mut CommScratch,
+    mut reg: Option<&mut Registry>,
+) -> HiTopKReport {
     assert_eq!(peer.size(), m * n, "hitopk_all_reduce: group is not m*n");
     let d = x.len();
     let pos = grid_pos(peer.rank(), m, n);
@@ -109,17 +148,22 @@ pub fn hitopk_all_reduce_scratch<C: Compressor + ?Sized>(
     let inter = inter_node_members(pos.gpu, m, n);
 
     // Step 1: intra-node dense ReduceScatter (fast links).
+    let span = obs::span_begin(&mut reg, "hitopk/intra reduce-scatter");
     let shard = ring_reduce_scatter_scratch(peer, x, &intra, scratch);
+    obs::span_end(&mut reg, span, d as f64);
     debug_assert_eq!(shard, shard_for(d, n, pos.gpu));
 
     // Step 2: top-k on the node-local dense sum of my shard.
     let k = shard_k(d, n, rho).min(shard.len());
+    let span = obs::span_begin(&mut reg, "hitopk/top-k compression");
     let selection: SparseGrad = compressor.compress(shard.slice(x), k);
+    obs::span_end(&mut reg, span, shard.len() as f64);
 
     // Step 3: inter-node AllGather of values and indices (stream `gpu`),
     // then index-wise accumulation into a zeroed shard. The gathered
     // blocks go back to the pool once consumed, balancing the takes the
     // gathers made.
+    let span = obs::span_begin(&mut reg, "hitopk/inter all-gather");
     let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
     let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
@@ -132,10 +176,20 @@ pub fn hitopk_all_reduce_scratch<C: Compressor + ?Sized>(
         scratch.put_u32(idxs);
     }
     let shard_nonzeros = shard_buf.iter().filter(|v| **v != 0.0).count();
+    obs::span_end(&mut reg, span, (2 * m * k) as f64);
 
     // Step 4: intra-node AllGather reassembles the (sparse-aggregated)
     // full vector.
+    let span = obs::span_begin(&mut reg, "hitopk/intra all-gather");
     ring_all_gather_scratch(peer, x, &intra, scratch);
+    obs::span_end(&mut reg, span, d as f64);
+
+    if let Some(reg) = reg.as_mut() {
+        reg.counter_add("hitopk/invocations", 1);
+        reg.counter_add("hitopk/inter_bytes_sent", inter_bytes_sent as u64);
+        reg.counter_add("hitopk/shard_nonzeros", shard_nonzeros as u64);
+        reg.gauge_set("hitopk/k_per_shard", k as f64);
+    }
 
     HiTopKReport {
         k_per_shard: k,
@@ -182,13 +236,48 @@ pub fn hitopk_all_reduce_ef_scratch<C: Compressor + ?Sized>(
     ef: &mut cloudtrain_compress::ErrorFeedback,
     scratch: &mut CommScratch,
 ) -> HiTopKReport {
+    hitopk_ef_impl(peer, x, m, n, rho, compressor, ef, scratch, None)
+}
+
+/// [`hitopk_all_reduce_ef_scratch`] with per-stage spans and counters
+/// recorded into `reg` (see [`hitopk_all_reduce_traced`] for the span
+/// names and the logical work-unit clock).
+#[allow(clippy::too_many_arguments)]
+pub fn hitopk_all_reduce_ef_traced<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    m: usize,
+    n: usize,
+    rho: f64,
+    compressor: &mut C,
+    ef: &mut cloudtrain_compress::ErrorFeedback,
+    scratch: &mut CommScratch,
+    reg: &mut Registry,
+) -> HiTopKReport {
+    hitopk_ef_impl(peer, x, m, n, rho, compressor, ef, scratch, Some(reg))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hitopk_ef_impl<C: Compressor + ?Sized>(
+    peer: &Peer,
+    x: &mut [f32],
+    m: usize,
+    n: usize,
+    rho: f64,
+    compressor: &mut C,
+    ef: &mut cloudtrain_compress::ErrorFeedback,
+    scratch: &mut CommScratch,
+    mut reg: Option<&mut Registry>,
+) -> HiTopKReport {
     assert_eq!(peer.size(), m * n, "hitopk_all_reduce_ef: group is not m*n");
     let d = x.len();
     let pos = grid_pos(peer.rank(), m, n);
     let intra = intra_node_members(pos.node, n);
     let inter = inter_node_members(pos.gpu, m, n);
 
+    let span = obs::span_begin(&mut reg, "hitopk/intra reduce-scatter");
     let shard = ring_reduce_scatter_scratch(peer, x, &intra, scratch);
+    obs::span_end(&mut reg, span, d as f64);
     assert_eq!(
         ef.dim(),
         shard.len(),
@@ -197,15 +286,19 @@ pub fn hitopk_all_reduce_ef_scratch<C: Compressor + ?Sized>(
 
     // Error compensation, selection, residual update — all on the shard.
     let k = shard_k(d, n, rho).min(shard.len());
+    let span = obs::span_begin(&mut reg, "hitopk/top-k compression");
     let shard_buf = shard.slice_mut(x);
     ef.compensate(shard_buf);
     let selection: SparseGrad = compressor.compress(shard_buf, k);
     ef.absorb(shard_buf, &selection);
+    obs::span_end(&mut reg, span, shard.len() as f64);
 
+    let span = obs::span_begin(&mut reg, "hitopk/inter all-gather");
     let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
     let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
 
+    let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);
     for (vals, idxs) in value_blocks.into_iter().zip(index_blocks) {
         ops::scatter_add(shard_buf, &idxs, &vals);
@@ -213,8 +306,18 @@ pub fn hitopk_all_reduce_ef_scratch<C: Compressor + ?Sized>(
         scratch.put_u32(idxs);
     }
     let shard_nonzeros = shard_buf.iter().filter(|v| **v != 0.0).count();
+    obs::span_end(&mut reg, span, (2 * m * k) as f64);
 
+    let span = obs::span_begin(&mut reg, "hitopk/intra all-gather");
     ring_all_gather_scratch(peer, x, &intra, scratch);
+    obs::span_end(&mut reg, span, d as f64);
+
+    if let Some(reg) = reg.as_mut() {
+        reg.counter_add("hitopk/invocations", 1);
+        reg.counter_add("hitopk/inter_bytes_sent", inter_bytes_sent as u64);
+        reg.counter_add("hitopk/shard_nonzeros", shard_nonzeros as u64);
+        reg.gauge_set("hitopk/k_per_shard", k as f64);
+    }
 
     HiTopKReport {
         k_per_shard: k,
@@ -479,6 +582,97 @@ mod tests {
                         hitopk_all_reduce_ef(peer, &mut x, m, n, rho, &mut c, &mut ef);
                     }
                     out.push(x);
+                }
+                (out, ef.residual_norm())
+            })
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn traced_variant_is_bitwise_identical_and_records_stages() {
+        let (m, n, d, rho) = (2usize, 4usize, 300usize, 0.05f64);
+        let plain = run_on_group(m * n, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut x = vec_for(peer.rank(), d);
+            let mut c = MsTopK::new(25, peer.rank() as u64);
+            let rep = hitopk_all_reduce_scratch(peer, &mut x, m, n, rho, &mut c, &mut scratch);
+            (x, rep)
+        });
+        let traced = run_on_group(m * n, |peer| {
+            let mut scratch = CommScratch::new();
+            let mut reg = Registry::new();
+            let mut x = vec_for(peer.rank(), d);
+            let mut c = MsTopK::new(25, peer.rank() as u64);
+            let rep =
+                hitopk_all_reduce_traced(peer, &mut x, m, n, rho, &mut c, &mut scratch, &mut reg);
+            scratch.publish_obs(&mut reg);
+            ((x, rep), reg)
+        });
+        let k = shard_k(d, n, rho);
+        for ((p, (t, reg)), peer_rank) in plain.iter().zip(&traced).zip(0..) {
+            assert_eq!(p, t, "rank {peer_rank}: tracing perturbed the result");
+            // Four stages, charged in logical work units, zero-gap.
+            assert_eq!(reg.spans().len(), 4);
+            assert_eq!(reg.span_total("hitopk/intra reduce-scatter"), d as f64);
+            assert_eq!(reg.span_total("hitopk/top-k compression") as usize, d / n);
+            assert_eq!(
+                reg.span_total("hitopk/inter all-gather"),
+                (2 * m * k) as f64
+            );
+            assert_eq!(reg.span_total("hitopk/intra all-gather"), d as f64);
+            assert_eq!(reg.counter("hitopk/invocations"), 1);
+            assert_eq!(
+                reg.counter("hitopk/inter_bytes_sent") as usize,
+                t.1.inter_bytes_sent
+            );
+            assert_eq!(reg.gauge("hitopk/k_per_shard"), Some(k as f64));
+            assert!(reg.counter("scratch/f32_takes") > 0);
+        }
+    }
+
+    #[test]
+    fn ef_traced_variant_is_bitwise_identical_to_scratch() {
+        let (m, n, d, rho) = (2usize, 2usize, 64usize, 0.1f64);
+        let run = |trace: bool| {
+            run_on_group(m * n, move |peer| {
+                let shard_len = shards(d, n)[peer.rank() % n].len();
+                let mut ef = cloudtrain_compress::ErrorFeedback::new(shard_len);
+                let mut c = SortTopK;
+                let mut scratch = CommScratch::new();
+                let mut reg = Registry::new();
+                let mut out = Vec::new();
+                for round in 0..3 {
+                    let mut x = vec_for(100 * round + peer.rank(), d);
+                    if trace {
+                        hitopk_all_reduce_ef_traced(
+                            peer,
+                            &mut x,
+                            m,
+                            n,
+                            rho,
+                            &mut c,
+                            &mut ef,
+                            &mut scratch,
+                            &mut reg,
+                        );
+                    } else {
+                        hitopk_all_reduce_ef_scratch(
+                            peer,
+                            &mut x,
+                            m,
+                            n,
+                            rho,
+                            &mut c,
+                            &mut ef,
+                            &mut scratch,
+                        );
+                    }
+                    out.push(x);
+                }
+                if trace {
+                    assert_eq!(reg.counter("hitopk/invocations"), 3);
+                    assert_eq!(reg.spans().len(), 12);
                 }
                 (out, ef.residual_norm())
             })

@@ -146,6 +146,18 @@ impl CommScratch {
         self.f32_pool.len() + self.u32_pool.len()
     }
 
+    /// Publishes both pools' counters into an observability registry, so a
+    /// trace snapshot carries the allocation behaviour alongside the span
+    /// breakdown (`scratch/f32_takes`, `scratch/f32_misses`,
+    /// `scratch/u32_takes`, `scratch/u32_misses`, `scratch/pooled`).
+    pub fn publish_obs(&self, reg: &mut cloudtrain_obs::Registry) {
+        reg.counter_add("scratch/f32_takes", self.f32_stats.takes as u64);
+        reg.counter_add("scratch/f32_misses", self.f32_stats.misses as u64);
+        reg.counter_add("scratch/u32_takes", self.u32_stats.takes as u64);
+        reg.counter_add("scratch/u32_misses", self.u32_stats.misses as u64);
+        reg.counter_add("scratch/pooled", self.pooled() as u64);
+    }
+
     /// Zeroes both pools' counters while keeping the pooled buffers.
     ///
     /// Long trainer sessions measure allocation behaviour *per window*

@@ -61,6 +61,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use cloudtrain_obs::{self as obs, Registry};
 use cloudtrain_tensor::ops;
 
 use crate::{Compressor, SparseGrad};
@@ -139,6 +140,19 @@ impl MsTopK {
     /// Runs Algorithm 1, returning the selection and its search statistics.
     pub fn select_with_stats(&mut self, x: &[f32], k: usize) -> (SparseGrad, MsTopKStats) {
         mstopk_with_rng(x, k, self.samplings, &mut self.rng)
+    }
+
+    /// [`Self::select_with_stats`] with per-stage spans and counters
+    /// recorded into `reg` (see [`mstopk_with_rng_traced`]). The selection,
+    /// statistics, and RNG consumption are bitwise identical to the
+    /// untraced call.
+    pub fn select_with_stats_traced(
+        &mut self,
+        x: &[f32],
+        k: usize,
+        reg: &mut Registry,
+    ) -> (SparseGrad, MsTopKStats) {
+        mstopk_with_rng_traced(x, k, self.samplings, &mut self.rng, reg)
     }
 }
 
@@ -702,13 +716,50 @@ pub fn mstopk_with_rng(
     samplings: usize,
     rng: &mut StdRng,
 ) -> (SparseGrad, MsTopKStats) {
+    mstopk_impl(x, k, samplings, rng, None)
+}
+
+/// [`mstopk_with_rng`] with per-stage spans and counters recorded into
+/// `reg`.
+///
+/// Spans are charged in logical work units (elements scanned):
+/// `mstopk/mean-max passes` (2·d), `mstopk/histogram search` (the
+/// compaction pass plus the survivor buffer it leaves behind), and
+/// `mstopk/selection` (the final materialisation scan). Counters:
+/// `mstopk/invocations`, `mstopk/passes`, `mstopk/selected`,
+/// `mstopk/survivors`. Instrumentation reads only values the untraced path
+/// already computes — the selection, statistics, and RNG consumption stay
+/// bitwise identical.
+pub fn mstopk_with_rng_traced(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    rng: &mut StdRng,
+    reg: &mut Registry,
+) -> (SparseGrad, MsTopKStats) {
+    mstopk_impl(x, k, samplings, rng, Some(reg))
+}
+
+fn mstopk_impl(
+    x: &[f32],
+    k: usize,
+    samplings: usize,
+    rng: &mut StdRng,
+    mut reg: Option<&mut Registry>,
+) -> (SparseGrad, MsTopKStats) {
     let d = x.len();
     let k = k.min(d);
+    if let Some(reg) = reg.as_mut() {
+        reg.counter_add("mstopk/invocations", 1);
+        reg.counter_add("mstopk/passes", samplings as u64);
+        reg.counter_add("mstopk/selected", k as u64);
+    }
     if let Some(out) = trivial_selection(x, d, k) {
         return out;
     }
 
     // Line 1: the mean pass (block-ordered, matches the naive path).
+    let span = obs::span_begin(&mut reg, "mstopk/mean-max passes");
     let a_mean = ops::mean_abs(x);
 
     let mut bracket = Bracket::new(d);
@@ -717,6 +768,8 @@ pub fn mstopk_with_rng(
         // Lines 2–3: the max pass, exactly the statistic the naive path
         // computes.
         let u = ops::max_abs(x);
+        obs::span_end(&mut reg, span, (2 * d) as f64);
+        let span = obs::span_begin(&mut reg, "mstopk/histogram search");
         if u > a_mean {
             survivors = Some(search_histogram(x, k, samplings, a_mean, u, &mut bracket));
         } else if u == a_mean {
@@ -733,6 +786,13 @@ pub fn mstopk_with_rng(
             // identical, just not accelerated).
             search_counting(x, k, samplings, a_mean, u, &mut bracket);
         }
+        let survivor_len = survivors.as_ref().map_or(0, |s| s.mags.len());
+        if let Some(reg) = reg.as_mut() {
+            reg.counter_add("mstopk/survivors", survivor_len as u64);
+        }
+        obs::span_end(&mut reg, span, (d + survivor_len) as f64);
+    } else {
+        obs::span_end(&mut reg, span, d as f64); // only the mean pass ran
     }
 
     // The survivor buffer can stand in for a selection rescan only if it
@@ -740,7 +800,11 @@ pub fn mstopk_with_rng(
     // at or above the compaction cutoff; unset it is 0.0, which qualifies
     // only in the all-magnitudes-survive case `cutoff == 0`.
     let accel = survivors.as_ref().filter(|s| bracket.thres2 >= s.cutoff);
-    finish_selection(x, d, k, &bracket, samplings, rng, accel)
+    let span = obs::span_begin(&mut reg, "mstopk/selection");
+    let scan_len = accel.map_or(d, |s| s.mags.len());
+    let out = finish_selection(x, d, k, &bracket, samplings, rng, accel);
+    obs::span_end(&mut reg, span, scan_len as f64);
+    out
 }
 
 /// Algorithm 1 with an explicit RNG, exactly as printed in the paper: `N`
@@ -889,6 +953,48 @@ mod tests {
                     let (sn, tn) = MsTopKNaive::new(samplings, 77).select_with_stats(&x, k);
                     assert_eq!(sh, sn, "selection diverged d={d} k={k} n={samplings}");
                     assert_eq!(th, tn, "stats diverged d={d} k={k} n={samplings}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_selection_is_bitwise_identical_and_records_stages() {
+        let x = grad(31, 20_000);
+        let k = 200;
+        let plain = MsTopK::new(30, 7).select_with_stats(&x, k);
+        let mut reg = Registry::new();
+        let traced = MsTopK::new(30, 7).select_with_stats_traced(&x, k, &mut reg);
+        assert_eq!(plain, traced, "tracing perturbed the selection");
+        // Three stages per invocation, charged in elements scanned.
+        assert_eq!(reg.spans().len(), 3);
+        assert_eq!(
+            reg.span_total("mstopk/mean-max passes"),
+            (2 * x.len()) as f64
+        );
+        assert!(reg.span_total("mstopk/histogram search") >= x.len() as f64);
+        assert!(reg.span_total("mstopk/selection") > 0.0);
+        assert_eq!(reg.counter("mstopk/invocations"), 1);
+        assert_eq!(reg.counter("mstopk/passes"), 30);
+        assert_eq!(reg.counter("mstopk/selected"), k as u64);
+        // The accelerated selection scans only the survivor buffer.
+        assert_eq!(
+            reg.span_total("mstopk/selection"),
+            reg.counter("mstopk/survivors") as f64
+        );
+    }
+
+    #[test]
+    fn traced_matches_naive_across_shapes() {
+        for (seed, d) in [(41u64, 1_000usize), (42, 65_537)] {
+            let x = grad(seed, d);
+            for k in [1usize, d / 10] {
+                for samplings in [0usize, 1, 30] {
+                    let mut reg = Registry::new();
+                    let traced =
+                        MsTopK::new(samplings, 77).select_with_stats_traced(&x, k, &mut reg);
+                    let naive = MsTopKNaive::new(samplings, 77).select_with_stats(&x, k);
+                    assert_eq!(traced, naive, "diverged d={d} k={k} n={samplings}");
                 }
             }
         }

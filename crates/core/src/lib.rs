@@ -53,6 +53,7 @@ pub use cloudtrain_compress as compress;
 pub use cloudtrain_datacache as datacache;
 pub use cloudtrain_dnn as dnn;
 pub use cloudtrain_engine as engine;
+pub use cloudtrain_obs as obs;
 pub use cloudtrain_optim as optim;
 pub use cloudtrain_pto as pto;
 pub use cloudtrain_simnet as simnet;

@@ -41,6 +41,16 @@ pub struct ClusterStats {
     pub nfs_fetches: u64,
 }
 
+impl ClusterStats {
+    /// Publishes the counters into an observability registry
+    /// (`cluster/local_hits`, `cluster/peer_hits`, `cluster/nfs_fetches`).
+    pub fn publish(&self, reg: &mut cloudtrain_obs::Registry) {
+        reg.counter_add("cluster/local_hits", self.local_hits);
+        reg.counter_add("cluster/peer_hits", self.peer_hits);
+        reg.counter_add("cluster/nfs_fetches", self.nfs_fetches);
+    }
+}
+
 /// A cluster of node-local memory caches with ownership sharding
 /// (`owner(id) = id % nodes`) and peer fetching.
 #[derive(Debug)]

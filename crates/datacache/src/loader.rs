@@ -3,6 +3,8 @@
 
 use std::sync::Arc;
 
+use cloudtrain_obs::Registry;
+
 use crate::decode::{augment, decode, Sample};
 use crate::disk::DiskCache;
 use crate::memcache::MemoryCache;
@@ -65,6 +67,17 @@ impl TierStats {
     /// Total virtual data-pipeline seconds (I/O + CPU).
     pub fn total_seconds(&self) -> f64 {
         self.io_seconds + self.cpu_seconds
+    }
+
+    /// Publishes the per-tier counters and time gauges into an
+    /// observability registry (`cache/from_memory`, `cache/from_disk`,
+    /// `cache/from_nfs`, `cache/io_seconds`, `cache/cpu_seconds`).
+    pub fn publish(&self, reg: &mut Registry) {
+        reg.counter_add("cache/from_memory", self.from_memory);
+        reg.counter_add("cache/from_disk", self.from_disk);
+        reg.counter_add("cache/from_nfs", self.from_nfs);
+        reg.gauge_set("cache/io_seconds", self.io_seconds);
+        reg.gauge_set("cache/cpu_seconds", self.cpu_seconds);
     }
 }
 
@@ -171,6 +184,37 @@ impl CachedLoader {
         self.stats.cpu_seconds += t_dec + t_aug;
         (sample, served, io_t + t_dec + t_aug)
     }
+
+    /// [`Self::load`] with the access recorded as a span in `reg`, named
+    /// after the tier that served it (`cache/memory`, `cache/disk`,
+    /// `cache/nfs`) and charged in virtual seconds — so a trace snapshot
+    /// reproduces Fig. 9's per-tier time breakdown directly from
+    /// [`cloudtrain_obs::Registry::span_total`].
+    pub fn load_traced(
+        &mut self,
+        id: SampleId,
+        reg: &mut Registry,
+    ) -> (Arc<Sample>, ServedBy, f64) {
+        let (sample, served, t) = self.load(id);
+        let name = match served {
+            ServedBy::Memory => "cache/memory",
+            ServedBy::Disk => "cache/disk",
+            ServedBy::Nfs => "cache/nfs",
+        };
+        let span = reg.span_open(name, reg.now());
+        reg.advance(t);
+        reg.span_close(span, reg.now());
+        (sample, served, t)
+    }
+
+    /// Publishes the loader's cumulative tier statistics — and the memory
+    /// tier's hit/miss/eviction counters when enabled — into `reg`.
+    pub fn publish_obs(&self, reg: &mut Registry) {
+        self.stats.publish(reg);
+        if let Some(mem) = self.mem.as_ref() {
+            mem.stats().publish(reg);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +282,26 @@ mod tests {
         let (a, _, _) = l.load(11);
         let (b, _, _) = l.load(11);
         assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn traced_load_records_tier_spans_in_virtual_seconds() {
+        let mut l = loader("traced", LoaderConfig::default());
+        let mut reg = Registry::new();
+        let (_, by1, t1) = l.load_traced(7, &mut reg);
+        let (_, by2, t2) = l.load_traced(7, &mut reg);
+        assert_eq!((by1, by2), (ServedBy::Nfs, ServedBy::Memory));
+        assert_eq!(reg.spans().len(), 2);
+        assert_eq!(reg.span_total("cache/nfs"), t1);
+        // The memory span's duration is `(t1 + t2) - t1` — exact equality
+        // with `t2` is lost to float rounding, closeness is not.
+        assert!((reg.span_total("cache/memory") - t2).abs() < t2 * 1e-9);
+        assert_eq!(reg.now(), t1 + t2);
+        l.publish_obs(&mut reg);
+        assert_eq!(reg.counter("cache/from_nfs"), 1);
+        assert_eq!(reg.counter("cache/from_memory"), 1);
+        assert_eq!(reg.counter("memcache/hits"), 1);
+        assert_eq!(reg.gauge("cache/io_seconds").unwrap(), l.stats().io_seconds);
     }
 
     #[test]

@@ -37,6 +37,20 @@ pub struct MemStats {
     pub evictions: u64,
 }
 
+impl MemStats {
+    /// Publishes the counters into an observability registry
+    /// (`memcache/hits`, `memcache/misses`, `memcache/evictions`).
+    pub fn publish(&self, reg: &mut cloudtrain_obs::Registry) {
+        reg.counter_add("memcache/hits", self.hits);
+        reg.counter_add("memcache/misses", self.misses);
+        reg.counter_add("memcache/evictions", self.evictions);
+    }
+}
+
+/// Stale queue entries tolerated beyond the compaction bound before the
+/// eviction queue is rebuilt in place (see [`MemoryCache::queue_len`]).
+const QUEUE_SLACK: usize = 16;
+
 /// Bounded in-memory store of decoded samples.
 #[derive(Debug)]
 pub struct MemoryCache {
@@ -79,6 +93,15 @@ impl MemoryCache {
         self.next_seq += 1;
         self.latest_seq.insert(id, seq);
         self.order.push_back((id, seq));
+        // Under LRU every hit pushes a fresh queue entry, so a hot working
+        // set that never evicts would grow the queue without bound. Once the
+        // stale fraction dominates, rebuild the queue from the live entries
+        // (amortised O(1) per touch: a compaction halves the length, so at
+        // least half the queue must be re-pushed before the next one).
+        if self.order.len() > 2 * self.latest_seq.len() + QUEUE_SLACK {
+            let latest = &self.latest_seq;
+            self.order.retain(|(v, s)| latest.get(v) == Some(s));
+        }
     }
 
     /// Current payload bytes held.
@@ -99,6 +122,14 @@ impl MemoryCache {
     /// Cache statistics so far.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    /// Current eviction-queue length, stale entries included. Bounded by
+    /// `2 * len() + QUEUE_SLACK + 2` after every operation: the queue is
+    /// compacted as soon as stale entries outnumber live ones beyond the
+    /// slack, so LRU hit storms cannot grow it without bound.
+    pub fn queue_len(&self) -> usize {
+        self.order.len()
     }
 
     /// Looks up a sample, returning it and the virtual access time.
@@ -128,6 +159,12 @@ impl MemoryCache {
             return;
         }
         if self.map.contains_key(&id) {
+            // A re-put is a use: refresh recency under LRU (the stored
+            // sample and the byte accounting stay as they are). FIFO keeps
+            // strict insertion order.
+            if self.policy == EvictionPolicy::Lru {
+                self.touch(id);
+            }
             return;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
@@ -254,5 +291,84 @@ mod tests {
         c.put(1, sample(10));
         assert_eq!(c.len(), 1);
         assert_eq!(c.used_bytes(), sample(10).mem_bytes());
+    }
+
+    #[test]
+    fn lru_re_put_refreshes_recency() {
+        let bytes = sample(10).mem_bytes();
+        let mut c = MemoryCache::with_policy(2 * bytes, EvictionPolicy::Lru);
+        c.put(1, sample(10));
+        c.put(2, sample(10));
+        // Re-putting 1 must count as a use: 2 becomes the LRU victim.
+        c.put(1, sample(10));
+        assert_eq!(c.len(), 2, "re-put must not duplicate the entry");
+        c.put(3, sample(10));
+        assert!(c.get(1).is_some(), "re-put entry was evicted");
+        assert!(c.get(2).is_none(), "LRU victim survived");
+        assert!(c.get(3).is_some());
+        assert!(c.used_bytes() <= 2 * bytes);
+    }
+
+    #[test]
+    fn lru_hit_storm_keeps_queue_bounded() {
+        // A hot working set that never evicts: every hit pushes a queue
+        // entry, so without compaction the queue grows by one per get.
+        let bytes = sample(10).mem_bytes();
+        let mut c = MemoryCache::with_policy(8 * bytes, EvictionPolicy::Lru);
+        for id in 0..8 {
+            c.put(id, sample(10));
+        }
+        for round in 0..10_000u64 {
+            let id = round % 8;
+            assert!(c.get(id).is_some());
+            assert!(
+                c.queue_len() <= 2 * c.len() + QUEUE_SLACK + 2,
+                "round {round}: queue grew to {} for {} live entries",
+                c.queue_len(),
+                c.len()
+            );
+        }
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn queue_stays_bounded_under_mixed_workload(
+                ops in prop::collection::vec((0u64..32, any::<bool>()), 1..400),
+                lru in any::<bool>(),
+            ) {
+                let bytes = sample(10).mem_bytes();
+                let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo };
+                let mut c = MemoryCache::with_policy(6 * bytes, policy);
+                for (id, is_put) in ops {
+                    if is_put {
+                        c.put(id, sample(10));
+                    } else {
+                        let _ = c.get(id);
+                    }
+                    prop_assert!(c.queue_len() <= 2 * c.len() + QUEUE_SLACK + 2);
+                    prop_assert!(c.used_bytes() <= 6 * bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_publish_into_registry() {
+        let mut c = MemoryCache::new(1 << 20);
+        let _ = c.get(1);
+        c.put(1, sample(10));
+        let _ = c.get(1);
+        let mut reg = cloudtrain_obs::Registry::new();
+        c.stats().publish(&mut reg);
+        assert_eq!(reg.counter("memcache/hits"), 1);
+        assert_eq!(reg.counter("memcache/misses"), 1);
+        assert_eq!(reg.counter("memcache/evictions"), 0);
     }
 }

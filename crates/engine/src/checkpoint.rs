@@ -48,6 +48,8 @@ pub enum CheckpointError {
     Truncated,
     /// Checksum mismatch (torn or corrupted write).
     Corrupted,
+    /// `params` and `velocity` lengths disagree (construction-time check).
+    Mismatched,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -57,6 +59,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a cloudtrain checkpoint"),
             CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
             CheckpointError::Corrupted => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Mismatched => {
+                write!(f, "checkpoint params/velocity length mismatch")
+            }
         }
     }
 }
@@ -79,7 +84,28 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl Checkpoint {
+    /// Validating constructor: rejects mismatched `params`/`velocity`
+    /// lengths up front, where [`Self::to_bytes`] would panic later.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Mismatched`] when the lengths disagree.
+    pub fn new(step: u64, params: Vec<f32>, velocity: Vec<f32>) -> Result<Self, CheckpointError> {
+        if params.len() != velocity.len() {
+            return Err(CheckpointError::Mismatched);
+        }
+        Ok(Self {
+            step,
+            params,
+            velocity,
+        })
+    }
+
     /// Encodes the checkpoint to bytes.
+    ///
+    /// # Panics
+    /// Panics if `params` and `velocity` have different lengths — an
+    /// invariant [`Self::new`] establishes; construct through it (or keep
+    /// the fields consistent) before encoding.
     pub fn to_bytes(&self) -> Vec<u8> {
         assert_eq!(
             self.params.len(),
@@ -115,11 +141,21 @@ impl Checkpoint {
             return Err(CheckpointError::Corrupted);
         }
         let step = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-        let d = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
-        let expect = 24 + d * 8 + 8;
+        // The declared element count is input-controlled: `from_bytes` is
+        // public, so a crafted (correctly checksummed) buffer can declare
+        // any length. Checked arithmetic turns a would-be overflow —
+        // `24 + d * 8 + 8` wrapping into a small value that passes the
+        // length check with wild offsets — into a clean `Truncated`.
+        let d_u64 = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let expect = usize::try_from(d_u64)
+            .ok()
+            .and_then(|d| d.checked_mul(8))
+            .and_then(|v| v.checked_add(32))
+            .ok_or(CheckpointError::Truncated)?;
         if bytes.len() != expect {
             return Err(CheckpointError::Truncated);
         }
+        let d = d_u64 as usize;
         let read_f32s = |off: usize| -> Vec<f32> {
             (0..d)
                 .map(|i| {
@@ -217,6 +253,36 @@ mod tests {
             Checkpoint::from_bytes(b"short"),
             Err(CheckpointError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn new_rejects_mismatched_lengths() {
+        let err = Checkpoint::new(1, vec![1.0; 3], vec![0.0; 2]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatched));
+        assert!(err.to_string().contains("mismatch"));
+        let ok = Checkpoint::new(1, vec![1.0; 3], vec![0.0; 3]).unwrap();
+        assert_eq!(Checkpoint::from_bytes(&ok.to_bytes()).unwrap(), ok);
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_cleanly() {
+        // A correctly checksummed header declaring an absurd element count:
+        // the length arithmetic must not overflow into a passing check.
+        for d in [u64::MAX, u64::MAX / 8, (usize::MAX as u64 - 31) / 8 + 1] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&7u64.to_le_bytes());
+            bytes.extend_from_slice(&d.to_le_bytes());
+            let sum = fnv1a(&bytes);
+            bytes.extend_from_slice(&sum.to_le_bytes());
+            assert!(
+                matches!(
+                    Checkpoint::from_bytes(&bytes),
+                    Err(CheckpointError::Truncated)
+                ),
+                "d={d} must be rejected as truncated"
+            );
+        }
     }
 
     #[test]

@@ -99,6 +99,25 @@ pub struct IterationBreakdown {
     pub total: f64,
 }
 
+impl IterationBreakdown {
+    /// Publishes the breakdown as gauges into an observability registry
+    /// (`iter/io`, `iter/ffbp`, `iter/compression`, `iter/comm_total`,
+    /// `iter/comm_visible`, `iter/lars`, `iter/straggler`,
+    /// `iter/fault_delay`, `iter/total`) — the Fig. 8 decomposition in
+    /// snapshot form.
+    pub fn publish(&self, reg: &mut cloudtrain_obs::Registry) {
+        reg.gauge_set("iter/io", self.io);
+        reg.gauge_set("iter/ffbp", self.ffbp);
+        reg.gauge_set("iter/compression", self.compression);
+        reg.gauge_set("iter/comm_total", self.comm_total);
+        reg.gauge_set("iter/comm_visible", self.comm_visible);
+        reg.gauge_set("iter/lars", self.lars);
+        reg.gauge_set("iter/straggler", self.straggler);
+        reg.gauge_set("iter/fault_delay", self.fault_delay);
+        reg.gauge_set("iter/total", self.total);
+    }
+}
+
 /// The iteration model for one (cluster, system, workload) combination.
 ///
 /// # Examples

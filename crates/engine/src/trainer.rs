@@ -10,7 +10,7 @@
 
 use cloudtrain_collectives::group::run_on_group;
 use cloudtrain_collectives::gtopk::gtopk_all_reduce_scratch;
-use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef_scratch, sparse_all_reduce_naive};
+use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef_traced, sparse_all_reduce_naive};
 use cloudtrain_collectives::quantized::quantized_all_reduce;
 use cloudtrain_collectives::resilience::{
     gtopk_all_reduce_ef_resilient, hitopk_all_reduce_ef_resilient, torus_all_reduce_resilient,
@@ -27,6 +27,7 @@ use cloudtrain_dnn::data::{Batch, SyntheticImages, SyntheticSeq};
 use cloudtrain_dnn::loss::{softmax_cross_entropy, top_k_accuracy};
 use cloudtrain_dnn::model::Model;
 use cloudtrain_dnn::models::{mlp, resnet_lite, vgg_lite, TransformerModel};
+use cloudtrain_obs::Registry;
 use cloudtrain_optim::adam::{Adam, AdamConfig};
 use cloudtrain_optim::lamb::{Lamb, LambConfig};
 use cloudtrain_optim::lars::{apply_with_rates, compute_rates, LarsConfig};
@@ -323,11 +324,25 @@ impl DistTrainer {
     pub fn run_all_ranks(&self) -> Vec<TrainReport> {
         let phases = [(self.cfg.strategy, self.cfg.epochs)];
         run_on_group(self.cfg.world(), |peer| self.worker(peer, &phases))
+            .into_iter()
+            .map(|(report, _)| report)
+            .collect()
     }
 
     /// Executes the run and returns rank 0's report.
     pub fn run(&self) -> TrainReport {
         self.run_all_ranks().remove(0)
+    }
+
+    /// Executes the run and returns rank 0's report together with its
+    /// observability registry: per-epoch `train/epoch` spans (with the
+    /// HiTopKComm stage spans nested inside on the MSTopK strategy),
+    /// per-epoch fault/allocation counters, and final-accuracy gauges.
+    /// The training outcome is bitwise identical to [`Self::run`] —
+    /// instrumentation only reads values the untraced path computes.
+    pub fn run_observed(&self) -> (TrainReport, Registry) {
+        let phases = [(self.cfg.strategy, self.cfg.epochs)];
+        run_on_group(self.cfg.world(), |peer| self.worker(peer, &phases)).remove(0)
     }
 
     /// Executes a multi-phase run — the DAWNBench mechanic (§5.6): the
@@ -339,10 +354,12 @@ impl DistTrainer {
     /// Panics if `phases` is empty.
     pub fn run_phases(&self, phases: &[(Strategy, usize)]) -> TrainReport {
         assert!(!phases.is_empty(), "run_phases: need at least one phase");
-        run_on_group(self.cfg.world(), |peer| self.worker(peer, phases)).remove(0)
+        run_on_group(self.cfg.world(), |peer| self.worker(peer, phases))
+            .remove(0)
+            .0
     }
 
-    fn worker(&self, peer: &Peer, phases: &[(Strategy, usize)]) -> TrainReport {
+    fn worker(&self, peer: &Peer, phases: &[(Strategy, usize)]) -> (TrainReport, Registry) {
         let cfg = &self.cfg;
         let (m, n) = (cfg.nodes, cfg.gpus_per_node);
         let rank = peer.rank();
@@ -407,6 +424,11 @@ impl DistTrainer {
             strategy: cfg.strategy.label().to_string(),
             epochs: Vec::new(),
         };
+        // Observability journal: spans advance on a logical clock — one
+        // unit per iteration plus whatever the nested traced collectives
+        // charge in elements touched — so the trace is deterministic and
+        // byte-stable across runs.
+        let mut reg = Registry::new();
 
         let mut step = 0u64;
         let mut epoch = 0usize;
@@ -422,8 +444,10 @@ impl DistTrainer {
                 miss_mark = 0;
             }
             for _ in 0..phase_epochs {
+                let epoch_span = reg.span_open("train/epoch", reg.now());
                 let mut loss_sum = 0.0f32;
                 for _ in 0..cfg.iters_per_epoch {
+                    reg.advance(1.0);
                     let batch = adapt_input(cfg, data.train_batch(cfg, step, rank));
                     let logits = model.forward(&batch.input, true);
                     let (loss, mut dlogits) = softmax_cross_entropy(&logits, &batch.labels);
@@ -481,7 +505,7 @@ impl DistTrainer {
                                     &mut scratch,
                                 );
                             } else {
-                                hitopk_all_reduce_ef_scratch(
+                                hitopk_all_reduce_ef_traced(
                                     peer,
                                     &mut grads,
                                     m,
@@ -490,6 +514,7 @@ impl DistTrainer {
                                     &mut mstopk,
                                     &mut ef_shard,
                                     &mut scratch,
+                                    &mut reg,
                                 );
                             }
                         }
@@ -607,6 +632,11 @@ impl DistTrainer {
                     fault_degraded: fr.degraded_members - fault_mark.degraded_members,
                     scratch_misses: (misses - miss_mark) as u64,
                 });
+                let pushed = report.epochs.last().expect("epoch metrics just pushed");
+                reg.counter_add("train/fault_retries", pushed.fault_retries);
+                reg.counter_add("train/fault_degraded", pushed.fault_degraded);
+                reg.counter_add("train/scratch_misses", pushed.scratch_misses);
+                reg.span_close(epoch_span, reg.now());
                 fault_mark = fr;
                 miss_mark = misses;
                 epoch += 1;
@@ -614,7 +644,15 @@ impl DistTrainer {
                 let _ = all_gather_f32(peer, &[top1], &(0..peer.size()).collect::<Vec<_>>());
             }
         }
-        report
+        reg.counter_add("train/epochs", report.epochs.len() as u64);
+        reg.gauge_set("train/final_top1", report.final_top1() as f64);
+        reg.gauge_set("train/final_top5", report.final_top5() as f64);
+        if let Some(last) = report.epochs.last() {
+            reg.gauge_set("train/final_loss", last.train_loss as f64);
+            reg.gauge_set("train/residual_norm", last.residual_norm as f64);
+        }
+        scratch.publish_obs(&mut reg);
+        (report, reg)
     }
 }
 
@@ -979,6 +1017,52 @@ mod tests {
             "faulted switch destroyed progress: {before} -> {after}"
         );
         assert!(report.final_top1() > 0.6, "{:?}", report.epochs);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_records_trace() {
+        let cfg = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.1,
+                samplings: 15,
+            },
+            Workload::Mlp,
+        );
+        let plain = DistTrainer::new(cfg.clone()).run();
+        let (observed, reg) = DistTrainer::new(cfg.clone()).run_observed();
+        // Instrumentation must not perturb training.
+        assert_eq!(plain.final_top1(), observed.final_top1());
+        for (a, b) in plain.epochs.iter().zip(&observed.epochs) {
+            assert_eq!(a.val_top1, b.val_top1);
+            assert_eq!(a.train_loss, b.train_loss);
+        }
+        // One epoch span per epoch, HiTopKComm stage spans nested inside.
+        let epoch_spans: Vec<_> = reg
+            .spans()
+            .iter()
+            .filter(|s| s.name == "train/epoch")
+            .collect();
+        assert_eq!(epoch_spans.len(), cfg.epochs);
+        assert!(epoch_spans.iter().all(|s| s.depth == 0));
+        let hitopk_iters = cfg.epochs * cfg.iters_per_epoch;
+        assert_eq!(
+            reg.counter("hitopk/invocations"),
+            hitopk_iters as u64,
+            "one traced hitopk per iteration"
+        );
+        assert!(reg
+            .spans()
+            .iter()
+            .any(|s| s.name == "hitopk/inter all-gather" && s.depth == 1));
+        assert_eq!(reg.counter("train/epochs"), cfg.epochs as u64);
+        assert_eq!(
+            reg.gauge("train/final_top1"),
+            Some(observed.final_top1() as f64)
+        );
+        assert!(reg.counter("scratch/f32_takes") > 0);
+        // Same-seed traces are byte-identical.
+        let (_, reg2) = DistTrainer::new(cfg).run_observed();
+        assert_eq!(reg.to_jsonl(), reg2.to_jsonl());
     }
 
     #[test]

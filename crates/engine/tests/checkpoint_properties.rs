@@ -1,0 +1,88 @@
+//! Property tests hardening [`Checkpoint::from_bytes`] against malformed
+//! input: whatever bytes arrive — random garbage, or a valid encoding with
+//! arbitrary mutations — decoding must return a clean `Err`, never panic,
+//! and a successful decode must be a faithful roundtrip.
+
+use cloudtrain_engine::checkpoint::{Checkpoint, CheckpointError};
+use proptest::prelude::*;
+
+fn ckpt(step: u64, params: Vec<f32>) -> Checkpoint {
+    let velocity = params.iter().map(|v| v * 0.5).collect();
+    Checkpoint::new(step, params, velocity).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Random garbage essentially never checksums; any outcome is fine
+        // as long as it is a clean Result.
+        let _ = Checkpoint::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn mutated_valid_encoding_never_panics(
+        step in any::<u64>(),
+        params in prop::collection::vec(-1e3f32..1e3, 0..64),
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+        cut in 0usize..4096,
+    ) {
+        let mut bytes = ckpt(step, params).to_bytes();
+        for (pos, mask) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= mask;
+        }
+        bytes.truncate(cut.min(bytes.len()));
+        match Checkpoint::from_bytes(&bytes) {
+            // A no-op mutation set (mask 0, no truncation) may still decode.
+            Ok(c) => prop_assert_eq!(c.to_bytes(), bytes),
+            Err(
+                CheckpointError::BadMagic
+                | CheckpointError::Truncated
+                | CheckpointError::Corrupted,
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error variant: {e}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_faithful(
+        step in any::<u64>(),
+        params in prop::collection::vec(-1e3f32..1e3, 0..128),
+    ) {
+        let c = ckpt(step, params);
+        prop_assert_eq!(Checkpoint::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn declared_length_is_cross_checked(
+        step in any::<u64>(),
+        params in prop::collection::vec(-1e3f32..1e3, 1..32),
+        declared in any::<u64>(),
+    ) {
+        // Rewrite the length field (and re-checksum so only the length
+        // check can object): any declared length but the true one must be
+        // rejected as Truncated.
+        let c = ckpt(step, params);
+        let true_d = c.params.len() as u64;
+        prop_assume!(declared != true_d);
+        let mut bytes = c.to_bytes();
+        bytes[16..24].copy_from_slice(&declared.to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum_src: Vec<u8> = bytes[..body].to_vec();
+        let sum = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in &sum_src {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        };
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        prop_assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+}

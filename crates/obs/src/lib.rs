@@ -1,0 +1,494 @@
+//! Unified metrics/trace plane for the cloudtrain stack.
+//!
+//! The paper's key evidence is time-breakdown instrumentation: Fig. 8
+//! decomposes HiTopKComm into its four stages and Fig. 9 reports DataCache
+//! tier hit rates. Before this crate the reproduction's counters were
+//! scattered (`ScratchStats` in collectives, `FaultCounters` in simnet,
+//! `MemStats` in datacache) with no single export surface. [`Registry`] is
+//! that surface: every plane reports named **counters**, **gauges**, and
+//! scoped **spans** into one registry, which exports a byte-stable JSONL
+//! snapshot and a human-readable breakdown table.
+//!
+//! # Determinism
+//!
+//! Nothing in this crate reads a wall clock. Span timestamps are supplied
+//! by the caller:
+//!
+//! * the performance plane (`cloudtrain-simnet`) charges spans from the
+//!   simulator's **virtual time** (`NetSim::makespan`),
+//! * the correctness plane (`cloudtrain-collectives`,
+//!   `cloudtrain-compress`) charges spans from the registry's **logical
+//!   clock** ([`Registry::advance`]), a monotone counter of deterministic
+//!   work units (elements touched),
+//! * the data plane (`cloudtrain-datacache`) charges the loader's modelled
+//!   virtual seconds.
+//!
+//! Two runs of the same seeded workload therefore produce **byte-identical**
+//! [`Registry::to_jsonl`] output — the same determinism bar the CI fault
+//! gauntlet holds `timeline::event_log` to, and the property the gauntlet's
+//! obs snapshot `cmp`s in CI.
+//!
+//! # JSONL schema
+//!
+//! One JSON object per line, counters first (sorted by name), then gauges
+//! (sorted by name), then spans in open order:
+//!
+//! ```text
+//! {"type":"counter","name":"<name>","value":<u64>}
+//! {"type":"gauge","name":"<name>","value":<fixed-precision sci float>}
+//! {"type":"span","name":"<name>","depth":<usize>,"start":<f>,"end":<f>}
+//! ```
+//!
+//! Floats are rendered with the workspace-wide `{:.9e}` fixed-precision
+//! convention so formatting can never introduce run-to-run drift.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Handle to an open span, returned by [`Registry::span_open`] and consumed
+/// by [`Registry::span_close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One recorded (closed or still-open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name, e.g. `"hitopk/intra reduce-scatter"`.
+    pub name: String,
+    /// Virtual time the span opened.
+    pub start: f64,
+    /// Virtual time the span closed (equals `start` while still open).
+    pub end: f64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+}
+
+impl Span {
+    /// Duration of the span in virtual time units.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A registry of named counters, gauges, and virtual-time spans.
+///
+/// Counters are monotone `u64` sums, gauges are last-write-wins `f64`
+/// values, and spans are scoped timers whose timestamps the caller
+/// supplies (see the crate docs for where each plane gets its clock).
+///
+/// # Examples
+/// ```
+/// use cloudtrain_obs::Registry;
+///
+/// let mut reg = Registry::new();
+/// reg.counter_add("cache/hits", 3);
+/// let id = reg.span_open("epoch", reg.now());
+/// reg.advance(2.0);
+/// let t = reg.now();
+/// reg.span_close(id, t);
+/// assert_eq!(reg.counter("cache/hits"), 3);
+/// assert_eq!(reg.span_total("epoch"), 2.0);
+/// // Byte-stable export: same inputs, same bytes — always.
+/// assert_eq!(reg.to_jsonl(), reg.clone().to_jsonl());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: Vec<Span>,
+    depth: usize,
+    clock: f64,
+}
+
+impl Registry {
+    /// An empty registry with the logical clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    ///
+    /// # Panics
+    /// Panics on non-finite values — they would poison the byte-stable
+    /// export (`NaN != NaN` breaks replay comparison).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        assert!(value.is_finite(), "gauge {name}: non-finite value {value}");
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Current reading of the logical clock.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the logical clock by `units` (deterministic work units or
+    /// virtual seconds — the caller picks the dimension and keeps it
+    /// consistent within a plane).
+    ///
+    /// # Panics
+    /// Panics if `units` is negative or non-finite (the clock is monotone).
+    pub fn advance(&mut self, units: f64) {
+        assert!(
+            units.is_finite() && units >= 0.0,
+            "advance: clock must move monotonically (got {units})"
+        );
+        self.clock += units;
+    }
+
+    /// Moves the logical clock forward to `t` (no-op if `t` is behind —
+    /// the clock never rewinds, so interleaved planes stay monotone).
+    pub fn sync_clock(&mut self, t: f64) {
+        if t.is_finite() && t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Opens a span at virtual time `start`; nested opens record their
+    /// depth. Close it with [`Registry::span_close`].
+    pub fn span_open(&mut self, name: &str, start: f64) -> SpanId {
+        let id = SpanId(self.spans.len());
+        self.spans.push(Span {
+            name: name.to_string(),
+            start,
+            end: start,
+            depth: self.depth,
+        });
+        self.depth += 1;
+        id
+    }
+
+    /// Closes a span at virtual time `end`.
+    ///
+    /// # Panics
+    /// Panics if `end` precedes the span's start (spans never run
+    /// backwards in virtual time).
+    pub fn span_close(&mut self, id: SpanId, end: f64) {
+        let span = &mut self.spans[id.0];
+        assert!(
+            end >= span.start,
+            "span {}: end {end} precedes start {}",
+            span.name,
+            span.start
+        );
+        span.end = end;
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// All recorded spans, in open order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total virtual time across all spans with this name.
+    pub fn span_total(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(Span::seconds)
+            .sum()
+    }
+
+    /// Folds another registry into this one: counters add, gauges
+    /// last-write-win (other's values), spans append in order, and the
+    /// logical clock jumps to the max. Used to merge a plane's detached
+    /// registry (e.g. the one a `NetSim` carried) into the run-level one.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.clock = self.clock.max(other.clock);
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+    }
+
+    /// Serialises the registry as byte-stable JSONL (see the crate docs
+    /// for the schema). Two identical registries always produce identical
+    /// bytes: keys are BTreeMap-sorted, spans keep open order, and floats
+    /// use fixed-precision scientific notation.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+                escape(name)
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                escape(name),
+                fmt_f64(*v)
+            ));
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":\"{}\",\"depth\":{},\"start\":{},\"end\":{}}}\n",
+                escape(&s.name),
+                s.depth,
+                fmt_f64(s.start),
+                fmt_f64(s.end)
+            ));
+        }
+        out
+    }
+
+    /// Renders a per-span-name breakdown table (the Fig. 8-style view):
+    /// one row per distinct span name in first-appearance order, with
+    /// invocation count, total virtual time, and the share of the summed
+    /// top-level (depth 0) time.
+    pub fn breakdown_table(&self) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if !names.contains(&s.name.as_str()) {
+                names.push(&s.name);
+            }
+        }
+        let top_total: f64 = self
+            .spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(Span::seconds)
+            .sum();
+        let mut out = format!(
+            "{:<34} {:>7} {:>15} {:>7}\n",
+            "span", "count", "total", "share"
+        );
+        for name in names {
+            let count = self.spans.iter().filter(|s| s.name == name).count();
+            let total = self.span_total(name);
+            let share = if top_total > 0.0 {
+                100.0 * total / top_total
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{name:<34} {count:>7} {total:>15.9e} {share:>6.1}%\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Fixed-precision float rendering shared by every export path (the same
+/// `{:.9e}` convention `timeline::event_log` established).
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.9e}")
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Opens a span on an *optional* registry — the idiom for hot paths that
+/// take `Option<&mut Registry>` so the uninstrumented call sites pay
+/// nothing. Pair with [`span_end`].
+pub fn span_begin(obs: &mut Option<&mut Registry>, name: &str) -> Option<SpanId> {
+    obs.as_deref_mut().map(|reg| {
+        let t = reg.now();
+        reg.span_open(name, t)
+    })
+}
+
+/// Closes a span opened by [`span_begin`], first advancing the logical
+/// clock by `units` of deterministic work.
+pub fn span_end(obs: &mut Option<&mut Registry>, id: Option<SpanId>, units: f64) {
+    if let (Some(reg), Some(id)) = (obs.as_deref_mut(), id) {
+        reg.advance(units);
+        let t = reg.now();
+        reg.span_close(id, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.counter_add("x", 2);
+        r.counter_add("x", 3);
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.counters().collect::<Vec<_>>(), vec![("x", 5)]);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_gauge_panics() {
+        Registry::new().gauge_set("g", f64::NAN);
+    }
+
+    #[test]
+    fn spans_nest_and_total() {
+        let mut r = Registry::new();
+        let outer = r.span_open("outer", r.now());
+        r.advance(1.0);
+        let inner = r.span_open("inner", r.now());
+        r.advance(2.0);
+        let t = r.now();
+        r.span_close(inner, t);
+        r.advance(0.5);
+        let t = r.now();
+        r.span_close(outer, t);
+        assert_eq!(r.spans()[0].depth, 0);
+        assert_eq!(r.spans()[1].depth, 1);
+        assert_eq!(r.span_total("outer"), 3.5);
+        assert_eq!(r.span_total("inner"), 2.0);
+    }
+
+    #[test]
+    fn sync_clock_never_rewinds() {
+        let mut r = Registry::new();
+        r.sync_clock(5.0);
+        assert_eq!(r.now(), 5.0);
+        r.sync_clock(2.0);
+        assert_eq!(r.now(), 5.0);
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable_and_ordered() {
+        let build = |flip: bool| {
+            let mut r = Registry::new();
+            // Insert in both orders: the export must not care.
+            if flip {
+                r.counter_add("b", 2);
+                r.counter_add("a", 1);
+            } else {
+                r.counter_add("a", 1);
+                r.counter_add("b", 2);
+            }
+            r.gauge_set("g", 0.25);
+            let id = r.span_open("s", 1.0);
+            r.span_close(id, 2.5);
+            r.to_jsonl()
+        };
+        assert_eq!(build(false), build(true));
+        let text = build(false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"counter\",\"name\":\"a\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"gauge\",\"name\":\"g\",\"value\":2.500000000e-1}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"type\":\"span\",\"name\":\"s\",\"depth\":0,\"start\":1.000000000e0,\"end\":2.500000000e0}"
+        );
+    }
+
+    #[test]
+    fn jsonl_escapes_names() {
+        let mut r = Registry::new();
+        r.counter_add("a\"b\\c", 1);
+        assert!(r.to_jsonl().contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 1.0);
+        let id = a.span_open("s", 0.0);
+        a.span_close(id, 1.0);
+        a.advance(1.0);
+
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 9.0);
+        let id = b.span_open("t", 0.0);
+        b.span_close(id, 4.0);
+        b.advance(4.0);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.spans().len(), 2);
+        assert_eq!(a.now(), 4.0);
+    }
+
+    #[test]
+    fn breakdown_table_shares_sum_to_100() {
+        let mut r = Registry::new();
+        for (name, dur) in [("p1", 1.0), ("p2", 3.0)] {
+            let id = r.span_open(name, r.now());
+            r.advance(dur);
+            let t = r.now();
+            r.span_close(id, t);
+        }
+        let table = r.breakdown_table();
+        assert!(table.contains("p1"));
+        assert!(table.contains("25.0%"));
+        assert!(table.contains("75.0%"));
+    }
+
+    #[test]
+    fn optional_registry_helpers_are_noops_when_absent() {
+        let mut none: Option<&mut Registry> = None;
+        let id = span_begin(&mut none, "x");
+        assert!(id.is_none());
+        span_end(&mut none, id, 10.0);
+
+        let mut reg = Registry::new();
+        let mut some = Some(&mut reg);
+        let id = span_begin(&mut some, "x");
+        span_end(&mut some, id, 10.0);
+        assert_eq!(reg.span_total("x"), 10.0);
+    }
+}

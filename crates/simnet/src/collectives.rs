@@ -65,6 +65,17 @@ fn measure<F: FnOnce(&mut NetSim)>(sim: &mut NetSim, f: F) -> f64 {
     sim.makespan() - start
 }
 
+/// [`measure`] with a scoped span on the simulator's attached observability
+/// registry (a no-op when none is attached): the span covers exactly the
+/// phase's virtual-time window, so the exported trace reproduces the same
+/// per-phase decomposition the returned [`PhaseTiming`]s report.
+fn measure_span<F: FnOnce(&mut NetSim)>(sim: &mut NetSim, name: &str, f: F) -> f64 {
+    let id = sim.span_open(name);
+    let elapsed = measure(sim, f);
+    sim.span_close(id);
+    elapsed
+}
+
 fn chunk_bytes(total_bytes: usize, parts: usize) -> usize {
     total_bytes.div_ceil(parts)
 }
@@ -319,7 +330,7 @@ pub fn sim_tree_all_reduce_hier(
     let leaders: Vec<usize> = (0..m).map(|i| i * n).collect();
 
     // Phase 1: chain reduce to leaders (all nodes in parallel).
-    let t1 = measure(sim, |sim| {
+    let t1 = measure_span(sim, "treear/intra chain reduce", |sim| {
         for i in 0..m {
             let members = spec.node_members(i);
             sim_pipelined_levels(
@@ -335,7 +346,7 @@ pub fn sim_tree_all_reduce_hier(
     // Phase 2: double binomial tree over the leaders, half the bytes per
     // tree, reduce then broadcast, chunk-pipelined. The protocol penalty
     // inflates the wire bytes.
-    let t2 = measure(sim, |sim| {
+    let t2 = measure_span(sim, "treear/inter double tree", |sim| {
         if m > 1 {
             let eff_bytes = (total_bytes as f64 / 2.0 / TREE_PROTO_EFFICIENCY) as usize;
             // The second tree runs over a rotated leader order so that
@@ -353,7 +364,7 @@ pub fn sim_tree_all_reduce_hier(
     sim.barrier();
 
     // Phase 3: chain broadcast from leaders.
-    let t3 = measure(sim, |sim| {
+    let t3 = measure_span(sim, "treear/intra chain broadcast", |sim| {
         for i in 0..m {
             let members = spec.node_members(i);
             sim_pipelined_levels(
@@ -400,11 +411,11 @@ pub fn sim_naive_sparse_all_gather(
     let members: Vec<usize> = (0..spec.world()).collect();
     let value_bytes = (k as f64 * 4.0 * NAIVE_STAGING_FACTOR) as usize;
     let index_bytes = (k as f64 * 8.0 * NAIVE_STAGING_FACTOR) as usize;
-    let t_values = measure(sim, |sim| {
+    let t_values = measure_span(sim, "naiveag/all-gather values", |sim| {
         sim_ring_all_gather(sim, &members, value_bytes);
     });
     sim.barrier();
-    let t_indices = measure(sim, |sim| {
+    let t_indices = measure_span(sim, "naiveag/all-gather indices", |sim| {
         sim_ring_all_gather(sim, &members, index_bytes);
     });
     CollectiveTiming {
@@ -435,7 +446,7 @@ pub fn sim_gtopk_all_reduce(
 ) -> CollectiveTiming {
     let p = spec.world();
     let block = k * (elem_bytes + 4);
-    let elapsed = measure(sim, |sim| {
+    let elapsed = measure_span(sim, "gtopk/recursive doubling", |sim| {
         let mut mask = 1;
         while mask < p {
             // On non-power-of-two worlds the unpaired ranks sit a round
@@ -467,7 +478,7 @@ pub fn sim_quantized_all_reduce(
 ) -> CollectiveTiming {
     let members: Vec<usize> = (0..spec.world()).collect();
     let block = (d_elems * bits_per_elem).div_ceil(8) + 4;
-    let elapsed = measure(sim, |sim| {
+    let elapsed = measure_span(sim, "qsgd/all-gather codes", |sim| {
         sim_ring_all_gather(sim, &members, block);
     });
     CollectiveTiming {
@@ -489,15 +500,15 @@ pub fn sim_torus_all_reduce(
 
     let nodes: Vec<Vec<usize>> = (0..spec.nodes).map(|i| spec.node_members(i)).collect();
     let streams: Vec<Vec<usize>> = (0..n).map(|j| spec.stream_members(j)).collect();
-    let t1 = measure(sim, |sim| {
+    let t1 = measure_span(sim, "2dtar/intra reduce-scatter", |sim| {
         sim_ring_reduce_scatter_groups(sim, &nodes, total_bytes);
     });
     sim.barrier();
-    let t2 = measure(sim, |sim| {
+    let t2 = measure_span(sim, "2dtar/inter all-reduce", |sim| {
         sim_ring_all_reduce_groups(sim, &streams, shard);
     });
     sim.barrier();
-    let t3 = measure(sim, |sim| {
+    let t3 = measure_span(sim, "2dtar/intra all-gather", |sim| {
         sim_ring_all_gather_groups(sim, &nodes, shard);
     });
     CollectiveTiming {
@@ -545,13 +556,13 @@ pub fn sim_hitopk(
     let streams: Vec<Vec<usize>> = (0..n).map(|j| spec.stream_members(j)).collect();
 
     // Step 1: intra-node dense ReduceScatter.
-    let t1 = measure(sim, |sim| {
+    let t1 = measure_span(sim, "hitopk/intra reduce-scatter", |sim| {
         sim_ring_reduce_scatter_groups(sim, &nodes, d_elems * elem_bytes);
     });
     sim.barrier();
 
     // Step 2: MSTopK on every GPU, in parallel.
-    let t2 = measure(sim, |sim| {
+    let t2 = measure_span(sim, "hitopk/top-k compression", |sim| {
         for g in 0..spec.world() {
             sim.compute(g, topk_seconds);
         }
@@ -560,7 +571,7 @@ pub fn sim_hitopk(
 
     // Step 3: n concurrent inter-node AllGathers of values then indices
     // (stream `j` = the j-th GPUs of all nodes).
-    let t3 = measure(sim, |sim| {
+    let t3 = measure_span(sim, "hitopk/inter all-gather", |sim| {
         sim_ring_all_gather_groups(sim, &streams, k_shard * elem_bytes);
         sim_ring_all_gather_groups(sim, &streams, k_shard * 4);
     });
@@ -569,7 +580,7 @@ pub fn sim_hitopk(
     // Step 4: intra-node AllGather of the aggregated shard.
     let dense_shard = chunk_bytes(d_elems, n) * elem_bytes;
     let sparse_shard = m * k_shard * (elem_bytes + 4);
-    let t4 = measure(sim, |sim| {
+    let t4 = measure_span(sim, "hitopk/intra all-gather", |sim| {
         sim_ring_all_gather_groups(sim, &nodes, sparse_shard.min(dense_shard));
     });
 

@@ -240,6 +240,23 @@ pub struct FaultCounters {
     pub straggler_seconds: f64,
 }
 
+impl FaultCounters {
+    /// Folds the counters into an observability registry under the
+    /// `faults/` prefix (counts as counters, the two virtual-second sums
+    /// as gauges) — the single export surface replacing ad-hoc printing.
+    pub fn publish(&self, reg: &mut cloudtrain_obs::Registry) {
+        reg.counter_add("faults/transfers", self.transfers);
+        reg.counter_add("faults/drops", self.drops);
+        reg.counter_add("faults/retries", self.retries);
+        reg.counter_add("faults/escalations", self.escalations);
+        reg.counter_add("faults/degraded", self.degraded);
+        reg.counter_add("faults/spikes", self.spikes);
+        reg.counter_add("faults/slowed", self.slowed);
+        reg.gauge_set("faults/fault_delay_seconds", self.fault_delay);
+        reg.gauge_set("faults/straggler_seconds", self.straggler_seconds);
+    }
+}
+
 /// Which fault hit a transfer (for the timeline event log).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultEventKind {

@@ -2,6 +2,7 @@ use crate::faults::{
     DeadlineMode, FaultCounters, FaultEvent, FaultEventKind, FaultPlan, SimResilience,
 };
 use crate::topology::ClusterSpec;
+use cloudtrain_obs::{Registry, SpanId};
 
 /// One recorded transfer (produced when tracing is enabled via
 /// [`NetSim::enable_trace`]).
@@ -48,6 +49,7 @@ pub struct NetSim {
     nic_rx_bytes: Vec<usize>,
     trace: Option<Vec<TransferEvent>>,
     faults: Option<FaultState>,
+    obs: Option<Registry>,
 }
 
 /// Live fault-injection state (plan + policy + accounting).
@@ -77,6 +79,66 @@ impl NetSim {
             nic_rx_bytes: vec![0; spec.nodes],
             trace: None,
             faults: None,
+            obs: None,
+        }
+    }
+
+    /// Attaches a fresh [`Registry`]: subsequent [`NetSim::span_open`] /
+    /// [`NetSim::span_close`] calls (the simulated collectives make them
+    /// around every phase) record spans charged from **virtual time**
+    /// (the makespan), so the resulting trace is byte-stable. The registry
+    /// survives [`NetSim::reset`] — it is an append-only journal; detach
+    /// with [`NetSim::take_obs`] for a fresh one.
+    pub fn attach_obs(&mut self) {
+        self.obs = Some(Registry::new());
+    }
+
+    /// The attached registry, if any.
+    pub fn obs(&self) -> Option<&Registry> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable access to the attached registry (for publishing counters
+    /// alongside the spans the simulator records itself).
+    pub fn obs_mut(&mut self) -> Option<&mut Registry> {
+        self.obs.as_mut()
+    }
+
+    /// Detaches and returns the registry (e.g. to merge it into a
+    /// run-level one).
+    pub fn take_obs(&mut self) -> Option<Registry> {
+        self.obs.take()
+    }
+
+    /// Opens a span at the current makespan on the attached registry
+    /// (no-op returning `None` when no registry is attached).
+    pub fn span_open(&mut self, name: &str) -> Option<SpanId> {
+        let t = self.makespan();
+        self.obs.as_mut().map(|reg| {
+            reg.sync_clock(t);
+            reg.span_open(name, t)
+        })
+    }
+
+    /// Closes a span at the current makespan (no-op for `None`).
+    pub fn span_close(&mut self, id: Option<SpanId>) {
+        let t = self.makespan();
+        if let (Some(reg), Some(id)) = (self.obs.as_mut(), id) {
+            reg.sync_clock(t);
+            reg.span_close(id, t);
+        }
+    }
+
+    /// Publishes the current fault counters and per-node NIC byte totals
+    /// into the attached registry (no-op when none is attached).
+    pub fn publish_obs(&mut self) {
+        let counters = self.fault_counters();
+        let tx: usize = self.nic_tx_bytes.iter().sum();
+        let rx: usize = self.nic_rx_bytes.iter().sum();
+        if let Some(reg) = self.obs.as_mut() {
+            counters.publish(reg);
+            reg.counter_add("sim/nic_tx_bytes", tx as u64);
+            reg.counter_add("sim/nic_rx_bytes", rx as u64);
         }
     }
 
@@ -586,6 +648,31 @@ mod tests {
         assert!(s.fault_events().is_empty());
         s.clear_faults();
         assert_eq!(s.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn attached_obs_records_virtual_time_spans_and_fault_counters() {
+        let mut s = sim();
+        assert!(s.obs().is_none());
+        assert!(s.span_open("noop").is_none()); // no registry: no-op
+        s.attach_obs();
+        s.inject_faults(FaultPlan::new(11).with_drops(0.5), SimResilience::default());
+        let id = s.span_open("round");
+        for i in 0..16 {
+            s.transfer(i % 8, 8 + (i % 8), 4096);
+        }
+        s.span_close(id);
+        s.publish_obs();
+        let reg = s.take_obs().unwrap();
+        assert!(s.obs().is_none());
+        let span = &reg.spans()[0];
+        assert_eq!(span.name, "round");
+        assert_eq!(span.start, 0.0);
+        // The span closed at the makespan, in virtual seconds.
+        assert!(span.end > 0.0);
+        assert_eq!(reg.counter("faults/transfers"), 16);
+        assert!(reg.counter("sim/nic_tx_bytes") > 0);
+        assert!(reg.gauge("faults/fault_delay_seconds").unwrap() > 0.0);
     }
 
     #[test]

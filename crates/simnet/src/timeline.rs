@@ -4,6 +4,7 @@
 
 use crate::faults::FaultEvent;
 use crate::netsim::TransferEvent;
+use cloudtrain_obs::Span;
 
 /// Renders one row per node NIC (tx side) plus one aggregate intra-node
 /// row, over `width` character columns spanning `[0, makespan]`. Each cell
@@ -86,6 +87,27 @@ pub fn render_timeline(
 /// assert!(log.starts_with("transfer"));
 /// ```
 pub fn event_log(trace: &[TransferEvent], faults: &[FaultEvent]) -> String {
+    event_log_with_spans(trace, faults, &[])
+}
+
+/// [`event_log`] extended with span-open/span-close events from an
+/// observability registry (see [`cloudtrain_obs::Registry::spans`]), so a
+/// full trace — transfers, faults, *and* the phase structure around them —
+/// replays deterministically.
+///
+/// Span events are appended after the transfer and fault lines, ordered by
+/// virtual time with record order as the tie-break (an open always
+/// precedes its own close):
+///
+/// ```text
+/// span-open name=<name> depth=<d> t=<start>
+/// span-close name=<name> depth=<d> t=<end>
+/// ```
+pub fn event_log_with_spans(
+    trace: &[TransferEvent],
+    faults: &[FaultEvent],
+    spans: &[Span],
+) -> String {
     let mut out = String::new();
     for e in trace {
         let dir = if e.inter_node { '>' } else { '-' };
@@ -102,6 +124,38 @@ pub fn event_log(trace: &[TransferEvent], faults: &[FaultEvent]) -> String {
             f.dst,
             f.kind.code()
         ));
+    }
+    // (time, seq) events: span i contributes an open at seq 2i and a close
+    // at seq 2i+1, so equal-time ties resolve in record order and an open
+    // sorts before its own close. Span times are finite by construction
+    // (the registry's clock is monotone and finite), so the comparison is
+    // total.
+    let mut events: Vec<(f64, usize, String)> = Vec::with_capacity(spans.len() * 2);
+    for (i, s) in spans.iter().enumerate() {
+        events.push((
+            s.start,
+            2 * i,
+            format!(
+                "span-open name={} depth={} t={:.9e}\n",
+                s.name, s.depth, s.start
+            ),
+        ));
+        events.push((
+            s.end,
+            2 * i + 1,
+            format!(
+                "span-close name={} depth={} t={:.9e}\n",
+                s.name, s.depth, s.end
+            ),
+        ));
+    }
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite span times")
+            .then(a.1.cmp(&b.1))
+    });
+    for (_, _, line) in events {
+        out.push_str(&line);
     }
     out
 }
@@ -149,6 +203,33 @@ mod tests {
         assert!(lines[1].starts_with("transfer > src=0 dst=8"));
         assert!(lines[2..].iter().all(|l| l.starts_with("fault seq=0")));
         assert!(log.contains("drop[0]"));
+    }
+
+    #[test]
+    fn event_log_spans_interleave_by_virtual_time() {
+        let spec = clouds::tencent(2);
+        let mut sim = NetSim::new(spec);
+        sim.enable_trace();
+        sim.attach_obs();
+        sim_torus_all_reduce(&mut sim, &spec, 1 << 20);
+        let reg = sim.take_obs().unwrap();
+        let log = event_log_with_spans(sim.trace(), sim.fault_events(), reg.spans());
+        let span_lines: Vec<&str> = log.lines().filter(|l| l.starts_with("span-")).collect();
+        // 3 phases -> 3 opens + 3 closes, opens before their closes.
+        assert_eq!(span_lines.len(), 6);
+        assert!(span_lines[0].starts_with("span-open name=2dtar/intra reduce-scatter"));
+        assert!(log.contains("span-close name=2dtar/intra all-gather"));
+        // The spans land after the transfer lines, in sorted time order.
+        let times: Vec<f64> = span_lines
+            .iter()
+            .map(|l| l.rsplit("t=").next().unwrap().parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Without spans the log is unchanged from the legacy form.
+        assert_eq!(
+            event_log(sim.trace(), sim.fault_events()),
+            event_log_with_spans(sim.trace(), sim.fault_events(), &[])
+        );
     }
 
     #[test]

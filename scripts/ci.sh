@@ -7,7 +7,10 @@
 #   scripts/ci.sh gauntlet   # deterministic fault gauntlet (8 seeds x
 #                            # {drops, spikes, stragglers}); runs the
 #                            # harness twice and requires byte-identical
-#                            # output, then snapshots BENCH_faults.json
+#                            # output, then snapshots BENCH_faults.json;
+#                            # then the observability snapshot, held to
+#                            # the same twice-run byte-identical bar, and
+#                            # snapshots BENCH_obs.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,27 @@ if [[ "${1:-}" == "gauntlet" ]]; then
         > BENCH_faults.json
     python3 -c 'import json,sys; rows=json.load(open("BENCH_faults.json")); \
 print(f"  {len(rows)} gauntlet rows")' 2>/dev/null \
+        || echo "  (python3 unavailable; snapshot written unvalidated)"
+
+    echo "==> obs snapshot: build"
+    cargo build --release -q -p cloudtrain-bench --bin obs_snapshot
+
+    echo "==> obs snapshot: run twice, require byte-identical JSONL"
+    obs_a=$(mktemp)
+    obs_b=$(mktemp)
+    trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b"' EXIT
+    ./target/release/obs_snapshot > "$obs_a"
+    ./target/release/obs_snapshot > "$obs_b"
+    sed -n '/^OBS-BEGIN$/,/^OBS-END$/p' "$obs_a" > "$obs_a.jsonl"
+    sed -n '/^OBS-BEGIN$/,/^OBS-END$/p' "$obs_b" > "$obs_b.jsonl"
+    trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b" "$obs_a.jsonl" "$obs_b.jsonl"' EXIT
+    cmp "$obs_a.jsonl" "$obs_b.jsonl"
+
+    echo "==> obs snapshot: snapshot BENCH_obs.json"
+    grep '^JSON obs_snapshot ' "$obs_a" | sed 's/^JSON obs_snapshot //' \
+        > BENCH_obs.json
+    python3 -c 'import json; s=json.load(open("BENCH_obs.json")); \
+print("  {} trace lines, fnv1a {}".format(s["jsonl_lines"], s["jsonl_fnv1a"]))' 2>/dev/null \
         || echo "  (python3 unavailable; snapshot written unvalidated)"
 
     echo "==> fault gauntlet: green"

@@ -134,7 +134,7 @@ macro_rules! impl_arbitrary_int {
     )*};
 }
 
-impl_arbitrary_int!(u32, u64, usize);
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// Strategy returned by [`any`].
 #[derive(Debug, Clone, Copy)]
@@ -216,8 +216,24 @@ impl TestRunner {
 /// Everything a property-test module needs, mirroring proptest's prelude.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Real proptest rejects the case and draws a replacement (with a global
+/// rejection cap); this shim simply moves on to the next case, so heavy
+/// filtering thins the effective case count instead of erroring. Only
+/// valid inside a [`proptest!`] body (it expands to `continue` targeting
+/// the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
     };
 }
 
