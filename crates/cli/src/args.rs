@@ -1,17 +1,21 @@
 //! Hand-rolled argument parsing for the `cloudtrain` binary.
 //!
-//! `--key value` / `--key=value` flags after a subcommand; unknown flags
-//! are errors with a hint, so typos fail loudly instead of silently using
-//! defaults.
+//! `--key value` / `--key=value` flags after a subcommand; a flag
+//! followed by another flag (or end of input) is boolean `true`. Unknown
+//! flags are errors with a hint, so typos fail loudly instead of silently
+//! using defaults.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` options.
+///
+/// Options live in a `BTreeMap` so error messages (and any future
+/// iteration over flags) are deterministic regardless of argument order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (`train`, `simulate`, `dawnbench`, `sweep`).
     pub command: String,
-    options: HashMap<String, String>,
+    options: BTreeMap<String, String>,
 }
 
 /// Parse failure with a user-facing message.
@@ -30,14 +34,15 @@ impl Args {
     /// Parses raw arguments (without the program name).
     ///
     /// # Errors
-    /// Returns a [`ParseError`] on missing subcommand, a flag without a
-    /// value, or a stray positional argument.
+    /// Returns a [`ParseError`] on missing subcommand or a stray
+    /// positional argument. A flag followed by another flag (or the end
+    /// of the arguments) is recorded as boolean `"true"`.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ParseError> {
-        let mut it = raw.into_iter();
+        let mut it = raw.into_iter().peekable();
         let command = it
             .next()
             .ok_or_else(|| ParseError("missing subcommand (try `cloudtrain help`)".into()))?;
-        let mut options = HashMap::new();
+        let mut options = BTreeMap::new();
         while let Some(tok) = it.next() {
             let Some(stripped) = tok.strip_prefix("--") else {
                 return Err(ParseError(format!(
@@ -46,14 +51,19 @@ impl Args {
             };
             if let Some((k, v)) = stripped.split_once('=') {
                 options.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_none_or(|next| next.starts_with("--")) {
+                options.insert(stripped.to_string(), "true".to_string());
             } else {
-                let v = it
-                    .next()
-                    .ok_or_else(|| ParseError(format!("flag `--{stripped}` is missing a value")))?;
+                let v = it.next().unwrap_or_default();
                 options.insert(stripped.to_string(), v);
             }
         }
         Ok(Self { command, options })
+    }
+
+    /// Whether a boolean flag was passed (`--flag` or `--flag true`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
     }
 
     /// A string option or its default.
@@ -123,10 +133,23 @@ mod tests {
     #[test]
     fn errors_are_loud() {
         assert!(parse("").is_err());
-        assert!(parse("train --epochs").is_err());
         assert!(parse("train stray").is_err());
+        // A value-less numeric flag parses as boolean `true` and then
+        // fails loudly at the numeric conversion.
+        let a = parse("train --epochs").unwrap();
+        assert!(a.num_or::<usize>("epochs", 1).is_err());
         let a = parse("train --epochz 4").unwrap();
         let err = a.reject_unknown(&["epochs"]).unwrap_err();
         assert!(err.to_string().contains("epochz"));
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse("lint --deny --root .").unwrap();
+        assert!(a.flag("deny"));
+        assert_eq!(a.get_or("root", "/"), ".");
+        assert!(!a.flag("root"));
+        assert!(!a.flag("missing"));
+        assert!(parse("lint --deny=true").unwrap().flag("deny"));
     }
 }

@@ -42,6 +42,12 @@ pub fn print_help() {
          \x20            rates (Fig. 9) as a table plus byte-stable JSONL\n\
          \x20            --model <m> --strategy <s> --nodes N --cloud <c>\n\
          \x20            --samples N --out FILE\n\
+         \x20 lint       determinism & safety static analysis over every\n\
+         \x20            workspace crate (wall-clock ban, unordered\n\
+         \x20            iteration, panic-free libraries, checked decode\n\
+         \x20            arithmetic, feature-gate hygiene, ambient\n\
+         \x20            nondeterminism, forbid(unsafe_code))\n\
+         \x20            --root DIR --out FILE --deny\n\
          \x20 help       this text\n\n\
          STRATEGIES: dense (TreeAR), 2dtar, topk, mstopk, gtopk, qsgd\n\
          MODELS: resnet50-224, resnet50-96, resnet50-128, resnet50-288,\n\
@@ -61,6 +67,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseError> {
         "dawnbench" => cmd_dawnbench(args),
         "faults" => cmd_faults(args),
         "trace" => cmd_trace(args),
+        "lint" => cmd_lint(args),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `cloudtrain help`)"
         ))),
@@ -515,6 +522,40 @@ fn cmd_trace(args: &Args) -> Result<(), ParseError> {
                 .map_err(|e| ParseError(format!("--out {path}: {e}")))?;
             println!("\nwrote JSONL snapshot to {path}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&["root", "out", "deny"])?;
+    let root = match args.get_or("root", "") {
+        "" => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ParseError(format!("cannot read current dir: {e}")))?;
+            cloudtrain_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                ParseError("no workspace root above the current dir (pass --root)".into())
+            })?
+        }
+        dir => std::path::PathBuf::from(dir),
+    };
+    let report = cloudtrain_lint::run_workspace(&root)
+        .map_err(|e| ParseError(format!("lint failed: {e}")))?;
+    print!("{}", report.table());
+    match args.get_or("out", "") {
+        "" => {}
+        path => {
+            std::fs::write(path, report.to_jsonl())
+                .map_err(|e| ParseError(format!("--out {path}: {e}")))?;
+            // stderr, so stdout stays byte-identical across runs for the
+            // CI gate's `cmp` regardless of where --out points.
+            eprintln!("wrote JSONL report to {path}");
+        }
+    }
+    if args.flag("deny") && !report.clean() {
+        return Err(ParseError(format!(
+            "lint --deny: {} finding(s) not covered by a suppression or the baseline",
+            report.findings.len()
+        )));
     }
     Ok(())
 }

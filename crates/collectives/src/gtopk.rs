@@ -39,8 +39,8 @@ pub fn merge_sparse(a: &SparseGrad, b: &SparseGrad) -> SparseGrad {
                 values.push(a.values[i]);
                 i += 1;
             }
-            (Some(_), Some(_)) => {
-                indices.push(bj.unwrap());
+            (Some(_), Some(y)) => {
+                indices.push(y);
                 values.push(b.values[j]);
                 j += 1;
             }

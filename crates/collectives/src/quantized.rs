@@ -60,6 +60,7 @@ pub fn quantized_all_reduce<Q: Quantizer + ?Sized>(
     ops::fill(x, 0.0);
     for (scale_block, codes_block) in scales.iter().zip(&code_blocks) {
         let decoded = QuantizedGrad {
+            // lint:allow(panic_free, reason = "each gathered block is the one-element scale slice sent two lines up; all_gather preserves block length")
             scale: scale_block[0],
             codes: unpack_codes(codes_block, x.len()),
             levels: q.levels,

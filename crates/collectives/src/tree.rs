@@ -70,6 +70,7 @@ pub fn tree_all_reduce(peer: &Peer, x: &mut [f32], members: &[usize]) {
     let pos = members
         .iter()
         .position(|&m| m == peer.rank())
+        // lint:allow(panic_free, reason = "a rank outside its own member list is a schedule construction bug; every collective would deadlock anyway")
         .unwrap_or_else(|| panic!("rank {} not in members", peer.rank()));
     if p == 1 {
         return;

@@ -40,11 +40,14 @@ pub fn score_selection(x: &[f32], selection: &SparseGrad) -> SelectionQuality {
     let exact_mass = exact.abs_mass();
     let total_mass: f32 = x.iter().map(|v| v.abs()).sum();
 
-    let exact_set: std::collections::HashSet<u32> = exact.indices.iter().copied().collect();
+    // Sorted membership probe instead of a HashSet: same O(k log k), no
+    // hasher in sight, so the analysis is deterministic by construction.
+    let mut exact_sorted = exact.indices.clone();
+    exact_sorted.sort_unstable();
     let hits = selection
         .indices
         .iter()
-        .filter(|i| exact_set.contains(i))
+        .filter(|i| exact_sorted.binary_search(i).is_ok())
         .count();
 
     SelectionQuality {

@@ -455,14 +455,17 @@ fn compact_magnitudes(x: &[f32], cutoff: f32) -> Survivors {
         // variable-shift fold stays scalar (~3.5x slower measured).
         let mut w = 0u64;
         for (g, oct) in chunk.chunks_exact(8).enumerate() {
-            let byte = u8::from(oct[0].abs() >= cutoff)
-                | u8::from(oct[1].abs() >= cutoff) << 1
-                | u8::from(oct[2].abs() >= cutoff) << 2
-                | u8::from(oct[3].abs() >= cutoff) << 3
-                | u8::from(oct[4].abs() >= cutoff) << 4
-                | u8::from(oct[5].abs() >= cutoff) << 5
-                | u8::from(oct[6].abs() >= cutoff) << 6
-                | u8::from(oct[7].abs() >= cutoff) << 7;
+            let &[o0, o1, o2, o3, o4, o5, o6, o7] = oct else {
+                unreachable!("chunks_exact(8) yields exactly 8 elements")
+            };
+            let byte = u8::from(o0.abs() >= cutoff)
+                | u8::from(o1.abs() >= cutoff) << 1
+                | u8::from(o2.abs() >= cutoff) << 2
+                | u8::from(o3.abs() >= cutoff) << 3
+                | u8::from(o4.abs() >= cutoff) << 4
+                | u8::from(o5.abs() >= cutoff) << 5
+                | u8::from(o6.abs() >= cutoff) << 6
+                | u8::from(o7.abs() >= cutoff) << 7;
             w |= (byte as u64) << (8 * g);
         }
         bitmap[wi] = w;
@@ -622,11 +625,13 @@ fn search_histogram(
     // rounding to one value — makes the scale infinite and the guesses
     // NaN, which the cast maps to 0 and the fix-up walk resolves; the
     // counts stay exact.)
+    // lint:allow(panic_free, reason = "bounds always has buckets+1 >= 2 boundary entries by construction of the histogram grid")
     let guess_scale = buckets as f32 / (bounds[buckets] - bounds[0]);
     let mut counts = vec![0u32; buckets];
     let mut keys = [0u16; SCAN_CHUNK];
     for chunk in survivors.chunks(SCAN_CHUNK) {
         for (kk, &m) in keys.iter_mut().zip(chunk) {
+            // lint:allow(panic_free, reason = "bounds always has buckets+1 >= 2 boundary entries by construction of the histogram grid")
             *kk = (((m - bounds[0]) * guess_scale) as i32).min(buckets as i32 - 1) as u16;
         }
         for (&kk, &m) in keys.iter().zip(chunk) {

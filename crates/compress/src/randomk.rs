@@ -41,6 +41,7 @@ impl Compressor for RandomK {
                 chosen.insert(j as u32);
             }
         }
+        // lint:allow(unordered_iter, reason = "hasher order is washed out by the sort_unstable on the next line before anything observes it")
         let mut indices: Vec<u32> = chosen.into_iter().collect();
         indices.sort_unstable();
         let values = indices.iter().map(|&i| x[i as usize]).collect();

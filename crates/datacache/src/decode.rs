@@ -44,15 +44,19 @@ impl std::error::Error for DecodeError {}
 /// Returns [`DecodeError`] if the header is truncated or inconsistent with
 /// the payload length.
 pub fn decode(blob: &Bytes, cpu: &CpuModel) -> Result<(Sample, f64), DecodeError> {
-    if blob.len() < BLOB_HEADER {
+    let Some(&[p0, p1, p2, p3, l0, l1, l2, l3]) = blob.get(..BLOB_HEADER) else {
         return Err(DecodeError(format!(
             "blob of {} bytes has no header",
             blob.len()
         )));
-    }
-    let pixels = u32::from_le_bytes([blob[0], blob[1], blob[2], blob[3]]) as usize;
-    let label = u32::from_le_bytes([blob[4], blob[5], blob[6], blob[7]]);
-    if blob.len() != BLOB_HEADER + pixels {
+    };
+    let pixels = usize::try_from(u32::from_le_bytes([p0, p1, p2, p3]))
+        .map_err(|_| DecodeError("declared pixel count exceeds the address space".into()))?;
+    let label = u32::from_le_bytes([l0, l1, l2, l3]);
+    let expected = BLOB_HEADER
+        .checked_add(pixels)
+        .ok_or_else(|| DecodeError(format!("declared pixel count {pixels} overflows")))?;
+    if blob.len() != expected {
         return Err(DecodeError(format!(
             "header says {} pixels but payload has {} bytes",
             pixels,

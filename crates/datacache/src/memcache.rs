@@ -7,7 +7,7 @@
 //! the data set across nodes (see [`crate::sampler`]), in which case each
 //! node's shard fits and eviction never triggers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use crate::decode::Sample;
@@ -52,13 +52,17 @@ impl MemStats {
 const QUEUE_SLACK: usize = 16;
 
 /// Bounded in-memory store of decoded samples.
+///
+/// Both maps are `BTreeMap`s: lookups here are nowhere near the hot path
+/// (virtual access time dominates), and ordered keys make any future
+/// iteration over the cache deterministic by construction.
 #[derive(Debug)]
 pub struct MemoryCache {
-    map: HashMap<SampleId, Arc<Sample>>,
+    map: BTreeMap<SampleId, Arc<Sample>>,
     /// Eviction queue of `(id, seq)`; stale entries (seq no longer the
     /// id's latest) are skipped lazily on eviction.
     order: VecDeque<(SampleId, u64)>,
-    latest_seq: HashMap<SampleId, u64>,
+    latest_seq: BTreeMap<SampleId, u64>,
     next_seq: u64,
     policy: EvictionPolicy,
     used_bytes: usize,
@@ -76,9 +80,9 @@ impl MemoryCache {
     /// Creates a cache with an explicit eviction policy.
     pub fn with_policy(capacity_bytes: usize, policy: EvictionPolicy) -> Self {
         Self {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
-            latest_seq: HashMap::new(),
+            latest_seq: BTreeMap::new(),
             next_seq: 0,
             policy,
             used_bytes: 0,

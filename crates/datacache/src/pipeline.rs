@@ -51,6 +51,7 @@ impl Prefetcher {
     pub fn start(loader: CachedLoader, ids: Vec<SampleId>, depth: usize) -> Self {
         assert!(depth > 0, "Prefetcher: depth must be positive");
         let (tx, rx) = bounded(depth);
+        // lint:allow(ambient, reason = "the single prefetch worker produces an in-order id stream; consumer order is the deterministic channel order")
         let handle = std::thread::spawn(move || {
             let mut loader = loader;
             for id in ids {
@@ -89,8 +90,10 @@ impl Prefetcher {
         self.rx = dead_rx;
         self.handle
             .take()
+            // lint:allow(panic_free, reason = "finish consumes self, so the handle is always present; documented in the Panics section")
             .expect("finish called twice")
             .join()
+            // lint:allow(panic_free, reason = "propagating a worker panic to the caller is the documented contract")
             .expect("prefetch worker panicked")
     }
 }

@@ -132,41 +132,60 @@ impl Checkpoint {
     /// # Errors
     /// Returns a [`CheckpointError`] for malformed or corrupted input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        if bytes.len() < 32 || &bytes[..8] != MAGIC {
+        // Every read goes through `get` + checked offsets: the buffer is
+        // input-controlled (a crafted, correctly checksummed buffer can
+        // declare any length), so arithmetic that could wrap into a
+        // passing bounds check must fail into `Truncated` instead.
+        fn read_u64(bytes: &[u8], off: usize) -> Result<u64, CheckpointError> {
+            let end = off.checked_add(8).ok_or(CheckpointError::Truncated)?;
+            let arr: [u8; 8] = bytes
+                .get(off..end)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(CheckpointError::Truncated)?;
+            Ok(u64::from_le_bytes(arr))
+        }
+        if bytes.len() < 32 || bytes.get(..8) != Some(MAGIC.as_slice()) {
             return Err(CheckpointError::BadMagic);
         }
         let body_len = bytes.len() - 8;
-        let declared = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        let declared = read_u64(bytes, body_len)?;
         if fnv1a(&bytes[..body_len]) != declared {
             return Err(CheckpointError::Corrupted);
         }
-        let step = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-        // The declared element count is input-controlled: `from_bytes` is
-        // public, so a crafted (correctly checksummed) buffer can declare
-        // any length. Checked arithmetic turns a would-be overflow —
-        // `24 + d * 8 + 8` wrapping into a small value that passes the
-        // length check with wild offsets — into a clean `Truncated`.
-        let d_u64 = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-        let expect = usize::try_from(d_u64)
-            .ok()
-            .and_then(|d| d.checked_mul(8))
+        let step = read_u64(bytes, 8)?;
+        let d_u64 = read_u64(bytes, 16)?;
+        let d = usize::try_from(d_u64).map_err(|_| CheckpointError::Truncated)?;
+        let expect = d
+            .checked_mul(8)
             .and_then(|v| v.checked_add(32))
             .ok_or(CheckpointError::Truncated)?;
         if bytes.len() != expect {
             return Err(CheckpointError::Truncated);
         }
-        let d = d_u64 as usize;
-        let read_f32s = |off: usize| -> Vec<f32> {
-            (0..d)
-                .map(|i| {
-                    f32::from_le_bytes(bytes[off + 4 * i..off + 4 * i + 4].try_into().unwrap())
+        let vec_bytes = d.checked_mul(4).ok_or(CheckpointError::Truncated)?;
+        let read_f32s = |off: usize| -> Result<Vec<f32>, CheckpointError> {
+            let end = off
+                .checked_add(vec_bytes)
+                .ok_or(CheckpointError::Truncated)?;
+            let slice = bytes.get(off..end).ok_or(CheckpointError::Truncated)?;
+            Ok(slice
+                .chunks_exact(4)
+                .map(|c| {
+                    let &[b0, b1, b2, b3] = c else {
+                        unreachable!("chunks_exact(4) yields exactly 4 bytes")
+                    };
+                    f32::from_le_bytes([b0, b1, b2, b3])
                 })
-                .collect()
+                .collect())
         };
         Ok(Self {
             step,
-            params: read_f32s(24),
-            velocity: read_f32s(24 + 4 * d),
+            params: read_f32s(24)?,
+            velocity: read_f32s(
+                24usize
+                    .checked_add(vec_bytes)
+                    .ok_or(CheckpointError::Truncated)?,
+            )?,
         })
     }
 

@@ -300,6 +300,7 @@ fn adapt_input(cfg: &DistConfig, mut batch: Batch) -> Batch {
         if let cloudtrain_dnn::model::Input::Dense(t) = &mut batch.input {
             let b = t.shape()[0];
             let rest = t.len() / b;
+            // lint:allow(panic_free, reason = "b * rest == t.len() by construction of rest on the previous line, so the reshape cannot fail")
             t.reshape(vec![b, rest]).expect("flatten for mlp");
         }
     }
@@ -593,11 +594,13 @@ impl DistTrainer {
                         }
                         OptimizerKind::Lamb => {
                             lamb.as_mut()
+                                // lint:allow(panic_free, reason = "lamb state is constructed above whenever the optimizer kind is Lamb; a None is an engine wiring bug")
                                 .expect("lamb state")
                                 .step(&mut params, &grads, lr)
                         }
                         OptimizerKind::Adam => {
                             adam.as_mut()
+                                // lint:allow(panic_free, reason = "adam state is constructed above whenever the optimizer kind is Adam; a None is an engine wiring bug")
                                 .expect("adam state")
                                 .step(&mut params, &grads, lr)
                         }
@@ -622,7 +625,7 @@ impl DistTrainer {
                 // resilience report and the arena's allocation counter.
                 let fr = resilient.as_ref().map(|rp| rp.report()).unwrap_or_default();
                 let misses = scratch.misses();
-                report.epochs.push(EpochMetrics {
+                let metrics = EpochMetrics {
                     epoch,
                     train_loss: loss_sum / cfg.iters_per_epoch as f32,
                     val_top1: top1,
@@ -631,11 +634,11 @@ impl DistTrainer {
                     fault_retries: fr.retries - fault_mark.retries,
                     fault_degraded: fr.degraded_members - fault_mark.degraded_members,
                     scratch_misses: (misses - miss_mark) as u64,
-                });
-                let pushed = report.epochs.last().expect("epoch metrics just pushed");
-                reg.counter_add("train/fault_retries", pushed.fault_retries);
-                reg.counter_add("train/fault_degraded", pushed.fault_degraded);
-                reg.counter_add("train/scratch_misses", pushed.scratch_misses);
+                };
+                reg.counter_add("train/fault_retries", metrics.fault_retries);
+                reg.counter_add("train/fault_degraded", metrics.fault_degraded);
+                reg.counter_add("train/scratch_misses", metrics.scratch_misses);
+                report.epochs.push(metrics);
                 reg.span_close(epoch_span, reg.now());
                 fault_mark = fr;
                 miss_mark = misses;

@@ -1,0 +1,206 @@
+//! Shrink-only finding baseline.
+//!
+//! `lint-baseline.toml` grandfathers findings that existed when a rule was
+//! introduced, as `(rule, path, count)` entries. The contract is strictly
+//! monotone: an entry may only ever shrink.
+//!
+//! * more findings than the entry's count → the **excess** findings fail
+//!   the run (the baseline does not grow implicitly);
+//! * fewer findings than the count → a `baseline` finding fails the run
+//!   until the entry is shrunk or removed (stale credit is not allowed to
+//!   sit around and absorb future regressions).
+//!
+//! The file is a deliberately small TOML subset: comments, and
+//! `[[allow]]` tables with `rule`, `path`, and `count` keys.
+
+use std::collections::BTreeMap;
+
+use crate::Finding;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule name the entry covers.
+    pub rule: String,
+    /// Workspace-relative path the entry covers.
+    pub path: String,
+    /// Number of grandfathered findings of `rule` in `path`.
+    pub count: usize,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses the baseline file contents.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line for anything outside
+    /// the supported subset (so a typo fails the run instead of silently
+    /// baselining nothing).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = n + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(open) = current.take() {
+                    entries.push(Self::close(open, lineno)?);
+                }
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("baseline line {lineno}: expected `key = value`"));
+            };
+            let Some(open) = current.as_mut() else {
+                return Err(format!(
+                    "baseline line {lineno}: `{}` outside an [[allow]] table",
+                    key.trim()
+                ));
+            };
+            let value = value.trim();
+            match key.trim() {
+                "rule" => open.0 = Some(Self::unquote(value, lineno)?),
+                "path" => open.1 = Some(Self::unquote(value, lineno)?),
+                "count" => {
+                    open.2 =
+                        Some(value.parse().map_err(|_| {
+                            format!("baseline line {lineno}: count must be an integer")
+                        })?)
+                }
+                other => {
+                    return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(open) = current.take() {
+            entries.push(Self::close(open, text.lines().count())?);
+        }
+        Ok(Self { entries })
+    }
+
+    fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+        v.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("baseline line {lineno}: expected a quoted string"))
+    }
+
+    fn close(
+        open: (Option<String>, Option<String>, Option<usize>),
+        lineno: usize,
+    ) -> Result<Entry, String> {
+        match open {
+            (Some(rule), Some(path), Some(count)) => Ok(Entry { rule, path, count }),
+            _ => Err(format!(
+                "baseline entry ending at line {lineno}: needs rule, path, and count"
+            )),
+        }
+    }
+
+    /// Applies the baseline: findings covered by remaining entry credit
+    /// are absorbed; excess findings are kept; stale entries (credit left
+    /// over) become `baseline` findings. Returns `(kept, absorbed)`.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut credit: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *credit.entry((e.rule.clone(), e.path.clone())).or_insert(0) += e.count;
+        }
+        let mut kept = Vec::new();
+        let mut absorbed = 0usize;
+        for f in findings {
+            let key = (f.rule.to_string(), f.path.clone());
+            match credit.get_mut(&key) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    absorbed += 1;
+                }
+                _ => kept.push(f),
+            }
+        }
+        for ((rule, path), left) in credit {
+            if left > 0 {
+                kept.push(Finding {
+                    rule: "baseline",
+                    path: "lint-baseline.toml".to_string(),
+                    line: 0,
+                    message: format!(
+                        "stale baseline: {left} unused allowance(s) for rule `{rule}` in \
+                         `{path}` — shrink or remove the entry (the baseline may only shrink)"
+                    ),
+                });
+            }
+        }
+        (kept, absorbed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\n\n[[allow]]\nrule = \"panic_free\"\npath = \"crates/x/src/a.rs\"\ncount = 2\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].rule, "panic_free");
+        assert_eq!(b.entries[0].count, 2);
+        assert_eq!(Baseline::parse("").unwrap().entries.len(), 0);
+        assert_eq!(
+            Baseline::parse("# only comments\n").unwrap().entries.len(),
+            0
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("rule = \"x\"\n").is_err()); // outside table
+        assert!(Baseline::parse("[[allow]]\nrule = \"x\"\n").is_err()); // incomplete
+        assert!(Baseline::parse("[[allow]]\nrule = \"x\"\npath = \"p\"\ncount = lots\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nbogus = 1\n").is_err());
+    }
+
+    #[test]
+    fn absorbs_up_to_count_and_keeps_excess() {
+        let b = Baseline::parse("[[allow]]\nrule = \"panic_free\"\npath = \"a.rs\"\ncount = 2\n")
+            .unwrap();
+        let (kept, absorbed) = b.apply(vec![
+            finding("panic_free", "a.rs"),
+            finding("panic_free", "a.rs"),
+            finding("panic_free", "a.rs"),
+            finding("ambient", "a.rs"),
+        ]);
+        assert_eq!(absorbed, 2);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn stale_credit_is_a_finding() {
+        let b = Baseline::parse("[[allow]]\nrule = \"panic_free\"\npath = \"a.rs\"\ncount = 3\n")
+            .unwrap();
+        let (kept, absorbed) = b.apply(vec![finding("panic_free", "a.rs")]);
+        assert_eq!(absorbed, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "baseline");
+        assert!(kept[0].message.contains("2 unused"));
+    }
+}

@@ -1,0 +1,487 @@
+//! Hand-rolled Rust token scanner.
+//!
+//! The rules operate on a token stream, never on raw text, so string
+//! literals, char literals, and comments can never produce false positives
+//! (a `"unwrap"` in a message is a [`Tok::Str`], not an identifier).
+//! Comments are collected separately with their line numbers — that is
+//! where inline suppressions live (see [`crate::suppress`]).
+//!
+//! The scanner understands exactly as much of the lexical grammar as the
+//! rules need: identifiers, lifetimes vs. char literals, cooked / raw /
+//! byte strings, nested block comments, and numeric literals (with radix
+//! prefixes, underscores, exponents, and type suffixes). Multi-character
+//! operators are emitted as single punctuation tokens (`::` is two
+//! [`Tok::Punct`] colons); the rule patterns are written against that.
+
+/// One lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the rules tell them apart by spelling).
+    Ident(String),
+    /// Integer literal (lexeme as written, suffix included).
+    Int(String),
+    /// Floating-point literal.
+    Float,
+    /// String literal of any flavour (cooked/raw/byte), inner text.
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a` or `'_`.
+    Life,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line number of the comment's first character.
+    pub line: u32,
+}
+
+/// Whether `c` can start an identifier.
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Whether `c` can continue an identifier.
+fn ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scanner state over the source characters.
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Consumes a cooked string body after the opening quote; returns the
+    /// inner text. Handles `\"` and `\\` escapes; unterminated strings end
+    /// at EOF (the lint keeps going — rustc will reject the file anyway).
+    fn cooked_string(&mut self, quote: char) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                c if c == quote => break,
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a raw string after `r`/`br`, given the number of leading
+    /// `#` marks already seen is zero; reads `#`* `"` ... `"` `#`*.
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            return String::new(); // not actually a raw string; be lenient
+        }
+        self.bump();
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` marks.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break 'outer;
+                }
+                text.push('"');
+                for _ in 0..seen {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        text
+    }
+
+    /// Consumes a numeric literal starting with `first`; returns the token.
+    fn number(&mut self, first: char) -> Tok {
+        let mut lexeme = String::new();
+        lexeme.push(first);
+        let radix_prefixed =
+            first == '0' && matches!(self.peek(), Some('x') | Some('o') | Some('b') | Some('X'));
+        if radix_prefixed {
+            lexeme.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    lexeme.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Type suffix (u32, usize, ...).
+            while let Some(c) = self.peek() {
+                if ident_cont(c) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Tok::Int(lexeme);
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                lexeme.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1..4` is a range, `1.f()` a method call — only a digit
+                // after the dot makes this a float.
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        lexeme.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if c == 'e' || c == 'E' {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(d) if d.is_ascii_digit() || *d == '+' || *d == '-' => {
+                        is_float = true;
+                        self.bump();
+                        self.bump();
+                        while let Some(c) = self.peek() {
+                            if c.is_ascii_digit() || c == '_' {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        // Type suffix: f32 makes it a float, integer suffixes keep Int.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek() {
+            if ident_cont(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float || suffix.starts_with('f') {
+            Tok::Float
+        } else {
+            Tok::Int(lexeme)
+        }
+    }
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut sc = Scanner::new(src);
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    while let Some(c) = sc.peek() {
+        let line = sc.line;
+        match c {
+            c if c.is_whitespace() => {
+                sc.bump();
+            }
+            '/' => {
+                sc.bump();
+                match sc.peek() {
+                    Some('/') => {
+                        let mut text = String::new();
+                        while let Some(c) = sc.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            text.push(c);
+                            sc.bump();
+                        }
+                        comments.push(Comment { text, line });
+                    }
+                    Some('*') => {
+                        sc.bump();
+                        let mut depth = 1usize;
+                        let mut text = String::new();
+                        while depth > 0 {
+                            match sc.bump() {
+                                Some('*') if sc.peek() == Some('/') => {
+                                    sc.bump();
+                                    depth -= 1;
+                                }
+                                Some('/') if sc.peek() == Some('*') => {
+                                    sc.bump();
+                                    depth += 1;
+                                }
+                                Some(c) => text.push(c),
+                                None => break,
+                            }
+                        }
+                        comments.push(Comment { text, line });
+                    }
+                    _ => tokens.push(Token {
+                        tok: Tok::Punct('/'),
+                        line,
+                    }),
+                }
+            }
+            '"' => {
+                sc.bump();
+                let text = sc.cooked_string('"');
+                tokens.push(Token {
+                    tok: Tok::Str(text),
+                    line,
+                });
+            }
+            '\'' => {
+                sc.bump();
+                match sc.peek() {
+                    Some('\\') => {
+                        // Escaped char literal: consume escape + closing quote.
+                        sc.bump();
+                        sc.bump();
+                        while let Some(c) = sc.peek() {
+                            sc.bump();
+                            if c == '\'' {
+                                break;
+                            }
+                        }
+                        tokens.push(Token {
+                            tok: Tok::Char,
+                            line,
+                        });
+                    }
+                    Some(c) if ident_start(c) => {
+                        sc.bump();
+                        if sc.peek() == Some('\'') {
+                            sc.bump();
+                            tokens.push(Token {
+                                tok: Tok::Char,
+                                line,
+                            });
+                        } else {
+                            while let Some(c) = sc.peek() {
+                                if ident_cont(c) {
+                                    sc.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                            tokens.push(Token {
+                                tok: Tok::Life,
+                                line,
+                            });
+                        }
+                    }
+                    Some(_) => {
+                        // `'x'` with a non-ident char (digits, punctuation).
+                        sc.bump();
+                        if sc.peek() == Some('\'') {
+                            sc.bump();
+                        }
+                        tokens.push(Token {
+                            tok: Tok::Char,
+                            line,
+                        });
+                    }
+                    None => {}
+                }
+            }
+            c if c.is_ascii_digit() => {
+                sc.bump();
+                let tok = sc.number(c);
+                tokens.push(Token { tok, line });
+            }
+            c if ident_start(c) => {
+                let mut name = String::new();
+                name.push(c);
+                sc.bump();
+                while let Some(c) = sc.peek() {
+                    if ident_cont(c) {
+                        name.push(c);
+                        sc.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // String/char prefixes: r"", r#""#, b"", br"", b''.
+                match (name.as_str(), sc.peek()) {
+                    ("r" | "br" | "rb", Some('"') | Some('#')) => {
+                        let text = sc.raw_string();
+                        tokens.push(Token {
+                            tok: Tok::Str(text),
+                            line,
+                        });
+                    }
+                    ("b", Some('"')) => {
+                        sc.bump();
+                        let text = sc.cooked_string('"');
+                        tokens.push(Token {
+                            tok: Tok::Str(text),
+                            line,
+                        });
+                    }
+                    ("b", Some('\'')) => {
+                        sc.bump();
+                        if sc.peek() == Some('\\') {
+                            sc.bump();
+                            sc.bump();
+                        } else {
+                            sc.bump();
+                        }
+                        if sc.peek() == Some('\'') {
+                            sc.bump();
+                        }
+                        tokens.push(Token {
+                            tok: Tok::Char,
+                            line,
+                        });
+                    }
+                    _ => tokens.push(Token {
+                        tok: Tok::Ident(name),
+                        line,
+                    }),
+                }
+            }
+            c => {
+                sc.bump();
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// Whether token `t` is the identifier `name`.
+pub fn is_ident(t: &Token, name: &str) -> bool {
+    matches!(&t.tok, Tok::Ident(s) if s == name)
+}
+
+/// Whether token `t` is the punctuation `p`.
+pub fn is_punct(t: &Token, p: char) -> bool {
+    matches!(&t.tok, Tok::Punct(c) if *c == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // unwrap in a comment
+            /* and unwrap in /* a nested */ block */
+            let x = "unwrap()"; let y = r#"expect"#; let z = b"panic";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let (_, comments) = lex("let a = 1;\n// hello\nlet b = 2; // tail\n");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("hello"));
+        assert_eq!(comments[1].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lives = toks.iter().filter(|t| t.tok == Tok::Life).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lives, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let (toks, _) = lex("let a = 0xff_u32; let b = 1.5e3; let c = 1..4; let d = 2usize;");
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Int(_)))
+            .collect();
+        let floats = toks.iter().filter(|t| t.tok == Tok::Float).count();
+        // 0xff_u32, 1, 4, 2usize are ints; 1.5e3 is the only float.
+        assert_eq!(ints.len(), 4);
+        assert_eq!(floats, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let (toks, _) = lex("let a = \"x\ny\nz\";\nlet b = 1;");
+        let b = toks.iter().find(|t| is_ident(t, "b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+}

@@ -1,0 +1,452 @@
+//! `cloudtrain-lint` — determinism & safety static analyzer for the
+//! cloudtrain workspace.
+//!
+//! Every plane of the reproduction stakes its correctness on byte-stable
+//! determinism: the CI gauntlet `cmp`s twice-run traces, the obs plane
+//! exports `{:.9e}` JSONL, and the paper's figures are only meaningful if
+//! two same-seed runs emit identical bytes. This crate makes the
+//! conventions machine-checked. It walks every `crates/*/src` file with a
+//! hand-rolled lexer (no registry deps, consistent with the `shims/`
+//! policy) and enforces the rules listed in [`RULES`] — see
+//! [`rules`] for what each protects.
+//!
+//! The analyzer's own report is held to the same bar: file walk order,
+//! finding order, and every formatted byte are deterministic, so CI runs
+//! it twice and `cmp`s the output.
+//!
+//! Findings can be waived two ways:
+//! * inline, with a documented suppression comment — see [`suppress`];
+//! * via the shrink-only `lint-baseline.toml` — see [`baseline`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod regions;
+pub mod rules;
+pub mod suppress;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use rules::FileCtx;
+
+/// Every rule the analyzer knows, in report order. `suppression` and
+/// `baseline` are meta-rules for malformed waivers; the rest are the
+/// substantive checks.
+pub const RULES: &[&str] = &[
+    "wall_clock",
+    "unordered_iter",
+    "panic_free",
+    "checked_decode",
+    "feature_gate",
+    "ambient",
+    "forbid_unsafe",
+    "suppression",
+    "baseline",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number (0 for file/workspace-level findings).
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+/// Rule configuration. The default matches the cloudtrain workspace; the
+/// fixture tests narrow or widen it per case.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose library code must be panic-free (rule `panic_free`).
+    pub panic_free_crates: Vec<String>,
+    /// Crates whose `lib.rs` must `#![forbid(unsafe_code)]`.
+    pub forbid_unsafe_crates: Vec<String>,
+    /// Path prefixes exempt from `wall_clock` and `ambient` (bench
+    /// binaries time real kernels and may parallelise; their output is
+    /// gated by the twice-run `cmp` in CI instead).
+    pub wall_clock_allow_prefixes: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let owned = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
+        Self {
+            panic_free_crates: owned(&[
+                "cloudtrain-collectives",
+                "cloudtrain-compress",
+                "cloudtrain-datacache",
+                "cloudtrain-engine",
+                "cloudtrain-simnet",
+                "cloudtrain-obs",
+            ]),
+            forbid_unsafe_crates: owned(&[
+                "cloudtrain",
+                "cloudtrain-compress",
+                "cloudtrain-collectives",
+                "cloudtrain-datacache",
+                "cloudtrain-obs",
+                "cloudtrain-simnet",
+                "cloudtrain-optim",
+                "cloudtrain-pto",
+            ]),
+            wall_clock_allow_prefixes: owned(&["crates/bench/src/bin/"]),
+        }
+    }
+}
+
+/// Per-file lint result.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Findings that survived inline suppressions.
+    pub findings: Vec<Finding>,
+    /// Number of findings waived by valid inline suppressions.
+    pub suppressed: usize,
+}
+
+/// Lints one file's source text.
+///
+/// `crate_name` and `features` come from the owning crate's `Cargo.toml`;
+/// `rel_path` should be workspace-relative with `/` separators (it is
+/// matched against the config's path allowlists and reported verbatim).
+pub fn lint_source(
+    rel_path: &str,
+    src: &str,
+    crate_name: &str,
+    features: &[String],
+    config: &Config,
+) -> FileLint {
+    let (tokens, comments) = lexer::lex(src);
+    let regions = regions::analyze(&tokens);
+    let ctx = FileCtx {
+        path: rel_path,
+        crate_name,
+        features,
+        tokens: &tokens,
+        regions: &regions,
+        config,
+    };
+    let findings = rules::run_all(&ctx);
+    let (sup, mut bad) = suppress::parse(rel_path, &comments, RULES);
+    let (mut kept, suppressed) = suppress::apply(findings, &sup);
+    kept.append(&mut bad);
+    FileLint {
+        findings: kept,
+        suppressed,
+    }
+}
+
+/// The aggregate result of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings after suppressions and baseline, sorted by
+    /// `(path, line, rule, message)`.
+    pub findings: Vec<Finding>,
+    /// Findings waived by inline suppressions.
+    pub suppressed: usize,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Files scanned.
+    pub files: usize,
+    /// Crates scanned.
+    pub crates: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (no findings survived).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+        });
+    }
+
+    /// Human-readable report table, byte-stable across runs.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "cloudtrain-lint: {} finding(s) across {} file(s) in {} crate(s) \
+             ({} suppressed inline, {} baselined)\n",
+            self.findings.len(),
+            self.files,
+            self.crates,
+            self.suppressed,
+            self.baselined
+        );
+        if !self.findings.is_empty() {
+            out.push_str(&format!(
+                "{:<15} {:<48} {}\n",
+                "rule", "location", "message"
+            ));
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "{:<15} {:<48} {}\n",
+                    f.rule,
+                    format!("{}:{}", f.path, f.line),
+                    f.message
+                ));
+            }
+        }
+        out
+    }
+
+    /// Byte-stable JSONL export: summary counters in the
+    /// `cloudtrain-obs` registry format, then one `finding` object per
+    /// line in sorted order.
+    pub fn to_jsonl(&self) -> String {
+        let mut reg = cloudtrain_obs::Registry::new();
+        reg.counter_add("lint/baselined", self.baselined as u64);
+        reg.counter_add("lint/crates", self.crates as u64);
+        reg.counter_add("lint/files", self.files as u64);
+        reg.counter_add("lint/findings", self.findings.len() as u64);
+        reg.counter_add("lint/suppressed", self.suppressed as u64);
+        for rule in RULES {
+            let n = self.findings.iter().filter(|f| f.rule == *rule).count();
+            reg.counter_add(&format!("lint/rule/{rule}"), n as u64);
+        }
+        let mut out = reg.to_jsonl();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{{\"type\":\"finding\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}\n",
+                escape(f.rule),
+                escape(&f.path),
+                f.line,
+                escape(&f.message)
+            ));
+        }
+        out
+    }
+}
+
+/// JSON string escaping, matching the `cloudtrain-obs` export convention.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Error from a workspace run (I/O or malformed metadata).
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Package metadata the walker extracts from a crate's `Cargo.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrateMeta {
+    /// The `package.name` value.
+    pub name: String,
+    /// Names declared under `[features]`.
+    pub features: Vec<String>,
+}
+
+/// Parses the small slice of `Cargo.toml` the lint needs: the package
+/// name and the declared feature names.
+pub fn parse_manifest(text: &str) -> CrateMeta {
+    let mut meta = CrateMeta::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if section == "[package]" && key == "name" {
+                meta.name = value.trim().trim_matches('"').to_string();
+            } else if section == "[features]" && !key.is_empty() && !key.starts_with('#') {
+                meta.features.push(key.to_string());
+            }
+        }
+    }
+    meta
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| LintError(format!("read {}: {e}", dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the analyzer over a workspace root (the directory holding
+/// `crates/` and `lint-baseline.toml`), applying the default [`Config`].
+///
+/// # Errors
+/// Returns a [`LintError`] for I/O failures or a malformed baseline —
+/// both fail the run loudly rather than under-linting.
+pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
+    let config = Config::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| LintError(format!("read {}: {e}", crates_dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut report = Report::default();
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let src_dir = crate_dir.join("src");
+        if !manifest_path.is_file() || !src_dir.is_dir() {
+            continue;
+        }
+        let manifest = fs::read_to_string(&manifest_path)
+            .map_err(|e| LintError(format!("read {}: {e}", manifest_path.display())))?;
+        let meta = parse_manifest(&manifest);
+        report.crates += 1;
+
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(&file)
+                .map_err(|e| LintError(format!("read {}: {e}", file.display())))?;
+            let lint = lint_source(&rel, &src, &meta.name, &meta.features, &config);
+            report.files += 1;
+            report.suppressed += lint.suppressed;
+            findings.extend(lint.findings);
+        }
+    }
+
+    let baseline_path = root.join("lint-baseline.toml");
+    let baseline = if baseline_path.is_file() {
+        let text = fs::read_to_string(&baseline_path)
+            .map_err(|e| LintError(format!("read {}: {e}", baseline_path.display())))?;
+        Baseline::parse(&text).map_err(LintError)?
+    } else {
+        Baseline::default()
+    };
+    let (kept, absorbed) = baseline.apply(findings);
+    report.findings = kept;
+    report.baselined = absorbed;
+    report.sort();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]` — the root `run_workspace` expects.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parsing_extracts_name_and_features() {
+        let toml = "[package]\nname = \"cloudtrain-tensor\"\nversion = \"0.1.0\"\n\n\
+                    [features]\nparallel = []\nrayon = [\"parallel\"]\n\n[dependencies]\nx = \"1\"\n";
+        let meta = parse_manifest(toml);
+        assert_eq!(meta.name, "cloudtrain-tensor");
+        assert_eq!(meta.features, vec!["parallel", "rayon"]);
+    }
+
+    #[test]
+    fn report_jsonl_counts_rules() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "panic_free",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            message: "msg with \"quotes\"".to_string(),
+        });
+        r.files = 1;
+        r.crates = 1;
+        let jsonl = r.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"lint/rule/panic_free\",\"value\":1"));
+        assert!(jsonl.contains("\"type\":\"finding\",\"rule\":\"panic_free\""));
+        assert!(jsonl.contains("msg with \\\"quotes\\\""));
+        assert!(!r.clean());
+        assert!(Report::default().clean());
+    }
+
+    #[test]
+    fn findings_sort_deterministically() {
+        let mk = |path: &str, line, rule: &'static str| Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        };
+        let mut r = Report {
+            findings: vec![
+                mk("b.rs", 1, "ambient"),
+                mk("a.rs", 9, "ambient"),
+                mk("a.rs", 2, "panic_free"),
+                mk("a.rs", 2, "ambient"),
+            ],
+            ..Report::default()
+        };
+        r.sort();
+        let order: Vec<(String, u32, &str)> = r
+            .findings
+            .iter()
+            .map(|f| (f.path.clone(), f.line, f.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2, "ambient"),
+                ("a.rs".to_string(), 2, "panic_free"),
+                ("a.rs".to_string(), 9, "ambient"),
+                ("b.rs".to_string(), 1, "ambient"),
+            ]
+        );
+    }
+}

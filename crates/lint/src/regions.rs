@@ -1,0 +1,278 @@
+//! Structural regions over the token stream.
+//!
+//! The rules need three kinds of context a flat token stream does not
+//! give: whether a token sits in test code (`#[cfg(test)]` items or
+//! `#[test]` functions), whether it sits under a `cfg(feature = ...)`
+//! gate (the deterministic parallel tier is allowed to spawn threads),
+//! and which named functions enclose it (the checked-decode rule only
+//! applies inside `decode*`/`from_bytes` bodies). All three are computed
+//! in one pass with brace matching — no full parse.
+
+use crate::lexer::{is_ident, is_punct, Tok, Token};
+
+/// A half-open token-index range `[start, end]` (inclusive end).
+pub type Span = (usize, usize);
+
+/// One named function body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name as written.
+    pub name: String,
+    /// Token-index span of the body braces, inclusive.
+    pub body: Span,
+}
+
+/// Structural facts about one file.
+#[derive(Debug, Default)]
+pub struct Regions {
+    /// Spans of `#[cfg(test)]` items and `#[test]` functions.
+    pub test: Vec<Span>,
+    /// Spans of items under a `cfg(feature = ...)` gate.
+    pub feature_gated: Vec<Span>,
+    /// Every named `fn` body, in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+impl Regions {
+    /// Whether token index `i` falls in test code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// Whether token index `i` falls under a feature gate.
+    pub fn in_feature_gated(&self, i: usize) -> bool {
+        self.feature_gated.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// Names of the functions whose bodies contain token index `i`,
+    /// outermost first (closures inherit the named enclosing functions).
+    pub fn enclosing_fns(&self, i: usize) -> impl Iterator<Item = &str> {
+        self.fns
+            .iter()
+            .filter(move |f| f.body.0 <= i && i <= f.body.1)
+            .map(|f| f.name.as_str())
+    }
+}
+
+/// Matches `{`/`}` and `[`/`]` pairs; `close_of[i]` is the index of the
+/// token closing the bracket opened at `i` (or `usize::MAX`).
+fn match_pairs(tokens: &[Token], open: char, close: char) -> Vec<usize> {
+    let mut out = vec![usize::MAX; tokens.len()];
+    let mut stack = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if is_punct(t, open) {
+            stack.push(i);
+        } else if is_punct(t, close) {
+            if let Some(o) = stack.pop() {
+                out[o] = i;
+            }
+        }
+    }
+    out
+}
+
+/// Kinds of attribute relevant to region building.
+enum AttrKind {
+    Test,
+    FeatureGate,
+    Other,
+}
+
+/// Classifies the attribute tokens between `[` and its matching `]`.
+fn classify_attr(tokens: &[Token]) -> AttrKind {
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut has_feature = false;
+    let mut has_not = false;
+    for t in tokens {
+        if let Tok::Ident(s) = &t.tok {
+            match s.as_str() {
+                "cfg" | "cfg_attr" => has_cfg = true,
+                "test" => has_test = true,
+                "feature" => has_feature = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+    }
+    if has_cfg && has_test {
+        AttrKind::Test
+    } else if has_cfg && has_feature && !has_not {
+        // `cfg(not(feature = ...))` is the *absence* of the gated tier —
+        // it does not earn the tier's exemptions.
+        AttrKind::FeatureGate
+    } else if has_test && tokens.len() == 1 {
+        // Bare `#[test]`.
+        AttrKind::Test
+    } else {
+        AttrKind::Other
+    }
+}
+
+/// Builds the region table for a token stream.
+pub fn analyze(tokens: &[Token]) -> Regions {
+    let braces = match_pairs(tokens, '{', '}');
+    let brackets = match_pairs(tokens, '[', ']');
+    let mut regions = Regions::default();
+
+    // Attribute-driven regions: `#[...]` followed by an item.
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_punct(&tokens[i], '#') || i + 1 >= tokens.len() {
+            i += 1;
+            continue;
+        }
+        // Inner attributes (`#![...]`) apply to the enclosing scope, not
+        // a following item — skip them here.
+        let open = if is_punct(&tokens[i + 1], '[') {
+            i + 1
+        } else {
+            i += 1;
+            continue;
+        };
+        let close = brackets[open];
+        if close == usize::MAX {
+            i += 1;
+            continue;
+        }
+        let kind = classify_attr(&tokens[open + 1..close]);
+        // Find where the attributed item ends: skip any further outer
+        // attributes, then scan to the item's body `{...}` or to `;`.
+        let mut j = close + 1;
+        while j + 1 < tokens.len() && is_punct(&tokens[j], '#') && is_punct(&tokens[j + 1], '[') {
+            let o = j + 1;
+            let c = brackets[o];
+            if c == usize::MAX {
+                break;
+            }
+            j = c + 1;
+        }
+        let mut depth = 0i32;
+        let mut end = None;
+        let mut k = j;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('{') if depth == 0 => {
+                    end = Some(braces[k]);
+                    break;
+                }
+                Tok::Punct(';') if depth == 0 => {
+                    end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(end) = end {
+            if end != usize::MAX {
+                let span = (i, end);
+                match kind {
+                    AttrKind::Test => regions.test.push(span),
+                    AttrKind::FeatureGate => regions.feature_gated.push(span),
+                    AttrKind::Other => {}
+                }
+            }
+        }
+        i = close + 1;
+    }
+
+    // Named function bodies: `fn name ... {body}`. A lone `fn` with a
+    // following `(` is a function-pointer type, not a definition.
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if is_ident(&tokens[i], "fn") {
+            if let Tok::Ident(name) = &tokens[i + 1].tok {
+                let mut depth = 0i32;
+                let mut k = i + 2;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct('{') if depth == 0 => {
+                            let close = braces[k];
+                            if close != usize::MAX {
+                                regions.fns.push(FnSpan {
+                                    name: name.clone(),
+                                    body: (k, close),
+                                });
+                            }
+                            break;
+                        }
+                        // Trait method declaration without a body.
+                        Tok::Punct(';') if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions_of(src: &str) -> (Vec<Token>, Regions) {
+        let (tokens, _) = lex(src);
+        let r = analyze(&tokens);
+        (tokens, r)
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { inner(); } }";
+        let (tokens, r) = regions_of(src);
+        let inner = tokens.iter().position(|t| is_ident(t, "inner")).unwrap();
+        let live = tokens.iter().position(|t| is_ident(t, "live")).unwrap();
+        assert!(r.in_test(inner));
+        assert!(!r.in_test(live));
+    }
+
+    #[test]
+    fn bare_test_attribute_marks_the_function() {
+        let src = "#[test]\nfn check() { probe(); }\nfn other() { free(); }";
+        let (tokens, r) = regions_of(src);
+        let probe = tokens.iter().position(|t| is_ident(t, "probe")).unwrap();
+        let free = tokens.iter().position(|t| is_ident(t, "free")).unwrap();
+        assert!(r.in_test(probe));
+        assert!(!r.in_test(free));
+    }
+
+    #[test]
+    fn feature_gate_covers_the_item() {
+        let src =
+            "#[cfg(feature = \"parallel\")]\nfn par() { spawn_here(); }\nfn serial() { stay(); }";
+        let (tokens, r) = regions_of(src);
+        let spawn = tokens
+            .iter()
+            .position(|t| is_ident(t, "spawn_here"))
+            .unwrap();
+        let stay = tokens.iter().position(|t| is_ident(t, "stay")).unwrap();
+        assert!(r.in_feature_gated(spawn));
+        assert!(!r.in_feature_gated(stay));
+    }
+
+    #[test]
+    fn enclosing_fns_nest_through_closures() {
+        let src = "fn from_bytes() { let f = |x: usize| { deep(x) }; f(1) }";
+        let (tokens, r) = regions_of(src);
+        let deep = tokens.iter().position(|t| is_ident(t, "deep")).unwrap();
+        let names: Vec<&str> = r.enclosing_fns(deep).collect();
+        assert_eq!(names, vec!["from_bytes"]);
+    }
+
+    #[test]
+    fn stacked_attributes_reach_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod m { fn t() { x(); } }";
+        let (tokens, r) = regions_of(src);
+        let x = tokens.iter().position(|t| is_ident(t, "x")).unwrap();
+        assert!(r.in_test(x));
+    }
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: seeded RNG, and spawning only behind a declared
+//! feature gate.
+
+pub fn seeded(seed: u64) -> u64 {
+    let rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let _ = rng;
+    seed
+}
+
+#[cfg(feature = "parallel")]
+pub fn parallel_sum() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}

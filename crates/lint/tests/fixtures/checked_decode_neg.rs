@@ -1,0 +1,12 @@
+//! Negative fixture: fully checked decode arithmetic, and ordinary
+//! arithmetic outside decode paths.
+
+pub fn decode_header(blob: &[u8]) -> Option<usize> {
+    let head: [u8; 4] = blob.get(..4)?.try_into().ok()?;
+    let declared_len = usize::try_from(u32::from_le_bytes(head)).ok()?;
+    declared_len.checked_mul(4)?.checked_add(8)
+}
+
+pub fn area(width_len: usize, height: usize) -> usize {
+    width_len * height + 1
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: unchecked length arithmetic in a decode path.
+
+pub fn decode_header(bytes: &[u8]) -> usize {
+    let declared_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    declared_len * 4 + 8
+}

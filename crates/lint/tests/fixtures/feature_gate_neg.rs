@@ -1,0 +1,7 @@
+//! Negative fixture: cfg only on features the manifest declares.
+
+#[cfg(feature = "parallel")]
+pub fn gated() {}
+
+#[cfg(not(feature = "parallel"))]
+pub fn fallback() {}

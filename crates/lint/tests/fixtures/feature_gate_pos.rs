@@ -1,0 +1,6 @@
+//! Positive fixture: cfg on a feature the manifest never declares.
+
+#[cfg(feature = "warp_drive")]
+pub fn gated() {}
+
+pub fn always() {}

@@ -1,0 +1,5 @@
+//! Negative fixture: a crate root carrying `#![forbid(unsafe_code)]`.
+
+#![forbid(unsafe_code)]
+
+pub fn present() {}

@@ -1,0 +1,3 @@
+//! Positive fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn present() {}

@@ -1,0 +1,20 @@
+//! Negative fixture: Result-based library code, a documented suppression,
+//! and panics confined to tests.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn documented(xs: &[u32]) -> u32 {
+    // lint:allow(panic_free, reason = "fixture: the caller guarantees non-empty input")
+    xs.first().copied().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Positive fixture: panicking constructs in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    *head
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    xs[1]
+}
+
+pub fn explode(kind: u8) -> u8 {
+    match kind {
+        0 => 0,
+        _ => panic!("unsupported kind"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Positive fixture: malformed suppressions that must themselves be
+//! findings, and must NOT waive the finding they sit on.
+
+pub fn missing_reason(xs: &[u32]) -> u32 {
+    // lint:allow(panic_free)
+    xs.first().copied().expect("x")
+}
+
+pub fn empty_reason(xs: &[u32]) -> u32 {
+    // lint:allow(panic_free, reason = "")
+    xs.first().copied().expect("x")
+}
+
+pub fn unknown_rule(xs: &[u32]) -> u32 {
+    // lint:allow(made_up_rule, reason = "not a rule the linter knows")
+    xs.first().copied().expect("x")
+}

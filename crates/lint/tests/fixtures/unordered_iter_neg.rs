@@ -1,0 +1,12 @@
+//! Negative fixture: ordered collections, and hash maps used only for
+//! point lookups.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn export(m: &BTreeMap<String, u64>) -> Vec<String> {
+    m.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}
+
+pub fn lookup(index: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    index.get(key).copied()
+}

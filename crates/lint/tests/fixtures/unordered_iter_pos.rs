@@ -1,0 +1,15 @@
+//! Positive fixture: hash-order iteration reaching exported output.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn export(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}
+
+pub fn drain_all(names: HashSet<u32>) -> Vec<u32> {
+    names.into_iter().collect()
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: virtual time in library code, wall clock only in tests.
+
+pub fn timed(clock: f64) -> f64 {
+    clock + 1.5e-3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let t0 = std::time::Instant::now();
+        let _ = t0.elapsed();
+    }
+}

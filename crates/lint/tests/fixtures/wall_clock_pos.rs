@@ -1,0 +1,8 @@
+//! Positive fixture: wall-clock reads in library code.
+
+pub fn timed() -> u128 {
+    let t0 = std::time::Instant::now();
+    let st = std::time::SystemTime::now();
+    let _ = st;
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,41 @@
+//! Self-run tests: the linter must pass over its own workspace, and the
+//! report must be byte-stable across runs — the property the CI gate
+//! checks with `cmp` on two consecutive `cloudtrain lint` outputs.
+
+use std::path::{Path, PathBuf};
+
+use cloudtrain_lint::run_workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let report = run_workspace(&workspace_root()).expect("lint run succeeds");
+    assert!(report.files > 0, "walker found no Rust sources");
+    assert!(report.crates > 0, "walker found no crates");
+    assert!(
+        report.clean(),
+        "workspace has non-baselined lint findings:\n{}",
+        report.table()
+    );
+}
+
+#[test]
+fn report_is_byte_stable_across_runs() {
+    let root = workspace_root();
+    let a = run_workspace(&root).expect("first run succeeds");
+    let b = run_workspace(&root).expect("second run succeeds");
+    assert_eq!(a.table(), b.table(), "human table drifted between runs");
+    assert_eq!(
+        a.to_jsonl(),
+        b.to_jsonl(),
+        "JSONL report drifted between runs"
+    );
+}

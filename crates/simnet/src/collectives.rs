@@ -714,7 +714,9 @@ mod tests {
         let spec = clouds::tencent(16);
         let mut sim = NetSim::new(spec);
         let t = sim_hitopk(&mut sim, &spec, 25_000_000, 4, 0.01, 2e-3);
-        let by_label: std::collections::HashMap<_, _> =
+        // BTreeMap so a failing assertion walks the phases in a stable
+        // order run over run.
+        let by_label: std::collections::BTreeMap<_, _> =
             t.phases.iter().map(|p| (p.label, p.seconds)).collect();
         let inter = by_label["inter all-gather"];
         for (label, secs) in &by_label {

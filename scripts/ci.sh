@@ -3,7 +3,10 @@
 # the parallel kernel tier both off (default) and on.
 #
 # Usage:
-#   scripts/ci.sh            # lint + docs + tests
+#   scripts/ci.sh            # fmt + clippy + docs + tests + cloudtrain lint
+#   scripts/ci.sh lint       # cloudtrain lint only: runs the analyzer twice
+#                            # with --deny and requires both the table and
+#                            # the JSONL report to be byte-identical
 #   scripts/ci.sh gauntlet   # deterministic fault gauntlet (8 seeds x
 #                            # {drops, spikes, stragglers}); runs the
 #                            # harness twice and requires byte-identical
@@ -13,6 +16,27 @@
 #                            # snapshots BENCH_obs.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_lint_gate() {
+    echo "==> cloudtrain lint: build"
+    cargo build --release -q -p cloudtrain-cli
+
+    echo "==> cloudtrain lint: run twice with --deny, require byte-identical reports"
+    lint_a=$(mktemp)
+    lint_b=$(mktemp)
+    trap 'rm -f "$lint_a" "$lint_b" "$lint_a.jsonl" "$lint_b.jsonl"' EXIT
+    ./target/release/cloudtrain lint --root . --out "$lint_a.jsonl" --deny > "$lint_a"
+    ./target/release/cloudtrain lint --root . --out "$lint_b.jsonl" --deny > "$lint_b"
+    cmp "$lint_a" "$lint_b"
+    cmp "$lint_a.jsonl" "$lint_b.jsonl"
+    cat "$lint_a"
+}
+
+if [[ "${1:-}" == "lint" ]]; then
+    run_lint_gate
+    echo "==> cloudtrain lint: green"
+    exit 0
+fi
 
 if [[ "${1:-}" == "gauntlet" ]]; then
     echo "==> fault gauntlet: build"
@@ -57,6 +81,8 @@ print("  {} trace lines, fnv1a {}".format(s["jsonl_lines"], s["jsonl_fnv1a"]))' 
     echo "==> fault gauntlet: green"
     exit 0
 fi
+
+run_lint_gate
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
