@@ -1,0 +1,56 @@
+//! Conformance-harness snapshot: one run over the shipped seed corpus,
+//! exported as the byte-stable report the CI gauntlet `cmp`s across two
+//! invocations (the conformance analogue of `obs_snapshot`).
+//!
+//! The JSONL lines are printed verbatim between `CONFORMANCE-BEGIN` /
+//! `CONFORMANCE-END` markers (for `ci.sh` to slice out), and a compact
+//! summary goes through the usual `JSON <experiment>` channel into
+//! `BENCH_conformance.json`.
+
+use cloudtrain::conformance::{run_corpus, shipped_corpus};
+use cloudtrain_bench::{emit_json, header};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    cases: usize,
+    passed: usize,
+    divergences: usize,
+    checks: usize,
+    coverage_expected: usize,
+    coverage_missing: usize,
+    jsonl_lines: usize,
+    jsonl_fnv1a: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    header("Conformance snapshot (shipped seed corpus, byte-stable)");
+    let report = run_corpus(shipped_corpus()).expect("shipped corpus parses");
+    print!("{}", report.table());
+
+    let jsonl = report.to_jsonl();
+    println!("CONFORMANCE-BEGIN");
+    print!("{jsonl}");
+    println!("CONFORMANCE-END");
+
+    let summary = Summary {
+        cases: report.results().len(),
+        passed: report.passed(),
+        divergences: report.divergences(),
+        checks: report.total_checks(),
+        coverage_expected: report.coverage().len(),
+        coverage_missing: report.coverage_missing(),
+        jsonl_lines: jsonl.lines().count(),
+        jsonl_fnv1a: fnv1a(jsonl.as_bytes()),
+    };
+    emit_json("conformance_snapshot", &summary);
+}

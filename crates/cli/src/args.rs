@@ -144,6 +144,35 @@ mod tests {
     }
 
     #[test]
+    fn equals_values_keep_embedded_equals_signs() {
+        // Only the first `=` splits: paths and key=value payloads survive.
+        let a = parse("trace --out=/tmp/a=b.jsonl").unwrap();
+        assert_eq!(a.get_or("out", ""), "/tmp/a=b.jsonl");
+        // `--key=` is an explicit empty value, not a boolean.
+        let a = parse("trace --out=").unwrap();
+        assert_eq!(a.get_or("out", "dflt"), "");
+        assert!(!a.flag("out"));
+    }
+
+    #[test]
+    fn duplicate_flags_last_one_wins() {
+        let a = parse("simulate --nodes 4 --nodes 16").unwrap();
+        assert_eq!(a.num_or::<usize>("nodes", 1).unwrap(), 16);
+        let a = parse("simulate --nodes=4 --nodes=8").unwrap();
+        assert_eq!(a.num_or::<usize>("nodes", 1).unwrap(), 8);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse("lint --deny --out report.jsonl").unwrap();
+        assert!(a.flag("deny"));
+        assert_eq!(a.get_or("out", ""), "report.jsonl");
+        // Trailing flag with no value is boolean too.
+        let a = parse("lint --out x --deny").unwrap();
+        assert!(a.flag("deny"));
+    }
+
+    #[test]
     fn boolean_flags() {
         let a = parse("lint --deny --root .").unwrap();
         assert!(a.flag("deny"));

@@ -42,6 +42,11 @@ pub fn print_help() {
          \x20            rates (Fig. 9) as a table plus byte-stable JSONL\n\
          \x20            --model <m> --strategy <s> --nodes N --cloud <c>\n\
          \x20            --samples N --out FILE\n\
+         \x20 conformance  oracle differential fuzzing, cost-model (Eqs.\n\
+         \x20            7-10) validation, and metamorphic compressor\n\
+         \x20            properties over the seed corpus; byte-stable\n\
+         \x20            table plus JSONL report\n\
+         \x20            --corpus FILE --out FILE --fuzz N --seed N --deny\n\
          \x20 lint       determinism & safety static analysis over every\n\
          \x20            workspace crate (wall-clock ban, unordered\n\
          \x20            iteration, panic-free libraries, checked decode\n\
@@ -67,6 +72,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseError> {
         "dawnbench" => cmd_dawnbench(args),
         "faults" => cmd_faults(args),
         "trace" => cmd_trace(args),
+        "conformance" => cmd_conformance(args),
         "lint" => cmd_lint(args),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `cloudtrain help`)"
@@ -526,6 +532,49 @@ fn cmd_trace(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+fn cmd_conformance(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&["corpus", "out", "deny", "fuzz", "seed"])?;
+    let text = match args.get_or("corpus", "") {
+        "" => cloudtrain::conformance::shipped_corpus().to_string(),
+        path => std::fs::read_to_string(path)
+            .map_err(|e| ParseError(format!("--corpus {path}: {e}")))?,
+    };
+    let mut cases = cloudtrain::conformance::corpus::parse(&text)
+        .map_err(|e| ParseError(format!("corpus: {e}")))?;
+    let fuzz: usize = args.num_or("fuzz", 0)?;
+    if fuzz > 0 {
+        let seed: u64 = args.num_or("seed", 42)?;
+        cases.extend(cloudtrain::conformance::expand_fuzz(fuzz, seed));
+    }
+    let report = cloudtrain::conformance::run_cases(&cases);
+    print!("{}", report.table());
+    match args.get_or("out", "") {
+        "" => {}
+        path => {
+            std::fs::write(path, report.to_jsonl())
+                .map_err(|e| ParseError(format!("--out {path}: {e}")))?;
+            // stderr, so stdout stays byte-identical across runs for the
+            // CI gate's `cmp` regardless of where --out points.
+            eprintln!("wrote JSONL report to {path}");
+        }
+    }
+    if args.flag("deny") {
+        if report.divergences() > 0 {
+            return Err(ParseError(format!(
+                "conformance --deny: {} diverging case(s)",
+                report.divergences()
+            )));
+        }
+        if report.coverage_missing() > 0 {
+            return Err(ParseError(format!(
+                "conformance --deny: {} uncovered collective x compressor pairing(s)",
+                report.coverage_missing()
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_lint(args: &Args) -> Result<(), ParseError> {
     args.reject_unknown(&["root", "out", "deny"])?;
     let root = match args.get_or("root", "") {
@@ -641,6 +690,59 @@ mod tests {
             )))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn conformance_report_is_byte_stable() {
+        let dir = std::env::temp_dir();
+        let corpus = dir.join(format!("cloudtrain-conf-corpus-{}", std::process::id()));
+        std::fs::write(
+            &corpus,
+            "oracle ring m=2 n=2 d=64 seed=5\n\
+             oracle hitopk m=2 n=2 d=96 rho=0.1 comp=mstopk seed=6\n\
+             cost torus nodes=4 gpus=8 d=100000 gbps=25\n\
+             meta scale comp=sorttopk d=256 k=16 seed=7\n",
+        )
+        .unwrap();
+        let out = dir.join(format!("cloudtrain-conf-out-{}", std::process::id()));
+        let cmd = format!(
+            "conformance --corpus {} --out {}",
+            corpus.display(),
+            out.display()
+        );
+        dispatch(&args(&cmd)).unwrap();
+        let first = std::fs::read(&out).unwrap();
+        dispatch(&args(&cmd)).unwrap();
+        let second = std::fs::read(&out).unwrap();
+        assert_eq!(first, second, "two runs must produce byte-identical JSONL");
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains("\"case\":\"case-000\""));
+        assert!(text.contains("\"status\":\"pass\""));
+        assert!(text.contains("conformance/divergences"));
+        let _ = std::fs::remove_file(&corpus);
+        let _ = std::fs::remove_file(&out);
+        assert!(dispatch(&args("conformance --bogus 1")).is_err());
+        assert!(dispatch(&args("conformance --corpus /no/such/file")).is_err());
+    }
+
+    #[test]
+    fn conformance_deny_enforces_coverage() {
+        // A passing-but-partial corpus is fine without --deny and an error
+        // with it: --deny gates on full pairing coverage, not just zero
+        // divergences.
+        let corpus =
+            std::env::temp_dir().join(format!("cloudtrain-conf-partial-{}", std::process::id()));
+        std::fs::write(&corpus, "oracle ring m=2 n=2 d=32 seed=1\n").unwrap();
+        let plain = format!("conformance --corpus {}", corpus.display());
+        dispatch(&args(&plain)).unwrap();
+        let err = dispatch(&args(&format!("{plain} --deny"))).unwrap_err();
+        assert!(err.to_string().contains("uncovered"), "{err}");
+        let _ = std::fs::remove_file(&corpus);
+    }
+
+    #[test]
+    fn conformance_shipped_corpus_passes_deny_with_fuzz() {
+        dispatch(&args("conformance --deny --fuzz 4 --seed 9")).unwrap();
     }
 
     #[test]

@@ -152,3 +152,34 @@ proptest! {
         }
     }
 }
+
+/// The shrunk counterexample from `properties.proptest-regressions`,
+/// promoted to a named always-run test so the fix can never silently
+/// regress even if the seed file is pruned: at m = 2, n = 4, d = 14 the
+/// per-shard k rounds small enough that an off-by-one in `shard_k` once
+/// let `shard_nonzeros` exceed `m * k`.
+#[test]
+fn regression_hitopk_invariants_shrunk_case() {
+    let (m, n, d, rho, seed) = (2usize, 4usize, 14usize, 0.5682980775287474f64, 174u64);
+    let p = m * n;
+    let data = per_rank_data(p, d, seed);
+    let results = {
+        let data = data.clone();
+        run_on_group(p, move |peer| {
+            let mut x = data[peer.rank()].clone();
+            let mut c = SortTopK;
+            let rep = hitopk_all_reduce(peer, &mut x, m, n, rho, &mut c);
+            (x, rep)
+        })
+    };
+    let k = shard_k(d, n, rho);
+    for (x, rep) in &results {
+        assert_eq!(x, &results[0].0, "ranks disagree");
+        assert!(
+            rep.shard_nonzeros <= m * k,
+            "shard_nonzeros {} > m*k {}",
+            rep.shard_nonzeros,
+            m * k
+        );
+    }
+}

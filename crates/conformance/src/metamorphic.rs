@@ -1,0 +1,243 @@
+//! Metamorphic compressor properties: relations that must hold between a
+//! compressor's outputs on related inputs, with per-operator strength.
+//!
+//! | property     | sorttopk/quicktopk | mstopk | dgc | randomk |
+//! |--------------|--------------------|--------|-----|---------|
+//! | exactk       | structural (exactly `min(k,d)` unique in-bounds pairs) — all operators |
+//! | determinism  | bitwise (fresh identically-seeded replicas agree) — all operators |
+//! | perm         | strict equivariance | mass within [`MSTOPK_MASS_EPS`] | mass within [`DGC_MASS_EPS`] | index stream is value-independent |
+//! | scale        | bitwise homogeneity with power-of-two factors — all operators |
+//! | kmono        | subset + mass monotone | mass within [`MSTOPK_MASS_EPS`] | mass within [`DGC_MASS_EPS`] | cardinality only |
+//!
+//! Strict permutation equivariance cannot hold pointwise for threshold- or
+//! sampling-based operators (MSTopK's bracket fill and DGC's positional
+//! sampling are order-dependent by design), so those check captured-mass
+//! stability instead; RandomK ignores values entirely, so its guarantee is
+//! that the selected *index stream* does not depend on them. Scaling by a
+//! power of two is exact in FP32 arithmetic (thresholds, means and maxima
+//! all scale without rounding), so `scale` is bitwise for every operator.
+
+use cloudtrain_tensor::init;
+
+use crate::corpus::MetaCase;
+use crate::oracle::make_compressor;
+use crate::report::{CaseResult, Checks};
+
+/// Relative captured-mass tolerance for MSTopK under permutation and
+/// k-monotonicity (the bracket fill may swap boundary elements).
+pub const MSTOPK_MASS_EPS: f32 = 0.05;
+
+/// Relative captured-mass tolerance for DGC: its threshold comes from a
+/// positional sample, so permuting values resamples the distribution.
+pub const DGC_MASS_EPS: f32 = 0.35;
+
+/// Power-of-two scale factors (exact in FP32).
+pub const SCALE_FACTORS: &[f32] = &[0.5, 2.0];
+
+const PERM_SALT: u64 = 0x5EED_0F0F_5EED_0F0F;
+const SIGN_SALT: u64 = 0xA5A5_A5A5_0000_0003;
+
+/// Deterministic gradient-shaped input for a meta case.
+fn base_input(seed: u64, d: usize) -> Vec<f32> {
+    let mut rng = init::rng_from_seed(seed);
+    init::gradient_like_tensor(d, &mut rng).into_vec()
+}
+
+/// Input with pairwise-distinct magnitudes (`±(i+1)` in permuted order):
+/// strict top-k equivariance is only well-defined without magnitude ties.
+fn distinct_input(seed: u64, d: usize) -> Vec<f32> {
+    let order = permutation(seed ^ SIGN_SALT, d);
+    let mut rng = init::rng_from_seed(seed ^ PERM_SALT ^ SIGN_SALT);
+    let mut signs = vec![0.0f32; d];
+    init::fill_uniform(&mut signs, -1.0, 1.0, &mut rng);
+    (0..d)
+        .map(|i| {
+            let mag = (order[i] + 1) as f32;
+            if signs[i] < 0.0 {
+                -mag
+            } else {
+                mag
+            }
+        })
+        .collect()
+}
+
+/// Seeded permutation of `0..d` (argsort of random keys, ties by index).
+fn permutation(seed: u64, d: usize) -> Vec<usize> {
+    let mut rng = init::rng_from_seed(seed);
+    let mut keys = vec![0.0f32; d];
+    init::fill_uniform(&mut keys, 0.0, 1.0, &mut rng);
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+fn captured_mass(values: &[f32]) -> f32 {
+    values.iter().map(|v| v.abs()).sum()
+}
+
+/// Runs one metamorphic case.
+pub fn run(index: usize, case: &MetaCase) -> CaseResult {
+    let mut ck = Checks::new();
+    match case.property.as_str() {
+        "exactk" => check_exactk(case, &mut ck),
+        "determinism" => check_determinism(case, &mut ck),
+        "perm" => check_perm(case, &mut ck),
+        "scale" => check_scale(case, &mut ck),
+        _ => check_kmono(case, &mut ck),
+    }
+    let params = format!("d={} k={} seed={}", case.d, case.k, case.seed);
+    ck.into_result(index, "meta", &case.property, &case.comp, params)
+}
+
+fn check_exactk(c: &MetaCase, ck: &mut Checks) {
+    let x = base_input(c.seed, c.d);
+    let s = make_compressor(&c.comp, c.seed).compress(&x, c.k);
+    let want = c.k.min(c.d);
+    ck.check("cardinality", s.len() == want, || {
+        format!("got {} pairs, expected {want}", s.len())
+    });
+    let mut idx = s.indices.clone();
+    idx.sort_unstable();
+    let unique = idx.windows(2).all(|w| w[0] != w[1]);
+    ck.check("unique-indices", unique, || "duplicate indices".to_string());
+    let in_bounds = idx.last().is_none_or(|&i| (i as usize) < c.d);
+    ck.check("in-bounds", in_bounds, || {
+        format!("max index {:?} for d={}", idx.last(), c.d)
+    });
+    ck.check("dim", s.dim == c.d, || format!("dim={} d={}", s.dim, c.d));
+}
+
+fn check_determinism(c: &MetaCase, ck: &mut Checks) {
+    let x = base_input(c.seed, c.d);
+    let a = make_compressor(&c.comp, c.seed).compress(&x, c.k);
+    let b = make_compressor(&c.comp, c.seed).compress(&x, c.k);
+    ck.check(
+        "replica-bitwise",
+        a.indices == b.indices
+            && a.values
+                .iter()
+                .zip(&b.values)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+        || "identically-seeded replicas disagree".to_string(),
+    );
+}
+
+fn check_perm(c: &MetaCase, ck: &mut Checks) {
+    let sigma = permutation(c.seed ^ PERM_SALT, c.d);
+    match c.comp.as_str() {
+        "sorttopk" | "quicktopk" => {
+            // Strict: compressing the permuted input selects exactly the
+            // permuted selection (distinct magnitudes, so no ties).
+            let x = distinct_input(c.seed, c.d);
+            let mut y = vec![0.0f32; c.d];
+            for i in 0..c.d {
+                y[sigma[i]] = x[i];
+            }
+            let sx = make_compressor(&c.comp, c.seed).compress(&x, c.k);
+            let sy = make_compressor(&c.comp, c.seed).compress(&y, c.k);
+            let dense_x = sx.densify();
+            let dense_y = sy.densify();
+            let equivariant = (0..c.d).all(|i| dense_y[sigma[i]].to_bits() == dense_x[i].to_bits());
+            ck.check("equivariance", equivariant, || {
+                "permuted selection differs from selection of permuted input".to_string()
+            });
+        }
+        "randomk" => {
+            // Value independence: the index stream only depends on the
+            // seed, so any value permutation leaves it unchanged.
+            let x = base_input(c.seed, c.d);
+            let mut y = vec![0.0f32; c.d];
+            for i in 0..c.d {
+                y[sigma[i]] = x[i];
+            }
+            let sx = make_compressor(&c.comp, c.seed).compress(&x, c.k);
+            let sy = make_compressor(&c.comp, c.seed).compress(&y, c.k);
+            ck.check("value-independence", sx.indices == sy.indices, || {
+                "index stream changed when values were permuted".to_string()
+            });
+        }
+        _ => {
+            // mstopk / dgc: captured mass is permutation-stable within the
+            // operator's tolerance.
+            let eps = if c.comp == "mstopk" {
+                MSTOPK_MASS_EPS
+            } else {
+                DGC_MASS_EPS
+            };
+            let x = base_input(c.seed, c.d);
+            let mut y = vec![0.0f32; c.d];
+            for i in 0..c.d {
+                y[sigma[i]] = x[i];
+            }
+            let mx = captured_mass(&make_compressor(&c.comp, c.seed).compress(&x, c.k).values);
+            let my = captured_mass(&make_compressor(&c.comp, c.seed).compress(&y, c.k).values);
+            let rel = (mx - my).abs() / mx.max(f32::MIN_POSITIVE);
+            ck.check("mass-stability", rel <= eps, || {
+                format!("mass {mx} vs {my}, rel={rel} eps={eps}")
+            });
+        }
+    }
+}
+
+fn check_scale(c: &MetaCase, ck: &mut Checks) {
+    let x = base_input(c.seed, c.d);
+    let sx = make_compressor(&c.comp, c.seed).compress(&x, c.k);
+    for &factor in SCALE_FACTORS {
+        let scaled: Vec<f32> = x.iter().map(|v| v * factor).collect();
+        let sy = make_compressor(&c.comp, c.seed).compress(&scaled, c.k);
+        let indices_ok = sx.indices == sy.indices;
+        let values_ok = sx
+            .values
+            .iter()
+            .zip(&sy.values)
+            .all(|(v, w)| (v * factor).to_bits() == w.to_bits());
+        ck.check("homogeneity", indices_ok && values_ok, || {
+            format!("selection not homogeneous under factor {factor}")
+        });
+    }
+}
+
+fn check_kmono(c: &MetaCase, ck: &mut Checks) {
+    let x = base_input(c.seed, c.d);
+    let k1 = (c.k / 2).max(1);
+    let k2 = c.k;
+    let s1 = make_compressor(&c.comp, c.seed).compress(&x, k1);
+    let s2 = make_compressor(&c.comp, c.seed).compress(&x, k2);
+    match c.comp.as_str() {
+        "sorttopk" | "quicktopk" => {
+            let support2: std::collections::BTreeSet<u32> = s2.indices.iter().copied().collect();
+            let subset = s1.indices.iter().all(|i| support2.contains(i));
+            ck.check("support-subset", subset, || {
+                format!("top-{k1} support is not contained in top-{k2} support")
+            });
+            let (m1, m2) = (captured_mass(&s1.values), captured_mass(&s2.values));
+            ck.check("mass-monotone", m2 >= m1, || {
+                format!("mass({k2})={m2} < mass({k1})={m1}")
+            });
+        }
+        "randomk" => {
+            ck.check(
+                "cardinality-monotone",
+                s2.len() == k2.min(c.d) && s1.len() == k1.min(c.d),
+                || format!("lens {} / {}", s1.len(), s2.len()),
+            );
+        }
+        _ => {
+            let eps = if c.comp == "mstopk" {
+                MSTOPK_MASS_EPS
+            } else {
+                DGC_MASS_EPS
+            };
+            let (m1, m2) = (captured_mass(&s1.values), captured_mass(&s2.values));
+            ck.check("mass-monotone", m2 >= m1 * (1.0 - eps), || {
+                format!("mass({k2})={m2} < (1-{eps})*mass({k1})={m1}")
+            });
+        }
+    }
+}

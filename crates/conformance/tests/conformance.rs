@@ -1,0 +1,145 @@
+//! End-to-end tests over the shipped seed corpus: zero divergences, full
+//! pairing coverage, and byte-stable rendering (the two-run `cmp`
+//! discipline CI enforces is asserted here in-process first).
+
+use cloudtrain_conformance::{corpus, expand_fuzz, run_corpus, shipped_corpus, ConformanceReport};
+
+fn run_shipped() -> ConformanceReport {
+    run_corpus(shipped_corpus()).expect("shipped corpus parses")
+}
+
+#[test]
+fn shipped_corpus_has_zero_divergences() {
+    let report = run_shipped();
+    let bad: Vec<String> = report
+        .results()
+        .iter()
+        .filter(|r| !r.passed())
+        .map(|r| format!("{} {} {}: {:?}", r.id, r.target, r.params, r.failures))
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "divergences on shipped corpus:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn shipped_corpus_covers_every_pairing() {
+    let report = run_shipped();
+    let missing: Vec<String> = report
+        .coverage()
+        .iter()
+        .filter(|(_, _, covered)| !covered)
+        .map(|(coll, comp, _)| format!("{coll}/{comp}"))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "uncovered pairings: {}",
+        missing.join(", ")
+    );
+    assert_eq!(report.coverage_missing(), 0);
+}
+
+#[test]
+fn two_runs_are_byte_identical() {
+    let a = run_shipped();
+    let b = run_shipped();
+    assert_eq!(a.table(), b.table(), "human table is not byte-stable");
+    assert_eq!(
+        a.to_jsonl(),
+        b.to_jsonl(),
+        "JSONL report is not byte-stable"
+    );
+}
+
+#[test]
+fn fuzz_expansion_parses_and_roundtrips() {
+    let cases = expand_fuzz(32, 42);
+    assert_eq!(cases.len(), 32);
+    for case in &cases {
+        let line = corpus::format_case(case);
+        let reparsed = corpus::parse_line(&line)
+            .unwrap_or_else(|e| panic!("fuzz-generated case must be pinnable, got `{line}`: {e}"));
+        assert_eq!(*case, reparsed, "canonical line round-trips: {line}");
+    }
+    // Same seed, same cases: fuzz expansion is itself deterministic.
+    assert_eq!(expand_fuzz(32, 42), cases);
+}
+
+#[test]
+fn fuzz_cases_pass_against_the_oracle() {
+    // A small fuzz batch runs clean: the differential harness holds off-corpus
+    // too, not just on hand-picked shapes.
+    let cases = expand_fuzz(12, 7);
+    let report = cloudtrain_conformance::run_cases(&cases);
+    let bad: Vec<String> = report
+        .results()
+        .iter()
+        .filter(|r| !r.passed())
+        .map(|r| format!("{} {} {}: {:?}", r.id, r.target, r.params, r.failures))
+        .collect();
+    assert!(bad.is_empty(), "fuzz divergences:\n{}", bad.join("\n"));
+}
+
+#[test]
+fn cost_brackets_hold_and_ceilings_are_honest() {
+    // Every cost phase lands inside its closed-form bracket, and the
+    // pinned looseness ceilings keep real margin over the corpus without
+    // being fat enough to hide a halved simulation (< 2x observed max).
+    use std::collections::BTreeMap;
+
+    let cases = corpus::parse(shipped_corpus()).expect("parses");
+    let mut observed_max: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for case in &cases {
+        let corpus::Case::Cost(c) = case else {
+            continue;
+        };
+        for (label, lower, sim, upper) in cloudtrain_conformance::costmodel::bracket_report(c) {
+            assert!(
+                sim >= lower * (1.0 - 1e-6) && sim <= upper * (1.0 + 1e-6),
+                "{}/{} sim={sim} outside bracket [{lower}, {upper}]",
+                c.collective,
+                label
+            );
+            let loose = (upper - sim) / upper;
+            let entry = observed_max
+                .entry((c.collective.clone(), label))
+                .or_insert(0.0);
+            *entry = entry.max(loose);
+        }
+    }
+    for ((coll, label), loose) in &observed_max {
+        println!("observed looseness {coll}/{label}: {loose}");
+    }
+    for ((coll, label), loose) in &observed_max {
+        let ceiling = cloudtrain_conformance::costmodel::TOLERANCES
+            .iter()
+            .find(|(c, p, _)| c == coll && p == label)
+            .map(|(_, _, hi)| *hi)
+            .unwrap_or_else(|| panic!("no pinned ceiling for {coll}/{label}"));
+        assert!(
+            *loose <= ceiling,
+            "{coll}/{label}: observed looseness {loose} exceeds pinned ceiling {ceiling}"
+        );
+        // Exact phases pin ~equality; loose phases must not be pinned at
+        // more than double what the grid exhibits (keeps the table honest).
+        if ceiling > 1e-3 {
+            assert!(
+                ceiling <= (2.0 * *loose).max(0.05),
+                "{coll}/{label}: ceiling {ceiling} is more than 2x the observed {loose}"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_enumerates_every_oracle_case_in_corpus_order() {
+    let report = run_shipped();
+    let cases = corpus::parse(shipped_corpus()).expect("parses");
+    assert_eq!(report.results().len(), cases.len());
+    for (i, r) in report.results().iter().enumerate() {
+        assert_eq!(r.id, format!("case-{i:03}"));
+        assert!(r.checks > 0, "{} ran no checks", r.id);
+    }
+}

@@ -50,6 +50,7 @@
 
 pub use cloudtrain_collectives as collectives;
 pub use cloudtrain_compress as compress;
+pub use cloudtrain_conformance as conformance;
 pub use cloudtrain_datacache as datacache;
 pub use cloudtrain_dnn as dnn;
 pub use cloudtrain_engine as engine;

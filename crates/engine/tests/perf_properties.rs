@@ -145,3 +145,37 @@ proptest! {
         prop_assert!(fast <= mid + 1e-9, "ib {fast} > aliyun {mid}");
     }
 }
+
+/// The shrunk counterexample from `perf_properties.proptest-regressions`,
+/// promoted to a named always-run test: resnet50_224 under GTopK at
+/// rho = 0.001 on 9 Tencent nodes (no cache, no PTO) once produced a
+/// breakdown whose visible communication exceeded the total. Pinning the
+/// exact tuple keeps the fix live even if the seed file is pruned.
+#[test]
+fn regression_breakdown_is_physical_shrunk_case() {
+    let profile = profiles()[0].clone(); // resnet50_224
+    let strategy = strategies(0.001)[4]; // GTopK { rho: 0.001 }
+    let model = IterationModel::new(
+        clouds::tencent(9),
+        SystemConfig {
+            strategy,
+            datacache: false,
+            pto: false,
+        },
+        profile,
+    );
+    let b = model.breakdown();
+    assert!(b.io >= 0.0 && b.ffbp > 0.0 && b.compression >= 0.0);
+    assert!(b.comm_total >= 0.0 && b.comm_visible >= 0.0);
+    assert!(b.comm_visible <= b.comm_total + 1e-12);
+    assert!(b.lars >= 0.0);
+    let sum = b.io + b.ffbp + b.comm_visible + b.compression + b.lars;
+    assert!(
+        (b.total - sum).abs() < 1e-12,
+        "total {} != sum {}",
+        b.total,
+        sum
+    );
+    let se = model.scaling_efficiency();
+    assert!(se > 0.0 && se <= 1.0, "SE {se}");
+}

@@ -73,6 +73,11 @@ pub struct Config {
     /// binaries time real kernels and may parallelise; their output is
     /// gated by the twice-run `cmp` in CI instead).
     pub wall_clock_allow_prefixes: Vec<String>,
+    /// Workspace-relative path prefixes the walker skips entirely —
+    /// checked-in data corpora (e.g. the conformance seed corpus) are
+    /// inputs to harnesses, not source code, and must never influence
+    /// lint output. Matched against `/`-separated relative paths.
+    pub excluded_path_prefixes: Vec<String>,
 }
 
 impl Default for Config {
@@ -96,8 +101,10 @@ impl Default for Config {
                 "cloudtrain-simnet",
                 "cloudtrain-optim",
                 "cloudtrain-pto",
+                "cloudtrain-conformance",
             ]),
             wall_clock_allow_prefixes: owned(&["crates/bench/src/bin/"]),
+            excluded_path_prefixes: owned(&["crates/conformance/corpus/"]),
         }
     }
 }
@@ -309,7 +316,16 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
 /// Returns a [`LintError`] for I/O failures or a malformed baseline —
 /// both fail the run loudly rather than under-linting.
 pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
-    let config = Config::default();
+    run_workspace_with(root, &Config::default())
+}
+
+/// [`run_workspace`] with an explicit [`Config`] (fixture tests narrow or
+/// widen the crate lists and path prefixes per case).
+///
+/// # Errors
+/// Returns a [`LintError`] for I/O failures or a malformed baseline —
+/// both fail the run loudly rather than under-linting.
+pub fn run_workspace_with(root: &Path, config: &Config) -> Result<Report, LintError> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| LintError(format!("read {}: {e}", crates_dir.display())))?
@@ -341,9 +357,16 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
                 .map(|c| c.as_os_str().to_string_lossy())
                 .collect::<Vec<_>>()
                 .join("/");
+            if config
+                .excluded_path_prefixes
+                .iter()
+                .any(|p| rel.starts_with(p.as_str()))
+            {
+                continue;
+            }
             let src = fs::read_to_string(&file)
                 .map_err(|e| LintError(format!("read {}: {e}", file.display())))?;
-            let lint = lint_source(&rel, &src, &meta.name, &meta.features, &config);
+            let lint = lint_source(&rel, &src, &meta.name, &meta.features, config);
             report.files += 1;
             report.suppressed += lint.suppressed;
             findings.extend(lint.findings);

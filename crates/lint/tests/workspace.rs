@@ -39,3 +39,54 @@ fn report_is_byte_stable_across_runs() {
         "JSONL report drifted between runs"
     );
 }
+
+/// `excluded_path_prefixes` removes whole subtrees from the walk: a file
+/// with an obvious `wall_clock` violation under an excluded prefix
+/// produces no findings, while the same tree with no exclusions does.
+/// The default config excludes the conformance seed corpus so checked-in
+/// case data can never perturb lint output.
+#[test]
+fn excluded_path_prefixes_skip_subtrees() {
+    use cloudtrain_lint::{run_workspace_with, Config};
+    use std::fs;
+
+    let root = std::env::temp_dir().join(format!("cloudtrain-lint-excl-{}", std::process::id()));
+    let src = root.join("crates/demo/src");
+    let gen = src.join("corpus_gen");
+    fs::create_dir_all(&gen).expect("mkdir");
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+    fs::write(
+        root.join("crates/demo/Cargo.toml"),
+        "[package]\nname = \"cloudtrain-demo\"\n",
+    )
+    .expect("write");
+    fs::write(src.join("lib.rs"), "pub fn ok() {}\n").expect("write");
+    fs::write(
+        gen.join("bad.rs"),
+        "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .expect("write");
+
+    let mut config = Config::default();
+    assert!(
+        config
+            .excluded_path_prefixes
+            .contains(&"crates/conformance/corpus/".to_string()),
+        "default config must exclude the conformance seed corpus"
+    );
+
+    config.excluded_path_prefixes = vec!["crates/demo/src/corpus_gen/".to_string()];
+    let excluded = run_workspace_with(&root, &config).expect("lint run succeeds");
+    assert_eq!(excluded.files, 1, "only lib.rs should be walked");
+    assert!(excluded.clean(), "excluded subtree still produced findings");
+
+    config.excluded_path_prefixes.clear();
+    let included = run_workspace_with(&root, &config).expect("lint run succeeds");
+    assert_eq!(included.files, 2, "both files should be walked");
+    assert!(
+        !included.findings.is_empty(),
+        "wall_clock violation should be reported without the exclusion"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the parallel tensor operator: the
+//! partition → compute → AllGather pipeline must reproduce the serial
+//! LARS rate computation (Eq. 11) **bitwise** for arbitrary worker counts
+//! and ragged layer tilings — PTO removes redundancy, never precision.
+//!
+//! Bitwise equality holds because each layer's rate is computed whole by
+//! exactly one rank with the same scalar code path the serial reference
+//! uses; the AllGather only moves finished values. Any reassociation bug
+//! (e.g. splitting a layer across ranks) would break `to_bits` equality
+//! immediately.
+
+use cloudtrain_collectives::group::run_on_group;
+use cloudtrain_dnn::model::ParamRange;
+use cloudtrain_optim::lars::{compute_rates, LarsConfig};
+use cloudtrain_pto::{lars_rates, pto_scalar_map, pto_shard_map};
+use cloudtrain_tensor::init;
+use proptest::prelude::*;
+
+/// Deterministic ragged layer tiling of a `total`-element vector: layer
+/// lengths cycle through a seeded pattern, and the final layer absorbs the
+/// remainder (possibly much shorter than the rest — the ragged shard).
+fn ragged_ranges(total: usize, layers: usize, seed: u64) -> Vec<ParamRange> {
+    let mut rng = init::rng_from_seed(seed);
+    let mut lens = vec![0.0f32; layers];
+    init::fill_uniform(&mut lens, 0.2, 1.8, &mut rng);
+    let base = (total / layers).max(1);
+    let mut ranges = Vec::with_capacity(layers);
+    let mut off = 0;
+    for (l, scale) in lens.iter().enumerate() {
+        let remaining = total - off;
+        let left = layers - l;
+        let len = if left == 1 {
+            remaining
+        } else {
+            ((base as f32 * scale) as usize)
+                .max(1)
+                .min(remaining.saturating_sub(left - 1))
+                .max(1)
+        };
+        ranges.push(ParamRange { offset: off, len });
+        off += len;
+    }
+    assert_eq!(off, total, "ranges must tile the vector exactly");
+    ranges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. 11 via PTO == serial LARS, bitwise, for arbitrary P and ragged
+    /// layer tilings (including P > layers, where trailing ranks hold
+    /// empty slices).
+    #[test]
+    fn pto_lars_is_bitwise_serial_lars(
+        p in 1usize..9,
+        layers in 1usize..24,
+        total in 64usize..4000,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed ^ 0xBEEF);
+        let params = init::gradient_like_tensor(total, &mut rng).into_vec();
+        let grads = init::gradient_like_tensor(total, &mut rng).into_vec();
+        let ranges = ragged_ranges(total, layers, seed);
+        let cfg = LarsConfig { trust_coef: 0.01, weight_decay: 1e-4, momentum: 0.9 };
+        let expect = compute_rates(&params, &grads, &ranges, &cfg);
+        let results = {
+            let (params, grads, ranges, cfg) =
+                (params.clone(), grads.clone(), ranges.clone(), cfg);
+            run_on_group(p, move |peer| lars_rates(peer, &params, &grads, &ranges, &cfg))
+        };
+        for (rank, r) in results.iter().enumerate() {
+            prop_assert_eq!(r.len(), expect.len());
+            for (l, (got, want)) in r.iter().zip(&expect).enumerate() {
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "p={} rank={} layer {} rate {} != serial {}", p, rank, l, got, want
+                );
+            }
+        }
+    }
+
+    /// The generic scalar map is bitwise-identical to the sequential map
+    /// on every rank, for any worker/item ratio (incl. P > items).
+    #[test]
+    fn scalar_map_is_bitwise_sequential(
+        p in 1usize..9,
+        items in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let salt = seed as f32;
+        let expect: Vec<f32> =
+            (0..items).map(|i| (i as f32 * 0.7 + salt).sin()).collect();
+        let results = run_on_group(p, move |peer| {
+            pto_scalar_map(peer, items, |i| (i as f32 * 0.7 + salt).sin())
+        });
+        for r in &results {
+            prop_assert_eq!(r.len(), expect.len());
+            for (got, want) in r.iter().zip(&expect) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    /// Elementwise shard maps reassemble the full vector bitwise even when
+    /// the last shard is ragged (d not divisible by P).
+    #[test]
+    fn shard_map_reassembles_ragged_tails_bitwise(
+        p in 1usize..9,
+        d in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng_from_seed(seed);
+        let x = init::uniform_tensor(d, -2.0, 2.0, &mut rng).into_vec();
+        let expect: Vec<f32> = x.iter().map(|v| v.mul_add(*v, 1.0)).collect();
+        let results = {
+            let x = x.clone();
+            run_on_group(p, move |peer| {
+                pto_shard_map(peer, &x, |shard| {
+                    shard.iter().map(|v| v.mul_add(*v, 1.0)).collect()
+                })
+            })
+        };
+        for r in &results {
+            prop_assert_eq!(r.len(), expect.len());
+            for (got, want) in r.iter().zip(&expect) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+}
+
+/// The paper's worked example, pinned: 161 ResNet-50 layers over 128
+/// GPUs — rank 0 computes layers 1–2, rank 1 layers 3–4, and so on — and
+/// the gathered rates equal the serial ones bitwise.
+#[test]
+fn paper_example_161_layers_128_gpus() {
+    let layers = 161usize;
+    let total = 161 * 37;
+    let mut rng = init::rng_from_seed(0x161);
+    let params = init::gradient_like_tensor(total, &mut rng).into_vec();
+    let grads = init::gradient_like_tensor(total, &mut rng).into_vec();
+    let ranges: Vec<ParamRange> = (0..layers)
+        .map(|l| ParamRange {
+            offset: l * 37,
+            len: 37,
+        })
+        .collect();
+    let cfg = LarsConfig::default();
+    let expect = compute_rates(&params, &grads, &ranges, &cfg);
+    let results = {
+        let (params, grads, ranges, cfg) = (params.clone(), grads.clone(), ranges.clone(), cfg);
+        run_on_group(128, move |peer| {
+            lars_rates(peer, &params, &grads, &ranges, &cfg)
+        })
+    };
+    for r in &results {
+        assert_eq!(r.len(), expect.len());
+        for (got, want) in r.iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}

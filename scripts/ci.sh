@@ -14,6 +14,11 @@
 #                            # then the observability snapshot, held to
 #                            # the same twice-run byte-identical bar, and
 #                            # snapshots BENCH_obs.json
+#   scripts/ci.sh conformance # conformance harness over the shipped seed
+#                            # corpus: `cloudtrain conformance --deny` run
+#                            # twice (table + JSONL byte-compared), then
+#                            # the snapshot binary run twice the same way,
+#                            # and snapshots BENCH_conformance.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,6 +84,44 @@ print("  {} trace lines, fnv1a {}".format(s["jsonl_lines"], s["jsonl_fnv1a"]))' 
         || echo "  (python3 unavailable; snapshot written unvalidated)"
 
     echo "==> fault gauntlet: green"
+    exit 0
+fi
+
+if [[ "${1:-}" == "conformance" ]]; then
+    echo "==> conformance: build"
+    cargo build --release -q -p cloudtrain-cli
+    cargo build --release -q -p cloudtrain-bench --bin conformance_snapshot
+
+    echo "==> conformance: cloudtrain conformance --deny twice, require byte-identical reports"
+    conf_a=$(mktemp)
+    conf_b=$(mktemp)
+    trap 'rm -f "$conf_a" "$conf_b" "$conf_a.jsonl" "$conf_b.jsonl"' EXIT
+    ./target/release/cloudtrain conformance --deny --out "$conf_a.jsonl" > "$conf_a"
+    ./target/release/cloudtrain conformance --deny --out "$conf_b.jsonl" > "$conf_b"
+    cmp "$conf_a" "$conf_b"
+    cmp "$conf_a.jsonl" "$conf_b.jsonl"
+    cat "$conf_a"
+
+    echo "==> conformance: snapshot twice, require byte-identical JSONL"
+    snap_a=$(mktemp)
+    snap_b=$(mktemp)
+    trap 'rm -f "$conf_a" "$conf_b" "$conf_a.jsonl" "$conf_b.jsonl" \
+        "$snap_a" "$snap_b" "$snap_a.jsonl" "$snap_b.jsonl"' EXIT
+    ./target/release/conformance_snapshot > "$snap_a"
+    ./target/release/conformance_snapshot > "$snap_b"
+    sed -n '/^CONFORMANCE-BEGIN$/,/^CONFORMANCE-END$/p' "$snap_a" > "$snap_a.jsonl"
+    sed -n '/^CONFORMANCE-BEGIN$/,/^CONFORMANCE-END$/p' "$snap_b" > "$snap_b.jsonl"
+    cmp "$snap_a.jsonl" "$snap_b.jsonl"
+
+    echo "==> conformance: snapshot BENCH_conformance.json"
+    grep '^JSON conformance_snapshot ' "$snap_a" | sed 's/^JSON conformance_snapshot //' \
+        > BENCH_conformance.json
+    python3 -c 'import json; s=json.load(open("BENCH_conformance.json")); \
+assert s["divergences"] == 0 and s["coverage_missing"] == 0, s; \
+print("  {} cases, {} checks, fnv1a {}".format(s["cases"], s["checks"], s["jsonl_fnv1a"]))' 2>/dev/null \
+        || echo "  (python3 unavailable; snapshot written unvalidated)"
+
+    echo "==> conformance: green"
     exit 0
 fi
 
