@@ -20,6 +20,10 @@
 //! * [`hierarchical`] — **HiTopKComm** (§3.2, Algorithm 2): the paper's
 //!   hierarchical sparse aggregation, plus the flat `NaiveAG` sparse
 //!   baseline.
+//! * [`fusion`] — fused compress–reduce variants of HiTopKComm: the
+//!   intra-node reduction rides one shard-sized ring buffer and the top-k
+//!   selection consumes it directly, skipping the dense materialization;
+//!   bitwise identical to the unfused pipeline.
 //! * [`gtopk`] — gTop-k recursive-doubling sparse AllReduce (Shi et al.
 //!   2019, cited in §6).
 //! * [`quantized`] — AllReduce of QSGD/TernGrad/sign-quantized gradients.
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fusion;
 pub mod group;
 pub mod gtopk;
 pub mod hierarchical;

@@ -150,4 +150,37 @@ mod tests {
         let mut g = vec![0.0; 4];
         ef.compensate(&mut g);
     }
+
+    /// The error-feedback cycle rides entirely on the tensor lane kernels
+    /// (`add_assign`, `zero_at`); whatever tier combination is active, a
+    /// multi-round compensate→compress→absorb cycle must be bitwise
+    /// identical to a hand-rolled scalar-tier reference.
+    #[test]
+    fn cycle_matches_scalar_reference_bitwise() {
+        use cloudtrain_tensor::ops::scalar;
+
+        let d = 4 * cloudtrain_tensor::ops::LANES + 5;
+        let mut ef = ErrorFeedback::new(d);
+        let mut ref_residual = vec![0.0f32; d];
+        for round in 0..4u32 {
+            let base: Vec<f32> = (0..d)
+                .map(|i| {
+                    let h = (i as u32).wrapping_mul(2654435761).wrapping_add(round);
+                    ((h % 2001) as f32 - 1000.0) * 1e-3
+                })
+                .collect();
+
+            let mut g = base.clone();
+            ef.compensate(&mut g);
+            let s = topk_sort(&g, d / 3);
+            ef.absorb(&g, &s);
+
+            let mut g_ref = base;
+            scalar::add_assign(&mut g_ref, &ref_residual);
+            assert_eq!(g, g_ref, "compensated gradients diverged");
+            ref_residual.copy_from_slice(&g_ref);
+            scalar::zero_at(&mut ref_residual, &s.indices);
+            assert_eq!(ef.residual(), &ref_residual[..], "residuals diverged");
+        }
+    }
 }

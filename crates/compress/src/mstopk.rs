@@ -373,18 +373,24 @@ fn finish_selection(
     // Lines 27–28: random contiguous run of k - k1 band elements. The run is
     // contiguous (not a random subset) precisely because that keeps the GPU
     // gather coalesced — the whole point of the operator.
+    //
+    // On finite inputs the band always has at least `need` elements: every
+    // |x| >= thres2 not counted in k1 lies in [thres2, thres1). NaN
+    // magnitudes break that accounting (they fail every threshold compare,
+    // so probes see fewer elements than exist) — `take` caps the run at
+    // what the band actually holds, returning a short selection instead of
+    // slicing out of bounds when a diverged tensor reaches the operator.
     let need = k - bracket.k1;
+    let take = need.min(i2.len());
     let mut indices = i1;
-    if need > 0 {
-        // The band always has at least `need` elements: every |x| >= thres2
-        // not counted in k1 lies in [thres2, thres1).
-        let slack = i2.len() - need;
+    if take > 0 {
+        let slack = i2.len() - take;
         let start = if slack == 0 {
             0
         } else {
             rng.random_range(0..=slack)
         };
-        indices.extend_from_slice(&i2[start..start + need]);
+        indices.extend_from_slice(&i2[start..start + take]);
     }
     indices.sort_unstable();
     let values = ops::gather(x, &indices);
@@ -905,6 +911,34 @@ mod tests {
         let (_, loose) = MsTopK::new(5, 1).select_with_stats(&x, k);
         let (_, tight) = MsTopK::new(30, 1).select_with_stats(&x, k);
         assert!(tight.k2 - tight.k1 <= loose.k2 - loose.k1);
+    }
+
+    #[test]
+    fn nan_contaminated_input_does_not_panic() {
+        // A diverged tensor reaching the operator: NaN magnitudes fail
+        // every threshold compare, so the band can hold fewer than
+        // `k - k1` elements and the selection degrades to what exists
+        // instead of slicing out of bounds. Both implementations must
+        // survive any contamination level, up to an all-NaN tensor.
+        for d in [16usize, 64, 1_000] {
+            for nan_every in [1usize, 2, 5] {
+                let x: Vec<f32> = (0..d)
+                    .map(|i| {
+                        if i % nan_every == 0 {
+                            f32::NAN
+                        } else {
+                            (i as f32 * 0.37).sin()
+                        }
+                    })
+                    .collect();
+                for k in [1usize, d / 2, d] {
+                    let s = MsTopK::new(30, 11).compress(&x, k);
+                    assert!(s.len() <= k);
+                    let s = MsTopKNaive::new(30, 11).compress(&x, k);
+                    assert!(s.len() <= k);
+                }
+            }
+        }
     }
 
     #[test]

@@ -80,17 +80,25 @@ pub struct MetaCase {
     pub seed: u64,
 }
 
-/// Collectives the oracle engine knows how to drive.
+/// Collectives the oracle engine knows how to drive. The `*_fused`
+/// variants route through the fused compress–reduce hop and are held to
+/// *bitwise* equality with their unfused twins; the `*_bucketed` variants
+/// launch the dense collective once per fusion span.
 pub const ORACLE_COLLECTIVES: &[&str] = &[
     "ring",
     "tree",
     "torus",
     "rhd",
+    "tree_bucketed",
+    "torus_bucketed",
     "ring_res",
     "torus_res",
     "hitopk",
+    "hitopk_fused",
     "hitopk_ef",
+    "hitopk_ef_fused",
     "hitopk_ef_res",
+    "hitopk_ef_fused_res",
     "gtopk",
     "gtopk_ef_res",
     "naiveag",
@@ -279,7 +287,15 @@ fn parse_oracle(name: &str, kv: &Kv) -> Result<OracleCase, String> {
     }
     let sparse = matches!(
         c.collective.as_str(),
-        "hitopk" | "hitopk_ef" | "hitopk_ef_res" | "gtopk" | "gtopk_ef_res" | "naiveag"
+        "hitopk"
+            | "hitopk_fused"
+            | "hitopk_ef"
+            | "hitopk_ef_fused"
+            | "hitopk_ef_res"
+            | "hitopk_ef_fused_res"
+            | "gtopk"
+            | "gtopk_ef_res"
+            | "naiveag"
     );
     if sparse {
         if !COMPRESSORS.contains(&c.comp.as_str()) {
@@ -394,6 +410,8 @@ meta perm comp=dgc d=4096 k=64 seed=9
     fn format_roundtrips() {
         for line in [
             "oracle hitopk m=2 n=4 d=128 rho=0.05 comp=mstopk seed=7",
+            "oracle hitopk_ef_fused_res m=2 n=2 d=64 rho=0.1 comp=dgc seed=5 drops=0.1 degrade=0.2",
+            "oracle tree_bucketed m=2 n=3 d=96 rho=0.05 comp=- seed=4",
             "oracle ring_res m=2 n=3 d=64 rho=0.05 comp=- seed=3 drops=0.2",
             "cost gtopk nodes=4 gpus=4 d=200000 rho=0.01 gbps=25",
             "meta kmono comp=randomk d=512 k=32 seed=11",
@@ -413,8 +431,20 @@ meta perm comp=dgc d=4096 k=64 seed=9
                 "sparse without comp",
             ),
             (
+                "oracle hitopk_fused m=2 n=2 d=16 seed=1 comp=-",
+                "fused sparse without comp",
+            ),
+            (
                 "oracle ring m=2 n=2 d=16 seed=1 comp=mstopk",
                 "dense with comp",
+            ),
+            (
+                "oracle torus_bucketed m=2 n=2 d=16 seed=1 comp=mstopk",
+                "bucketed dense with comp",
+            ),
+            (
+                "oracle hitopk_fused m=2 n=2 d=16 rho=0.1 comp=dgc seed=1 drops=0.5",
+                "drops on non-resilient fused",
             ),
             (
                 "oracle ring m=2 n=2 d=16 seed=1 drops=0.5",

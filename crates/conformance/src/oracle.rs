@@ -22,6 +22,9 @@
 
 use std::collections::BTreeSet;
 
+use cloudtrain_collectives::fusion::{
+    hitopk_all_reduce_ef_fused, hitopk_all_reduce_ef_fused_resilient, hitopk_all_reduce_fused,
+};
 use cloudtrain_collectives::group::run_on_group;
 use cloudtrain_collectives::gtopk::gtopk_all_reduce;
 use cloudtrain_collectives::hierarchical::{
@@ -145,10 +148,14 @@ pub fn run(index: usize, case: &OracleCase) -> CaseResult {
     let mut ck = Checks::new();
     match case.collective.as_str() {
         "ring" | "tree" | "torus" | "rhd" => run_dense(case, &mut ck),
+        "tree_bucketed" | "torus_bucketed" => run_dense_bucketed(case, &mut ck),
         "ring_res" | "torus_res" => run_dense_resilient(case, &mut ck),
         "hitopk" => run_hitopk(case, &mut ck),
+        "hitopk_fused" => run_hitopk_fused(case, &mut ck),
         "hitopk_ef" => run_hitopk_ef(case, &mut ck),
+        "hitopk_ef_fused" => run_hitopk_ef_fused(case, &mut ck),
         "hitopk_ef_res" => run_hitopk_ef_res(case, &mut ck),
+        "hitopk_ef_fused_res" => run_hitopk_ef_fused_res(case, &mut ck),
         "gtopk" => run_gtopk(case, &mut ck),
         "gtopk_ef_res" => run_gtopk_ef_res(case, &mut ck),
         "naiveag" => run_naiveag(case, &mut ck),
@@ -208,6 +215,80 @@ fn run_dense(c: &OracleCase, ck: &mut Checks) {
         ops::approx_eq(&a[0], &reference, DENSE_TOL),
         || format!("linf={} tol={DENSE_TOL}", linf(&a[0], &reference)),
     );
+}
+
+/// Fusion spans per bucketed dense case: three uneven spans (via
+/// [`shards`]) so bucket boundaries land mid-vector without aligning to
+/// the collective's own internal partitioning.
+const DENSE_BUCKETS: usize = 3;
+
+fn run_dense_bucketed(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, seed) = (c.m, c.n, c.d, c.seed);
+    let name = c.collective.clone();
+    let spans = shards(d, DENSE_BUCKETS.min(d));
+    let bucketed = || {
+        run_on_group(p, |peer| {
+            let mut x = grad_for(seed, peer.rank(), d);
+            let members: Vec<usize> = (0..p).collect();
+            for sh in &spans {
+                if sh.is_empty() {
+                    continue;
+                }
+                let buf = sh.slice_mut(&mut x);
+                if name == "tree_bucketed" {
+                    tree_all_reduce(peer, buf, &members);
+                } else {
+                    torus_all_reduce(peer, buf, m, n);
+                }
+            }
+            x
+        })
+    };
+    let a = bucketed();
+    let b = bucketed();
+    ck.check("determinism", a == b, || {
+        "second bucketed run differs from the first".to_string()
+    });
+    ck.check("replica-identity", all_ranks_eq(&a), || {
+        "ranks hold different results".to_string()
+    });
+    let reference = dense_sum(seed, p, d);
+    ck.check(
+        "dense-sum",
+        ops::approx_eq(&a[0], &reference, DENSE_TOL),
+        || format!("linf={} tol={DENSE_TOL}", linf(&a[0], &reference)),
+    );
+    // Launching per fusion span must not change the result beyond the
+    // collective's own reduction-order freedom. The tree reduces each
+    // element along the same member tree regardless of the span extent, so
+    // the bucketed launch is *bitwise* equal to the whole-tensor launch;
+    // the torus re-partitions each span across ranks, which reorders the
+    // FP32 accumulation, so equality there is within [`DENSE_TOL`].
+    let whole = run_on_group(p, |peer| {
+        let mut x = grad_for(seed, peer.rank(), d);
+        let members: Vec<usize> = (0..p).collect();
+        if name == "tree_bucketed" {
+            tree_all_reduce(peer, &mut x, &members);
+        } else {
+            torus_all_reduce(peer, &mut x, m, n);
+        }
+        x
+    });
+    if name == "tree_bucketed" {
+        ck.check("bucketed-whole-bitwise", bits_eq(&a[0], &whole[0]), || {
+            format!(
+                "bucketed tree differs from whole-tensor tree bitwise, linf={}",
+                linf(&a[0], &whole[0])
+            )
+        });
+    } else {
+        ck.check(
+            "bucketed-whole-close",
+            ops::approx_eq(&a[0], &whole[0], DENSE_TOL),
+            || format!("linf={} tol={DENSE_TOL}", linf(&a[0], &whole[0])),
+        );
+    }
 }
 
 fn run_dense_resilient(c: &OracleCase, ck: &mut Checks) {
@@ -326,6 +407,53 @@ fn run_hitopk(c: &OracleCase, ck: &mut Checks) {
     ck.check("report-bounds", true, || unreachable!());
 }
 
+/// The fused compress–reduce hop's contract is *bitwise* identity with the
+/// staged pipeline it replaces — same compressor replicas, same residual
+/// start, identical bytes out. Every `*_fused` runner therefore carries the
+/// unfused twin's whole check family plus a `fused-unfused-bitwise` check
+/// against the staged collective under identical seeds (and, for the
+/// resilient variant, an identical fault schedule).
+fn run_hitopk_fused(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let comp_name = c.comp.clone();
+    let run = |fused: bool| {
+        run_on_group(p, |peer| {
+            let mut x = grad_for(seed, peer.rank(), d);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let rep = if fused {
+                hitopk_all_reduce_fused(peer, &mut x, m, n, rho, comp.as_mut())
+            } else {
+                hitopk_all_reduce(peer, &mut x, m, n, rho, comp.as_mut())
+            };
+            (x, rep)
+        })
+    };
+    let a = run(true);
+    let b = run(true);
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second fused run differs from the first".to_string()
+    });
+    let xs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&xs), || {
+        "ranks hold different results".to_string()
+    });
+    let reference = hitopk_oracle(c);
+    ck.check(
+        "oracle-equivalence",
+        ops::approx_eq(&xs[0], &reference, SPARSE_TOL),
+        || format!("linf={} tol={SPARSE_TOL}", linf(&xs[0], &reference)),
+    );
+    let unfused = run(false);
+    ck.check(
+        "fused-unfused-bitwise",
+        a.iter()
+            .zip(&unfused)
+            .all(|((x, rep), (ux, urep))| bits_eq(x, ux) && rep == urep),
+        || "fused hop differs from the staged pipeline bitwise".to_string(),
+    );
+}
+
 /// Telescoped mass-conservation ledger shared by the EF variants: over all
 /// iterations, per shard `j`, `Σ_t Σ_i compensated_{i,j}(t)` must equal
 /// `Σ_t aggregated_j(t) + Σ_i residual_{i,j}(T)` elementwise. Compensated
@@ -404,6 +532,51 @@ fn run_hitopk_ef(c: &OracleCase, ck: &mut Checks) {
     check_ledger(ck, seed, m, n, d, EF_ITERS, &accs[0], &residuals);
 }
 
+fn run_hitopk_ef_fused(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let comp_name = c.comp.clone();
+    let run = |fused: bool| {
+        run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let mut acc = vec![0.0f32; d];
+            for t in 0..EF_ITERS {
+                let mut x = grad_iter(seed, t, peer.rank(), d);
+                if fused {
+                    hitopk_all_reduce_ef_fused(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+                } else {
+                    hitopk_all_reduce_ef(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+                }
+                ops::add_assign(&mut acc, &x);
+            }
+            (acc, ef.residual().to_vec())
+        })
+    };
+    let a = run(true);
+    let b = run(true);
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second fused run differs from the first".to_string()
+    });
+    let accs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&accs), || {
+        "ranks hold different accumulated results".to_string()
+    });
+    let residuals: Vec<Vec<f32>> = a.iter().map(|(_, r)| r.clone()).collect();
+    check_ledger(ck, seed, m, n, d, EF_ITERS, &accs[0], &residuals);
+    // Residual carry-over is part of the contract: both accumulated output
+    // and final residuals must match the staged pipeline bitwise.
+    let unfused = run(false);
+    ck.check(
+        "fused-unfused-bitwise",
+        a.iter()
+            .zip(&unfused)
+            .all(|((acc, r), (uacc, ur))| bits_eq(acc, uacc) && bits_eq(r, ur)),
+        || "fused EF hop differs from the staged pipeline bitwise".to_string(),
+    );
+}
+
 fn run_hitopk_ef_res(c: &OracleCase, ck: &mut Checks) {
     let p = c.m * c.n;
     let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
@@ -463,6 +636,94 @@ fn run_hitopk_ef_res(c: &OracleCase, ck: &mut Checks) {
                     .zip(&clean)
                     .all(|(r, (_, cr))| bits_eq(r, cr)),
             || "faulted EF run differs from clean bitwise".to_string(),
+        );
+    }
+}
+
+fn run_hitopk_ef_fused_res(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let (drops, degrade) = (c.drops, c.degrade);
+    let comp_name = c.comp.clone();
+    let faulted = |fused: bool| {
+        run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let faults = CommFaults::new(seed)
+                .with_drops(drops)
+                .with_degrade(degrade);
+            let mut rp = ResilientPeer::new(peer, faults, ResiliencePolicy::default());
+            let mut scratch = CommScratch::new();
+            let mut x = grad_for(seed, peer.rank(), d);
+            if fused {
+                hitopk_all_reduce_ef_fused_resilient(
+                    &mut rp,
+                    &mut x,
+                    m,
+                    n,
+                    rho,
+                    comp.as_mut(),
+                    &mut ef,
+                    &mut scratch,
+                );
+            } else {
+                hitopk_all_reduce_ef_resilient(
+                    &mut rp,
+                    &mut x,
+                    m,
+                    n,
+                    rho,
+                    comp.as_mut(),
+                    &mut ef,
+                    &mut scratch,
+                );
+            }
+            (x, ef.residual().to_vec())
+        })
+    };
+    let a = faulted(true);
+    let b = faulted(true);
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second faulted fused run differs".to_string()
+    });
+    let xs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&xs), || {
+        "ranks hold different results".to_string()
+    });
+    let residuals: Vec<Vec<f32>> = a.iter().map(|(_, r)| r.clone()).collect();
+    check_ledger(ck, seed, m, n, d, 1, &xs[0], &residuals);
+    // The staged resilient collective consumes the identical fault
+    // schedule (faults key on the instance and hop, not on call order), so
+    // even under drops and degradation the fused hop must reproduce it
+    // bitwise — output and residuals both.
+    let unfused = faulted(false);
+    ck.check(
+        "fused-unfused-bitwise",
+        a.iter()
+            .zip(&unfused)
+            .all(|((x, r), (ux, ur))| bits_eq(x, ux) && bits_eq(r, ur)),
+        || "fused resilient hop differs from the staged pipeline bitwise".to_string(),
+    );
+    if degrade == 0.0 {
+        // Pure drop faults: retries must reproduce the clean fused
+        // collective bitwise (same compressor replicas, same residuals).
+        let clean = run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let mut x = grad_for(seed, peer.rank(), d);
+            hitopk_all_reduce_ef_fused(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+            (x, ef.residual().to_vec())
+        });
+        ck.check(
+            "retry-exactness",
+            bits_eq(&xs[0], &clean[0].0)
+                && residuals
+                    .iter()
+                    .zip(&clean)
+                    .all(|(r, (_, cr))| bits_eq(r, cr)),
+            || "faulted fused EF run differs from clean bitwise".to_string(),
         );
     }
 }

@@ -97,6 +97,8 @@ pub fn expected_pairings() -> Vec<(&'static str, &'static str)> {
         "tree",
         "torus",
         "rhd",
+        "tree_bucketed",
+        "torus_bucketed",
         "ring_res",
         "torus_res",
         "qsgd",
@@ -107,8 +109,11 @@ pub fn expected_pairings() -> Vec<(&'static str, &'static str)> {
     }
     for coll in [
         "hitopk",
+        "hitopk_fused",
         "hitopk_ef",
+        "hitopk_ef_fused",
         "hitopk_ef_res",
+        "hitopk_ef_fused_res",
         "gtopk",
         "gtopk_ef_res",
         "naiveag",

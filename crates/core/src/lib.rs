@@ -75,8 +75,8 @@ pub mod prelude {
     pub use cloudtrain_engine::dawnbench;
     pub use cloudtrain_engine::trainer::Workload;
     pub use cloudtrain_engine::{
-        DistConfig, DistTrainer, FaultConfig, IterationModel, ModelProfile, OptimizerKind,
-        Strategy, SystemConfig, TrainReport,
+        DistConfig, DistTrainer, FaultConfig, FusionMode, IterationModel, ModelProfile,
+        OptimizerKind, Strategy, SystemConfig, TrainReport,
     };
     pub use cloudtrain_optim::{Lars, LarsConfig, Optimizer};
     pub use cloudtrain_simnet::{ClusterSpec, DeadlineMode, FaultPlan, NetSim, SimResilience};

@@ -27,6 +27,7 @@ pub mod profile;
 pub mod strategy;
 pub mod trainer;
 
+pub use fusion::FusionMode;
 pub use perf::{IterationBreakdown, IterationModel, SystemConfig};
 pub use profile::ModelProfile;
 pub use strategy::Strategy;

@@ -8,6 +8,9 @@
 //! PTO), and determinism is end-to-end: replicas stay bitwise identical
 //! across workers, which the test suite asserts.
 
+use cloudtrain_collectives::fusion::{
+    hitopk_all_reduce_ef_fused_resilient, hitopk_all_reduce_ef_fused_traced,
+};
 use cloudtrain_collectives::group::run_on_group;
 use cloudtrain_collectives::gtopk::gtopk_all_reduce_scratch;
 use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef_traced, sparse_all_reduce_naive};
@@ -37,6 +40,9 @@ use cloudtrain_optim::Optimizer;
 use cloudtrain_tensor::{init, ops, partition};
 use serde::{Deserialize, Serialize};
 
+use crate::fusion::{
+    bucket_spans, cloud_calibrated_model, plan_buckets, plan_buckets_cost_model, FusionMode,
+};
 use crate::strategy::Strategy;
 
 /// Which reference workload to train.
@@ -171,6 +177,17 @@ pub struct DistConfig {
     /// When set, `DenseTorus`, `MsTopKHiTopK` and `GTopK` route through the
     /// resilient collectives (other strategies keep the clean path).
     pub faults: Option<FaultConfig>,
+    /// How per-layer gradients are grouped into collectives on the dense
+    /// aggregation paths (see [`FusionMode`]). Sparse strategies always
+    /// aggregate the whole compensated tensor.
+    #[serde(default)]
+    pub fusion: FusionMode,
+    /// Route `MsTopKHiTopK` through the fused compress–reduce collective
+    /// (one ring-buffer hop feeds the sparsifier directly; bitwise
+    /// identical to the unfused pipeline on both the clean and faulted
+    /// planes).
+    #[serde(default)]
+    pub fused_compress_reduce: bool,
 }
 
 impl DistConfig {
@@ -193,6 +210,8 @@ impl DistConfig {
             fp16_wire: false,
             seed: 42,
             faults: None,
+            fusion: FusionMode::WholeTensor,
+            fused_compress_reduce: false,
         }
     }
 
@@ -431,6 +450,40 @@ impl DistTrainer {
         // byte-stable across runs.
         let mut reg = Registry::new();
 
+        // Tensor-fusion plan for the dense paths: backward-order buckets
+        // map to contiguous forward spans of the flat gradient, so each
+        // bucket is one collective over one slice. The plan is a function
+        // of the model and the config — published to the registry once.
+        let elem_bytes = std::mem::size_of::<f32>();
+        let spans = match cfg.fusion {
+            FusionMode::WholeTensor => None,
+            FusionMode::PerLayer => Some((plan_buckets(&ranges, elem_bytes, 1), 1usize)),
+            FusionMode::Bucketed { threshold_bytes } => Some((
+                plan_buckets(&ranges, elem_bytes, threshold_bytes),
+                threshold_bytes,
+            )),
+            FusionMode::CostModel => {
+                let model = cloud_calibrated_model(&ranges);
+                Some(plan_buckets_cost_model(&ranges, elem_bytes, &model))
+            }
+        };
+        let spans = spans.map(|(buckets, threshold)| {
+            let spans = bucket_spans(&ranges, &buckets);
+            let saved = (ranges.len() - spans.len()) as u64;
+            reg.counter_add("fusion/buckets", spans.len() as u64);
+            reg.counter_add("fusion/layers", ranges.len() as u64);
+            reg.counter_add("fusion/messages_saved", saved);
+            reg.gauge_set("fusion/threshold_bytes", threshold as f64);
+            reg.gauge_set("fusion/payload_bytes", (d * elem_bytes) as f64);
+            // Launch-latency seconds the plan saves per iteration relative
+            // to a per-layer launch schedule, under the calibrated model.
+            reg.gauge_set(
+                "fusion/modeled_alpha_saved_seconds",
+                saved as f64 * cloud_calibrated_model(&ranges).comm_alpha,
+            );
+            spans
+        });
+
         let mut step = 0u64;
         let mut epoch = 0usize;
         for (phase_idx, &(strategy, phase_epochs)) in phases.iter().enumerate() {
@@ -469,15 +522,35 @@ impl DistTrainer {
                     match strategy {
                         Strategy::DenseTreeAr => {
                             let members: Vec<usize> = (0..peer.size()).collect();
-                            tree_all_reduce(peer, &mut grads, &members);
+                            match &spans {
+                                // Per-element reduction order in the double
+                                // binary tree depends only on the member
+                                // list, so bucketed launches are bitwise
+                                // identical to the whole-tensor launch.
+                                Some(spans) => {
+                                    for s in spans {
+                                        tree_all_reduce(
+                                            peer,
+                                            &mut grads[s.offset..s.offset + s.len],
+                                            &members,
+                                        );
+                                    }
+                                }
+                                None => tree_all_reduce(peer, &mut grads, &members),
+                            }
                         }
                         Strategy::DenseTorus => {
-                            if let Some(rp) = resilient.as_mut() {
-                                // Retry ladder: dense traffic always arrives,
-                                // so the sum stays exact under any drop rate.
-                                torus_all_reduce_resilient(rp, &mut grads, m, n, &mut scratch);
-                            } else {
-                                torus_all_reduce(peer, &mut grads, m, n);
+                            let whole = [cloudtrain_dnn::model::ParamRange { offset: 0, len: d }];
+                            for s in spans.as_deref().unwrap_or(&whole) {
+                                let g = &mut grads[s.offset..s.offset + s.len];
+                                if let Some(rp) = resilient.as_mut() {
+                                    // Retry ladder: dense traffic always
+                                    // arrives, so the sum stays exact under
+                                    // any drop rate.
+                                    torus_all_reduce_resilient(rp, g, m, n, &mut scratch);
+                                } else {
+                                    torus_all_reduce(peer, g, m, n);
+                                }
                             }
                         }
                         Strategy::TopKNaiveAg { rho } => {
@@ -495,8 +568,32 @@ impl DistTrainer {
                                 // Graceful degradation: a member missing its
                                 // deadline ships an empty block; its shard
                                 // gradient survives in `ef_shard`.
-                                hitopk_all_reduce_ef_resilient(
-                                    rp,
+                                if cfg.fused_compress_reduce {
+                                    hitopk_all_reduce_ef_fused_resilient(
+                                        rp,
+                                        &mut grads,
+                                        m,
+                                        n,
+                                        rho,
+                                        &mut mstopk,
+                                        &mut ef_shard,
+                                        &mut scratch,
+                                    );
+                                } else {
+                                    hitopk_all_reduce_ef_resilient(
+                                        rp,
+                                        &mut grads,
+                                        m,
+                                        n,
+                                        rho,
+                                        &mut mstopk,
+                                        &mut ef_shard,
+                                        &mut scratch,
+                                    );
+                                }
+                            } else if cfg.fused_compress_reduce {
+                                hitopk_all_reduce_ef_fused_traced(
+                                    peer,
                                     &mut grads,
                                     m,
                                     n,
@@ -504,6 +601,7 @@ impl DistTrainer {
                                     &mut mstopk,
                                     &mut ef_shard,
                                     &mut scratch,
+                                    &mut reg,
                                 );
                             } else {
                                 hitopk_all_reduce_ef_traced(
@@ -1066,6 +1164,158 @@ mod tests {
         // Same-seed traces are byte-identical.
         let (_, reg2) = DistTrainer::new(cfg).run_observed();
         assert_eq!(reg.to_jsonl(), reg2.to_jsonl());
+    }
+
+    #[test]
+    fn fused_compress_reduce_matches_unfused_bitwise() {
+        let base = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 20,
+            },
+            Workload::Mlp,
+        );
+        let unfused = DistTrainer::new(base.clone()).run();
+        let mut cfg = base;
+        cfg.fused_compress_reduce = true;
+        let fused = DistTrainer::new(cfg).run();
+        assert_eq!(fused.epochs.len(), unfused.epochs.len());
+        for (a, b) in fused.epochs.iter().zip(&unfused.epochs) {
+            assert_eq!(a.train_loss, b.train_loss, "fused path changed training");
+            assert_eq!(a.val_top1, b.val_top1);
+            assert_eq!(a.residual_norm, b.residual_norm);
+        }
+    }
+
+    #[test]
+    fn fused_compress_reduce_under_faults_matches_unfused_bitwise() {
+        let mut base = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 20,
+            },
+            Workload::Mlp,
+        );
+        base.faults = Some(hostile_faults());
+        let unfused = DistTrainer::new(base.clone()).run_all_ranks();
+        let mut cfg = base;
+        cfg.fused_compress_reduce = true;
+        let fused = DistTrainer::new(cfg).run_all_ranks();
+        // Same fault seed → same degradation decisions → same training
+        // trajectory, and replicas stay in lockstep.
+        for (fr, ur) in fused.iter().zip(&unfused) {
+            for (a, b) in fr.epochs.iter().zip(&ur.epochs) {
+                assert_eq!(a.val_top1, b.val_top1, "faulted fused path diverged");
+                assert_eq!(a.train_loss, b.train_loss);
+                assert_eq!(a.fault_degraded, b.fault_degraded);
+            }
+        }
+        let degraded: u64 = fused[1].epochs.iter().map(|e| e.fault_degraded).sum();
+        assert!(degraded > 0, "straggler never degraded on the fused path");
+    }
+
+    #[test]
+    fn bucketed_tree_allreduce_is_bitwise_whole_tensor() {
+        // The double binary tree reduces each element in a rank order fixed
+        // by the member list alone, so bucketing cannot change bits.
+        let base = quick(Strategy::DenseTreeAr, Workload::Mlp);
+        let whole = DistTrainer::new(base.clone()).run();
+        for fusion in [
+            FusionMode::PerLayer,
+            FusionMode::Bucketed {
+                threshold_bytes: 16 * 1024,
+            },
+        ] {
+            let mut cfg = base.clone();
+            cfg.fusion = fusion;
+            let bucketed = DistTrainer::new(cfg).run();
+            for (a, b) in bucketed.epochs.iter().zip(&whole.epochs) {
+                assert_eq!(a.train_loss, b.train_loss, "{fusion:?} changed training");
+                assert_eq!(a.val_top1, b.val_top1);
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_torus_tracks_whole_tensor_and_ranks_agree() {
+        // Torus shard boundaries move with the launch length, so bucketing
+        // reassociates the sum: equal within float noise, not bitwise.
+        let base = quick(Strategy::DenseTorus, Workload::Mlp);
+        let whole = DistTrainer::new(base.clone()).run();
+        let mut cfg = base;
+        cfg.fusion = FusionMode::CostModel;
+        let reports = DistTrainer::new(cfg).run_all_ranks();
+        for r in &reports[1..] {
+            for (a, b) in r.epochs.iter().zip(&reports[0].epochs) {
+                assert_eq!(a.val_top1, b.val_top1, "bucketed ranks diverged");
+            }
+        }
+        for (a, b) in reports[0].epochs.iter().zip(&whole.epochs) {
+            assert!(
+                (a.train_loss - b.train_loss).abs() < 1e-3,
+                "bucketed torus diverged: {} vs {}",
+                a.train_loss,
+                b.train_loss
+            );
+        }
+        assert!(reports[0].final_top1() > 0.6, "{:?}", reports[0].epochs);
+    }
+
+    #[test]
+    fn fusion_stats_reach_the_registry_and_stay_byte_stable() {
+        let mut cfg = quick(Strategy::DenseTorus, Workload::Mlp);
+        cfg.fusion = FusionMode::CostModel;
+        let (_, reg) = DistTrainer::new(cfg.clone()).run_observed();
+        let buckets = reg.counter("fusion/buckets");
+        let layers = reg.counter("fusion/layers");
+        assert!(buckets >= 1);
+        assert!(layers >= buckets);
+        assert_eq!(reg.counter("fusion/messages_saved"), layers - buckets);
+        assert!(reg.gauge("fusion/threshold_bytes").unwrap_or(0.0) >= 1.0);
+        assert!(reg.gauge("fusion/payload_bytes").unwrap_or(0.0) > 0.0);
+        // Same-seed bucketed traces are byte-identical.
+        let (_, reg2) = DistTrainer::new(cfg).run_observed();
+        assert_eq!(reg.to_jsonl(), reg2.to_jsonl());
+    }
+
+    #[test]
+    fn fused_observed_run_records_fused_spans() {
+        let mut cfg = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.1,
+                samplings: 15,
+            },
+            Workload::Mlp,
+        );
+        cfg.fused_compress_reduce = true;
+        let (report, reg) = DistTrainer::new(cfg.clone()).run_observed();
+        assert!(report.final_top1() > 0.0);
+        let iters = (cfg.epochs * cfg.iters_per_epoch) as u64;
+        assert_eq!(reg.counter("hitopk/invocations"), iters);
+        assert_eq!(reg.counter("hitopk/fused_invocations"), iters);
+        assert!(reg
+            .spans()
+            .iter()
+            .any(|s| s.name == "hitopk/fused reduce-compress" && s.depth == 1));
+        // The dense-materialization span never opens on the fused path.
+        assert!(!reg
+            .spans()
+            .iter()
+            .any(|s| s.name == "hitopk/intra reduce-scatter"));
+    }
+
+    #[test]
+    fn dist_config_without_fusion_fields_deserializes() {
+        // Configs serialized before the fusion knobs existed must load
+        // with the whole-tensor default.
+        let mut v = Serialize::to_value(&quick(Strategy::DenseTorus, Workload::Mlp));
+        let serde::Value::Object(entries) = &mut v else {
+            panic!("DistConfig must serialize to an object");
+        };
+        entries.retain(|(k, _)| k != "fusion" && k != "fused_compress_reduce");
+        let cfg = DistConfig::from_value(&v).unwrap();
+        assert_eq!(cfg.fusion, FusionMode::WholeTensor);
+        assert!(!cfg.fused_compress_reduce);
     }
 
     #[test]

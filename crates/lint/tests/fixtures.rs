@@ -115,6 +115,23 @@ fn feature_gate_positive_and_negative() {
 }
 
 #[test]
+fn feature_gate_covers_the_simd_lane_tier() {
+    // The simd dispatch shapes the workspace actually uses: attribute
+    // gates both ways plus the `cfg!` expression form. All three sites
+    // must be flagged when the manifest lacks the feature, and none when
+    // it declares it.
+    let pos = lint_fixture("feature_gate_simd_pos.rs", LIB, &["parallel"]);
+    assert_eq!(
+        rule_hits(&pos, "feature_gate"),
+        3,
+        "undeclared `simd` must be flagged at every cfg site: {:?}",
+        pos.findings
+    );
+    let neg = lint_fixture("feature_gate_simd_neg.rs", LIB, &["parallel", "simd"]);
+    assert_eq!(rule_hits(&neg, "feature_gate"), 0, "{:?}", neg.findings);
+}
+
+#[test]
 fn ambient_positive_and_negative() {
     let pos = lint_fixture("ambient_pos.rs", LIB, &["parallel"]);
     assert!(

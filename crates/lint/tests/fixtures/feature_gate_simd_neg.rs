@@ -1,0 +1,16 @@
+//! Negative fixture: the same `simd` dispatch shapes as the positive
+//! fixture, linted against a manifest that declares the feature.
+
+#[cfg(feature = "simd")]
+pub fn simd_kernels() {}
+
+#[cfg(not(feature = "simd"))]
+pub fn scalar_kernels() {}
+
+pub fn lane_tier() -> &'static str {
+    if cfg!(feature = "simd") {
+        "simd"
+    } else {
+        "scalar"
+    }
+}

@@ -1,0 +1,17 @@
+//! Positive fixture: the `simd` lane tier referenced by a crate whose
+//! manifest never declares the feature — the gated kernels would silently
+//! compile out of every build, scalar and simd alike.
+
+#[cfg(feature = "simd")]
+pub fn simd_kernels() {}
+
+#[cfg(not(feature = "simd"))]
+pub fn scalar_kernels() {}
+
+pub fn lane_tier() -> &'static str {
+    if cfg!(feature = "simd") {
+        "simd"
+    } else {
+        "scalar"
+    }
+}

@@ -9,56 +9,438 @@
 //!
 //! # Execution tiers
 //!
-//! The hot kernels (`count_ge`, `mean_abs`, `max_abs`, `axpy`, `add_assign`,
-//! `scatter_add`) exist in two tiers with **bitwise identical** results:
+//! Two independent tier axes compose, and every combination is **bitwise
+//! identical** for every input:
 //!
-//! * [`serial`] — always compiled; the default dispatch target.
-//! * `parallel` — scoped-thread implementations, compiled behind the
-//!   `parallel` feature (alias: `rayon`) and dispatched to when enabled.
+//! * **Lane tier** — [`scalar`] (per-element reference loops) vs [`simd`]
+//!   (explicit fixed-width `[f32; LANES]` lane-array kernels the
+//!   autovectorizer maps onto vector registers; safe, `forbid_unsafe`-clean).
+//!   Both modules are always compiled; the `simd` cargo feature selects
+//!   which one the dispatching kernels run.
+//! * **Thread tier** — [`serial`] (always compiled; the default dispatch
+//!   target) vs `parallel` (scoped-thread implementations behind the
+//!   `parallel` feature, alias `rayon`).
 //!
-//! Determinism contract: every floating-point reduction — in *both* tiers —
-//! folds fixed-width blocks of [`REDUCE_BLOCK`] elements and combines the
-//! per-block partials in block-index order. Thread count and scheduling can
-//! therefore never change a result: the parallel tier computes the same
-//! partials on worker threads and folds them in the same order. Mutating
-//! kernels partition their output disjointly (element ranges for `axpy` /
-//! `add_assign`, index ranges for `scatter_add`, preserving per-position
-//! accumulation order), which makes them trivially deterministic.
+//! Determinism contract: every floating-point reduction — in *all* tiers —
+//! follows one canonical schedule. Across blocks, fixed-width blocks of
+//! [`REDUCE_BLOCK`] elements are folded with per-block partials combined in
+//! block-index order. Within a block, partials accumulate into [`LANES`]
+//! independent lanes striped across the block and are combined in lane
+//! order (the *lane-striped schedule*), with the sub-lane tail folded last.
+//! The [`scalar`] and [`simd`] modules implement this same schedule —
+//! per-element vs lane-array form — so the feature choice never changes a
+//! result, and the thread tier computes the same block partials on worker
+//! threads and folds them in the same order. Mutating kernels partition
+//! their output disjointly (element ranges for `axpy` / `add_assign`, index
+//! ranges for `scatter_add`, preserving per-position accumulation order),
+//! which makes them trivially deterministic. The property tests assert
+//! bitwise identity across all tier combinations.
 
 /// Width of the fixed reduction blocks shared by the serial and parallel
 /// tiers. Floating-point partials are combined in block-index order, so the
 /// tier choice (and the thread count) never changes a result.
 pub const REDUCE_BLOCK: usize = 1 << 16;
 
-/// Per-block inner kernels shared verbatim by both tiers.
-mod block {
-    /// Sum of absolute values of one block.
-    pub(super) fn sum_abs(b: &[f32]) -> f32 {
-        b.iter().map(|v| v.abs()).sum()
+/// Lane width of the canonical in-block reduction schedule and of the
+/// [`simd`] tier's `[f32; LANES]` kernels. [`REDUCE_BLOCK`] is a multiple
+/// of `LANES`, so full blocks have no sub-lane tail.
+pub const LANES: usize = 8;
+
+/// Per-element reference forms of the lane kernels (the *scalar* lane tier).
+///
+/// Every reduction implements the canonical lane-striped schedule (see the
+/// module docs) in plain per-element loops, so the results are bitwise
+/// identical to the [`simd`] twin for every input — the property tests
+/// assert so. This module is always compiled: differential tests and the
+/// micro-benches compare the two tiers regardless of the feature set.
+pub mod scalar {
+    use super::LANES;
+
+    /// Sum of absolute values under the canonical lane-striped schedule.
+    pub fn sum_abs(x: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = x.chunks_exact(LANES);
+        for c in &mut chunks {
+            for (a, v) in acc.iter_mut().zip(c) {
+                *a += v.abs();
+            }
+        }
+        let mut total = 0.0f32;
+        for a in acc {
+            total += a;
+        }
+        for v in chunks.remainder() {
+            total += v.abs();
+        }
+        total
     }
 
-    /// Maximum absolute value of one block.
-    pub(super) fn max_abs(b: &[f32]) -> f32 {
-        b.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    /// Maximum absolute value; 0 for an empty slice.
+    pub fn max_abs(x: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = x.chunks_exact(LANES);
+        for c in &mut chunks {
+            for (a, v) in acc.iter_mut().zip(c) {
+                *a = a.max(v.abs());
+            }
+        }
+        let mut m = 0.0f32;
+        for a in acc {
+            m = m.max(a);
+        }
+        for v in chunks.remainder() {
+            m = m.max(v.abs());
+        }
+        m
     }
 
-    /// Elements of one block with `|v| >= thres`.
-    pub(super) fn count_ge(b: &[f32], thres: f32) -> usize {
-        b.iter().map(|v| usize::from(v.abs() >= thres)).sum()
+    /// Elements with `|v| >= thres` (exact — an integer reduction).
+    pub fn count_ge(x: &[f32], thres: f32) -> usize {
+        let mut acc = [0usize; LANES];
+        let mut chunks = x.chunks_exact(LANES);
+        for c in &mut chunks {
+            for (a, v) in acc.iter_mut().zip(c) {
+                *a += usize::from(v.abs() >= thres);
+            }
+        }
+        acc.iter().sum::<usize>()
+            + chunks
+                .remainder()
+                .iter()
+                .map(|v| usize::from(v.abs() >= thres))
+                .sum::<usize>()
     }
 
-    /// `y[i] += a * x[i]` over one block pair.
-    pub(super) fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    /// `y[i] += x[i]` for all `i`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        assert_eq!(y.len(), x.len(), "add_assign: length mismatch");
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += xi;
+        }
+    }
+
+    /// `y[i] -= x[i]` for all `i`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+        assert_eq!(y.len(), x.len(), "sub_assign: length mismatch");
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= xi;
+        }
+    }
+
+    /// `y[i] = a * x[i] + y[i]` (BLAS `axpy`).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(y.len(), x.len(), "axpy: length mismatch");
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += a * xi;
         }
     }
 
-    /// `y[i] += x[i]` over one block pair.
-    pub(super) fn add_assign(y: &mut [f32], x: &[f32]) {
-        for (yi, xi) in y.iter_mut().zip(x) {
+    /// `x[i] *= a` for all `i`.
+    pub fn scale(x: &mut [f32], a: f32) {
+        for xi in x.iter_mut() {
+            *xi *= a;
+        }
+    }
+
+    /// Scatter-add: `y[idx[i]] += vals[i]`, applied in `idx` order.
+    ///
+    /// # Panics
+    /// Panics if `idx` and `vals` have different lengths or an index is out
+    /// of bounds.
+    pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
+        assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+        for (&i, &v) in idx.iter().zip(vals) {
+            y[i as usize] += v;
+        }
+    }
+
+    /// Zeros the elements of `x` at the given indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn zero_at(x: &mut [f32], idx: &[u32]) {
+        for &i in idx {
+            x[i as usize] = 0.0;
+        }
+    }
+}
+
+/// Fixed-width lane-array kernels (the *simd* lane tier).
+///
+/// Each kernel loads `[f32; LANES]` value blocks and applies whole-array
+/// arithmetic — the shape LLVM reliably lowers onto vector registers
+/// without any `unsafe` or intrinsics. Reductions keep [`LANES`]
+/// independent accumulator lanes and combine them in lane order: the
+/// canonical lane-striped schedule, identical to [`scalar`], so results are
+/// bitwise equal to the scalar tier for every input.
+pub mod simd {
+    use super::LANES;
+
+    /// Loads one lane array from a slice of at least `LANES` elements.
+    #[inline]
+    fn load(c: &[f32]) -> [f32; LANES] {
+        std::array::from_fn(|j| c[j])
+    }
+
+    /// Element-wise absolute value of one lane array.
+    #[inline]
+    fn abs_lanes(v: [f32; LANES]) -> [f32; LANES] {
+        let mut out = v;
+        for o in out.iter_mut() {
+            *o = o.abs();
+        }
+        out
+    }
+
+    /// Element-wise sum of two lane arrays.
+    #[inline]
+    fn add_lanes(a: [f32; LANES], b: [f32; LANES]) -> [f32; LANES] {
+        let mut out = a;
+        for (o, v) in out.iter_mut().zip(b) {
+            *o += v;
+        }
+        out
+    }
+
+    /// Element-wise maximum of two lane arrays.
+    #[inline]
+    fn max_lanes(a: [f32; LANES], b: [f32; LANES]) -> [f32; LANES] {
+        let mut out = a;
+        for (o, v) in out.iter_mut().zip(b) {
+            *o = o.max(v);
+        }
+        out
+    }
+
+    /// Sum of absolute values under the canonical lane-striped schedule.
+    pub fn sum_abs(x: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = x.chunks_exact(LANES);
+        for c in &mut chunks {
+            acc = add_lanes(acc, abs_lanes(load(c)));
+        }
+        let mut total = 0.0f32;
+        for a in acc {
+            total += a;
+        }
+        for v in chunks.remainder() {
+            total += v.abs();
+        }
+        total
+    }
+
+    /// Maximum absolute value; 0 for an empty slice.
+    pub fn max_abs(x: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = x.chunks_exact(LANES);
+        for c in &mut chunks {
+            acc = max_lanes(acc, abs_lanes(load(c)));
+        }
+        let mut m = 0.0f32;
+        for a in acc {
+            m = m.max(a);
+        }
+        for v in chunks.remainder() {
+            m = m.max(v.abs());
+        }
+        m
+    }
+
+    /// Elements with `|v| >= thres` (exact — an integer reduction).
+    pub fn count_ge(x: &[f32], thres: f32) -> usize {
+        let mut acc = [0usize; LANES];
+        let mut chunks = x.chunks_exact(LANES);
+        for c in &mut chunks {
+            let lane = abs_lanes(load(c));
+            for (a, v) in acc.iter_mut().zip(lane) {
+                *a += usize::from(v >= thres);
+            }
+        }
+        acc.iter().sum::<usize>()
+            + chunks
+                .remainder()
+                .iter()
+                .map(|v| usize::from(v.abs() >= thres))
+                .sum::<usize>()
+    }
+
+    /// `y[i] += x[i]` for all `i`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        assert_eq!(y.len(), x.len(), "add_assign: length mismatch");
+        let mut yc = y.chunks_exact_mut(LANES);
+        let mut xc = x.chunks_exact(LANES);
+        for (yl, xl) in (&mut yc).zip(&mut xc) {
+            let out = add_lanes(load(yl), load(xl));
+            yl.copy_from_slice(&out);
+        }
+        for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
             *yi += xi;
         }
+    }
+
+    /// `y[i] -= x[i]` for all `i`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+        assert_eq!(y.len(), x.len(), "sub_assign: length mismatch");
+        let mut yc = y.chunks_exact_mut(LANES);
+        let mut xc = x.chunks_exact(LANES);
+        for (yl, xl) in (&mut yc).zip(&mut xc) {
+            let mut out = load(yl);
+            for (o, v) in out.iter_mut().zip(load(xl)) {
+                *o -= v;
+            }
+            yl.copy_from_slice(&out);
+        }
+        for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi -= xi;
+        }
+    }
+
+    /// `y[i] = a * x[i] + y[i]` (BLAS `axpy`).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+        let mut yc = y.chunks_exact_mut(LANES);
+        let mut xc = x.chunks_exact(LANES);
+        for (yl, xl) in (&mut yc).zip(&mut xc) {
+            let mut out = load(yl);
+            for (o, v) in out.iter_mut().zip(load(xl)) {
+                *o += a * v;
+            }
+            yl.copy_from_slice(&out);
+        }
+        for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi += a * xi;
+        }
+    }
+
+    /// `x[i] *= a` for all `i`.
+    pub fn scale(x: &mut [f32], a: f32) {
+        let mut xc = x.chunks_exact_mut(LANES);
+        for xl in &mut xc {
+            let mut out = load(xl);
+            for o in out.iter_mut() {
+                *o *= a;
+            }
+            xl.copy_from_slice(&out);
+        }
+        for xi in xc.into_remainder() {
+            *xi *= a;
+        }
+    }
+
+    /// Scatter-add: `y[idx[i]] += vals[i]`, applied in `idx` order.
+    ///
+    /// The index/value streams are walked in lane-wide chunks (gathered
+    /// into `[f32; LANES]` registers) but contributions land in the exact
+    /// global `idx` order, so duplicate indices accumulate identically to
+    /// the scalar tier.
+    ///
+    /// # Panics
+    /// Panics if `idx` and `vals` have different lengths or an index is out
+    /// of bounds.
+    pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
+        assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+        let mut ic = idx.chunks_exact(LANES);
+        let mut vc = vals.chunks_exact(LANES);
+        for (il, vl) in (&mut ic).zip(&mut vc) {
+            let lane = load(vl);
+            for (j, &i) in il.iter().enumerate() {
+                y[i as usize] += lane[j];
+            }
+        }
+        for (&i, &v) in ic.remainder().iter().zip(vc.remainder()) {
+            y[i as usize] += v;
+        }
+    }
+
+    /// Zeros the elements of `x` at the given indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn zero_at(x: &mut [f32], idx: &[u32]) {
+        let mut ic = idx.chunks_exact(LANES);
+        for il in &mut ic {
+            for &i in il {
+                x[i as usize] = 0.0;
+            }
+        }
+        for &i in ic.remainder() {
+            x[i as usize] = 0.0;
+        }
+    }
+}
+
+/// Per-block inner kernels shared verbatim by both thread tiers; each
+/// dispatches to the lane tier selected by the `simd` feature. Both lane
+/// tiers implement the canonical lane-striped schedule, so the feature
+/// never changes a result.
+mod block {
+    #[cfg(feature = "simd")]
+    use super::simd as lane;
+
+    #[cfg(not(feature = "simd"))]
+    use super::scalar as lane;
+
+    /// Sum of absolute values of one block.
+    pub(super) fn sum_abs(b: &[f32]) -> f32 {
+        lane::sum_abs(b)
+    }
+
+    /// Maximum absolute value of one block.
+    pub(super) fn max_abs(b: &[f32]) -> f32 {
+        lane::max_abs(b)
+    }
+
+    /// Elements of one block with `|v| >= thres`.
+    pub(super) fn count_ge(b: &[f32], thres: f32) -> usize {
+        lane::count_ge(b, thres)
+    }
+
+    /// `y[i] += a * x[i]` over one block pair.
+    pub(super) fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        lane::axpy(a, x, y);
+    }
+
+    /// `y[i] += x[i]` over one block pair.
+    pub(super) fn add_assign(y: &mut [f32], x: &[f32]) {
+        lane::add_assign(y, x);
+    }
+
+    /// Scatter-add over the full index stream.
+    pub(super) fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
+        lane::scatter_add(y, idx, vals);
+    }
+
+    /// `x[i] *= a` over one block.
+    pub(super) fn scale(x: &mut [f32], a: f32) {
+        lane::scale(x, a);
+    }
+
+    /// `y[i] -= x[i]` over one block pair.
+    pub(super) fn sub_assign(y: &mut [f32], x: &[f32]) {
+        lane::sub_assign(y, x);
+    }
+
+    /// Zeros the indexed elements.
+    pub(super) fn zero_at(x: &mut [f32], idx: &[u32]) {
+        lane::zero_at(x, idx);
     }
 }
 
@@ -79,34 +461,15 @@ pub mod serial {
 
     /// Arithmetic mean of absolute values; 0 for an empty slice.
     ///
-    /// Keeps four independent block chains in flight to overlap the
-    /// latency of the strictly-ordered `f32` adds. Each block partial is
-    /// still the exact left fold of `block::sum_abs` and partials are
-    /// still combined in block-index order, so the result is bitwise
-    /// unchanged — only the schedule across blocks differs.
+    /// Per-block partials follow the canonical lane-striped schedule and
+    /// are combined in block-index order (see the module docs), so all tier
+    /// combinations agree bitwise.
     pub fn mean_abs(x: &[f32]) -> f32 {
         if x.is_empty() {
             return 0.0;
         }
         let mut total = 0.0f32;
-        let mut quads = x.chunks_exact(4 * REDUCE_BLOCK);
-        for quad in &mut quads {
-            let (b0, rest) = quad.split_at(REDUCE_BLOCK);
-            let (b1, rest) = rest.split_at(REDUCE_BLOCK);
-            let (b2, b3) = rest.split_at(REDUCE_BLOCK);
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for i in 0..REDUCE_BLOCK {
-                s0 += b0[i].abs();
-                s1 += b1[i].abs();
-                s2 += b2[i].abs();
-                s3 += b3[i].abs();
-            }
-            total += s0;
-            total += s1;
-            total += s2;
-            total += s3;
-        }
-        for b in quads.remainder().chunks(REDUCE_BLOCK) {
+        for b in x.chunks(REDUCE_BLOCK) {
             total += block::sum_abs(b);
         }
         total / x.len() as f32
@@ -143,10 +506,7 @@ pub mod serial {
     /// Panics if `idx` and `vals` have different lengths or an index is out
     /// of bounds.
     pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
-        assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
-        for (&i, &v) in idx.iter().zip(vals) {
-            y[i as usize] += v;
-        }
+        block::scatter_add(y, idx, vals);
     }
 }
 
@@ -323,9 +683,7 @@ pub fn add_assign(y: &mut [f32], x: &[f32]) {
 /// Panics if the slices have different lengths.
 pub fn sub_assign(y: &mut [f32], x: &[f32]) {
     assert_eq!(y.len(), x.len(), "sub_assign: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi -= xi;
-    }
+    block::sub_assign(y, x);
 }
 
 /// `y[i] = a * x[i] + y[i]` (BLAS `axpy`).
@@ -345,9 +703,7 @@ pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
 
 /// `x[i] *= a` for all `i`.
 pub fn scale(x: &mut [f32], a: f32) {
-    for xi in x.iter_mut() {
-        *xi *= a;
-    }
+    block::scale(x, a);
 }
 
 /// Fills `x` with `v`.
@@ -469,9 +825,7 @@ pub fn scatter_add(y: &mut [f32], idx: &[u32], vals: &[f32]) {
 /// Zeros the elements of `x` at the given indices (used by error-feedback to
 /// clear the transmitted coordinates from the residual).
 pub fn zero_at(x: &mut [f32], idx: &[u32]) {
-    for &i in idx {
-        x[i as usize] = 0.0;
-    }
+    block::zero_at(x, idx);
 }
 
 /// Returns `max(|a[i] - b[i]|)`, the L∞ distance; 0 for empty slices.
@@ -585,6 +939,25 @@ mod tests {
         assert!((mean_abs(&x) as f64 - linear_mean).abs() < 1e-3);
     }
 
+    /// The dispatching kernels must compute exactly the canonical schedule:
+    /// lane-striped in-block partials combined in block-index order. This
+    /// runs under every feature combination, pinning all tiers to the same
+    /// bits.
+    #[test]
+    fn dispatch_matches_canonical_schedule() {
+        let d = 2 * REDUCE_BLOCK + 19;
+        let x: Vec<f32> = (0..d)
+            .map(|i| (((i * 2654435761) % 2001) as f32 - 1000.0) * 1e-3)
+            .collect();
+        let mut total = 0.0f32;
+        for b in x.chunks(REDUCE_BLOCK) {
+            total += scalar::sum_abs(b);
+        }
+        assert_eq!(mean_abs(&x).to_bits(), (total / d as f32).to_bits());
+        assert_eq!(max_abs(&x).to_bits(), scalar::max_abs(&x).to_bits());
+        assert_eq!(count_ge(&x, 0.5), scalar::count_ge(&x, 0.5));
+    }
+
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_tier_matches_serial_bitwise() {
@@ -625,5 +998,75 @@ mod tests {
             .collect();
         let vals = vec![1.0; idx.len()];
         parallel::scatter_add(&mut y, &idx, &vals);
+    }
+
+    /// Differential property tests: the simd lane tier must be bitwise
+    /// identical to the scalar reference on every kernel family, for
+    /// arbitrary lengths (exercising full lane chunks and ragged tails).
+    mod lane_tier_properties {
+        use super::super::{scalar, simd, LANES};
+        use proptest::prelude::*;
+
+        fn grad_vec() -> impl Strategy<Value = Vec<f32>> {
+            prop::collection::vec(-1e3f32..1e3, 0..(8 * LANES + 7))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn reductions_bitwise_identical(x in grad_vec(), thres in 0.0f32..100.0) {
+                prop_assert_eq!(
+                    simd::sum_abs(&x).to_bits(),
+                    scalar::sum_abs(&x).to_bits(),
+                    "sum_abs diverged on {:?}", x
+                );
+                prop_assert_eq!(
+                    simd::max_abs(&x).to_bits(),
+                    scalar::max_abs(&x).to_bits(),
+                    "max_abs diverged on {:?}", x
+                );
+                prop_assert_eq!(simd::count_ge(&x, thres), scalar::count_ge(&x, thres));
+            }
+
+            #[test]
+            fn elementwise_bitwise_identical(x in grad_vec(), a in -8.0f32..8.0) {
+                let mut ys: Vec<f32> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+                let mut yv = ys.clone();
+                scalar::add_assign(&mut ys, &x);
+                simd::add_assign(&mut yv, &x);
+                prop_assert_eq!(&ys, &yv);
+                scalar::axpy(a, &x, &mut ys);
+                simd::axpy(a, &x, &mut yv);
+                prop_assert_eq!(&ys, &yv);
+                scalar::sub_assign(&mut ys, &x);
+                simd::sub_assign(&mut yv, &x);
+                prop_assert_eq!(&ys, &yv);
+                scalar::scale(&mut ys, a);
+                simd::scale(&mut yv, a);
+                prop_assert_eq!(&ys, &yv);
+            }
+
+            #[test]
+            fn scatter_kernels_bitwise_identical(
+                vals in grad_vec(),
+                d in 1usize..200,
+                salt in 0u32..1000,
+            ) {
+                // Duplicate-heavy index stream: per-position accumulation
+                // order must match across tiers.
+                let idx: Vec<u32> = (0..vals.len() as u32)
+                    .map(|i| (i.wrapping_mul(2654435761).wrapping_add(salt)) % d as u32)
+                    .collect();
+                let mut ys = vec![0.125f32; d];
+                let mut yv = ys.clone();
+                scalar::scatter_add(&mut ys, &idx, &vals);
+                simd::scatter_add(&mut yv, &idx, &vals);
+                prop_assert_eq!(&ys, &yv);
+                scalar::zero_at(&mut ys, &idx);
+                simd::zero_at(&mut yv, &idx);
+                prop_assert_eq!(&ys, &yv);
+            }
+        }
     }
 }

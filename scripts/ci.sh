@@ -13,7 +13,13 @@
 #                            # output, then snapshots BENCH_faults.json;
 #                            # then the observability snapshot, held to
 #                            # the same twice-run byte-identical bar, and
-#                            # snapshots BENCH_obs.json
+#                            # snapshots BENCH_obs.json; then the e2e
+#                            # steps/sec snapshot: scalar build run twice
+#                            # (byte-identical fingerprints), simd build
+#                            # compared against it (fingerprints must
+#                            # match the scalar tier's bit for bit), and
+#                            # the >= 1.5x headline speedup ceiling
+#                            # enforced on BENCH_e2e.json
 #   scripts/ci.sh conformance # conformance harness over the shipped seed
 #                            # corpus: `cloudtrain conformance --deny` run
 #                            # twice (table + JSONL byte-compared), then
@@ -83,6 +89,43 @@ print(f"  {len(rows)} gauntlet rows")' 2>/dev/null \
 print("  {} trace lines, fnv1a {}".format(s["jsonl_lines"], s["jsonl_fnv1a"]))' 2>/dev/null \
         || echo "  (python3 unavailable; snapshot written unvalidated)"
 
+    echo "==> e2e snapshot: build (scalar lane tier)"
+    cargo build --release -q -p cloudtrain-bench --bin e2e_snapshot
+
+    echo "==> e2e snapshot: scalar run twice, require byte-identical fingerprints"
+    e2e_a=$(mktemp)
+    e2e_b=$(mktemp)
+    trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b" "$obs_a.jsonl" "$obs_b.jsonl" \
+        "$e2e_a" "$e2e_b" "$e2e_a.json" "$e2e_b.json" "$e2e_a.fp" "$e2e_b.fp" \
+        "$e2e_a.simd" "$e2e_a.simdfp"' EXIT
+    ./target/release/e2e_snapshot "$e2e_a.json" > "$e2e_a"
+    ./target/release/e2e_snapshot "$e2e_b.json" > "$e2e_b"
+    sed -n '/^E2E-BEGIN$/,/^E2E-END$/p' "$e2e_a" > "$e2e_a.fp"
+    sed -n '/^E2E-BEGIN$/,/^E2E-END$/p' "$e2e_b" > "$e2e_b.fp"
+    cmp "$e2e_a.fp" "$e2e_b.fp"
+
+    echo "==> e2e snapshot: build (simd lane tier)"
+    cargo build --release -q -p cloudtrain-bench --features simd --bin e2e_snapshot
+
+    echo "==> e2e snapshot: simd vs scalar baseline -> BENCH_e2e.json"
+    ./target/release/e2e_snapshot BENCH_e2e.json "$e2e_a.json" > "$e2e_a.simd"
+    sed -n '/^E2E-BEGIN$/,/^E2E-END$/p' "$e2e_a.simd" > "$e2e_a.simdfp"
+    # The lane tiers must agree bit for bit on everything but the tier tag.
+    cmp <(grep -v '^lane_tier=' "$e2e_a.fp") <(grep -v '^lane_tier=' "$e2e_a.simdfp")
+    grep -E 'speedup|E2E' "$e2e_a.simd" | grep -v '^E2E-' || true
+
+    echo "==> e2e snapshot: enforce the 1.5x steps/sec ceiling"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json
+s = json.load(open("BENCH_e2e.json"))
+assert s["lane_tier"] == "simd" and s["baseline_lane_tier"] == "scalar", s
+speedup = s["speedup_vs_baseline"]
+assert speedup >= 1.5, f"headline speedup {speedup:.2f}x below the 1.5x ceiling"
+print(f"  headline speedup {speedup:.2f}x (ceiling 1.5x)")'
+    else
+        echo "  (python3 unavailable; ceiling not enforced)"
+    fi
+
     echo "==> fault gauntlet: green"
     exit 0
 fi
@@ -136,6 +179,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (parallel kernels)"
 cargo clippy --workspace --all-targets --features cloudtrain-tensor/parallel -- -D warnings
 
+echo "==> cargo clippy (simd lane tier)"
+cargo clippy --workspace --all-targets --features cloudtrain/simd -- -D warnings
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -147,5 +193,8 @@ cargo test --workspace -q
 
 echo "==> cargo test (parallel kernels)"
 cargo test --workspace -q --features cloudtrain-tensor/parallel
+
+echo "==> cargo test (simd lane tier)"
+cargo test --workspace -q --features cloudtrain/simd
 
 echo "==> ci.sh: all green"

@@ -79,6 +79,21 @@ pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Like [`from_field`], but a missing field yields `T::default()` — the
+/// backing of `#[serde(default)]`, so configs serialized before a field
+/// existed keep deserializing.
+pub fn from_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or_else(|| Ok(T::default()), |(_, fv)| T::from_value(fv)),
+        other => Err(Error(format!(
+            "expected object with field `{name}`, got {other:?}"
+        ))),
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

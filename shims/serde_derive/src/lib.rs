@@ -14,7 +14,10 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (value-tree construction).
-#[proc_macro_derive(Serialize)]
+///
+/// The `serde` helper attribute is accepted (so items can carry
+/// `#[serde(default)]` for the Deserialize derive) and ignored here.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     generate_serialize(&item)
@@ -23,7 +26,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (value-tree destructuring).
-#[proc_macro_derive(Deserialize)]
+///
+/// Fields marked `#[serde(default)]` fall back to `Default::default()`
+/// when the serialized object lacks them — the only helper-attribute
+/// behaviour this shim implements.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     generate_deserialize(&item)
@@ -31,11 +38,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         .expect("generated Deserialize impl must parse")
 }
 
+/// One named field: its name and whether `#[serde(default)]` marks it.
+type Field = (String, bool);
+
 enum Body {
     /// Struct with named fields.
-    Struct(Vec<String>),
-    /// Enum: (variant name, None for unit | Some(field names) for struct variant).
-    Enum(Vec<(String, Option<Vec<String>>)>),
+    Struct(Vec<Field>),
+    /// Enum: (variant name, None for unit | Some(fields) for struct variant).
+    Enum(Vec<(String, Option<Vec<Field>>)>),
 }
 
 struct Item {
@@ -93,17 +103,22 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, body }
 }
 
-/// Parses `{ attr* vis? name : type , ... }` into the list of field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses `{ attr* vis? name : type , ... }` into the field list,
+/// noting which fields carry `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, remembering
+        // whether one of the attributes was `#[serde(default)]`.
+        let mut has_default = false;
         loop {
             match tokens.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     tokens.next();
-                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        has_default |= is_serde_default(&g);
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     tokens.next();
@@ -120,7 +135,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let TokenTree::Ident(field) = tree else {
             panic!("serde shim derive: expected field name, got {tree:?}");
         };
-        fields.push(field.to_string());
+        fields.push((field.to_string(), has_default));
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
@@ -139,8 +154,25 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
     fields
 }
 
+/// Returns whether the attribute group (the `[...]` after `#`) is
+/// `[serde(default)]`.
+fn is_serde_default(g: &proc_macro::Group) -> bool {
+    let mut tokens = g.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
 /// Parses enum variants: `attr* Name` optionally followed by `{ fields }`.
-fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<Field>>)> {
     let mut variants = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
@@ -187,7 +219,7 @@ fn generate_serialize(item: &Item) -> String {
     let body = match &item.body {
         Body::Struct(fields) => {
             let mut pushes = String::new();
-            for f in fields {
+            for (f, _) in fields {
                 pushes.push_str(&format!(
                     "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
                 ));
@@ -205,9 +237,13 @@ fn generate_serialize(item: &Item) -> String {
                         "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
                     )),
                     Some(fs) => {
-                        let bindings = fs.join(", ");
+                        let bindings = fs
+                            .iter()
+                            .map(|(f, _)| f.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut pushes = String::new();
-                        for f in fs {
+                        for (f, _) in fs {
                             pushes.push_str(&format!(
                                 "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
                             ));
@@ -232,13 +268,21 @@ fn generate_serialize(item: &Item) -> String {
     )
 }
 
+fn getter(has_default: bool) -> &'static str {
+    if has_default {
+        "::serde::from_field_or_default"
+    } else {
+        "::serde::from_field"
+    }
+}
+
 fn generate_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.body {
         Body::Struct(fields) => {
             let mut inits = String::new();
-            for f in fields {
-                inits.push_str(&format!("{f}: ::serde::from_field(v, \"{f}\")?,\n"));
+            for (f, has_default) in fields {
+                inits.push_str(&format!("{f}: {}(v, \"{f}\")?,\n", getter(*has_default)));
             }
             format!("::std::result::Result::Ok({name} {{\n{inits}}})")
         }
@@ -252,9 +296,11 @@ fn generate_deserialize(item: &Item) -> String {
                     )),
                     Some(fs) => {
                         let mut inits = String::new();
-                        for f in fs {
-                            inits
-                                .push_str(&format!("{f}: ::serde::from_field(inner, \"{f}\")?,\n"));
+                        for (f, has_default) in fs {
+                            inits.push_str(&format!(
+                                "{f}: {}(inner, \"{f}\")?,\n",
+                                getter(*has_default)
+                            ));
                         }
                         struct_arms.push_str(&format!(
                             "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n"
