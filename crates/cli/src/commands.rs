@@ -1,16 +1,18 @@
 //! Subcommand implementations.
 
+use cloudtrain::collectives::{optimize_ring_order, PairCost};
 use cloudtrain::compress::gpu_cost::{mstopk_cost, GpuRates};
 use cloudtrain::datacache::disk::DiskCache;
 use cloudtrain::engine::dawnbench::{
     dense_only_schedule, evaluate_schedule, paper_schedule, published_leaderboard,
 };
-use cloudtrain::obs::Registry;
+use cloudtrain::obs::{percentile, Registry};
 use cloudtrain::prelude::*;
 use cloudtrain::simnet::collectives::{
     sim_gtopk_all_reduce, sim_hitopk, sim_naive_sparse_all_gather, sim_quantized_all_reduce,
     sim_torus_all_reduce, sim_tree_all_reduce_hier,
 };
+use cloudtrain::simnet::probe_pairwise;
 use cloudtrain::simnet::ClusterSpec;
 
 use crate::args::{Args, ParseError};
@@ -53,6 +55,15 @@ pub fn print_help() {
          \x20            arithmetic, feature-gate hygiene, ambient\n\
          \x20            nondeterminism, forbid(unsafe_code))\n\
          \x20            --root DIR --out FILE --deny\n\
+         \x20 reorder    probe pairwise alpha/beta over the modelled fabric\n\
+         \x20            and optimize the inter-node ring order on a\n\
+         \x20            rack-scrambled cost model\n\
+         \x20            --nodes N --cloud <c> --bytes N --seed N\n\
+         \x20            --scramble on|off\n\
+         \x20 tails      p50/p95/p99 makespan sweep across fault families:\n\
+         \x20            retry/degrade ladder vs the probed deadline budget\n\
+         \x20            --nodes N --cloud <c> --seeds N --bytes N --mult F\n\
+         \x20            --deny\n\
          \x20 help       this text\n\n\
          STRATEGIES: dense (TreeAR), 2dtar, topk, mstopk, gtopk, qsgd\n\
          MODELS: resnet50-224, resnet50-96, resnet50-128, resnet50-288,\n\
@@ -74,6 +85,8 @@ pub fn dispatch(args: &Args) -> Result<(), ParseError> {
         "trace" => cmd_trace(args),
         "conformance" => cmd_conformance(args),
         "lint" => cmd_lint(args),
+        "reorder" => cmd_reorder(args),
+        "tails" => cmd_tails(args),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `cloudtrain help`)"
         ))),
@@ -111,7 +124,11 @@ fn model_of(args: &Args) -> Result<ModelProfile, ParseError> {
 }
 
 fn cluster_of(args: &Args) -> Result<ClusterSpec, ParseError> {
-    let nodes: usize = args.num_or("nodes", 16)?;
+    cluster_with(args, 16)
+}
+
+fn cluster_with(args: &Args, default_nodes: usize) -> Result<ClusterSpec, ParseError> {
+    let nodes: usize = args.num_or("nodes", default_nodes)?;
     Ok(match args.get_or("cloud", "tencent") {
         "tencent" => clouds::tencent(nodes),
         "aws" => clouds::aws(nodes),
@@ -609,6 +626,225 @@ fn cmd_lint(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+/// Probes the clean fabric and runs the seeded ring-order optimizer over
+/// it. With `scramble` the cost model plays interleaved rack placement
+/// (cross-parity links at 2×α / 3×β — the tail gauntlet's fabric), so the
+/// identity ring crosses racks on every hop and the optimizer has
+/// something to recover. Pure: same (spec, bytes, seed) → same order.
+fn probed_ring_order(
+    spec: &ClusterSpec,
+    bytes: usize,
+    seed: u64,
+    scramble: bool,
+) -> (Vec<usize>, f64, f64) {
+    let est = probe_pairwise(spec, &FaultPlan::new(seed));
+    let (alpha, beta) = est.worst_link();
+    let m = spec.nodes;
+    let mut cost =
+        PairCost::from_matrices(m, est.alpha_matrix().to_vec(), est.beta_matrix().to_vec());
+    if scramble {
+        for src in 0..m {
+            for dst in 0..m {
+                if src != dst && src % 2 != dst % 2 {
+                    cost.set_link(src, dst, 2.0 * alpha, 3.0 * beta);
+                }
+            }
+        }
+    }
+    let chunk = (bytes / spec.gpus_per_node.max(1) / m).max(1);
+    let order = optimize_ring_order(&cost, chunk, seed);
+    let identity: Vec<usize> = (0..m).collect();
+    let identity_cost = cost.ring_cost(&identity, chunk);
+    let optimized_cost = cost.ring_cost(&order, chunk);
+    (order, identity_cost, optimized_cost)
+}
+
+fn cmd_reorder(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&["nodes", "cloud", "bytes", "seed", "scramble"])?;
+    let spec = cluster_with(args, 4)?;
+    if spec.nodes < 2 {
+        return Err(ParseError("reorder needs at least 2 nodes".into()));
+    }
+    let bytes: usize = args.num_or("bytes", 1 << 20)?;
+    let seed: u64 = args.num_or("seed", 0)?;
+    let scramble = match args.get_or("scramble", "on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(ParseError(format!(
+                "--scramble takes on|off, got `{other}`"
+            )))
+        }
+    };
+    let est = probe_pairwise(&spec, &FaultPlan::new(seed));
+    let (alpha, beta) = est.worst_link();
+    println!(
+        "probed {} nodes ({}): worst clean link alpha {:.3e}s beta {:.3e}s/B",
+        spec.nodes,
+        args.get_or("cloud", "tencent"),
+        alpha,
+        beta
+    );
+    if scramble {
+        println!("rack scramble: cross-parity links at 2x alpha / 3x beta (interleaved placement)");
+    }
+    let (order, identity_cost, optimized_cost) = probed_ring_order(&spec, bytes, seed, scramble);
+    let chunk = (bytes / spec.gpus_per_node.max(1) / spec.nodes).max(1);
+    println!(
+        "ring chunk {chunk} B ({} B payload / {} GPUs-per-node / {} nodes)",
+        bytes, spec.gpus_per_node, spec.nodes
+    );
+    println!("{:<10} {:>12}  order", "ring", "cost");
+    let identity: Vec<usize> = (0..spec.nodes).collect();
+    println!(
+        "{:<10} {:>10.2}us  {:?}",
+        "identity",
+        identity_cost * 1e6,
+        identity
+    );
+    println!(
+        "{:<10} {:>10.2}us  {:?}",
+        "optimized",
+        optimized_cost * 1e6,
+        order
+    );
+    println!(
+        "predicted gain: {:.2}x (seeded optimizer, seed {seed}; same seed -> same order)",
+        identity_cost / optimized_cost
+    );
+    Ok(())
+}
+
+/// One cell of the tail sweep: makespan and deadline-miss count for a
+/// (plan, policy, workload) triple on the given cluster.
+fn tails_cell(
+    spec: &ClusterSpec,
+    plan: &FaultPlan,
+    policy: SimResilience,
+    sparse: bool,
+    bytes: usize,
+) -> (f64, u64) {
+    let mut sim = NetSim::new(*spec);
+    sim.inject_faults(plan.clone(), policy);
+    if sparse {
+        sim_hitopk(&mut sim, spec, bytes / 4, 4, 0.01, 1e-4);
+    } else {
+        sim_torus_all_reduce(&mut sim, spec, bytes);
+    }
+    (sim.makespan(), sim.fault_counters().deadline_missed)
+}
+
+fn cmd_tails(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&["nodes", "cloud", "seeds", "bytes", "mult", "deny"])?;
+    let spec = cluster_with(args, 4)?;
+    if spec.nodes < 2 {
+        return Err(ParseError("tails needs at least 2 nodes".into()));
+    }
+    let seeds: u64 = args.num_or("seeds", 4)?;
+    if seeds == 0 {
+        return Err(ParseError("--seeds must be at least 1".into()));
+    }
+    let bytes: usize = args.num_or("bytes", 1 << 20)?;
+    let mult: f64 = args.num_or("mult", 1.5)?;
+    if mult < 1.0 {
+        return Err(ParseError(format!(
+            "--mult {mult} < 1: a budget below the probed clean hop time \
+             abandons clean traffic"
+        )));
+    }
+    // The deadline budget comes from a probe of the clean fabric, not a
+    // hand-tuned constant — the same derivation the tail gauntlet pins.
+    let est = probe_pairwise(&spec, &FaultPlan::new(0));
+    let (alpha, beta) = est.worst_link();
+    println!(
+        "tails on {} nodes ({}): probed alpha {:.3e}s beta {:.3e}s/B, hop budget {mult}x, {seeds} seed(s)",
+        spec.nodes,
+        args.get_or("cloud", "tencent"),
+        alpha,
+        beta
+    );
+    type PlanOf = fn(u64) -> FaultPlan;
+    let families: [(&str, PlanOf); 3] = [
+        ("drops", |seed| FaultPlan::new(seed).with_drops(0.05)),
+        ("spikes", |seed| {
+            FaultPlan::new(seed).with_spikes(0.10, 2e-3)
+        }),
+        ("stragglers", |seed| {
+            FaultPlan::new(seed)
+                .straggle(0, 1.5)
+                .straggle(1, 1.2)
+                .degrade_link(0, 8.0, 0.0, 0.05)
+        }),
+    ];
+    println!(
+        "{:<12} {:<8} {:<9} {:>11} {:>11} {:>11} {:>7}",
+        "family", "workload", "policy", "p50", "p95", "p99", "missed"
+    );
+    let mut regressions: Vec<String> = Vec::new();
+    for (family, plan_of) in families {
+        for sparse in [false, true] {
+            let workload = if sparse { "mstopk" } else { "2dtar" };
+            // Dense traffic must not lose bytes under the ladder, sparse
+            // traffic may degrade — the fault gauntlet's policy split.
+            let (baseline_name, baseline_policy) = if sparse {
+                ("degrade", SimResilience::degrading())
+            } else {
+                ("retry", SimResilience::default())
+            };
+            let deadline_policy = SimResilience::deadline_bounded(mult, alpha, beta);
+            let mut spans: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+            let mut missed = [0u64, 0u64];
+            for seed in 0..seeds {
+                let plan = plan_of(seed);
+                for (slot, policy) in [baseline_policy, deadline_policy].into_iter().enumerate() {
+                    let (makespan, cell_missed) = tails_cell(&spec, &plan, policy, sparse, bytes);
+                    spans[slot].push(makespan);
+                    missed[slot] += cell_missed;
+                }
+            }
+            for (slot, policy_name) in [baseline_name, "deadline"].into_iter().enumerate() {
+                println!(
+                    "{:<12} {:<8} {:<9} {:>9.2}us {:>9.2}us {:>9.2}us {:>7}",
+                    family,
+                    workload,
+                    policy_name,
+                    percentile(&spans[slot], 0.50) * 1e6,
+                    percentile(&spans[slot], 0.95) * 1e6,
+                    percentile(&spans[slot], 0.99) * 1e6,
+                    missed[slot]
+                );
+            }
+            let baseline_p99 = percentile(&spans[0], 0.99);
+            let deadline_p99 = percentile(&spans[1], 0.99);
+            // The deadline only wins where the payload is β-dominated: an
+            // abandoned hop ties the port for the full budget, while a
+            // ridden-out hop frees it after serialization (α overlaps in
+            // flight). Small chunks can therefore regress — surface it.
+            if deadline_p99 > baseline_p99 + 1e-12 {
+                regressions.push(format!(
+                    "{family} {workload}: deadline p99 {:.2}us > {baseline_name} p99 {:.2}us",
+                    deadline_p99 * 1e6,
+                    baseline_p99 * 1e6
+                ));
+            }
+        }
+    }
+    if regressions.is_empty() {
+        println!("deadline p99 <= baseline p99 on every family x workload cell");
+    } else {
+        for r in &regressions {
+            println!("WARNING {r} (alpha-dominated chunks: abandoning ties the port for the full budget)");
+        }
+        if args.flag("deny") {
+            return Err(ParseError(format!(
+                "tails --deny: deadline p99 regressed on {} cell(s)",
+                regressions.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +985,53 @@ mod tests {
     fn unknown_command_and_flags_fail() {
         assert!(dispatch(&args("frobnicate")).is_err());
         assert!(dispatch(&args("simulate --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn reorder_runs_and_validates_flags() {
+        dispatch(&args("reorder --nodes 4 --bytes 65536 --seed 3")).unwrap();
+        dispatch(&args("reorder --scramble off")).unwrap();
+        assert!(dispatch(&args("reorder --nodes 1")).is_err());
+        assert!(dispatch(&args("reorder --scramble maybe")).is_err());
+        assert!(dispatch(&args("reorder --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn reorder_probe_is_deterministic_and_beats_identity() {
+        // Same seed -> bit-identical probe, cost model, and permutation.
+        let spec = clouds::tencent(4);
+        let (o1, id1, opt1) = probed_ring_order(&spec, 1 << 20, 7, true);
+        let (o2, id2, opt2) = probed_ring_order(&spec, 1 << 20, 7, true);
+        assert_eq!(o1, o2, "same-seed probe->reorder must be deterministic");
+        assert_eq!(id1.to_bits(), id2.to_bits());
+        assert_eq!(opt1.to_bits(), opt2.to_bits());
+        // On the rack-scrambled fabric the optimizer beats the identity.
+        assert!(opt1 < id1, "optimized {opt1} should beat identity {id1}");
+        // On the uniform clean fabric every order prices the same.
+        let (_, id_u, opt_u) = probed_ring_order(&spec, 1 << 20, 7, false);
+        assert!((id_u - opt_u).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tails_runs_and_validates_flags() {
+        // At the default 1 MiB payload chunks are beta-dominated and the
+        // deadline wins every cell, so --deny passes.
+        dispatch(&args("tails --nodes 4 --seeds 2 --deny")).unwrap();
+        assert!(dispatch(&args("tails --nodes 1")).is_err());
+        assert!(dispatch(&args("tails --seeds 0")).is_err());
+        assert!(dispatch(&args("tails --mult 0.5")).is_err());
+        assert!(dispatch(&args("tails --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn tails_deny_flags_alpha_dominated_regression() {
+        // At 256 KiB the straggler-family chunks are alpha-dominated: an
+        // abandoned hop ties the NIC for the full budget while riding out
+        // frees it after serialization, so the deadline's p99 regresses.
+        // Without --deny that is a warning; with it, an error.
+        dispatch(&args("tails --nodes 4 --seeds 1 --bytes 262144")).unwrap();
+        let err = dispatch(&args("tails --nodes 4 --seeds 1 --bytes 262144 --deny")).unwrap_err();
+        assert!(err.to_string().contains("regressed"), "{err}");
     }
 
     #[test]

@@ -39,6 +39,14 @@
 //!   [`resilience::ResilientPeer`] wrapper applying timeout/retry/backoff
 //!   accounting to dense collectives and graceful degradation (empty
 //!   sparse blocks, safe under error feedback) to HiTopKComm / gTop-k.
+//! * [`reorder`] — topology-probed rank reordering: a pairwise α–β cost
+//!   model, a seeded deterministic ring-order optimizer, and reordered
+//!   twins of the ring / torus / HiTopKComm collectives (bitwise identical
+//!   under the identity order).
+//! * [`deadline`] — deadline-bounded collectives: per-hop budgets derived
+//!   from probed α/β; late dense chunks are discarded (partial
+//!   aggregates), late sparse contributions degrade to empty blocks under
+//!   error feedback (bitwise identical to the plain twins on clean runs).
 //!
 //! All collectives run on a [`group::Group`] of mesh-connected peers created
 //! with [`group::Group::connect`]; each worker thread owns one
@@ -47,12 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deadline;
 pub mod fusion;
 pub mod group;
 pub mod gtopk;
 pub mod hierarchical;
 pub mod primitives;
 pub mod quantized;
+pub mod reorder;
 pub mod resilience;
 pub mod rhd;
 pub mod ring;
@@ -60,6 +70,8 @@ pub mod scratch;
 pub mod torus;
 pub mod tree;
 
+pub use deadline::{DeadlineFaults, DeadlinePolicy, DeadlineReport};
 pub use group::{Group, Peer};
+pub use reorder::{optimize_ring_order, PairCost};
 pub use resilience::{CommFaults, ResiliencePolicy, ResilienceReport, ResilientPeer};
 pub use scratch::CommScratch;

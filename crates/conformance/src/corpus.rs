@@ -93,12 +93,17 @@ pub const ORACLE_COLLECTIVES: &[&str] = &[
     "torus_bucketed",
     "ring_res",
     "torus_res",
+    "ring_reordered",
+    "torus_reordered",
+    "ring_deadline",
     "hitopk",
     "hitopk_fused",
     "hitopk_ef",
     "hitopk_ef_fused",
     "hitopk_ef_res",
     "hitopk_ef_fused_res",
+    "hitopk_ef_reordered",
+    "hitopk_ef_deadline",
     "gtopk",
     "gtopk_ef_res",
     "naiveag",
@@ -110,7 +115,15 @@ pub const ORACLE_COLLECTIVES: &[&str] = &[
 /// Collectives the cost-model engine has closed forms for. `treear` is
 /// deliberately absent: its chunk-pipelined double trees have no closed
 /// form in the paper (DESIGN.md §10 records the exclusion).
-pub const COST_COLLECTIVES: &[&str] = &["hitopk", "torus", "gtopk", "naiveag", "qsgd"];
+pub const COST_COLLECTIVES: &[&str] = &[
+    "hitopk",
+    "torus",
+    "gtopk",
+    "naiveag",
+    "qsgd",
+    "torus_reordered",
+    "hitopk_deadline",
+];
 
 /// Metamorphic properties the harness checks.
 pub const META_PROPERTIES: &[&str] = &["exactk", "determinism", "perm", "scale", "kmono"];
@@ -293,6 +306,8 @@ fn parse_oracle(name: &str, kv: &Kv) -> Result<OracleCase, String> {
             | "hitopk_ef_fused"
             | "hitopk_ef_res"
             | "hitopk_ef_fused_res"
+            | "hitopk_ef_reordered"
+            | "hitopk_ef_deadline"
             | "gtopk"
             | "gtopk_ef_res"
             | "naiveag"
@@ -311,9 +326,17 @@ fn parse_oracle(name: &str, kv: &Kv) -> Result<OracleCase, String> {
         ));
     }
     let resilient = c.collective.ends_with("_res");
-    if !resilient && (c.drops > 0.0 || c.degrade > 0.0) {
+    let deadline = c.collective.ends_with("_deadline");
+    if deadline && c.drops > 0.0 {
         return Err(format!(
-            "`{}` is not a resilient variant; drops=/degrade= only apply to *_res",
+            "`{}` takes degrade= (lateness jitter), not drops= — a deadline \
+             never retransmits",
+            c.collective
+        ));
+    }
+    if !resilient && !deadline && (c.drops > 0.0 || c.degrade > 0.0) {
+        return Err(format!(
+            "`{}` is not a resilient variant; drops=/degrade= only apply to *_res and *_deadline",
             c.collective
         ));
     }
@@ -356,7 +379,9 @@ fn parse_cost(name: &str, kv: &Kv) -> Result<CostCase, String> {
         // The closed forms for the inter-node phases are per-NIC
         // serialization bounds; they need at least two nodes to exercise
         // the Ethernet tier the paper's equations model.
-        "naiveag" | "torus" | "hitopk" | "qsgd" if c.nodes < 2 => {
+        "naiveag" | "torus" | "torus_reordered" | "hitopk" | "hitopk_deadline" | "qsgd"
+            if c.nodes < 2 =>
+        {
             Err(format!("{} cost cases need nodes >= 2", c.collective))
         }
         _ => Ok(c),
@@ -413,6 +438,10 @@ meta perm comp=dgc d=4096 k=64 seed=9
             "oracle hitopk_ef_fused_res m=2 n=2 d=64 rho=0.1 comp=dgc seed=5 drops=0.1 degrade=0.2",
             "oracle tree_bucketed m=2 n=3 d=96 rho=0.05 comp=- seed=4",
             "oracle ring_res m=2 n=3 d=64 rho=0.05 comp=- seed=3 drops=0.2",
+            "oracle ring_deadline m=2 n=3 d=64 rho=0.05 comp=- seed=3 degrade=0.3",
+            "oracle hitopk_ef_deadline m=2 n=2 d=64 rho=0.1 comp=dgc seed=5 degrade=0.4",
+            "oracle torus_reordered m=2 n=3 d=96 rho=0.05 comp=- seed=6",
+            "cost hitopk_deadline nodes=4 gpus=8 d=250000 rho=0.01 gbps=25",
             "cost gtopk nodes=4 gpus=4 d=200000 rho=0.01 gbps=25",
             "meta kmono comp=randomk d=512 k=32 seed=11",
         ] {
@@ -449,6 +478,22 @@ meta perm comp=dgc d=4096 k=64 seed=9
             (
                 "oracle ring m=2 n=2 d=16 seed=1 drops=0.5",
                 "drops on non-resilient",
+            ),
+            (
+                "oracle ring_deadline m=2 n=2 d=16 seed=1 drops=0.5",
+                "drops on deadline variant",
+            ),
+            (
+                "oracle ring_reordered m=2 n=2 d=16 seed=1 degrade=0.5",
+                "degrade on reordered variant",
+            ),
+            (
+                "cost torus_reordered nodes=1 gpus=8 d=1000",
+                "single-node torus_reordered",
+            ),
+            (
+                "cost hitopk_deadline nodes=1 gpus=8 d=1000",
+                "single-node hitopk_deadline",
             ),
             ("oracle ring m=0 n=2 d=16 seed=1", "zero m"),
             ("oracle ring m=2 n=2 d=999999 seed=1", "d over cap"),

@@ -29,10 +29,10 @@ use cloudtrain_obs::fmt_f64;
 use cloudtrain_simnet::clouds::{ETH_ALPHA, ETH_EFFICIENCY, NVLINK_ALPHA, NVLINK_BW};
 use cloudtrain_simnet::collectives::{
     sim_gtopk_all_reduce, sim_hitopk, sim_naive_sparse_all_gather, sim_quantized_all_reduce,
-    sim_torus_all_reduce, CollectiveTiming,
+    sim_torus_all_reduce, sim_torus_all_reduce_reordered, CollectiveTiming,
 };
 use cloudtrain_simnet::NetSim;
-use cloudtrain_simnet::{ClusterSpec, LinkSpec};
+use cloudtrain_simnet::{ClusterSpec, FaultPlan, LinkSpec, SimResilience};
 
 use crate::corpus::CostCase;
 use crate::oracle::global_k;
@@ -49,6 +49,12 @@ pub const QSGD_BITS: usize = 8;
 /// Host staging factor of the naive sparse path (mirrors the simulator's
 /// `NAIVE_STAGING_FACTOR`).
 pub const NAIVE_STAGING: f64 = 2.5;
+
+/// Deadline budget multiplier for the `hitopk_deadline` cost twin. Over a
+/// clean fault plan the budget covers every hop (`mult ≥ 1`), so the
+/// deadline-bounded timeline must reproduce plain `hitopk`'s — which is
+/// why the twin shares Eq. 9/10's closed forms.
+pub const COST_DEADLINE_MULT: f64 = 1.5;
 
 /// Relative FP slack on the bracket bounds: the simulated makespan must
 /// satisfy `lower·(1-slack) <= sim <= upper·(1+slack)`.
@@ -71,6 +77,15 @@ pub const TOLERANCES: &[(&str, &str, f64)] = &[
     ("torus", "total", 0.48),
     ("gtopk", "total", 0.12),
     ("qsgd", "total", 0.32),
+    ("torus_reordered", "intra reduce-scatter", 1e-6),
+    ("torus_reordered", "inter all-reduce", 0.50),
+    ("torus_reordered", "intra all-gather", 1e-6),
+    ("torus_reordered", "total", 0.48),
+    ("hitopk_deadline", "intra reduce-scatter", 1e-6),
+    ("hitopk_deadline", "top-k compression", 1e-6),
+    ("hitopk_deadline", "inter all-gather", 0.18),
+    ("hitopk_deadline", "intra all-gather", 1e-6),
+    ("hitopk_deadline", "total", 0.12),
     ("naiveag", "all-gather values", 0.80),
     ("naiveag", "all-gather indices", 0.70),
     ("naiveag", "total", 0.75),
@@ -167,7 +182,9 @@ pub fn inter_group_all_gather_bracket(
 pub fn analytic(case: &CostCase, spec: &ClusterSpec) -> Vec<AnalyticPhase> {
     let (m, n, d) = (case.nodes, case.gpus, case.d);
     match case.collective.as_str() {
-        "hitopk" => {
+        // The deadline twin over a clean plan pays exactly Eq. 9/10: the
+        // budget covers every clean hop, so nothing is abandoned.
+        "hitopk" | "hitopk_deadline" => {
             // Eq. 9/10: intra RS, top-k, two sequential inter AllGathers of
             // the k̃-entry shard selections, intra AllGather of the sparse
             // (or dense, whichever is smaller) aggregated shard.
@@ -195,7 +212,10 @@ pub fn analytic(case: &CostCase, spec: &ClusterSpec) -> Vec<AnalyticPhase> {
             ];
             with_total(phases)
         }
-        "torus" => {
+        // Reordering only permutes which node follows which on the inter
+        // rings; on the homogeneous modeled fabric every permutation pays
+        // the same Eq. 8 bracket.
+        "torus" | "torus_reordered" => {
             // Eq. 8: intra RS, n concurrent inter ring AllReduces of the
             // shards (2(m-1) rounds of ⌈⌈B/n⌉/m⌉ bytes per stream), intra
             // AllGather of the shard.
@@ -308,7 +328,24 @@ fn simulate(case: &CostCase, spec: &ClusterSpec) -> CollectiveTiming {
     let mut sim = NetSim::new(*spec);
     match case.collective.as_str() {
         "hitopk" => sim_hitopk(&mut sim, spec, case.d, 4, case.rho, TOPK_SECONDS),
+        "hitopk_deadline" => {
+            sim.inject_faults(
+                FaultPlan::new(0),
+                SimResilience::deadline_bounded(
+                    COST_DEADLINE_MULT,
+                    spec.inter.alpha,
+                    spec.inter.beta,
+                ),
+            );
+            sim_hitopk(&mut sim, spec, case.d, 4, case.rho, TOPK_SECONDS)
+        }
         "torus" => sim_torus_all_reduce(&mut sim, spec, case.d * 4),
+        "torus_reordered" => {
+            // A non-identity order (node 0 first, the rest reversed) so the
+            // reordered scheduler itself is what the bracket validates.
+            let order: Vec<usize> = std::iter::once(0).chain((1..spec.nodes).rev()).collect();
+            sim_torus_all_reduce_reordered(&mut sim, spec, case.d * 4, &order)
+        }
         "gtopk" => sim_gtopk_all_reduce(&mut sim, spec, global_k(case.d, case.rho), 4),
         "qsgd" => sim_quantized_all_reduce(&mut sim, spec, case.d, QSGD_BITS),
         _ => sim_naive_sparse_all_gather(&mut sim, spec, global_k(case.d, case.rho)),

@@ -22,6 +22,9 @@
 
 use std::collections::BTreeSet;
 
+use cloudtrain_collectives::deadline::{
+    hitopk_all_reduce_ef_deadline, ring_all_reduce_deadline, DeadlineFaults, DeadlinePolicy,
+};
 use cloudtrain_collectives::fusion::{
     hitopk_all_reduce_ef_fused, hitopk_all_reduce_ef_fused_resilient, hitopk_all_reduce_fused,
 };
@@ -31,6 +34,9 @@ use cloudtrain_collectives::hierarchical::{
     hitopk_all_reduce, hitopk_all_reduce_ef, shard_k, sparse_all_reduce_naive,
 };
 use cloudtrain_collectives::quantized::quantized_all_reduce;
+use cloudtrain_collectives::reorder::{
+    hitopk_all_reduce_ef_reordered, ring_all_reduce_reordered, torus_all_reduce_reordered,
+};
 use cloudtrain_collectives::resilience::{
     gtopk_all_reduce_ef_resilient, hitopk_all_reduce_ef_resilient, ring_all_reduce_resilient,
     torus_all_reduce_resilient,
@@ -70,6 +76,21 @@ pub const EF_ITERS: usize = 2;
 
 /// QSGD positive levels used by the harness (8-bit codes).
 pub const QSGD_LEVELS: u8 = 127;
+
+/// Probed clean inter-node α the deadline runners size budgets from (a
+/// tencent-like fabric: 50 µs per-message latency).
+pub const DEADLINE_ALPHA: f64 = 5e-5;
+
+/// Probed clean inter-node per-byte transfer time (~25 Gbps effective).
+pub const DEADLINE_BETA: f64 = 4e-10;
+
+/// Deadline budget multiplier: 5% headroom above the probed clean hop, so
+/// corpus lateness jitter (the `degrade` knob) reliably produces misses
+/// while a clean plan never can (`mult ≥ 1` covers the clean time).
+pub const DEADLINE_MULT: f64 = 1.05;
+
+/// Seconds of lateness jitter per unit of the corpus `degrade` knob.
+const DEADLINE_JITTER_SCALE: f64 = 1e-3;
 
 /// MSTopK threshold-search iterations (the paper's N = 30).
 const MSTOPK_SAMPLINGS: usize = 30;
@@ -150,9 +171,13 @@ pub fn run(index: usize, case: &OracleCase) -> CaseResult {
         "ring" | "tree" | "torus" | "rhd" => run_dense(case, &mut ck),
         "tree_bucketed" | "torus_bucketed" => run_dense_bucketed(case, &mut ck),
         "ring_res" | "torus_res" => run_dense_resilient(case, &mut ck),
+        "ring_reordered" | "torus_reordered" => run_dense_reordered(case, &mut ck),
+        "ring_deadline" => run_ring_deadline(case, &mut ck),
         "hitopk" => run_hitopk(case, &mut ck),
         "hitopk_fused" => run_hitopk_fused(case, &mut ck),
         "hitopk_ef" => run_hitopk_ef(case, &mut ck),
+        "hitopk_ef_reordered" => run_hitopk_ef_reordered(case, &mut ck),
+        "hitopk_ef_deadline" => run_hitopk_ef_deadline(case, &mut ck),
         "hitopk_ef_fused" => run_hitopk_ef_fused(case, &mut ck),
         "hitopk_ef_res" => run_hitopk_ef_res(case, &mut ck),
         "hitopk_ef_fused_res" => run_hitopk_ef_fused_res(case, &mut ck),
@@ -335,6 +360,133 @@ fn run_dense_resilient(c: &OracleCase, ck: &mut Checks) {
             linf(&a[0], &clean[0])
         )
     });
+}
+
+/// The non-identity node order every reordered runner exercises: node 0
+/// first (the optimizer's canonical form), remaining nodes reversed.
+fn reversed_order(m: usize) -> Vec<usize> {
+    std::iter::once(0).chain((1..m).rev()).collect()
+}
+
+fn run_dense_reordered(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, seed) = (c.m, c.n, c.d, c.seed);
+    let name = c.collective.clone();
+    // `ring_reordered` permutes member positions of the flat p-ring;
+    // `torus_reordered` permutes the m-node inter ring.
+    let order = reversed_order(if name == "ring_reordered" { p } else { m });
+    let run = |ord: &[usize]| {
+        run_on_group(p, |peer| {
+            let mut x = grad_for(seed, peer.rank(), d);
+            let members: Vec<usize> = (0..p).collect();
+            if name == "ring_reordered" {
+                ring_all_reduce_reordered(peer, &mut x, &members, ord);
+            } else {
+                torus_all_reduce_reordered(peer, &mut x, m, n, ord);
+            }
+            x
+        })
+    };
+    let a = run(&order);
+    let b = run(&order);
+    ck.check("determinism", a == b, || {
+        "second reordered run differs from the first".to_string()
+    });
+    ck.check("replica-identity", all_ranks_eq(&a), || {
+        "ranks hold different results".to_string()
+    });
+    let reference = dense_sum(seed, p, d);
+    ck.check(
+        "dense-sum",
+        ops::approx_eq(&a[0], &reference, DENSE_TOL),
+        || format!("linf={} tol={DENSE_TOL}", linf(&a[0], &reference)),
+    );
+    // Under the identity order the reordered twin must reproduce the
+    // natural collective bitwise — the contract that makes reordering safe
+    // to route behind a config flag.
+    let identity: Vec<usize> = (0..order.len()).collect();
+    let id = run(&identity);
+    let plain = run_on_group(p, |peer| {
+        let mut x = grad_for(seed, peer.rank(), d);
+        let members: Vec<usize> = (0..p).collect();
+        if name == "ring_reordered" {
+            ring_all_reduce(peer, &mut x, &members);
+        } else {
+            torus_all_reduce(peer, &mut x, m, n);
+        }
+        x
+    });
+    ck.check(
+        "identity-order-bitwise",
+        id.iter().zip(&plain).all(|(x, y)| bits_eq(x, y)),
+        || "identity-order reordered run differs from the natural twin bitwise".to_string(),
+    );
+}
+
+fn run_ring_deadline(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (d, seed, degrade) = (c.d, c.seed, c.degrade);
+    let jitter = degrade * DEADLINE_JITTER_SCALE;
+    // Budget sized for the largest ReduceScatter chunk (f32 bytes), the
+    // same sizing rule the trainer and tail gauntlet use.
+    let policy = DeadlinePolicy::from_link(
+        DEADLINE_ALPHA,
+        DEADLINE_BETA,
+        d.div_ceil(p) * 4,
+        DEADLINE_MULT,
+    );
+    let run = || {
+        run_on_group(p, |peer| {
+            let faults = DeadlineFaults::new(seed).with_jitter(jitter);
+            let mut scratch = CommScratch::new();
+            let mut x = grad_for(seed, peer.rank(), d);
+            let members: Vec<usize> = (0..p).collect();
+            let rep =
+                ring_all_reduce_deadline(peer, &mut x, &members, 0, &faults, &policy, &mut scratch);
+            (x, rep)
+        })
+    };
+    let a = run();
+    let b = run();
+    ck.check("determinism", a == b, || {
+        "second deadline run differs from the first".to_string()
+    });
+    let xs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    // Misses only happen in the ReduceScatter phase and the AllGather is
+    // reliable, so even a partial aggregate is replica-identical.
+    ck.check("replica-identity", all_ranks_eq(&xs), || {
+        "ranks hold different results".to_string()
+    });
+    ck.check(
+        "hop-accounting",
+        a.iter().all(|(_, rep)| rep.hops == (p - 1) as u64),
+        || format!("some rank checked a hop count != {}", p - 1),
+    );
+    let missed: u64 = a.iter().map(|(_, rep)| rep.missed).sum();
+    let clean = run_on_group(p, |peer| {
+        let mut x = grad_for(seed, peer.rank(), d);
+        let members: Vec<usize> = (0..p).collect();
+        ring_all_reduce(peer, &mut x, &members);
+        x
+    });
+    if degrade == 0.0 {
+        // A clean plan never misses and must be bitwise identical to the
+        // plain ring — the anchor the CI tail gate pins.
+        ck.check(
+            "clean-bitwise",
+            missed == 0 && xs.iter().zip(&clean).all(|(x, y)| bits_eq(x, y)),
+            || format!("clean deadline run missed {missed} hop(s) or diverged from plain ring"),
+        );
+    } else {
+        // Lateness jitter against the 5% headroom: hops must actually miss
+        // and the discarded contributions must change the aggregate.
+        ck.check("deadline-misses", missed > 0, || {
+            format!("jitter={jitter} produced no misses against the {DEADLINE_MULT}x budget")
+        });
+        ck.check("partial-sum", !bits_eq(&xs[0], &clean[0]), || {
+            "missed hops did not change the aggregate".to_string()
+        });
+    }
 }
 
 /// Sequential reference for HiTopKComm (Algorithm 2): per shard `j`, each
@@ -530,6 +682,160 @@ fn run_hitopk_ef(c: &OracleCase, ck: &mut Checks) {
     // The per-iteration gradients use the iteration-salted seed, so pass the
     // base seed and let the ledger re-derive each iteration.
     check_ledger(ck, seed, m, n, d, EF_ITERS, &accs[0], &residuals);
+}
+
+fn run_hitopk_ef_reordered(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let comp_name = c.comp.clone();
+    let order = reversed_order(m);
+    let run = |ord: &[usize]| {
+        run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let mut scratch = CommScratch::new();
+            let mut acc = vec![0.0f32; d];
+            for t in 0..EF_ITERS {
+                let mut x = grad_iter(seed, t, peer.rank(), d);
+                hitopk_all_reduce_ef_reordered(
+                    peer,
+                    &mut x,
+                    m,
+                    n,
+                    rho,
+                    comp.as_mut(),
+                    &mut ef,
+                    ord,
+                    &mut scratch,
+                );
+                ops::add_assign(&mut acc, &x);
+            }
+            (acc, ef.residual().to_vec())
+        })
+    };
+    let a = run(&order);
+    let b = run(&order);
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second reordered run differs from the first".to_string()
+    });
+    let accs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&accs), || {
+        "ranks hold different accumulated results".to_string()
+    });
+    // Reordering only permutes the sparse AllGather's visit order, so the
+    // mass-conservation ledger must hold exactly as for the natural twin.
+    let residuals: Vec<Vec<f32>> = a.iter().map(|(_, r)| r.clone()).collect();
+    check_ledger(ck, seed, m, n, d, EF_ITERS, &accs[0], &residuals);
+    // Identity order must reproduce the natural EF pipeline bitwise —
+    // accumulated output and final residuals both.
+    let identity: Vec<usize> = (0..m).collect();
+    let id = run(&identity);
+    let plain = run_on_group(p, |peer| {
+        let shard_len = shards(d, n)[peer.rank() % n].len();
+        let mut ef = ErrorFeedback::new(shard_len);
+        let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+        let mut acc = vec![0.0f32; d];
+        for t in 0..EF_ITERS {
+            let mut x = grad_iter(seed, t, peer.rank(), d);
+            hitopk_all_reduce_ef(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+            ops::add_assign(&mut acc, &x);
+        }
+        (acc, ef.residual().to_vec())
+    });
+    ck.check(
+        "identity-order-bitwise",
+        id.iter()
+            .zip(&plain)
+            .all(|((acc, r), (uacc, ur))| bits_eq(acc, uacc) && bits_eq(r, ur)),
+        || "identity-order reordered EF run differs from the natural twin bitwise".to_string(),
+    );
+}
+
+fn run_hitopk_ef_deadline(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let degrade = c.degrade;
+    let comp_name = c.comp.clone();
+    let jitter = degrade * DEADLINE_JITTER_SCALE;
+    // Budget sized for one compressed block: k values + k indices.
+    let policy = DeadlinePolicy::from_link(
+        DEADLINE_ALPHA,
+        DEADLINE_BETA,
+        8 * shard_k(d, n, rho),
+        DEADLINE_MULT,
+    );
+    let run = |bounded: bool| {
+        run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let mut scratch = CommScratch::new();
+            let faults = DeadlineFaults::new(seed).with_jitter(jitter);
+            let mut acc = vec![0.0f32; d];
+            let mut missed = 0u64;
+            for t in 0..EF_ITERS {
+                let mut x = grad_iter(seed, t, peer.rank(), d);
+                if bounded {
+                    let (_, rep) = hitopk_all_reduce_ef_deadline(
+                        peer,
+                        &mut x,
+                        m,
+                        n,
+                        rho,
+                        comp.as_mut(),
+                        &mut ef,
+                        t as u64,
+                        &faults,
+                        &policy,
+                        &mut scratch,
+                    );
+                    missed += rep.missed;
+                } else {
+                    hitopk_all_reduce_ef(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+                }
+                ops::add_assign(&mut acc, &x);
+            }
+            (acc, ef.residual().to_vec(), missed)
+        })
+    };
+    let a = run(true);
+    let b = run(true);
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second deadline run differs from the first".to_string()
+    });
+    let accs: Vec<Vec<f32>> = a.iter().map(|(x, _, _)| x.clone()).collect();
+    // The miss decision is per (instance, member), never per hop, so all
+    // ranks observe the same contributed blocks.
+    ck.check("replica-identity", all_ranks_eq(&accs), || {
+        "ranks hold different accumulated results".to_string()
+    });
+    // The ledger holds even with misses: a late member's compensated shard
+    // survives whole in its residual — nothing is lost, only delayed.
+    let residuals: Vec<Vec<f32>> = a.iter().map(|(_, r, _)| r.clone()).collect();
+    check_ledger(ck, seed, m, n, d, EF_ITERS, &accs[0], &residuals);
+    let missed: u64 = a.iter().map(|(_, _, mi)| *mi).sum();
+    if degrade == 0.0 {
+        // A clean plan never misses and must match the plain EF twin
+        // bitwise — output and residuals both.
+        let clean = run(false);
+        ck.check(
+            "clean-bitwise",
+            missed == 0
+                && a.iter()
+                    .zip(&clean)
+                    .all(|((acc, r, _), (uacc, ur, _))| bits_eq(acc, uacc) && bits_eq(r, ur)),
+            || {
+                format!(
+                    "clean deadline run missed {missed} contribution(s) or diverged from plain EF"
+                )
+            },
+        );
+    } else {
+        ck.check("deadline-misses", missed > 0, || {
+            format!("jitter={jitter} produced no misses against the {DEADLINE_MULT}x budget")
+        });
+    }
 }
 
 fn run_hitopk_ef_fused(c: &OracleCase, ck: &mut Checks) {

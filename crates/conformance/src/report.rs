@@ -101,6 +101,9 @@ pub fn expected_pairings() -> Vec<(&'static str, &'static str)> {
         "torus_bucketed",
         "ring_res",
         "torus_res",
+        "ring_reordered",
+        "torus_reordered",
+        "ring_deadline",
         "qsgd",
         "terngrad",
         "scaledsign",
@@ -114,6 +117,8 @@ pub fn expected_pairings() -> Vec<(&'static str, &'static str)> {
         "hitopk_ef_fused",
         "hitopk_ef_res",
         "hitopk_ef_fused_res",
+        "hitopk_ef_reordered",
+        "hitopk_ef_deadline",
         "gtopk",
         "gtopk_ef_res",
         "naiveag",

@@ -15,6 +15,7 @@ use cloudtrain_collectives::group::run_on_group;
 use cloudtrain_collectives::gtopk::gtopk_all_reduce_scratch;
 use cloudtrain_collectives::hierarchical::{hitopk_all_reduce_ef_traced, sparse_all_reduce_naive};
 use cloudtrain_collectives::quantized::quantized_all_reduce;
+use cloudtrain_collectives::reorder::{hitopk_all_reduce_ef_reordered, torus_all_reduce_reordered};
 use cloudtrain_collectives::resilience::{
     gtopk_all_reduce_ef_resilient, hitopk_all_reduce_ef_resilient, torus_all_reduce_resilient,
     ResilienceReport,
@@ -22,7 +23,9 @@ use cloudtrain_collectives::resilience::{
 use cloudtrain_collectives::ring::all_gather_f32;
 use cloudtrain_collectives::torus::torus_all_reduce;
 use cloudtrain_collectives::tree::tree_all_reduce;
-use cloudtrain_collectives::{CommFaults, CommScratch, Peer, ResiliencePolicy, ResilientPeer};
+use cloudtrain_collectives::{
+    optimize_ring_order, CommFaults, CommScratch, PairCost, Peer, ResiliencePolicy, ResilientPeer,
+};
 use cloudtrain_compress::exact::QuickTopK;
 use cloudtrain_compress::quantize::Qsgd;
 use cloudtrain_compress::{ErrorFeedback, MsTopK};
@@ -37,6 +40,7 @@ use cloudtrain_optim::lars::{apply_with_rates, compute_rates, LarsConfig};
 use cloudtrain_optim::mixed::{fp16_wire, LossScaler};
 use cloudtrain_optim::schedule::{LrSchedule, WarmupCosine};
 use cloudtrain_optim::Optimizer;
+use cloudtrain_simnet::{clouds, probe_pairwise, FaultPlan};
 use cloudtrain_tensor::{init, ops, partition};
 use serde::{Deserialize, Serialize};
 
@@ -188,6 +192,15 @@ pub struct DistConfig {
     /// planes).
     #[serde(default)]
     pub fused_compress_reduce: bool,
+    /// Probe the modeled cloud fabric (pairwise α/β over the simulator,
+    /// virtual clock only) and reorder the inter-node rings with the
+    /// seeded cost-model optimizer ([`probed_node_order`]). Applies to the
+    /// clean `DenseTorus` and `MsTopKHiTopK` paths; resilient and fused
+    /// routes keep their natural order. On the uniform modeled fabric the
+    /// optimizer returns the identity order, so training is bitwise
+    /// identical either way.
+    #[serde(default)]
+    pub rank_reorder: bool,
 }
 
 impl DistConfig {
@@ -212,6 +225,7 @@ impl DistConfig {
             faults: None,
             fusion: FusionMode::WholeTensor,
             fused_compress_reduce: false,
+            rank_reorder: false,
         }
     }
 
@@ -219,6 +233,29 @@ impl DistConfig {
     pub fn world(&self) -> usize {
         self.nodes * self.gpus_per_node
     }
+}
+
+/// Probes the modeled cloud fabric for `cfg` and returns the optimized
+/// inter-node ring order.
+///
+/// The probe runs two-point transfers over fresh `NetSim` instances on the
+/// config's cluster shape (Tencent-class links, `cfg.gpus_per_node`
+/// workers per node) — virtual clock only — and the estimates feed the
+/// seeded rank-reordering optimizer, targeting the per-node chunk of
+/// `payload_bytes` that rides the dense inter ring. The result is a pure
+/// function of `(cfg, payload_bytes)`: every rank computes the same
+/// canonical permutation, so no extra agreement round is needed.
+pub fn probed_node_order(cfg: &DistConfig, payload_bytes: usize) -> Vec<usize> {
+    let mut spec = clouds::tencent(cfg.nodes);
+    spec.gpus_per_node = cfg.gpus_per_node;
+    let est = probe_pairwise(&spec, &FaultPlan::new(cfg.seed));
+    let cost = PairCost::from_matrices(
+        est.nodes(),
+        est.alpha_matrix().to_vec(),
+        est.beta_matrix().to_vec(),
+    );
+    let chunk = (payload_bytes / cfg.world().max(1)).max(1);
+    optimize_ring_order(&cost, chunk, cfg.seed)
 }
 
 /// End-of-epoch metrics (identical on every worker).
@@ -389,6 +426,12 @@ impl DistTrainer {
         let ranges = model.layer_ranges();
         let world = cfg.world() as f32;
 
+        // Topology-probed node order for the inter-node rings. Every rank
+        // derives the same permutation from the config alone.
+        let node_order = cfg
+            .rank_reorder
+            .then(|| probed_node_order(cfg, d * std::mem::size_of::<f32>()));
+
         // Per-strategy state.
         let mut ef_full = ErrorFeedback::new(d);
         let shard_len = partition::shard_for(d, n, rank % n).len();
@@ -548,6 +591,8 @@ impl DistTrainer {
                                     // arrives, so the sum stays exact under
                                     // any drop rate.
                                     torus_all_reduce_resilient(rp, g, m, n, &mut scratch);
+                                } else if let Some(order) = node_order.as_deref() {
+                                    torus_all_reduce_reordered(peer, g, m, n, order);
                                 } else {
                                     torus_all_reduce(peer, g, m, n);
                                 }
@@ -602,6 +647,20 @@ impl DistTrainer {
                                     &mut ef_shard,
                                     &mut scratch,
                                     &mut reg,
+                                );
+                            } else if let Some(order) = node_order.as_deref() {
+                                // Reordered inter ring (untraced: the stage
+                                // spans belong to the natural-order path).
+                                hitopk_all_reduce_ef_reordered(
+                                    peer,
+                                    &mut grads,
+                                    m,
+                                    n,
+                                    rho,
+                                    &mut mstopk,
+                                    &mut ef_shard,
+                                    order,
+                                    &mut scratch,
                                 );
                             } else {
                                 hitopk_all_reduce_ef_traced(
@@ -1312,10 +1371,66 @@ mod tests {
         let serde::Value::Object(entries) = &mut v else {
             panic!("DistConfig must serialize to an object");
         };
-        entries.retain(|(k, _)| k != "fusion" && k != "fused_compress_reduce");
+        entries
+            .retain(|(k, _)| k != "fusion" && k != "fused_compress_reduce" && k != "rank_reorder");
         let cfg = DistConfig::from_value(&v).unwrap();
         assert_eq!(cfg.fusion, FusionMode::WholeTensor);
         assert!(!cfg.fused_compress_reduce);
+        assert!(!cfg.rank_reorder);
+    }
+
+    #[test]
+    fn probed_node_order_is_deterministic_and_canonical() {
+        let cfg = quick(Strategy::DenseTorus, Workload::Mlp);
+        let a = probed_node_order(&cfg, 1 << 20);
+        let b = probed_node_order(&cfg, 1 << 20);
+        // Same config, same probe, same permutation — no agreement round
+        // is needed between ranks.
+        assert_eq!(a, b);
+        assert_eq!(a[0], 0, "order must be canonical (node 0 first)");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.nodes).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_reordered_dense_training_is_bitwise_identical_on_uniform_fabric() {
+        // The modeled fabric is uniform, so the optimizer keeps the
+        // identity order and the reordered twin must not change a bit.
+        let base = quick(Strategy::DenseTorus, Workload::Mlp);
+        let plain = DistTrainer::new(base.clone()).run();
+        let mut cfg = base;
+        cfg.rank_reorder = true;
+        let reordered = DistTrainer::new(cfg).run();
+        for (a, b) in reordered.epochs.iter().zip(&plain.epochs) {
+            assert_eq!(a.train_loss, b.train_loss, "reorder changed training");
+            assert_eq!(a.val_top1, b.val_top1);
+        }
+    }
+
+    #[test]
+    fn rank_reordered_sparse_training_matches_plain_and_ranks_agree() {
+        let base = quick(
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 20,
+            },
+            Workload::Mlp,
+        );
+        let plain = DistTrainer::new(base.clone()).run();
+        let mut cfg = base;
+        cfg.rank_reorder = true;
+        let reports = DistTrainer::new(cfg).run_all_ranks();
+        for r in &reports[1..] {
+            for (a, b) in r.epochs.iter().zip(&reports[0].epochs) {
+                assert_eq!(a.val_top1, b.val_top1, "reordered ranks diverged");
+            }
+        }
+        for (a, b) in reports[0].epochs.iter().zip(&plain.epochs) {
+            assert_eq!(a.train_loss, b.train_loss, "reorder changed training");
+            assert_eq!(a.val_top1, b.val_top1);
+            assert_eq!(a.residual_norm, b.residual_norm);
+        }
     }
 
     #[test]

@@ -144,6 +144,34 @@ fn ambient_positive_and_negative() {
 }
 
 #[test]
+fn probe_timing_must_come_from_the_virtual_clock() {
+    // A probe timed off the wall clock trips the rule at all three read
+    // sites; the virtual-clock probe is clean.
+    let pos = lint_fixture("probe_wall_clock_pos.rs", LIB, &[]);
+    assert!(
+        rule_hits(&pos, "wall_clock") >= 3,
+        "expected Instant::now, SystemTime, and .elapsed() hits: {:?}",
+        pos.findings
+    );
+    let neg = lint_fixture("probe_wall_clock_neg.rs", LIB, &[]);
+    assert_eq!(rule_hits(&neg, "wall_clock"), 0, "{:?}", neg.findings);
+}
+
+#[test]
+fn deadline_jitter_must_be_seeded_and_gated() {
+    // Ambient entropy in the jitter draw and an ungated probe thread are
+    // both flagged; the seeded + feature-gated twin is clean.
+    let pos = lint_fixture("deadline_ambient_pos.rs", LIB, &["parallel"]);
+    assert!(
+        rule_hits(&pos, "ambient") >= 2,
+        "expected thread_rng and ungated spawn hits: {:?}",
+        pos.findings
+    );
+    let neg = lint_fixture("deadline_ambient_neg.rs", LIB, &["parallel"]);
+    assert_eq!(rule_hits(&neg, "ambient"), 0, "{:?}", neg.findings);
+}
+
+#[test]
 fn forbid_unsafe_positive_and_negative() {
     let root = "crates/fixture/src/lib.rs";
     let pos = lint_fixture("lib_forbid_pos.rs", root, &[]);

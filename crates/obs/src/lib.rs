@@ -323,6 +323,33 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Nearest-rank percentile of `samples` (`q` in `[0, 1]`, e.g. `0.99` for
+/// p99): the smallest sample such that at least `q · N` samples are `<=`
+/// it. Deterministic — no interpolation, so the result is always one of
+/// the inputs and byte-stable under [`fmt_f64`]. The tail-latency gate
+/// (`BENCH_tails.json`) is built on this.
+///
+/// # Panics
+/// Panics on an empty sample set or a `q` outside `[0, 1]`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=1.0).contains(&q), "percentile rank outside [0, 1]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Records the p50/p95/p99 nearest-rank percentiles of `samples` as gauges
+/// `<prefix>/p50`, `<prefix>/p95`, `<prefix>/p99` (plus `<prefix>/count`)
+/// — the first-class export surface of the tail gauntlet.
+pub fn gauge_percentiles(reg: &mut Registry, prefix: &str, samples: &[f64]) {
+    for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        reg.gauge_set(&format!("{prefix}/{tag}"), percentile(samples, q));
+    }
+    reg.gauge_set(&format!("{prefix}/count"), samples.len() as f64);
+}
+
 /// Opens a span on an *optional* registry — the idiom for hot paths that
 /// take `Option<&mut Registry>` so the uninstrumented call sites pay
 /// nothing. Pair with [`span_end`].
@@ -346,6 +373,38 @@ pub fn span_end(obs: &mut Option<&mut Registry>, id: Option<SpanId>, units: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert_eq!(percentile(&s, 0.95), 5.0);
+        assert_eq!(percentile(&s, 1.0), 5.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        // Nearest-rank returns an actual sample, never an interpolation.
+        let many: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&many, 0.50), 50.0);
+        assert_eq!(percentile(&many, 0.95), 95.0);
+        assert_eq!(percentile(&many, 0.99), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_of_nothing_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn gauge_percentiles_exports_the_three_quantiles() {
+        let mut r = Registry::new();
+        let s: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        gauge_percentiles(&mut r, "tails/dense", &s);
+        assert_eq!(r.gauge("tails/dense/p50"), Some(10.0));
+        assert_eq!(r.gauge("tails/dense/p95"), Some(19.0));
+        assert_eq!(r.gauge("tails/dense/p99"), Some(20.0));
+        assert_eq!(r.gauge("tails/dense/count"), Some(20.0));
+    }
 
     #[test]
     fn counters_accumulate_and_default_to_zero() {

@@ -530,6 +530,142 @@ pub fn sim_torus_all_reduce(
     }
 }
 
+/// The `j`-th GPUs of all nodes visited in `node_order` — the inter-node
+/// communication stream of a rank-reordered hierarchical schedule.
+///
+/// # Panics
+/// Panics if `node_order` is not a permutation of `0..spec.nodes`.
+pub fn reordered_stream_members(spec: &ClusterSpec, node_order: &[usize], j: usize) -> Vec<usize> {
+    assert_valid_order(node_order, spec.nodes);
+    let n = spec.gpus_per_node;
+    node_order.iter().map(|&i| i * n + j).collect()
+}
+
+fn assert_valid_order(node_order: &[usize], nodes: usize) {
+    assert_eq!(node_order.len(), nodes, "node order has wrong length");
+    let mut seen = vec![false; nodes];
+    for &i in node_order {
+        assert!(i < nodes && !seen[i], "node order is not a permutation");
+        seen[i] = true;
+    }
+}
+
+/// [`sim_torus_all_reduce`] with the inter-node rings visiting nodes in
+/// `node_order` (the topology-probed reordering): only the traversal order
+/// of phase 2's rings changes, phases 1 and 3 are untouched. With the
+/// identity order this is byte-for-byte the natural schedule.
+pub fn sim_torus_all_reduce_reordered(
+    sim: &mut NetSim,
+    spec: &ClusterSpec,
+    total_bytes: usize,
+    node_order: &[usize],
+) -> CollectiveTiming {
+    assert_valid_order(node_order, spec.nodes);
+    let n = spec.gpus_per_node;
+    let shard = chunk_bytes(total_bytes, n);
+
+    let nodes: Vec<Vec<usize>> = (0..spec.nodes).map(|i| spec.node_members(i)).collect();
+    let streams: Vec<Vec<usize>> = (0..n)
+        .map(|j| reordered_stream_members(spec, node_order, j))
+        .collect();
+    let t1 = measure_span(sim, "2dtar/intra reduce-scatter", |sim| {
+        sim_ring_reduce_scatter_groups(sim, &nodes, total_bytes);
+    });
+    sim.barrier();
+    let t2 = measure_span(sim, "2dtar/inter all-reduce", |sim| {
+        sim_ring_all_reduce_groups(sim, &streams, shard);
+    });
+    sim.barrier();
+    let t3 = measure_span(sim, "2dtar/intra all-gather", |sim| {
+        sim_ring_all_gather_groups(sim, &nodes, shard);
+    });
+    CollectiveTiming {
+        total: t1 + t2 + t3,
+        phases: vec![
+            PhaseTiming {
+                label: "intra reduce-scatter",
+                seconds: t1,
+            },
+            PhaseTiming {
+                label: "inter all-reduce",
+                seconds: t2,
+            },
+            PhaseTiming {
+                label: "intra all-gather",
+                seconds: t3,
+            },
+        ],
+    }
+}
+
+/// [`sim_hitopk`] with the inter-node AllGather streams visiting nodes in
+/// `node_order` (see [`sim_torus_all_reduce_reordered`]).
+pub fn sim_hitopk_reordered(
+    sim: &mut NetSim,
+    spec: &ClusterSpec,
+    d_elems: usize,
+    elem_bytes: usize,
+    rho: f64,
+    topk_seconds: f64,
+    node_order: &[usize],
+) -> CollectiveTiming {
+    assert_valid_order(node_order, spec.nodes);
+    let m = spec.nodes;
+    let n = spec.gpus_per_node;
+    let k_shard = (((d_elems as f64 * rho) / n as f64).round() as usize).max(1);
+
+    let nodes: Vec<Vec<usize>> = (0..m).map(|i| spec.node_members(i)).collect();
+    let streams: Vec<Vec<usize>> = (0..n)
+        .map(|j| reordered_stream_members(spec, node_order, j))
+        .collect();
+
+    let t1 = measure_span(sim, "hitopk/intra reduce-scatter", |sim| {
+        sim_ring_reduce_scatter_groups(sim, &nodes, d_elems * elem_bytes);
+    });
+    sim.barrier();
+
+    let t2 = measure_span(sim, "hitopk/top-k compression", |sim| {
+        for g in 0..spec.world() {
+            sim.compute(g, topk_seconds);
+        }
+    });
+    sim.barrier();
+
+    let t3 = measure_span(sim, "hitopk/inter all-gather", |sim| {
+        sim_ring_all_gather_groups(sim, &streams, k_shard * elem_bytes);
+        sim_ring_all_gather_groups(sim, &streams, k_shard * 4);
+    });
+    sim.barrier();
+
+    let dense_shard = chunk_bytes(d_elems, n) * elem_bytes;
+    let sparse_shard = m * k_shard * (elem_bytes + 4);
+    let t4 = measure_span(sim, "hitopk/intra all-gather", |sim| {
+        sim_ring_all_gather_groups(sim, &nodes, sparse_shard.min(dense_shard));
+    });
+
+    CollectiveTiming {
+        total: t1 + t2 + t3 + t4,
+        phases: vec![
+            PhaseTiming {
+                label: "intra reduce-scatter",
+                seconds: t1,
+            },
+            PhaseTiming {
+                label: "top-k compression",
+                seconds: t2,
+            },
+            PhaseTiming {
+                label: "inter all-gather",
+                seconds: t3,
+            },
+            PhaseTiming {
+                label: "intra all-gather",
+                seconds: t4,
+            },
+        ],
+    }
+}
+
 /// HiTopKComm (Algorithm 2): the four steps of §3.2 with density `rho`.
 ///
 /// * `d_elems` — gradient dimension; `elem_bytes` — wire size per value
@@ -782,6 +918,46 @@ mod tests {
         let ideal = spec.intra.beta * v as f64;
         assert!(t < 1.6 * ideal, "t {t} vs ideal {ideal}");
         assert!(t > ideal);
+    }
+
+    #[test]
+    fn reordered_twins_with_identity_order_match_natural_bitwise() {
+        let spec = clouds::tencent(4);
+        let identity: Vec<usize> = (0..4).collect();
+        let mut a = NetSim::new(spec);
+        let t1 = sim_torus_all_reduce(&mut a, &spec, 1 << 20);
+        let mut b = NetSim::new(spec);
+        let t2 = sim_torus_all_reduce_reordered(&mut b, &spec, 1 << 20, &identity);
+        assert_eq!(t1.total.to_bits(), t2.total.to_bits());
+        assert_eq!(a.makespan().to_bits(), b.makespan().to_bits());
+        let mut c = NetSim::new(spec);
+        let h1 = sim_hitopk(&mut c, &spec, 1 << 18, 4, 0.01, 1e-4);
+        let mut d = NetSim::new(spec);
+        let h2 = sim_hitopk_reordered(&mut d, &spec, 1 << 18, 4, 0.01, 1e-4, &identity);
+        assert_eq!(h1.total.to_bits(), h2.total.to_bits());
+    }
+
+    #[test]
+    fn reordered_twins_are_deterministic_under_a_permutation() {
+        let spec = clouds::tencent(4);
+        let order = vec![2usize, 0, 3, 1];
+        let run = |order: &[usize]| {
+            let mut sim = NetSim::new(spec);
+            sim_torus_all_reduce_reordered(&mut sim, &spec, 1 << 20, order).total
+        };
+        assert_eq!(run(&order).to_bits(), run(&order).to_bits());
+        assert_eq!(
+            reordered_stream_members(&spec, &order, 3),
+            vec![19, 3, 27, 11]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn reordered_twin_rejects_non_permutations() {
+        let spec = clouds::tencent(4);
+        let mut sim = NetSim::new(spec);
+        sim_torus_all_reduce_reordered(&mut sim, &spec, 1 << 20, &[0, 0, 1, 2]);
     }
 
     #[test]

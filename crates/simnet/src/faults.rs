@@ -194,6 +194,23 @@ pub struct SimResilience {
     pub backoff: f64,
     /// Deadline semantics (see [`DeadlineMode`]).
     pub mode: DeadlineMode,
+    /// Per-hop deadline budget multiplier (OptiReduce-style tail bounding):
+    /// when positive, an inter-node hop whose total cost (ladder waits plus
+    /// effective `α + bytes·β`) would exceed
+    /// `hop_deadline_mult × (deadline_alpha + bytes·deadline_beta)` is
+    /// abandoned exactly at the budget boundary — the payload never arrives
+    /// and the receiver proceeds without it (safe for sparse collectives
+    /// under error feedback; partial aggregates for dense ones). `0.0`
+    /// disables the deadline entirely.
+    #[serde(default)]
+    pub hop_deadline_mult: f64,
+    /// Probed clean-link α the deadline budget is derived from
+    /// (see [`crate::probe::probe_pairwise`]).
+    #[serde(default)]
+    pub deadline_alpha: f64,
+    /// Probed clean-link β the deadline budget is derived from.
+    #[serde(default)]
+    pub deadline_beta: f64,
 }
 
 impl Default for SimResilience {
@@ -203,6 +220,9 @@ impl Default for SimResilience {
             max_retries: 3,
             backoff: 5e-4,
             mode: DeadlineMode::Retry,
+            hop_deadline_mult: 0.0,
+            deadline_alpha: 0.0,
+            deadline_beta: 0.0,
         }
     }
 }
@@ -214,6 +234,30 @@ impl SimResilience {
             mode: DeadlineMode::Degrade,
             ..Self::default()
         }
+    }
+
+    /// A deadline-bounded policy: hops are abandoned once they exceed
+    /// `mult` times the probed clean transfer time `alpha + bytes·beta`.
+    ///
+    /// # Panics
+    /// Panics if `mult < 1` (a budget below the clean transfer time would
+    /// abandon fault-free traffic).
+    pub fn deadline_bounded(mult: f64, alpha: f64, beta: f64) -> Self {
+        assert!(mult >= 1.0, "deadline multiplier must be >= 1");
+        Self {
+            hop_deadline_mult: mult,
+            deadline_alpha: alpha,
+            deadline_beta: beta,
+            ..Self::default()
+        }
+    }
+
+    /// The deadline budget for a hop of `bytes`, `None` when the deadline
+    /// is disabled.
+    pub fn hop_budget(&self, bytes: usize) -> Option<f64> {
+        (self.hop_deadline_mult > 0.0).then_some(
+            self.hop_deadline_mult * (self.deadline_alpha + bytes as f64 * self.deadline_beta),
+        )
     }
 }
 
@@ -230,6 +274,8 @@ pub struct FaultCounters {
     pub escalations: u64,
     /// Transfers abandoned after a timeout (`Degrade` mode).
     pub degraded: u64,
+    /// Transfers abandoned at the per-hop deadline budget.
+    pub deadline_missed: u64,
     /// Latency spikes taken.
     pub spikes: u64,
     /// Transfers that crossed a degraded link window.
@@ -250,6 +296,7 @@ impl FaultCounters {
         reg.counter_add("faults/retries", self.retries);
         reg.counter_add("faults/escalations", self.escalations);
         reg.counter_add("faults/degraded", self.degraded);
+        reg.counter_add("faults/deadline_missed", self.deadline_missed);
         reg.counter_add("faults/spikes", self.spikes);
         reg.counter_add("faults/slowed", self.slowed);
         reg.gauge_set("faults/fault_delay_seconds", self.fault_delay);
@@ -273,6 +320,9 @@ pub enum FaultEventKind {
     Escalated,
     /// The transfer was abandoned; the payload never arrived.
     Degraded,
+    /// The transfer exceeded its per-hop deadline budget and was abandoned
+    /// at the budget boundary; the payload never arrived.
+    DeadlineMiss,
 }
 
 impl FaultEventKind {
@@ -284,6 +334,7 @@ impl FaultEventKind {
             FaultEventKind::Slowed => "slowed".to_string(),
             FaultEventKind::Escalated => "escalated".to_string(),
             FaultEventKind::Degraded => "degraded".to_string(),
+            FaultEventKind::DeadlineMiss => "deadline".to_string(),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod collectives;
 pub mod faults;
 pub mod jitter;
 mod netsim;
+pub mod probe;
 pub mod timeline;
 mod topology;
 pub mod tuner;
@@ -44,4 +45,5 @@ pub use faults::{
     Straggler,
 };
 pub use netsim::{NetSim, TransferEvent};
+pub use probe::{probe_pairwise, ProbeEstimate};
 pub use topology::{ClusterSpec, LinkSpec};

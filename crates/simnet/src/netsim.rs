@@ -381,6 +381,28 @@ impl NetSim {
                             }
                         }
                     }
+                    // Deadline budget (OptiReduce-style): if riding the hop
+                    // out — ladder waits plus the effective transfer time —
+                    // would exceed the budget derived from the probed clean
+                    // α/β, the sender abandons at exactly the budget
+                    // boundary and the receiver proceeds without the
+                    // payload. This bounds straggler-inflated β windows and
+                    // drop ladders alike.
+                    if delivered {
+                        if let Some(budget) = fs.policy.hop_budget(bytes) {
+                            if wasted + alpha + bytes as f64 * beta > budget {
+                                delivered = false;
+                                wasted = budget;
+                                fs.counters.deadline_missed += 1;
+                                fs.events.push(FaultEvent {
+                                    seq,
+                                    src,
+                                    dst,
+                                    kind: FaultEventKind::DeadlineMiss,
+                                });
+                            }
+                        }
+                    }
                     fs.counters.fault_delay += wasted;
                 }
                 let (record_start, sent, end) = if delivered {
@@ -608,6 +630,71 @@ mod tests {
         assert!((s.time_of(0) - 1.0).abs() < 1e-12);
         assert!((s.time_of(8) - 2.0).abs() < 1e-12);
         assert!((s.fault_counters().straggler_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_policy_is_a_bitwise_noop_when_nothing_fires() {
+        // Clean plan, deadline enabled: the budget always covers the clean
+        // transfer time (mult >= 1), so timing is bitwise the no-fault run.
+        let spec = clouds::tencent(2);
+        let policy = SimResilience::deadline_bounded(1.5, spec.inter.alpha, spec.inter.beta);
+        let mut clean = sim();
+        let mut bounded = sim();
+        bounded.inject_faults(FaultPlan::new(9), policy);
+        let schedule: Vec<(usize, usize, usize)> = (0..4).map(|j| (j, 8 + j, 1 << 18)).collect();
+        let a = clean.round(&schedule);
+        let b = bounded.round(&schedule);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(bounded.fault_counters().deadline_missed, 0);
+    }
+
+    #[test]
+    fn deadline_caps_a_spiked_transfer_at_the_budget() {
+        let mut s = sim();
+        let spec = *s.spec();
+        let policy = SimResilience::deadline_bounded(1.5, spec.inter.alpha, spec.inter.beta);
+        // Every transfer takes a 250 ms spike — far beyond any budget.
+        s.inject_faults(FaultPlan::new(3).with_spikes(1.0, 0.25), policy);
+        let end = s.transfer(0, 8, 1 << 20);
+        let budget = 1.5 * spec.inter.transfer_time(1 << 20);
+        assert!((end - budget).abs() < 1e-12, "end={end} budget={budget}");
+        let c = s.fault_counters();
+        assert_eq!(c.deadline_missed, 1);
+        // The payload never arrived.
+        assert_eq!(s.nic_rx_bytes()[1], 0);
+        // The miss is recorded in the event stream with a stable code.
+        assert!(s
+            .fault_events()
+            .iter()
+            .any(|e| e.kind == FaultEventKind::DeadlineMiss));
+        assert_eq!(FaultEventKind::DeadlineMiss.code(), "deadline");
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_ladder_tail() {
+        // Same drops, with and without the deadline: the bounded policy's
+        // makespan can never exceed the pure retry ladder's.
+        let spec = clouds::tencent(2);
+        let run = |policy: SimResilience| {
+            let mut s = sim();
+            s.inject_faults(FaultPlan::new(11).with_drops(0.5), policy);
+            for i in 0..64 {
+                s.transfer(i % 8, 8 + (i % 8), 4096);
+            }
+            (s.makespan(), s.fault_counters())
+        };
+        let (retry_span, retry_c) = run(SimResilience::default());
+        let (bounded_span, bounded_c) = run(SimResilience::deadline_bounded(
+            1.5,
+            spec.inter.alpha,
+            spec.inter.beta,
+        ));
+        assert!(retry_c.drops > 0);
+        assert!(bounded_c.deadline_missed > 0, "p=0.5 must trip the budget");
+        assert!(
+            bounded_span <= retry_span + 1e-12,
+            "bounded {bounded_span} > retry {retry_span}"
+        );
     }
 
     #[test]

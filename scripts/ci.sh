@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: format check, lints, docs, and the full test suite with
-# the parallel kernel tier both off (default) and on.
+# the {simd} x {parallel} feature product plus a no-default-features build.
+# Every mode ends with a per-stage timing table.
 #
 # Usage:
-#   scripts/ci.sh            # fmt + clippy + docs + tests + cloudtrain lint
+#   scripts/ci.sh            # fmt + clippy/test feature matrix + docs +
+#                            # cloudtrain lint + no-default-features build
 #   scripts/ci.sh lint       # cloudtrain lint only: runs the analyzer twice
 #                            # with --deny and requires both the table and
 #                            # the JSONL report to be byte-identical
@@ -19,7 +21,13 @@
 #                            # compared against it (fingerprints must
 #                            # match the scalar tier's bit for bit), and
 #                            # the >= 1.5x headline speedup ceiling
-#                            # enforced on BENCH_e2e.json
+#                            # enforced on BENCH_e2e.json; then the tail
+#                            # gauntlet: run twice (byte-identical),
+#                            # snapshots BENCH_tails.json, and enforces
+#                            # the pinned tail ceilings (clean dense
+#                            # deadline twin bitwise, straggler dense p99
+#                            # improvement >= 1.3x, reorder predicted
+#                            # gain >= 1.2x)
 #   scripts/ci.sh conformance # conformance harness over the shipped seed
 #                            # corpus: `cloudtrain conformance --deny` run
 #                            # twice (table + JSONL byte-compared), then
@@ -28,11 +36,48 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --- per-stage timing -------------------------------------------------------
+# stage "name" opens a stage (closing the previous one); timing_summary
+# closes the last stage and prints the table. Uses bash's $SECONDS, so the
+# table survives even when individual tools swallow their own timing.
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_T0=0
+
+stage_close() {
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=("$((SECONDS - STAGE_T0))")
+        CURRENT_STAGE=""
+    fi
+}
+
+stage() {
+    stage_close
+    CURRENT_STAGE="$1"
+    STAGE_T0=$SECONDS
+    echo "==> $1"
+}
+
+timing_summary() {
+    stage_close
+    echo ""
+    echo "per-stage timing:"
+    local i total=0
+    printf '  %-60s %6s\n' "stage" "secs"
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-60s %5ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+        total=$((total + STAGE_SECS[i]))
+    done
+    printf '  %-60s %5ds\n' "total" "$total"
+}
+
 run_lint_gate() {
-    echo "==> cloudtrain lint: build"
+    stage "cloudtrain lint: build"
     cargo build --release -q -p cloudtrain-cli
 
-    echo "==> cloudtrain lint: run twice with --deny, require byte-identical reports"
+    stage "cloudtrain lint: run twice with --deny, require byte-identical reports"
     lint_a=$(mktemp)
     lint_b=$(mktemp)
     trap 'rm -f "$lint_a" "$lint_b" "$lint_a.jsonl" "$lint_b.jsonl"' EXIT
@@ -45,15 +90,16 @@ run_lint_gate() {
 
 if [[ "${1:-}" == "lint" ]]; then
     run_lint_gate
+    timing_summary
     echo "==> cloudtrain lint: green"
     exit 0
 fi
 
 if [[ "${1:-}" == "gauntlet" ]]; then
-    echo "==> fault gauntlet: build"
+    stage "fault gauntlet: build"
     cargo build --release -q -p cloudtrain-bench --bin fault_gauntlet
 
-    echo "==> fault gauntlet: run twice, require byte-identical output"
+    stage "fault gauntlet: run twice, require byte-identical output"
     out_a=$(mktemp)
     out_b=$(mktemp)
     trap 'rm -f "$out_a" "$out_b"' EXIT
@@ -61,17 +107,17 @@ if [[ "${1:-}" == "gauntlet" ]]; then
     ./target/release/fault_gauntlet > "$out_b"
     cmp "$out_a" "$out_b"
 
-    echo "==> fault gauntlet: snapshot BENCH_faults.json"
+    stage "fault gauntlet: snapshot BENCH_faults.json"
     grep '^JSON fault_gauntlet ' "$out_a" | sed 's/^JSON fault_gauntlet //' \
         > BENCH_faults.json
     python3 -c 'import json,sys; rows=json.load(open("BENCH_faults.json")); \
 print(f"  {len(rows)} gauntlet rows")' 2>/dev/null \
         || echo "  (python3 unavailable; snapshot written unvalidated)"
 
-    echo "==> obs snapshot: build"
+    stage "obs snapshot: build"
     cargo build --release -q -p cloudtrain-bench --bin obs_snapshot
 
-    echo "==> obs snapshot: run twice, require byte-identical JSONL"
+    stage "obs snapshot: run twice, require byte-identical JSONL"
     obs_a=$(mktemp)
     obs_b=$(mktemp)
     trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b"' EXIT
@@ -82,17 +128,17 @@ print(f"  {len(rows)} gauntlet rows")' 2>/dev/null \
     trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b" "$obs_a.jsonl" "$obs_b.jsonl"' EXIT
     cmp "$obs_a.jsonl" "$obs_b.jsonl"
 
-    echo "==> obs snapshot: snapshot BENCH_obs.json"
+    stage "obs snapshot: snapshot BENCH_obs.json"
     grep '^JSON obs_snapshot ' "$obs_a" | sed 's/^JSON obs_snapshot //' \
         > BENCH_obs.json
     python3 -c 'import json; s=json.load(open("BENCH_obs.json")); \
 print("  {} trace lines, fnv1a {}".format(s["jsonl_lines"], s["jsonl_fnv1a"]))' 2>/dev/null \
         || echo "  (python3 unavailable; snapshot written unvalidated)"
 
-    echo "==> e2e snapshot: build (scalar lane tier)"
+    stage "e2e snapshot: build (scalar lane tier)"
     cargo build --release -q -p cloudtrain-bench --bin e2e_snapshot
 
-    echo "==> e2e snapshot: scalar run twice, require byte-identical fingerprints"
+    stage "e2e snapshot: scalar run twice, require byte-identical fingerprints"
     e2e_a=$(mktemp)
     e2e_b=$(mktemp)
     trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b" "$obs_a.jsonl" "$obs_b.jsonl" \
@@ -104,17 +150,17 @@ print("  {} trace lines, fnv1a {}".format(s["jsonl_lines"], s["jsonl_fnv1a"]))' 
     sed -n '/^E2E-BEGIN$/,/^E2E-END$/p' "$e2e_b" > "$e2e_b.fp"
     cmp "$e2e_a.fp" "$e2e_b.fp"
 
-    echo "==> e2e snapshot: build (simd lane tier)"
+    stage "e2e snapshot: build (simd lane tier)"
     cargo build --release -q -p cloudtrain-bench --features simd --bin e2e_snapshot
 
-    echo "==> e2e snapshot: simd vs scalar baseline -> BENCH_e2e.json"
+    stage "e2e snapshot: simd vs scalar baseline -> BENCH_e2e.json"
     ./target/release/e2e_snapshot BENCH_e2e.json "$e2e_a.json" > "$e2e_a.simd"
     sed -n '/^E2E-BEGIN$/,/^E2E-END$/p' "$e2e_a.simd" > "$e2e_a.simdfp"
     # The lane tiers must agree bit for bit on everything but the tier tag.
     cmp <(grep -v '^lane_tier=' "$e2e_a.fp") <(grep -v '^lane_tier=' "$e2e_a.simdfp")
     grep -E 'speedup|E2E' "$e2e_a.simd" | grep -v '^E2E-' || true
 
-    echo "==> e2e snapshot: enforce the 1.5x steps/sec ceiling"
+    stage "e2e snapshot: enforce the 1.5x steps/sec ceiling"
     if command -v python3 >/dev/null 2>&1; then
         python3 -c 'import json
 s = json.load(open("BENCH_e2e.json"))
@@ -126,16 +172,51 @@ print(f"  headline speedup {speedup:.2f}x (ceiling 1.5x)")'
         echo "  (python3 unavailable; ceiling not enforced)"
     fi
 
+    stage "tail gauntlet: build"
+    cargo build --release -q -p cloudtrain-bench --bin tail_gauntlet
+
+    stage "tail gauntlet: run twice, require byte-identical output"
+    tails_a=$(mktemp)
+    tails_b=$(mktemp)
+    trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b" "$obs_a.jsonl" "$obs_b.jsonl" \
+        "$e2e_a" "$e2e_b" "$e2e_a.json" "$e2e_b.json" "$e2e_a.fp" "$e2e_b.fp" \
+        "$e2e_a.simd" "$e2e_a.simdfp" "$tails_a" "$tails_b"' EXIT
+    ./target/release/tail_gauntlet > "$tails_a"
+    ./target/release/tail_gauntlet > "$tails_b"
+    cmp "$tails_a" "$tails_b"
+
+    stage "tail gauntlet: snapshot BENCH_tails.json"
+    grep '^JSON tail_gauntlet ' "$tails_a" | sed 's/^JSON tail_gauntlet //' \
+        > BENCH_tails.json
+
+    stage "tail gauntlet: enforce the pinned tail ceilings"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json
+s = json.load(open("BENCH_tails.json"))
+assert s["dense_deadline_clean_bitwise"] is True, "clean dense deadline twin diverged"
+imp = s["straggler_dense_p99_improvement"]
+assert imp >= 1.3, f"straggler dense p99 improvement {imp:.2f}x below the 1.3x ceiling"
+gain = s["reorder"]["predicted_gain"]
+assert gain >= 1.2, f"reorder predicted gain {gain:.2f}x below the 1.2x ceiling"
+rows = s["rows"]
+print(f"  {len(rows)} tail rows")
+print(f"  straggler dense p99 improvement {imp:.2f}x (ceiling 1.3x)")
+print(f"  reorder predicted gain {gain:.2f}x (ceiling 1.2x)")'
+    else
+        echo "  (python3 unavailable; ceilings not enforced)"
+    fi
+
+    timing_summary
     echo "==> fault gauntlet: green"
     exit 0
 fi
 
 if [[ "${1:-}" == "conformance" ]]; then
-    echo "==> conformance: build"
+    stage "conformance: build"
     cargo build --release -q -p cloudtrain-cli
     cargo build --release -q -p cloudtrain-bench --bin conformance_snapshot
 
-    echo "==> conformance: cloudtrain conformance --deny twice, require byte-identical reports"
+    stage "conformance: cloudtrain conformance --deny twice, require byte-identical reports"
     conf_a=$(mktemp)
     conf_b=$(mktemp)
     trap 'rm -f "$conf_a" "$conf_b" "$conf_a.jsonl" "$conf_b.jsonl"' EXIT
@@ -145,7 +226,7 @@ if [[ "${1:-}" == "conformance" ]]; then
     cmp "$conf_a.jsonl" "$conf_b.jsonl"
     cat "$conf_a"
 
-    echo "==> conformance: snapshot twice, require byte-identical JSONL"
+    stage "conformance: snapshot twice, require byte-identical JSONL"
     snap_a=$(mktemp)
     snap_b=$(mktemp)
     trap 'rm -f "$conf_a" "$conf_b" "$conf_a.jsonl" "$conf_b.jsonl" \
@@ -156,7 +237,7 @@ if [[ "${1:-}" == "conformance" ]]; then
     sed -n '/^CONFORMANCE-BEGIN$/,/^CONFORMANCE-END$/p' "$snap_b" > "$snap_b.jsonl"
     cmp "$snap_a.jsonl" "$snap_b.jsonl"
 
-    echo "==> conformance: snapshot BENCH_conformance.json"
+    stage "conformance: snapshot BENCH_conformance.json"
     grep '^JSON conformance_snapshot ' "$snap_a" | sed 's/^JSON conformance_snapshot //' \
         > BENCH_conformance.json
     python3 -c 'import json; s=json.load(open("BENCH_conformance.json")); \
@@ -164,37 +245,49 @@ assert s["divergences"] == 0 and s["coverage_missing"] == 0, s; \
 print("  {} cases, {} checks, fnv1a {}".format(s["cases"], s["checks"], s["jsonl_fnv1a"]))' 2>/dev/null \
         || echo "  (python3 unavailable; snapshot written unvalidated)"
 
+    timing_summary
     echo "==> conformance: green"
     exit 0
 fi
 
 run_lint_gate
 
-echo "==> cargo fmt --check"
+stage "cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (default features)"
+stage "cargo build (no default features)"
+cargo build --workspace -q --no-default-features
+
+stage "cargo clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo clippy (parallel kernels)"
+stage "cargo clippy (parallel kernels)"
 cargo clippy --workspace --all-targets --features cloudtrain-tensor/parallel -- -D warnings
 
-echo "==> cargo clippy (simd lane tier)"
+stage "cargo clippy (simd lane tier)"
 cargo clippy --workspace --all-targets --features cloudtrain/simd -- -D warnings
 
-echo "==> cargo doc (warnings are errors)"
+stage "cargo clippy (simd + parallel)"
+cargo clippy --workspace --all-targets \
+    --features cloudtrain/simd,cloudtrain-tensor/parallel -- -D warnings
+
+stage "cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> cargo test --doc"
+stage "cargo test --doc"
 cargo test --workspace --doc -q
 
-echo "==> cargo test (default features)"
+stage "cargo test (default features)"
 cargo test --workspace -q
 
-echo "==> cargo test (parallel kernels)"
+stage "cargo test (parallel kernels)"
 cargo test --workspace -q --features cloudtrain-tensor/parallel
 
-echo "==> cargo test (simd lane tier)"
+stage "cargo test (simd lane tier)"
 cargo test --workspace -q --features cloudtrain/simd
 
+stage "cargo test (simd + parallel)"
+cargo test --workspace -q --features cloudtrain/simd,cloudtrain-tensor/parallel
+
+timing_summary
 echo "==> ci.sh: all green"
