@@ -25,7 +25,8 @@
 //!
 //! Usage: `e2e_snapshot [out.json] [baseline.json]`.
 
-use cloudtrain::engine::trainer::Workload;
+use cloudtrain::engine::autotune::{autotune_layers, AutotuneConfig, CommModel};
+use cloudtrain::engine::trainer::{workload_layer_ranges, Workload};
 use cloudtrain::prelude::*;
 use cloudtrain_bench::{fmt_secs, header};
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,19 @@ struct Snapshot {
     /// single-core host the saved passes are hidden behind thread sync,
     /// so this ratio hovers near 1 and is not gated.
     fused_speedup: f64,
+    /// The fused-compress-reduce flag the per-layer autotuner picked for
+    /// this exact topology/workload from the α–β cost model (no wall
+    /// clock): `true` means it predicts fusing the ReduceScatter+top-k
+    /// hop is at least as fast as staging it.
+    #[serde(default)]
+    autotune_fused: bool,
+    /// Gated ratio: autotuned MSTopK steps/sec over the best hand-picked
+    /// MSTopK row. The cost model is deterministic, so the only reason
+    /// this dips below 1.0 is single-core wall-clock jitter; `scripts/
+    /// ci.sh` holds it ≥ 0.9 so the tuner can never silently route onto
+    /// the slower fused/staged path (the ISSUE-8 regression).
+    #[serde(default)]
+    autotune_efficiency: f64,
     /// Headline: dense cost-model steps/sec of this build over the
     /// baseline snapshot's per-layer dense row — the α-pathology the
     /// raw-speed pass exists to kill, across both compile tiers. Falls
@@ -106,6 +120,21 @@ struct Case {
     cfg: DistConfig,
 }
 
+/// Asks the per-layer autotuner whether to fuse the compress–reduce hop
+/// for the exact matrix configuration (Transformer on 2×4, ρ = 0.01 /
+/// 30 samplings — `Strategy::mstopk_default()`), from the α–β cost model
+/// alone. This is the routing decision the "mstopk_autotuned" row runs
+/// under, so a wrong prediction shows up directly as a low
+/// `autotune_efficiency`.
+fn autotune_fused_flag() -> bool {
+    let base = base_cfg(Strategy::mstopk_default());
+    let mut spec = clouds::tencent(base.nodes);
+    spec.gpus_per_node = base.gpus_per_node;
+    let ranges = workload_layer_ranges(Workload::Transformer);
+    autotune_layers(&ranges, &CommModel::new(spec), &AutotuneConfig::default())
+        .fused_compress_reduce()
+}
+
 fn cases() -> Vec<Case> {
     let dense = |fusion| {
         let mut cfg = base_cfg(Strategy::DenseTorus);
@@ -137,6 +166,10 @@ fn cases() -> Vec<Case> {
         Case {
             name: "mstopk_fused",
             cfg: sparse(true),
+        },
+        Case {
+            name: "mstopk_autotuned",
+            cfg: sparse(autotune_fused_flag()),
         },
     ]
 }
@@ -239,10 +272,12 @@ fn main() {
         configs,
         fusion_speedup: 0.0,
         fused_speedup: 0.0,
+        autotune_fused: autotune_fused_flag(),
+        autotune_efficiency: 0.0,
         speedup_vs_baseline: 0.0,
         baseline_lane_tier: "none".to_string(),
     };
-    let (dense_opt, dense_base, sparse_opt, sparse_base) = {
+    let (dense_opt, dense_base, sparse_opt, sparse_base, sparse_tuned) = {
         let get = |name: &str| {
             // lint:allow(panic_free, reason = "every name queried here is a literal from cases(), so the row always exists")
             steps_per_sec(&snapshot, name).expect("config row missing")
@@ -252,10 +287,12 @@ fn main() {
             get("dense_perlayer"),
             get("mstopk_fused"),
             get("mstopk_unfused"),
+            get("mstopk_autotuned"),
         )
     };
     snapshot.fusion_speedup = dense_opt / dense_base;
     snapshot.fused_speedup = sparse_opt / sparse_base;
+    snapshot.autotune_efficiency = sparse_tuned / sparse_opt.max(sparse_base);
 
     // Cross-build baseline: the scalar/unfused/per-layer rows of a prior
     // snapshot (written by the non-simd build of this binary).
@@ -299,6 +336,12 @@ fn main() {
         "fused_matches_unfused_bitwise={}",
         bits("mstopk_fused") == bits("mstopk_unfused")
     );
+    println!("autotune_fused={}", snapshot.autotune_fused);
+    println!(
+        "autotuned_matches_handpicked_bitwise={}",
+        bits("mstopk_autotuned") == bits("mstopk_fused")
+            && bits("mstopk_autotuned") == bits("mstopk_unfused")
+    );
     println!("E2E-END");
 
     println!(
@@ -308,6 +351,10 @@ fn main() {
     println!(
         "fused compress-reduce speedup (vs unfused):       {:.2}x",
         snapshot.fused_speedup
+    );
+    println!(
+        "autotuned vs best hand-picked mstopk (fused={}):  {:.2}x (floor: 0.9x)",
+        snapshot.autotune_fused, snapshot.autotune_efficiency
     );
     println!(
         "headline speedup vs {} baseline:              {:.2}x (ceiling: 1.5x)",

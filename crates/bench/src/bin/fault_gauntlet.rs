@@ -89,12 +89,14 @@ fn run_sim(
 }
 
 /// Collectives-plane checks under the same seed: the resilient HiTopKComm
-/// completes, ranks agree bitwise, re-runs are identical, and the
+/// and O(k) sparse twins complete, ranks agree bitwise, re-runs are
+/// identical, the two twins agree bitwise with each other, and the
 /// error-feedback ledger conserves mass.
 fn check_collectives(seed: u64) {
     use cloudtrain::collectives::resilience::{
         hitopk_all_reduce_ef_resilient, ResiliencePolicy, ResilientPeer,
     };
+    use cloudtrain::collectives::sparse_allreduce::ok_sparse_all_reduce_ef_resilient;
     use cloudtrain::collectives::{CommFaults, CommScratch};
     use cloudtrain::compress::exact::SortTopK;
     use cloudtrain::tensor::{init, ops};
@@ -104,7 +106,7 @@ fn check_collectives(seed: u64) {
         .with_drops(0.01)
         .straggle(1, 0.7)
         .straggle(5, 0.7);
-    let run = || {
+    let run = |ok_path: bool| {
         cloudtrain::collectives::group::run_on_group(m * n, |peer| {
             let mut rp = ResilientPeer::new(peer, faults.clone(), ResiliencePolicy::default());
             let shard_len = cloudtrain::tensor::partition::shard_for(d, n, peer.rank() % n).len();
@@ -116,28 +118,63 @@ fn check_collectives(seed: u64) {
                 let mut rng =
                     init::rng_from_seed(seed ^ ((peer.rank() as u64) << 8) ^ round as u64);
                 let mut x = init::gradient_like_tensor(d, &mut rng).into_vec();
-                hitopk_all_reduce_ef_resilient(
-                    &mut rp,
-                    &mut x,
-                    m,
-                    n,
-                    0.1,
-                    &mut c,
-                    &mut ef,
-                    &mut scratch,
-                );
+                if ok_path {
+                    ok_sparse_all_reduce_ef_resilient(
+                        &mut rp,
+                        &mut x,
+                        m,
+                        n,
+                        0.1,
+                        &mut c,
+                        &mut ef,
+                        &mut scratch,
+                    );
+                } else {
+                    hitopk_all_reduce_ef_resilient(
+                        &mut rp,
+                        &mut x,
+                        m,
+                        n,
+                        0.1,
+                        &mut c,
+                        &mut ef,
+                        &mut scratch,
+                    );
+                }
                 ops::add_assign(&mut applied, &x);
             }
             (applied, ef.residual().to_vec(), rp.report())
         })
     };
-    let a = run();
-    let b = run();
+    let a = run(false);
+    let b = run(false);
+    let o = run(true);
+    let o2 = run(true);
     for (rank, (r1, r2)) in a.iter().zip(&b).enumerate() {
         assert_eq!(r1.0, r2.0, "seed {seed} rank {rank}: re-run diverged");
         assert_eq!(
             r1.1, r2.1,
             "seed {seed} rank {rank}: residual re-run diverged"
+        );
+    }
+    for (rank, (r1, r2)) in o.iter().zip(&o2).enumerate() {
+        assert_eq!(r1.0, r2.0, "seed {seed} rank {rank}: O(k) re-run diverged");
+        assert_eq!(
+            r1.1, r2.1,
+            "seed {seed} rank {rank}: O(k) residual re-run diverged"
+        );
+    }
+    // The O(k) twin replays the same compressor selections over the same
+    // fault schedule, so its aggregate and residuals must match the
+    // HiTopKComm path bit for bit — the mass ledger below covers both.
+    for (rank, (rh, ro)) in a.iter().zip(&o).enumerate() {
+        assert_eq!(
+            rh.0, ro.0,
+            "seed {seed} rank {rank}: O(k) aggregate differs from HiTopKComm"
+        );
+        assert_eq!(
+            rh.1, ro.1,
+            "seed {seed} rank {rank}: O(k) residual differs from HiTopKComm"
         );
     }
     for (rank, r) in a.iter().enumerate() {
@@ -259,7 +296,8 @@ fn main() {
     }
     println!(
         "collectives plane: {SEEDS} seeds passed completion, rank-agreement,\n\
-         re-run determinism and mass-conservation checks"
+         re-run determinism, O(k)-vs-HiTopKComm bitwise identity and\n\
+         mass-conservation checks"
     );
     emit_json("fault_gauntlet", &rows);
 }

@@ -3,9 +3,11 @@
 use cloudtrain::collectives::{optimize_ring_order, PairCost};
 use cloudtrain::compress::gpu_cost::{mstopk_cost, GpuRates};
 use cloudtrain::datacache::disk::DiskCache;
+use cloudtrain::engine::autotune::{autotune_layers, wfbp_model_for, AutotuneConfig, CommModel};
 use cloudtrain::engine::dawnbench::{
     dense_only_schedule, evaluate_schedule, paper_schedule, published_leaderboard,
 };
+use cloudtrain::engine::trainer::workload_layer_ranges;
 use cloudtrain::obs::{percentile, Registry};
 use cloudtrain::prelude::*;
 use cloudtrain::simnet::collectives::{
@@ -60,6 +62,13 @@ pub fn print_help() {
          \x20            rack-scrambled cost model\n\
          \x20            --nodes N --cloud <c> --bytes N --seed N\n\
          \x20            --scramble on|off\n\
+         \x20 autotune   per-layer aggregation autotuner: price dense-torus\n\
+         \x20            vs HiTopKComm (staged/fused) vs the O(k) sparse\n\
+         \x20            allreduce per layer on the probed alpha/beta\n\
+         \x20            topology, with the crossover report\n\
+         \x20            --workload mlp|resnet|vgg|transformer --nodes N\n\
+         \x20            --gpus N --cloud <c> --rho F --overlap F\n\
+         \x20            --samplings N --out FILE\n\
          \x20 tails      p50/p95/p99 makespan sweep across fault families:\n\
          \x20            retry/degrade ladder vs the probed deadline budget\n\
          \x20            --nodes N --cloud <c> --seeds N --bytes N --mult F\n\
@@ -86,6 +95,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseError> {
         "conformance" => cmd_conformance(args),
         "lint" => cmd_lint(args),
         "reorder" => cmd_reorder(args),
+        "autotune" => cmd_autotune(args),
         "tails" => cmd_tails(args),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `cloudtrain help`)"
@@ -715,6 +725,115 @@ fn cmd_reorder(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+fn cmd_autotune(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&[
+        "workload",
+        "nodes",
+        "gpus",
+        "cloud",
+        "rho",
+        "overlap",
+        "samplings",
+        "out",
+    ])?;
+    let workload = match args.get_or("workload", "transformer") {
+        "mlp" => Workload::Mlp,
+        "resnet" => Workload::ResNetLite,
+        "vgg" => Workload::VggLite,
+        "transformer" => Workload::Transformer,
+        other => return Err(ParseError(format!("unknown workload `{other}`"))),
+    };
+    let mut spec = cluster_with(args, 4)?;
+    spec.gpus_per_node = args.num_or("gpus", spec.gpus_per_node)?;
+    if spec.nodes < 2 || spec.gpus_per_node < 1 {
+        return Err(ParseError(
+            "autotune needs at least 2 nodes and 1 GPU per node".into(),
+        ));
+    }
+    let cfg = AutotuneConfig {
+        rho: args.num_or("rho", 0.01)?,
+        overlap: args.num_or("overlap", 0.75)?,
+        samplings: args.num_or("samplings", 30)?,
+    };
+    if !(0.0..=1.0).contains(&cfg.overlap) {
+        return Err(ParseError("--overlap must be in [0, 1]".into()));
+    }
+    if !(0.0 < cfg.rho && cfg.rho <= 1.0) {
+        return Err(ParseError("--rho must be in (0, 1]".into()));
+    }
+    let ranges = workload_layer_ranges(workload);
+    let model = CommModel::new(spec);
+    let report = autotune_layers(&ranges, &model, &cfg);
+    println!(
+        "autotune: {workload:?} ({} layers) on {}x{} ({}), rho {} overlap {}",
+        ranges.len(),
+        spec.nodes,
+        spec.gpus_per_node,
+        args.get_or("cloud", "tencent"),
+        cfg.rho,
+        cfg.overlap
+    );
+    println!("{:<16} {:>8} {:>16}", "scheme", "layers", "forced total");
+    let counts = report.counts();
+    for (slot, scheme) in cloudtrain::engine::autotune::SCHEMES.iter().enumerate() {
+        println!(
+            "{:<16} {:>8} {:>14.3}ms",
+            scheme.label(),
+            counts[slot],
+            report.forced_totals[slot] * 1e3
+        );
+    }
+    println!(
+        "{:<16} {:>8} {:>14.3}ms  (per-layer argmin)",
+        "autotuned",
+        ranges.len(),
+        report.autotuned_total * 1e3
+    );
+    let wfbp = wfbp_model_for(&ranges, &spec);
+    let t = report.iteration_time(&wfbp);
+    println!(
+        "wfbp-priced iteration: {:.3}ms total, {:.3}ms backward, {:.3}ms exposed comm",
+        t.total * 1e3,
+        t.backward * 1e3,
+        t.exposed_comm * 1e3
+    );
+    println!(
+        "recommendation: strategy {} for a single global knob, fused_compress_reduce={}",
+        report.global_choice().label(),
+        report.fused_compress_reduce()
+    );
+    let c = &report.crossovers;
+    match c.sparse_min_params {
+        Some(p) => println!("crossover: sparse beats dense from ~{p} params/layer"),
+        None => println!("crossover: dense wins at every scanned layer size"),
+    }
+    match c.fused_max_shard_params {
+        Some(p) => println!("crossover: fused beats staged up to ~{p} params/shard"),
+        None => println!("crossover: staged wins at every scanned shard size"),
+    }
+    match c.oksparse_min_overlap {
+        Some(omega) => println!(
+            "crossover: O(k) beats HiTopKComm traffic from selection overlap >= {omega:.3} \
+             (model: omega > 1/(m-1))"
+        ),
+        None => println!(
+            "crossover: O(k) never beats HiTopKComm on {} nodes",
+            spec.nodes
+        ),
+    }
+    match args.get_or("out", "") {
+        "" => {}
+        path => {
+            let json = serde_json::to_string(&report)
+                .map_err(|e| ParseError(format!("serialize report: {e}")))?;
+            std::fs::write(path, json + "\n")
+                .map_err(|e| ParseError(format!("--out {path}: {e}")))?;
+            eprintln!("wrote JSON report to {path}");
+        }
+    }
+    Ok(())
+}
+
 /// One cell of the tail sweep: makespan and deadline-miss count for a
 /// (plan, policy, workload) triple on the given cluster.
 fn tails_cell(
@@ -1010,6 +1129,35 @@ mod tests {
         // On the uniform clean fabric every order prices the same.
         let (_, id_u, opt_u) = probed_ring_order(&spec, 1 << 20, 7, false);
         assert!((id_u - opt_u).abs() < 1e-15);
+    }
+
+    #[test]
+    fn autotune_runs_and_validates_flags() {
+        dispatch(&args("autotune --workload transformer --nodes 4 --gpus 4")).unwrap();
+        dispatch(&args("autotune --workload mlp --overlap 1.0 --rho 0.05")).unwrap();
+        assert!(dispatch(&args("autotune --nodes 1")).is_err());
+        assert!(dispatch(&args("autotune --overlap 1.5")).is_err());
+        assert!(dispatch(&args("autotune --rho 0")).is_err());
+        assert!(dispatch(&args("autotune --workload nope")).is_err());
+        assert!(dispatch(&args("autotune --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn autotune_report_is_byte_stable() {
+        let out = std::env::temp_dir().join(format!("cloudtrain-autotune-{}", std::process::id()));
+        let cmd = format!(
+            "autotune --workload transformer --nodes 4 --gpus 4 --out {}",
+            out.display()
+        );
+        dispatch(&args(&cmd)).unwrap();
+        let first = std::fs::read(&out).unwrap();
+        dispatch(&args(&cmd)).unwrap();
+        let second = std::fs::read(&out).unwrap();
+        assert_eq!(first, second, "same-flag reports must be byte-identical");
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains("\"crossovers\""));
+        assert!(text.contains("\"forced_totals\""));
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

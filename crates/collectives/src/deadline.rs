@@ -34,7 +34,7 @@ use cloudtrain_tensor::ops;
 use cloudtrain_tensor::partition::{shard_for, shards, Shard};
 
 use crate::group::Peer;
-use crate::hierarchical::{shard_k, HiTopKReport};
+use crate::hierarchical::{group_wire_bytes, shard_k, HiTopKReport};
 use crate::ring::{
     all_gather_f32_scratch, all_gather_u32_scratch, ring_all_gather_scratch,
     ring_reduce_scatter_scratch,
@@ -311,7 +311,7 @@ pub fn hitopk_all_reduce_ef_deadline<C: Compressor + ?Sized>(
 
     let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);

@@ -27,11 +27,11 @@ use cloudtrain_tensor::ops;
 use cloudtrain_tensor::partition::{shard_for, shards, Shard};
 
 use crate::group::Peer;
-use crate::hierarchical::{shard_k, HiTopKReport};
+use crate::hierarchical::{group_wire_bytes, shard_k, HiTopKReport};
 use crate::resilience::{
     all_gather_f32_resilient, all_gather_u32_resilient, ring_all_gather_resilient, ResilientPeer,
 };
-use crate::ring::{all_gather_f32_scratch, all_gather_u32_scratch, ring_all_gather_scratch};
+use crate::ring::{all_gather_pairs_scratch, ring_all_gather_scratch};
 use crate::scratch::CommScratch;
 use crate::torus::{grid_pos, inter_node_members, intra_node_members};
 
@@ -271,15 +271,18 @@ fn hitopk_fused_impl<C: Compressor + ?Sized>(
     obs::span_end(&mut reg, span, (d + shard.len()) as f64);
 
     // Inter-node AllGather of the selections, scattered into the (still
-    // untouched) shard region of x.
+    // untouched) shard region of x. The fused path gathers the value and
+    // index streams as one framed pair pipeline — m-1 ring hops instead of
+    // the staged path's 2(m-1) — which is where fusion actually recoups
+    // its bookkeeping: same bytes, half the messages, identical values.
     let span = obs::span_begin(&mut reg, "hitopk/inter all-gather");
-    let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
-    let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let blocks =
+        all_gather_pairs_scratch(peer, &selection.values, &selection.indices, &inter, scratch);
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);
-    for (vals, idxs) in value_blocks.into_iter().zip(index_blocks) {
+    for (vals, idxs) in blocks {
         ops::scatter_add(shard_buf, &idxs, &vals);
         scratch.put_f32(vals);
         scratch.put_u32(idxs);
@@ -357,7 +360,7 @@ pub fn hitopk_all_reduce_ef_fused_resilient<C: Compressor + ?Sized>(
 
     let value_blocks = all_gather_f32_resilient(rp, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_resilient(rp, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);

@@ -49,6 +49,29 @@ pub fn shard_k(d: usize, n: usize, rho: f64) -> usize {
     (((d as f64 * rho) / n as f64).round() as usize).clamp(1, shard.max(1))
 }
 
+/// Wire bytes a member pays to broadcast `selection` to the other
+/// `group_len - 1` members of a sparse AllGather group.
+///
+/// Every hitopk-family variant (staged, fused, reordered, resilient,
+/// deadline) and the flat NaiveAG account their `inter_bytes_sent` through
+/// this one expression, so identical traffic always reports identical
+/// bytes — the conformance differential test pins it.
+pub fn group_wire_bytes(selection: &SparseGrad, group_len: usize) -> usize {
+    selection.wire_bytes() * group_len.saturating_sub(1)
+}
+
+/// Wire bytes of one framed `(values, indices)` pair message carrying
+/// `entries` coordinates: an FP32 value plus a 32-bit index each.
+///
+/// The point-to-point counterpart of [`group_wire_bytes`]:
+/// `group_wire_bytes(sel, g) == pair_wire_bytes(sel.values.len()) * (g-1)`
+/// whenever values and indices pair up. The O(k) sparse allreduce accounts
+/// its split and merged-broadcast traffic through this, so its bytes stay
+/// directly comparable with the hitopk family's.
+pub fn pair_wire_bytes(entries: usize) -> usize {
+    8 * entries
+}
+
 /// HiTopKComm (Algorithm 2): hierarchical sparse AllReduce over an
 /// `m × n` grid. On return every rank's `x` holds
 /// `Σ_nodes TopK(node-local dense sum)` per shard — identical on all ranks.
@@ -166,7 +189,7 @@ fn hitopk_impl<C: Compressor + ?Sized>(
     let span = obs::span_begin(&mut reg, "hitopk/inter all-gather");
     let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);
@@ -296,7 +319,7 @@ fn hitopk_ef_impl<C: Compressor + ?Sized>(
     let span = obs::span_begin(&mut reg, "hitopk/inter all-gather");
     let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);
@@ -342,7 +365,7 @@ pub fn sparse_all_reduce_naive<C: Compressor + ?Sized>(
     let selection = compressor.compress(x, k);
     let value_blocks = all_gather_f32(peer, &selection.values, &members);
     let index_blocks = all_gather_u32(peer, &selection.indices, &members);
-    let sent = selection.wire_bytes() * (members.len() - 1);
+    let sent = group_wire_bytes(&selection, members.len());
 
     ops::fill(x, 0.0);
     for (vals, idxs) in value_blocks.iter().zip(&index_blocks) {

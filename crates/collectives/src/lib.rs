@@ -47,6 +47,12 @@
 //!   from probed α/β; late dense chunks are discarded (partial
 //!   aggregates), late sparse contributions degrade to empty blocks under
 //!   error feedback (bitwise identical to the plain twins on clean runs).
+//! * [`sparse_allreduce`] — the **O(k) sparse allreduce** (Li & Hoefler,
+//!   PPoPP 2022): balanced index partitioning plus split-and-merge
+//!   reduction replaces HiTopKComm's `O(m·k̃)` inter-node AllGather with an
+//!   `O(k̃)` schedule, bitwise identical in value to the hitopk twins and
+//!   mirrored across the same scratch / traced / reordered / resilient /
+//!   deadline / quantized variant family.
 //!
 //! All collectives run on a [`group::Group`] of mesh-connected peers created
 //! with [`group::Group::connect`]; each worker thread owns one
@@ -67,6 +73,7 @@ pub mod resilience;
 pub mod rhd;
 pub mod ring;
 pub mod scratch;
+pub mod sparse_allreduce;
 pub mod torus;
 pub mod tree;
 
@@ -75,3 +82,4 @@ pub use group::{Group, Peer};
 pub use reorder::{optimize_ring_order, PairCost};
 pub use resilience::{CommFaults, ResiliencePolicy, ResilienceReport, ResilientPeer};
 pub use scratch::CommScratch;
+pub use sparse_allreduce::OkSparseReport;

@@ -28,7 +28,7 @@ use cloudtrain_tensor::ops;
 use cloudtrain_tensor::partition::shard_for;
 
 use crate::group::Peer;
-use crate::hierarchical::{shard_k, HiTopKReport};
+use crate::hierarchical::{group_wire_bytes, shard_k, HiTopKReport};
 use crate::ring::{
     all_gather_f32_scratch, all_gather_u32_scratch, ring_all_gather, ring_all_gather_scratch,
     ring_all_reduce, ring_reduce_scatter, ring_reduce_scatter_scratch,
@@ -282,7 +282,7 @@ pub fn hitopk_all_reduce_ef_reordered<C: Compressor + ?Sized>(
 
     let value_blocks = all_gather_f32_scratch(peer, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_scratch(peer, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     let shard_buf = shard.slice_mut(x);
     ops::fill(shard_buf, 0.0);

@@ -38,7 +38,7 @@ use cloudtrain_tensor::partition::{shard_for, shards, Shard};
 
 use crate::group::Peer;
 use crate::gtopk::{merge_sparse, trim_topk};
-use crate::hierarchical::{shard_k, HiTopKReport};
+use crate::hierarchical::{group_wire_bytes, shard_k, HiTopKReport};
 use crate::scratch::CommScratch;
 use crate::torus::{grid_pos, inter_node_members, intra_node_members};
 
@@ -528,7 +528,7 @@ pub fn hitopk_all_reduce_ef_resilient<C: Compressor + ?Sized>(
 
     let value_blocks = all_gather_f32_resilient(rp, &selection.values, &inter, scratch);
     let index_blocks = all_gather_u32_resilient(rp, &selection.indices, &inter, scratch);
-    let inter_bytes_sent = selection.wire_bytes() * (inter.len().saturating_sub(1));
+    let inter_bytes_sent = group_wire_bytes(&selection, inter.len());
 
     ops::fill(shard_buf, 0.0);
     for (vals, idxs) in value_blocks.into_iter().zip(index_blocks) {

@@ -176,6 +176,53 @@ pub fn all_gather_f32_scratch(
     blocks.into_iter().map(Option::unwrap).collect()
 }
 
+/// AllGather of `(values, indices)` pairs in **one** ring pipeline.
+///
+/// The separate [`all_gather_f32`] + [`all_gather_u32`] idiom runs two
+/// serialized `P-1`-hop pipelines over the same members — `2(P-1)` channel
+/// round-trips for what is logically one block exchange. This primitive
+/// frames each member's pair as a single `u32` payload
+/// `[len, indices…, value-bits…]` (values ride as `f32::to_bits`
+/// reinterpretations; no arithmetic ever touches the bit-cast words), so
+/// the exchange costs `P-1` hops. Blocks come back split into owned
+/// `(values, indices)` pairs in member order, bit-exact — downstream
+/// consumers see exactly what the two-pipeline idiom would have produced.
+///
+/// Ownership contract as in [`all_gather_f32_scratch`]: the caller recycles
+/// each returned pair (`put_f32` + `put_u32`) once consumed.
+pub fn all_gather_pairs_scratch(
+    peer: &Peer,
+    values: &[f32],
+    indices: &[u32],
+    members: &[usize],
+    scratch: &mut CommScratch,
+) -> Vec<(Vec<f32>, Vec<u32>)> {
+    assert_eq!(
+        values.len(),
+        indices.len(),
+        "all_gather_pairs: values and indices must pair up"
+    );
+    let mut mine = scratch.take_u32(0);
+    mine.push(values.len() as u32);
+    mine.extend(indices.iter().copied());
+    mine.extend(values.iter().map(|v| v.to_bits()));
+    let framed = all_gather_u32_scratch(peer, &mine, members, scratch);
+    scratch.put_u32(mine);
+    framed
+        .into_iter()
+        .map(|block| {
+            let mut words = block.iter().copied();
+            let len = words.next().unwrap_or(0) as usize;
+            let mut idxs = scratch.take_u32(0);
+            idxs.extend(words.by_ref().take(len));
+            let mut vals = scratch.take_f32(0);
+            vals.extend(words.by_ref().take(len).map(f32::from_bits));
+            scratch.put_u32(block);
+            (vals, idxs)
+        })
+        .collect()
+}
+
 /// AllGather of index payloads (see [`all_gather_f32`]).
 pub fn all_gather_u32(peer: &Peer, mine: &[u32], members: &[usize]) -> Vec<Vec<u32>> {
     all_gather_u32_scratch(peer, mine, members, &mut CommScratch::new())

@@ -1,0 +1,113 @@
+//! Differential wire-byte accounting across the HiTopKComm variant family.
+//!
+//! Every hitopk twin — staged, fused, traced, reordered, resilient, and
+//! deadline-bounded — moves exactly the same inter-node traffic when the
+//! faults are clean and the node order is the identity. Since PR 8 they all
+//! charge that traffic through one shared helper
+//! (`group_wire_bytes(selection, g) == pair_wire_bytes(k) * (g - 1)`), so
+//! a divergence here means a variant grew its own byte math again.
+
+use cloudtrain_collectives::deadline::hitopk_all_reduce_ef_deadline;
+use cloudtrain_collectives::fusion::hitopk_all_reduce_ef_fused_scratch;
+use cloudtrain_collectives::group::run_on_group;
+use cloudtrain_collectives::hierarchical::{
+    hitopk_all_reduce_ef_scratch, hitopk_all_reduce_ef_traced, pair_wire_bytes, HiTopKReport,
+};
+use cloudtrain_collectives::reorder::hitopk_all_reduce_ef_reordered;
+use cloudtrain_collectives::resilience::hitopk_all_reduce_ef_resilient;
+use cloudtrain_collectives::{
+    CommFaults, CommScratch, DeadlineFaults, DeadlinePolicy, ResiliencePolicy, ResilientPeer,
+};
+use cloudtrain_compress::exact::SortTopK;
+use cloudtrain_compress::ErrorFeedback;
+use cloudtrain_obs::Registry;
+use cloudtrain_tensor::{init, partition};
+
+const M: usize = 3;
+const N: usize = 2;
+const D: usize = 252;
+const RHO: f64 = 0.1;
+
+fn vec_for(rank: usize, d: usize) -> Vec<f32> {
+    let mut rng = init::rng_from_seed(26_000 + rank as u64);
+    init::gradient_like_tensor(d, &mut rng).into_vec()
+}
+
+fn shard_len(rank: usize) -> usize {
+    partition::shards(D, N)[rank % N].len()
+}
+
+/// Runs one EF round of a hitopk variant on the standard payloads and
+/// returns each rank's report.
+type Variant = dyn Fn(
+        &cloudtrain_collectives::Peer,
+        &mut [f32],
+        &mut SortTopK,
+        &mut ErrorFeedback,
+        &mut CommScratch,
+    ) -> HiTopKReport
+    + Sync;
+
+fn reports_of(f: &Variant) -> Vec<HiTopKReport> {
+    run_on_group(M * N, move |peer| {
+        let mut x = vec_for(peer.rank(), D);
+        let mut c = SortTopK;
+        let mut ef = ErrorFeedback::new(shard_len(peer.rank()));
+        let mut scratch = CommScratch::new();
+        f(peer, &mut x, &mut c, &mut ef, &mut scratch)
+    })
+}
+
+#[test]
+fn all_hitopk_variants_report_identical_wire_bytes_for_identical_traffic() {
+    let staged = reports_of(&|peer, x, c, ef, scratch| {
+        hitopk_all_reduce_ef_scratch(peer, x, M, N, RHO, c, ef, scratch)
+    });
+    let fused = reports_of(&|peer, x, c, ef, scratch| {
+        hitopk_all_reduce_ef_fused_scratch(peer, x, M, N, RHO, c, ef, scratch)
+    });
+    let traced = reports_of(&|peer, x, c, ef, scratch| {
+        let mut reg = Registry::new();
+        hitopk_all_reduce_ef_traced(peer, x, M, N, RHO, c, ef, scratch, &mut reg)
+    });
+    let reordered = reports_of(&|peer, x, c, ef, scratch| {
+        let order: Vec<usize> = (0..M).collect();
+        hitopk_all_reduce_ef_reordered(peer, x, M, N, RHO, c, ef, &order, scratch)
+    });
+    let resilient = reports_of(&|peer, x, c, ef, scratch| {
+        let mut rp = ResilientPeer::new(peer, CommFaults::new(7), ResiliencePolicy::default());
+        hitopk_all_reduce_ef_resilient(&mut rp, x, M, N, RHO, c, ef, scratch)
+    });
+    let deadline = reports_of(&|peer, x, c, ef, scratch| {
+        let faults = DeadlineFaults::new(7);
+        let policy = DeadlinePolicy::from_link(5e-5, 4e-10, 1 << 20, 1.5);
+        let (rep, drep) =
+            hitopk_all_reduce_ef_deadline(peer, x, M, N, RHO, c, ef, 0, &faults, &policy, scratch);
+        assert_eq!(drep.missed, 0, "clean deadline run must not miss");
+        rep
+    });
+
+    for (name, variant) in [
+        ("fused", &fused),
+        ("traced", &traced),
+        ("reordered", &reordered),
+        ("resilient", &resilient),
+        ("deadline", &deadline),
+    ] {
+        assert_eq!(
+            variant, &staged,
+            "{name} variant disagrees with the staged report"
+        );
+    }
+
+    // The shared helper is the single source of the byte math: every rank
+    // selects exactly k̃ entries under error feedback, and the inter phase
+    // gathers them across the m-member node group.
+    for rep in &staged {
+        assert_eq!(
+            rep.inter_bytes_sent,
+            pair_wire_bytes(rep.k_per_shard) * (M - 1),
+            "staged report bytes disagree with pair_wire_bytes * (m - 1)"
+        );
+    }
+}

@@ -62,6 +62,32 @@ impl ErrorFeedback {
         ops::zero_at(&mut self.residual, &transmitted.indices);
     }
 
+    /// Records the residual for a **lossy** transmission:
+    /// `grad - densify(transmitted)`.
+    ///
+    /// With an exact selection (`transmitted.values[j] == grad[indices[j]]`)
+    /// this equals [`Self::absorb`]. When the transmitted values were
+    /// quantized (or otherwise perturbed), the per-coordinate transmission
+    /// error stays in the residual instead of being silently dropped — so
+    /// the mass-conservation ledger (`Σ compensated = Σ aggregated +
+    /// Σ residual`) holds exactly even for lossy wire formats.
+    ///
+    /// # Panics
+    /// Panics if `grad.len() != self.dim()`, the selection's dimension
+    /// differs, or a selection index is out of range.
+    pub fn absorb_lossy(&mut self, grad: &[f32], transmitted: &SparseGrad) {
+        assert_eq!(grad.len(), self.dim(), "absorb_lossy: dimension mismatch");
+        assert_eq!(
+            transmitted.dim,
+            self.dim(),
+            "absorb_lossy: selection dimension mismatch"
+        );
+        self.residual.copy_from_slice(grad);
+        for (v, i) in transmitted.values.iter().zip(&transmitted.indices) {
+            self.residual[*i as usize] -= v;
+        }
+    }
+
     /// Current residual L2 norm (a convergence diagnostic: bounded residual
     /// norm is the premise of the error-feedback convergence proofs).
     pub fn residual_norm(&self) -> f32 {

@@ -107,6 +107,9 @@ pub const ORACLE_COLLECTIVES: &[&str] = &[
     "gtopk",
     "gtopk_ef_res",
     "naiveag",
+    "oksparse",
+    "oksparse_ef",
+    "oksparse_ef_res",
     "qsgd",
     "terngrad",
     "scaledsign",
@@ -120,6 +123,7 @@ pub const COST_COLLECTIVES: &[&str] = &[
     "torus",
     "gtopk",
     "naiveag",
+    "oksparse",
     "qsgd",
     "torus_reordered",
     "hitopk_deadline",
@@ -311,6 +315,9 @@ fn parse_oracle(name: &str, kv: &Kv) -> Result<OracleCase, String> {
             | "gtopk"
             | "gtopk_ef_res"
             | "naiveag"
+            | "oksparse"
+            | "oksparse_ef"
+            | "oksparse_ef_res"
     );
     if sparse {
         if !COMPRESSORS.contains(&c.comp.as_str()) {
@@ -379,7 +386,8 @@ fn parse_cost(name: &str, kv: &Kv) -> Result<CostCase, String> {
         // The closed forms for the inter-node phases are per-NIC
         // serialization bounds; they need at least two nodes to exercise
         // the Ethernet tier the paper's equations model.
-        "naiveag" | "torus" | "torus_reordered" | "hitopk" | "hitopk_deadline" | "qsgd"
+        "naiveag" | "torus" | "torus_reordered" | "hitopk" | "hitopk_deadline" | "oksparse"
+        | "qsgd"
             if c.nodes < 2 =>
         {
             Err(format!("{} cost cases need nodes >= 2", c.collective))
@@ -441,8 +449,12 @@ meta perm comp=dgc d=4096 k=64 seed=9
             "oracle ring_deadline m=2 n=3 d=64 rho=0.05 comp=- seed=3 degrade=0.3",
             "oracle hitopk_ef_deadline m=2 n=2 d=64 rho=0.1 comp=dgc seed=5 degrade=0.4",
             "oracle torus_reordered m=2 n=3 d=96 rho=0.05 comp=- seed=6",
+            "oracle oksparse m=3 n=2 d=300 rho=0.1 comp=mstopk seed=8",
+            "oracle oksparse_ef m=2 n=4 d=512 rho=0.05 comp=dgc seed=9",
+            "oracle oksparse_ef_res m=2 n=2 d=128 rho=0.1 comp=randomk seed=10 drops=0.2 degrade=0.3",
             "cost hitopk_deadline nodes=4 gpus=8 d=250000 rho=0.01 gbps=25",
             "cost gtopk nodes=4 gpus=4 d=200000 rho=0.01 gbps=25",
+            "cost oksparse nodes=8 gpus=4 d=500000 rho=0.01 gbps=25",
             "meta kmono comp=randomk d=512 k=32 seed=11",
         ] {
             let case = parse_line(line).expect(line);
@@ -500,6 +512,18 @@ meta perm comp=dgc d=4096 k=64 seed=9
             (
                 "oracle hitopk m=2 n=2 d=16 rho=1.5 comp=dgc seed=1",
                 "rho > 1",
+            ),
+            (
+                "oracle oksparse m=2 n=2 d=16 seed=1 comp=-",
+                "oksparse without comp",
+            ),
+            (
+                "oracle oksparse_ef m=2 n=2 d=16 rho=0.1 comp=dgc seed=1 drops=0.5",
+                "drops on non-resilient oksparse",
+            ),
+            (
+                "cost oksparse nodes=1 gpus=8 d=1000",
+                "single-node oksparse",
             ),
             ("cost treear nodes=4 d=1000", "treear excluded"),
             ("cost gtopk nodes=3 gpus=4 d=1000", "non-pow2 gtopk nodes"),

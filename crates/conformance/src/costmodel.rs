@@ -28,8 +28,9 @@
 use cloudtrain_obs::fmt_f64;
 use cloudtrain_simnet::clouds::{ETH_ALPHA, ETH_EFFICIENCY, NVLINK_ALPHA, NVLINK_BW};
 use cloudtrain_simnet::collectives::{
-    sim_gtopk_all_reduce, sim_hitopk, sim_naive_sparse_all_gather, sim_quantized_all_reduce,
-    sim_torus_all_reduce, sim_torus_all_reduce_reordered, CollectiveTiming,
+    sim_gtopk_all_reduce, sim_hitopk, sim_naive_sparse_all_gather, sim_ok_sparse,
+    sim_quantized_all_reduce, sim_torus_all_reduce, sim_torus_all_reduce_reordered,
+    CollectiveTiming,
 };
 use cloudtrain_simnet::NetSim;
 use cloudtrain_simnet::{ClusterSpec, FaultPlan, LinkSpec, SimResilience};
@@ -55,6 +56,12 @@ pub const NAIVE_STAGING: f64 = 2.5;
 /// deadline-bounded timeline must reproduce plain `hitopk`'s — which is
 /// why the twin shares Eq. 9/10's closed forms.
 pub const COST_DEADLINE_MULT: f64 = 1.5;
+
+/// Selection-overlap fraction assumed by the `oksparse` cost twin: the
+/// expected share of selected coordinates common to all nodes, which sets
+/// the merged-sublist size `(k̃/m)·(1 + (1−ω)·(m−1))`. Matches the
+/// engine autotuner's default overlap so the two models agree.
+pub const COST_OK_OVERLAP: f64 = 0.75;
 
 /// Relative FP slack on the bracket bounds: the simulated makespan must
 /// satisfy `lower·(1-slack) <= sim <= upper·(1+slack)`.
@@ -86,6 +93,12 @@ pub const TOLERANCES: &[(&str, &str, f64)] = &[
     ("hitopk_deadline", "inter all-gather", 0.18),
     ("hitopk_deadline", "intra all-gather", 1e-6),
     ("hitopk_deadline", "total", 0.12),
+    ("oksparse", "intra reduce-scatter", 1e-6),
+    ("oksparse", "top-k compression", 1e-6),
+    ("oksparse", "inter split", 0.06),
+    ("oksparse", "inter gather-merged", 0.10),
+    ("oksparse", "intra all-gather", 1e-6),
+    ("oksparse", "total", 0.06),
     ("naiveag", "all-gather values", 0.80),
     ("naiveag", "all-gather indices", 0.70),
     ("naiveag", "total", 0.75),
@@ -209,6 +222,47 @@ pub fn analytic(case: &CostCase, spec: &ClusterSpec) -> Vec<AnalyticPhase> {
                     upper: g_hi,
                 },
                 AnalyticPhase::exact("intra all-gather", t4),
+            ];
+            with_total(phases)
+        }
+        // O(k) sparse allreduce: hitopk's intra phases around a
+        // split–merge–gather inter exchange. The split is ReduceScatter-
+        // shaped over the k̃·8-byte selection (m−1 rounds of ⌈k̃·8/m⌉ per
+        // stream); the gather moves each member's merged sublist, sized by
+        // the modeled selection overlap [`COST_OK_OVERLAP`].
+        "oksparse" => {
+            let k = (((d as f64 * case.rho) / n as f64).round() as usize).max(1);
+            let t1 = ring_reduce_scatter_seconds(n, d * 4, spec.intra);
+            let (s_lo, s_hi) = if m < 2 {
+                (0.0, 0.0)
+            } else {
+                round_bracket(m - 1, n * chunk(k * 8, m), spec.inter)
+            };
+            let merged =
+                (((k as f64 / m as f64) * (1.0 + (1.0 - COST_OK_OVERLAP) * (m - 1) as f64)).round()
+                    as usize)
+                    .max(1);
+            let (g_lo, g_hi) = if m < 2 {
+                (0.0, 0.0)
+            } else {
+                round_bracket(m - 1, n * merged * 8, spec.inter)
+            };
+            let shard_bytes = (m * k * 8).min(chunk(d, n) * 4);
+            let t5 = ring_all_gather_seconds(n, shard_bytes, spec.intra);
+            let phases = vec![
+                AnalyticPhase::exact("intra reduce-scatter", t1),
+                AnalyticPhase::exact("top-k compression", TOPK_SECONDS),
+                AnalyticPhase {
+                    label: "inter split",
+                    lower: s_lo,
+                    upper: s_hi,
+                },
+                AnalyticPhase {
+                    label: "inter gather-merged",
+                    lower: g_lo,
+                    upper: g_hi,
+                },
+                AnalyticPhase::exact("intra all-gather", t5),
             ];
             with_total(phases)
         }
@@ -339,6 +393,15 @@ fn simulate(case: &CostCase, spec: &ClusterSpec) -> CollectiveTiming {
             );
             sim_hitopk(&mut sim, spec, case.d, 4, case.rho, TOPK_SECONDS)
         }
+        "oksparse" => sim_ok_sparse(
+            &mut sim,
+            spec,
+            case.d,
+            4,
+            case.rho,
+            TOPK_SECONDS,
+            COST_OK_OVERLAP,
+        ),
         "torus" => sim_torus_all_reduce(&mut sim, spec, case.d * 4),
         "torus_reordered" => {
             // A non-identity order (node 0 first, the rest reversed) so the

@@ -91,6 +91,8 @@ pub fn expand_fuzz(count: usize, seed: u64) -> Vec<Case> {
         "hitopk_ef",
         "gtopk",
         "naiveag",
+        "oksparse",
+        "oksparse_ef",
     ];
     let comps = ["sorttopk", "quicktopk", "mstopk", "dgc", "randomk"];
     for i in 0..count {

@@ -43,6 +43,9 @@ use cloudtrain_collectives::resilience::{
 };
 use cloudtrain_collectives::rhd::rhd_all_reduce;
 use cloudtrain_collectives::ring::ring_all_reduce;
+use cloudtrain_collectives::sparse_allreduce::{
+    ok_sparse_all_reduce, ok_sparse_all_reduce_ef, ok_sparse_all_reduce_ef_resilient,
+};
 use cloudtrain_collectives::torus::torus_all_reduce;
 use cloudtrain_collectives::tree::tree_all_reduce;
 use cloudtrain_collectives::{CommFaults, CommScratch, ResiliencePolicy, ResilientPeer};
@@ -184,6 +187,9 @@ pub fn run(index: usize, case: &OracleCase) -> CaseResult {
         "gtopk" => run_gtopk(case, &mut ck),
         "gtopk_ef_res" => run_gtopk_ef_res(case, &mut ck),
         "naiveag" => run_naiveag(case, &mut ck),
+        "oksparse" => run_oksparse(case, &mut ck),
+        "oksparse_ef" => run_oksparse_ef(case, &mut ck),
+        "oksparse_ef_res" => run_oksparse_ef_res(case, &mut ck),
         "qsgd" | "terngrad" | "scaledsign" => run_quantized(case, &mut ck),
         other => ck.fail("dispatch", format!("unhandled collective `{other}`")),
     }
@@ -1196,6 +1202,191 @@ fn run_naiveag(c: &OracleCase, ck: &mut Checks) {
         }
     }
     ck.check("wire-bytes", true, || unreachable!());
+}
+
+/// The O(k) sparse allreduce's contract is *bitwise* identity with the
+/// HiTopKComm twin under identical compressor replicas: both accumulate
+/// member contributions in inter-member order, only the wire pattern
+/// (split + merged gather vs full-selection gather) differs. Every
+/// `oksparse*` runner therefore carries the hitopk check family plus a
+/// `hitopk-bitwise` differential against the staged twin, and bounds the
+/// wire bytes by the worst-case closed form `8·(k̃ + m·k̃·(m−1))` — split
+/// entries never exceed k̃, and a merged range holds at most every
+/// member's whole selection (`m·k̃`; the *expected* size under selection
+/// overlap is what makes the scheme O(k̃), the bound is the disjoint
+/// worst case).
+fn ok_wire_cap(m: usize, k: usize) -> usize {
+    8 * (k + m * k * m.saturating_sub(1))
+}
+
+fn run_oksparse(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let comp_name = c.comp.clone();
+    let run = || {
+        run_on_group(p, |peer| {
+            let mut x = grad_for(seed, peer.rank(), d);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let rep = ok_sparse_all_reduce(peer, &mut x, m, n, rho, comp.as_mut());
+            (x, rep)
+        })
+    };
+    let a = run();
+    let b = run();
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second run differs from the first".to_string()
+    });
+    let xs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&xs), || {
+        "ranks hold different results".to_string()
+    });
+    let reference = hitopk_oracle(c);
+    ck.check(
+        "oracle-equivalence",
+        ops::approx_eq(&xs[0], &reference, SPARSE_TOL),
+        || format!("linf={} tol={SPARSE_TOL}", linf(&xs[0], &reference)),
+    );
+    let twin = run_on_group(p, |peer| {
+        let mut x = grad_for(seed, peer.rank(), d);
+        let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+        let rep = hitopk_all_reduce(peer, &mut x, m, n, rho, comp.as_mut());
+        (x, rep)
+    });
+    ck.check(
+        "hitopk-bitwise",
+        a.iter().zip(&twin).all(|((x, rep), (hx, hrep))| {
+            bits_eq(x, hx)
+                && rep.k_per_shard == hrep.k_per_shard
+                && rep.shard_nonzeros == hrep.shard_nonzeros
+        }),
+        || "O(k) aggregate differs from the HiTopKComm twin bitwise".to_string(),
+    );
+    let k_full = shard_k(d, n, rho);
+    for (r, (_, rep)) in a.iter().enumerate() {
+        let ok = rep.k_per_shard >= 1
+            && rep.k_per_shard <= k_full
+            && rep.merged_len <= m * rep.k_per_shard
+            && rep.inter_bytes_sent <= ok_wire_cap(m, rep.k_per_shard);
+        if !ok {
+            ck.fail(
+                "wire-bound",
+                format!(
+                    "rank {r}: k_per_shard={} merged_len={} inter_bytes={} (k_full={k_full}, m={m})",
+                    rep.k_per_shard, rep.merged_len, rep.inter_bytes_sent
+                ),
+            );
+            return;
+        }
+    }
+    ck.check("wire-bound", true, || unreachable!());
+}
+
+fn run_oksparse_ef(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let comp_name = c.comp.clone();
+    let run = |ok_path: bool| {
+        run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let mut acc = vec![0.0f32; d];
+            for t in 0..EF_ITERS {
+                let mut x = grad_iter(seed, t, peer.rank(), d);
+                if ok_path {
+                    ok_sparse_all_reduce_ef(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+                } else {
+                    hitopk_all_reduce_ef(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+                }
+                ops::add_assign(&mut acc, &x);
+            }
+            (acc, ef.residual().to_vec())
+        })
+    };
+    let a = run(true);
+    let b = run(true);
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second run differs from the first".to_string()
+    });
+    let accs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&accs), || {
+        "ranks hold different accumulated results".to_string()
+    });
+    let residuals: Vec<Vec<f32>> = a.iter().map(|(_, r)| r.clone()).collect();
+    check_ledger(ck, seed, m, n, d, EF_ITERS, &accs[0], &residuals);
+    // Residual carry-over included: the O(k) EF pipeline must reproduce the
+    // hitopk EF twin bitwise — accumulated output and final residuals both.
+    let twin = run(false);
+    ck.check(
+        "hitopk-bitwise",
+        a.iter()
+            .zip(&twin)
+            .all(|((acc, r), (hacc, hr))| bits_eq(acc, hacc) && bits_eq(r, hr)),
+        || "O(k) EF pipeline differs from the HiTopKComm twin bitwise".to_string(),
+    );
+}
+
+fn run_oksparse_ef_res(c: &OracleCase, ck: &mut Checks) {
+    let p = c.m * c.n;
+    let (m, n, d, rho, seed) = (c.m, c.n, c.d, c.rho, c.seed);
+    let (drops, degrade) = (c.drops, c.degrade);
+    let comp_name = c.comp.clone();
+    let faulted = || {
+        run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let faults = CommFaults::new(seed)
+                .with_drops(drops)
+                .with_degrade(degrade);
+            let mut rp = ResilientPeer::new(peer, faults, ResiliencePolicy::default());
+            let mut scratch = CommScratch::new();
+            let mut x = grad_for(seed, peer.rank(), d);
+            ok_sparse_all_reduce_ef_resilient(
+                &mut rp,
+                &mut x,
+                m,
+                n,
+                rho,
+                comp.as_mut(),
+                &mut ef,
+                &mut scratch,
+            );
+            (x, ef.residual().to_vec())
+        })
+    };
+    let a = faulted();
+    let b = faulted();
+    ck.check("determinism", a.iter().zip(&b).all(|(x, y)| x == y), || {
+        "second faulted run differs".to_string()
+    });
+    let xs: Vec<Vec<f32>> = a.iter().map(|(x, _)| x.clone()).collect();
+    ck.check("replica-identity", all_ranks_eq(&xs), || {
+        "ranks hold different results".to_string()
+    });
+    let residuals: Vec<Vec<f32>> = a.iter().map(|(_, r)| r.clone()).collect();
+    check_ledger(ck, seed, m, n, d, 1, &xs[0], &residuals);
+    if degrade == 0.0 {
+        // Pure drop faults: retries must reproduce the clean O(k)
+        // collective bitwise (same compressor replicas, same residuals).
+        let clean = run_on_group(p, |peer| {
+            let shard_len = shards(d, n)[peer.rank() % n].len();
+            let mut ef = ErrorFeedback::new(shard_len);
+            let mut comp = make_compressor(&comp_name, comp_seed(seed, peer.rank()));
+            let mut x = grad_for(seed, peer.rank(), d);
+            ok_sparse_all_reduce_ef(peer, &mut x, m, n, rho, comp.as_mut(), &mut ef);
+            (x, ef.residual().to_vec())
+        });
+        ck.check(
+            "retry-exactness",
+            bits_eq(&xs[0], &clean[0].0)
+                && residuals
+                    .iter()
+                    .zip(&clean)
+                    .all(|(r, (_, cr))| bits_eq(r, cr)),
+            || "faulted O(k) EF run differs from clean bitwise".to_string(),
+        );
+    }
 }
 
 fn quantizer_bound(name: &str, g: &[f32]) -> f32 {

@@ -122,6 +122,9 @@ pub fn expected_pairings() -> Vec<(&'static str, &'static str)> {
         "gtopk",
         "gtopk_ef_res",
         "naiveag",
+        "oksparse",
+        "oksparse_ef",
+        "oksparse_ef_res",
     ] {
         for comp in crate::corpus::COMPRESSORS {
             out.push((coll, *comp));

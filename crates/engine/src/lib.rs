@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod checkpoint;
 pub mod dawnbench;
 pub mod fusion;
@@ -27,6 +28,7 @@ pub mod profile;
 pub mod strategy;
 pub mod trainer;
 
+pub use autotune::{autotune_layers, AutotuneConfig, AutotuneReport, CommModel, CommScheme};
 pub use fusion::FusionMode;
 pub use perf::{IterationBreakdown, IterationModel, SystemConfig};
 pub use profile::ModelProfile;

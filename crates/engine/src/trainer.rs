@@ -341,6 +341,14 @@ fn build_model(cfg: &DistConfig) -> Box<dyn Model> {
     }
 }
 
+/// Forward-ordered layer ranges of a workload's model as the trainer
+/// builds it — what the autotuner and fusion planner price. The ranges
+/// depend only on the architecture, not on the seed.
+pub fn workload_layer_ranges(workload: Workload) -> Vec<cloudtrain_dnn::model::ParamRange> {
+    let cfg = DistConfig::small(Strategy::DenseTreeAr, workload);
+    build_model(&cfg).layer_ranges()
+}
+
 fn build_data(cfg: &DistConfig) -> Data {
     match cfg.workload {
         Workload::Transformer => Data::Seq(SyntheticSeq::new(cfg.classes, 64, 16, cfg.seed)),

@@ -332,20 +332,31 @@ fn escape(s: &str) -> String {
 /// # Panics
 /// Panics on an empty sample set or a `q` outside `[0, 1]`.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    assert!(!samples.is_empty(), "percentile of an empty sample set");
-    assert!((0.0..=1.0).contains(&q), "percentile rank outside [0, 1]");
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
+    sorted_percentile(&sorted, q)
+}
+
+/// Nearest-rank lookup into samples already sorted ascending by
+/// [`f64::total_cmp`] — the single rank computation behind [`percentile`]
+/// and [`gauge_percentiles`], so a multi-rank query over one sorted copy
+/// is byte-identical to independent `percentile` calls.
+fn sorted_percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=1.0).contains(&q), "percentile rank outside [0, 1]");
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.max(1) - 1]
 }
 
 /// Records the p50/p95/p99 nearest-rank percentiles of `samples` as gauges
 /// `<prefix>/p50`, `<prefix>/p95`, `<prefix>/p99` (plus `<prefix>/count`)
-/// — the first-class export surface of the tail gauntlet.
+/// — the first-class export surface of the tail gauntlet. Sorts the
+/// samples once and indexes all three ranks out of the sorted copy.
 pub fn gauge_percentiles(reg: &mut Registry, prefix: &str, samples: &[f64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
     for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
-        reg.gauge_set(&format!("{prefix}/{tag}"), percentile(samples, q));
+        reg.gauge_set(&format!("{prefix}/{tag}"), sorted_percentile(&sorted, q));
     }
     reg.gauge_set(&format!("{prefix}/count"), samples.len() as f64);
 }
@@ -404,6 +415,29 @@ mod tests {
         assert_eq!(r.gauge("tails/dense/p95"), Some(19.0));
         assert_eq!(r.gauge("tails/dense/p99"), Some(20.0));
         assert_eq!(r.gauge("tails/dense/count"), Some(20.0));
+    }
+
+    /// The single-sort fast path must not change a byte of the export:
+    /// gauges recorded by `gauge_percentiles` produce JSONL identical to a
+    /// registry fed three independent `percentile` calls, including on
+    /// duplicate-laden, negative, and sub-normal-ish samples.
+    #[test]
+    fn gauge_percentiles_jsonl_matches_independent_percentile_calls() {
+        let samples: Vec<f64> = (0..97)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h % 2001) as f64 - 1000.0) * 1e-3
+            })
+            .chain([0.25, 0.25, 0.25, -0.0, 0.0])
+            .collect();
+        let mut fast = Registry::new();
+        gauge_percentiles(&mut fast, "tails/x", &samples);
+        let mut slow = Registry::new();
+        for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            slow.gauge_set(&format!("tails/x/{tag}"), percentile(&samples, q));
+        }
+        slow.gauge_set("tails/x/count", samples.len() as f64);
+        assert_eq!(fast.to_jsonl(), slow.to_jsonl());
     }
 
     #[test]

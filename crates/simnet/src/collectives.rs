@@ -743,6 +743,99 @@ pub fn sim_hitopk(
     }
 }
 
+/// O(k) sparse allreduce (Li & Hoefler): HiTopKComm's intra phases around
+/// a *split–merge–gather* inter exchange instead of the full-selection
+/// AllGather.
+///
+/// * **inter split** — each stream's k̃-entry selection (8 bytes per
+///   value+index pair) is range-partitioned across the `m` members, a
+///   ReduceScatter-shaped exchange moving `k̃·(1−1/m)` pairs per member;
+/// * **inter gather-merged** — each member's merged sublist is gathered by
+///   all members. `overlap` is the expected fraction of selected
+///   coordinates shared across nodes: merged size per member is
+///   `(k̃/m)·(1 + (1−overlap)·(m−1))` pairs, so at `overlap = 1` the
+///   exchange moves `O(k̃)` total instead of hitopk's `O(k̃·m)`.
+///
+/// Other parameters as in [`sim_hitopk`].
+pub fn sim_ok_sparse(
+    sim: &mut NetSim,
+    spec: &ClusterSpec,
+    d_elems: usize,
+    elem_bytes: usize,
+    rho: f64,
+    topk_seconds: f64,
+    overlap: f64,
+) -> CollectiveTiming {
+    let m = spec.nodes;
+    let n = spec.gpus_per_node;
+    let k_shard = (((d_elems as f64 * rho) / n as f64).round() as usize).max(1);
+
+    let nodes: Vec<Vec<usize>> = (0..m).map(|i| spec.node_members(i)).collect();
+    let streams: Vec<Vec<usize>> = (0..n).map(|j| spec.stream_members(j)).collect();
+
+    // Step 1: intra-node dense ReduceScatter.
+    let t1 = measure_span(sim, "oksparse/intra reduce-scatter", |sim| {
+        sim_ring_reduce_scatter_groups(sim, &nodes, d_elems * elem_bytes);
+    });
+    sim.barrier();
+
+    // Step 2: top-k on every GPU, in parallel.
+    let t2 = measure_span(sim, "oksparse/top-k compression", |sim| {
+        for g in 0..spec.world() {
+            sim.compute(g, topk_seconds);
+        }
+    });
+    sim.barrier();
+
+    // Step 3a: range-split of the k̃ selected pairs across the m members.
+    let t3 = measure_span(sim, "oksparse/inter split", |sim| {
+        sim_ring_reduce_scatter_groups(sim, &streams, k_shard * (elem_bytes + 4));
+    });
+    sim.barrier();
+
+    // Step 3b: AllGather of each member's merged sublist.
+    let merged = (((k_shard as f64 / m as f64) * (1.0 + (1.0 - overlap) * (m - 1) as f64)).round()
+        as usize)
+        .max(1);
+    let t4 = measure_span(sim, "oksparse/inter gather-merged", |sim| {
+        sim_ring_all_gather_groups(sim, &streams, merged * (elem_bytes + 4));
+    });
+    sim.barrier();
+
+    // Step 4: intra-node AllGather of the aggregated shard.
+    let dense_shard = chunk_bytes(d_elems, n) * elem_bytes;
+    let sparse_shard = m * k_shard * (elem_bytes + 4);
+    let t5 = measure_span(sim, "oksparse/intra all-gather", |sim| {
+        sim_ring_all_gather_groups(sim, &nodes, sparse_shard.min(dense_shard));
+    });
+
+    CollectiveTiming {
+        total: t1 + t2 + t3 + t4 + t5,
+        phases: vec![
+            PhaseTiming {
+                label: "intra reduce-scatter",
+                seconds: t1,
+            },
+            PhaseTiming {
+                label: "top-k compression",
+                seconds: t2,
+            },
+            PhaseTiming {
+                label: "inter split",
+                seconds: t3,
+            },
+            PhaseTiming {
+                label: "inter gather-merged",
+                seconds: t4,
+            },
+            PhaseTiming {
+                label: "intra all-gather",
+                seconds: t5,
+            },
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
