@@ -52,11 +52,15 @@ pub fn print_help() {
          \x20            table plus JSONL report\n\
          \x20            --corpus FILE --out FILE --fuzz N --seed N --deny\n\
          \x20 lint       determinism & safety static analysis over every\n\
-         \x20            workspace crate (wall-clock ban, unordered\n\
-         \x20            iteration, panic-free libraries, checked decode\n\
-         \x20            arithmetic, feature-gate hygiene, ambient\n\
-         \x20            nondeterminism, forbid(unsafe_code))\n\
-         \x20            --root DIR --out FILE --deny\n\
+         \x20            workspace crate: per-file rules (wall-clock ban,\n\
+         \x20            unordered iteration, panic-free libraries, checked\n\
+         \x20            decode arithmetic, feature-gate hygiene, ambient\n\
+         \x20            nondeterminism, forbid(unsafe_code)) plus the\n\
+         \x20            call-graph/dataflow passes (twin_drift,\n\
+         \x20            coverage_conformance, cast_flow,\n\
+         \x20            float_determinism)\n\
+         \x20            --root DIR --out FILE --deny --rule R\n\
+         \x20            --explain RULE\n\
          \x20 reorder    probe pairwise alpha/beta over the modelled fabric\n\
          \x20            and optimize the inter-node ring order on a\n\
          \x20            rack-scrambled cost model\n\
@@ -603,7 +607,33 @@ fn cmd_conformance(args: &Args) -> Result<(), ParseError> {
 }
 
 fn cmd_lint(args: &Args) -> Result<(), ParseError> {
-    args.reject_unknown(&["root", "out", "deny"])?;
+    args.reject_unknown(&["root", "out", "deny", "rule", "explain"])?;
+    // `--explain <rule>` prints the rule's doc entry and exits without
+    // touching the tree at all.
+    let explain_rule = args.get_or("explain", "");
+    if !explain_rule.is_empty() {
+        let text = cloudtrain_lint::explain::explain(explain_rule).ok_or_else(|| {
+            ParseError(format!(
+                "--explain {explain_rule}: unknown rule (known: {})",
+                cloudtrain_lint::RULES.join(", ")
+            ))
+        })?;
+        println!("{explain_rule}\n{}\n{text}", "-".repeat(explain_rule.len()));
+        return Ok(());
+    }
+    let mut config = cloudtrain_lint::Config::default();
+    match args.get_or("rule", "") {
+        "" => {}
+        rule if cloudtrain_lint::RULES.contains(&rule) => {
+            config.only_rule = Some(rule.to_string());
+        }
+        rule => {
+            return Err(ParseError(format!(
+                "--rule {rule}: unknown rule (known: {})",
+                cloudtrain_lint::RULES.join(", ")
+            )))
+        }
+    }
     let root = match args.get_or("root", "") {
         "" => {
             let cwd = std::env::current_dir()
@@ -614,7 +644,7 @@ fn cmd_lint(args: &Args) -> Result<(), ParseError> {
         }
         dir => std::path::PathBuf::from(dir),
     };
-    let report = cloudtrain_lint::run_workspace(&root)
+    let report = cloudtrain_lint::run_workspace_with(&root, &config)
         .map_err(|e| ParseError(format!("lint failed: {e}")))?;
     print!("{}", report.table());
     match args.get_or("out", "") {

@@ -695,7 +695,7 @@ fn search_histogram(
         // The cell holds a handful of magnitudes; screen each chunk with a
         // vectorizable membership count and only gather from chunks that
         // hit.
-        let mut cell_m: Vec<f32> = Vec::with_capacity(counts[cell] as usize);
+        let mut cell_m: Vec<f32> = Vec::with_capacity((counts[cell] as usize).min(survivors.len()));
         for chunk in survivors.chunks(SCAN_CHUNK) {
             let hits: usize = chunk.iter().map(|&m| usize::from(m >= lo && m < hi)).sum();
             if hits == 0 {

@@ -1,0 +1,161 @@
+//! Call-site extraction and the workspace call graph.
+//!
+//! For every function body in the [`crate::symbols::SymbolTable`] this
+//! pass records the called names, token-level: an identifier directly
+//! followed by `(` is a call (free function, method, or tuple-struct
+//! constructor — the twin rules care about the *name*, not the kind).
+//! Assertion macros (`assert!`/`debug_assert_eq!`/...) are transparent to
+//! runtime structure, so calls inside their argument lists are skipped —
+//! a `debug_assert_eq!(shard, shard_for(...))` in one twin must not read
+//! as a structural `shard_for` hop. Other macro invocations keep their
+//! argument calls but the macro name itself is never an edge.
+
+use crate::lexer::{is_ident, is_punct, Tok, Token};
+use crate::symbols::SymbolTable;
+use crate::FileUnit;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name (last path segment as written).
+    pub callee: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Per-function call lists, indexed like `SymbolTable::fns`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[i]` are the call sites of function `i`, in source order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Number of call sites whose callee resolved to a workspace symbol.
+    pub resolved_edges: usize,
+}
+
+/// Control-flow keywords that look like calls token-wise (`if (`,
+/// `while (`, ...) plus binding forms.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "move", "in",
+    "as", "where", "impl", "dyn",
+];
+
+/// Macros whose argument lists are assertion-only (stripped wholesale).
+fn is_assert_macro(name: &str) -> bool {
+    name.starts_with("assert")
+        || name.starts_with("debug_assert")
+        || name == "panic"
+        || name == "unreachable"
+}
+
+impl CallGraph {
+    /// Extracts call sites for every function in `table`.
+    pub fn build(units: &[FileUnit], table: &SymbolTable) -> Self {
+        let mut graph = CallGraph::default();
+        for sym in &table.fns {
+            let unit = &units[sym.file];
+            let sites = extract_calls(&unit.tokens, sym.body);
+            graph.resolved_edges += sites
+                .iter()
+                .filter(|s| table.resolve(&s.callee, &sym.crate_name).is_some())
+                .count();
+            graph.calls.push(sites);
+        }
+        graph
+    }
+}
+
+/// Token index of the `)`/`]`/`}` closing the bracket opened at `open`,
+/// or `span_end` if unbalanced.
+pub(crate) fn matching_close(tokens: &[Token], open: usize, span_end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i <= span_end && i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    span_end
+}
+
+/// Scans the inclusive token span `body` for call sites.
+pub fn extract_calls(tokens: &[Token], body: (usize, usize)) -> Vec<CallSite> {
+    let (start, end) = body;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i <= end && i < tokens.len() {
+        let Tok::Ident(name) = &tokens[i].tok else {
+            i += 1;
+            continue;
+        };
+        // Macro invocation: `name!(...)` / `name![...]` / `name!{...}`.
+        if i < end && is_punct(&tokens[i + 1], '!') {
+            let opener = i + 2 <= end
+                && matches!(
+                    tokens[i + 2].tok,
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{')
+                );
+            if is_assert_macro(name) && opener {
+                // Skip the whole argument list: assertion arguments are
+                // not runtime structure.
+                i = matching_close(tokens, i + 2, end) + 1;
+            } else {
+                // Non-assert macro: skip only the name, keep scanning its
+                // arguments for real calls.
+                i += 2;
+            }
+            continue;
+        }
+        let is_call = i < end
+            && is_punct(&tokens[i + 1], '(')
+            && !KEYWORDS.contains(&name.as_str())
+            && !(i > start && is_ident(&tokens[i - 1], "fn"));
+        if is_call {
+            out.push(CallSite {
+                callee: name.clone(),
+                line: tokens[i].line,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn calls_of(src: &str) -> Vec<String> {
+        let (tokens, _) = lex(src);
+        extract_calls(&tokens, (0, tokens.len().saturating_sub(1)))
+            .into_iter()
+            .map(|c| c.callee)
+            .collect()
+    }
+
+    #[test]
+    fn records_free_and_method_calls() {
+        let got = calls_of("{ helper(x); peer.send_f32(t, buf); Foo::new(3); if cond { g() } }");
+        assert_eq!(got, vec!["helper", "send_f32", "new", "g"]);
+    }
+
+    #[test]
+    fn assert_macro_arguments_are_transparent() {
+        let got = calls_of("{ debug_assert_eq!(shard, shard_for(d, n, r)); real_call(); }");
+        assert_eq!(got, vec!["real_call"]);
+    }
+
+    #[test]
+    fn other_macros_keep_inner_calls_but_not_the_name() {
+        let got = calls_of("{ vec![make(1); count(n)]; format!(\"{}\", render(x)); }");
+        assert_eq!(got, vec!["make", "count", "render"]);
+    }
+}

@@ -22,20 +22,28 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod coverage;
+pub mod dataflow;
+pub mod explain;
 pub mod lexer;
 pub mod regions;
 pub mod rules;
 pub mod suppress;
+pub mod symbols;
+pub mod twins;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
 use rules::FileCtx;
 
-/// Every rule the analyzer knows, in report order. `suppression` and
-/// `baseline` are meta-rules for malformed waivers; the rest are the
-/// substantive checks.
+/// Every rule the analyzer knows, in report order. The first block are
+/// per-file token rules; `twin_drift` through `float_determinism` are the
+/// workspace passes over the symbol table / call graph; `suppression` and
+/// `baseline` are meta-rules for malformed waivers.
 pub const RULES: &[&str] = &[
     "wall_clock",
     "unordered_iter",
@@ -44,6 +52,10 @@ pub const RULES: &[&str] = &[
     "feature_gate",
     "ambient",
     "forbid_unsafe",
+    "twin_drift",
+    "coverage_conformance",
+    "cast_flow",
+    "float_determinism",
     "suppression",
     "baseline",
 ];
@@ -78,6 +90,22 @@ pub struct Config {
     /// inputs to harnesses, not source code, and must never influence
     /// lint output. Matched against `/`-separated relative paths.
     pub excluded_path_prefixes: Vec<String>,
+    /// Crates whose suffix twin families are held to the declared rewrite
+    /// sets (rule `twin_drift`).
+    pub twin_crates: Vec<String>,
+    /// Crates whose float reductions must go through the sanctioned
+    /// fixed-shape kernels (rule `float_determinism`).
+    pub float_crates: Vec<String>,
+    /// The crate whose exported `*all_reduce*` surface is cross-checked
+    /// against the conformance matrix (rule `coverage_conformance`).
+    pub collectives_crate: String,
+    /// Path prefixes of bench/gauntlet harnesses: naming a collective in
+    /// one of these files counts as exercising it.
+    pub harness_path_prefixes: Vec<String>,
+    /// When set, only this rule's findings are reported and workspace
+    /// passes for other rules are skipped entirely (the CLI's `--rule`
+    /// filter; CI uses it for per-rule timing rows).
+    pub only_rule: Option<String>,
 }
 
 impl Default for Config {
@@ -105,6 +133,11 @@ impl Default for Config {
             ]),
             wall_clock_allow_prefixes: owned(&["crates/bench/src/bin/"]),
             excluded_path_prefixes: owned(&["crates/conformance/corpus/"]),
+            twin_crates: owned(&["cloudtrain-collectives"]),
+            float_crates: owned(&["cloudtrain-tensor", "cloudtrain-compress"]),
+            collectives_crate: "cloudtrain-collectives".to_string(),
+            harness_path_prefixes: owned(&["crates/bench/src/bin/"]),
+            only_rule: None,
         }
     }
 }
@@ -118,7 +151,39 @@ pub struct FileLint {
     pub suppressed: usize,
 }
 
-/// Lints one file's source text.
+/// One file's source text plus crate metadata, as handed to [`run_files`].
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full source text.
+    pub src: String,
+    /// Owning crate's `package.name`.
+    pub crate_name: String,
+    /// Feature names the owning crate declares.
+    pub features: Vec<String>,
+}
+
+/// A lexed and region-analyzed file — the unit the workspace passes
+/// (symbol table, call graph, twin/coverage/dataflow rules) share.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Owning crate's `package.name`.
+    pub crate_name: String,
+    /// Feature names the owning crate declares.
+    pub features: Vec<String>,
+    /// Token stream.
+    pub tokens: Vec<lexer::Token>,
+    /// Comments (suppression carriers).
+    pub comments: Vec<lexer::Comment>,
+    /// Region analysis over `tokens`.
+    pub regions: regions::Regions,
+}
+
+/// Lints one file's source text with the per-file rules only (the
+/// workspace passes need the whole unit list; see [`run_files`]).
 ///
 /// `crate_name` and `features` come from the owning crate's `Cargo.toml`;
 /// `rel_path` should be workspace-relative with `/` separators (it is
@@ -142,7 +207,7 @@ pub fn lint_source(
     };
     let findings = rules::run_all(&ctx);
     let (sup, mut bad) = suppress::parse(rel_path, &comments, RULES);
-    let (mut kept, suppressed) = suppress::apply(findings, &sup);
+    let (mut kept, suppressed) = suppress::apply(findings, &sup, &regions.attr_lines);
     kept.append(&mut bad);
     FileLint {
         findings: kept,
@@ -164,6 +229,14 @@ pub struct Report {
     pub files: usize,
     /// Crates scanned.
     pub crates: usize,
+    /// Functions the symbol table indexed.
+    pub symbols: usize,
+    /// Call sites that resolved to a workspace symbol.
+    pub call_edges: usize,
+    /// Twin pairs discovered and compared by `twin_drift`.
+    pub twin_families: usize,
+    /// Conformance pairings the coverage pass re-derived from source.
+    pub pairings: usize,
 }
 
 impl Report {
@@ -176,18 +249,26 @@ impl Report {
         self.findings.sort_by(|a, b| {
             (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
         });
+        // Two textually identical sinks on one line are one defect.
+        self.findings.dedup();
     }
 
     /// Human-readable report table, byte-stable across runs.
     pub fn table(&self) -> String {
         let mut out = format!(
             "cloudtrain-lint: {} finding(s) across {} file(s) in {} crate(s) \
-             ({} suppressed inline, {} baselined)\n",
+             ({} suppressed inline, {} baselined)\n\
+             analyzer: {} symbols, {} resolved call edges, {} twin families, \
+             {} conformance pairings\n",
             self.findings.len(),
             self.files,
             self.crates,
             self.suppressed,
-            self.baselined
+            self.baselined,
+            self.symbols,
+            self.call_edges,
+            self.twin_families,
+            self.pairings
         );
         if !self.findings.is_empty() {
             out.push_str(&format!(
@@ -212,10 +293,14 @@ impl Report {
     pub fn to_jsonl(&self) -> String {
         let mut reg = cloudtrain_obs::Registry::new();
         reg.counter_add("lint/baselined", self.baselined as u64);
+        reg.counter_add("lint/call_edges", self.call_edges as u64);
         reg.counter_add("lint/crates", self.crates as u64);
         reg.counter_add("lint/files", self.files as u64);
         reg.counter_add("lint/findings", self.findings.len() as u64);
+        reg.counter_add("lint/pairings", self.pairings as u64);
         reg.counter_add("lint/suppressed", self.suppressed as u64);
+        reg.counter_add("lint/symbols", self.symbols as u64);
+        reg.counter_add("lint/twin_families", self.twin_families as u64);
         for rule in RULES {
             let n = self.findings.iter().filter(|f| f.rule == *rule).count();
             reg.counter_add(&format!("lint/rule/{rule}"), n as u64);
@@ -309,6 +394,119 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
     Ok(())
 }
 
+/// Runs the full analyzer — per-file rules, then the workspace passes
+/// (symbol table, call graph, twin drift, conformance coverage, dataflow)
+/// — over an in-memory file set. This is the core both
+/// [`run_workspace_with`] and the fixture tests drive; it never touches
+/// the filesystem, so tests can lint mutated copies of real sources.
+///
+/// Baseline absorption is the caller's job (the baseline lives next to
+/// the real workspace root); the returned report has `baselined == 0`.
+pub fn run_files(inputs: &[FileInput], config: &Config) -> Report {
+    let mut report = Report::default();
+    let mut findings = Vec::new();
+
+    // Lex + region-analyze every file once; the units are shared by the
+    // per-file rules and every workspace pass.
+    let mut units: Vec<FileUnit> = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let (tokens, comments) = lexer::lex(&input.src);
+        let regions = regions::analyze(&tokens);
+        units.push(FileUnit {
+            rel_path: input.rel_path.clone(),
+            crate_name: input.crate_name.clone(),
+            features: input.features.clone(),
+            tokens,
+            comments,
+            regions,
+        });
+    }
+    report.files = units.len();
+    report.crates = {
+        let mut names: Vec<&str> = units.iter().map(|u| u.crate_name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    };
+
+    // Per-file stage, keeping each file's parsed suppressions for the
+    // workspace findings below.
+    let mut waivers: Vec<Vec<suppress::Suppression>> = Vec::with_capacity(units.len());
+    for unit in &units {
+        let ctx = FileCtx {
+            path: &unit.rel_path,
+            crate_name: &unit.crate_name,
+            features: &unit.features,
+            tokens: &unit.tokens,
+            regions: &unit.regions,
+            config,
+        };
+        let file_findings = rules::run_all(&ctx);
+        let (sup, mut bad) = suppress::parse(&unit.rel_path, &unit.comments, RULES);
+        let (mut kept, suppressed) = suppress::apply(file_findings, &sup, &unit.regions.attr_lines);
+        report.suppressed += suppressed;
+        kept.append(&mut bad);
+        findings.extend(kept);
+        waivers.push(sup);
+    }
+
+    // Workspace stage.
+    let table = symbols::SymbolTable::build(&units);
+    let graph = callgraph::CallGraph::build(&units, &table);
+    report.symbols = table.fns.len();
+    report.call_edges = graph.resolved_edges;
+
+    let wants = |rule: &str| config.only_rule.as_deref().is_none_or(|r| r == rule);
+    let mut ws_findings = Vec::new();
+    if wants("twin_drift") {
+        let twin_stats = twins::check(&table, &graph, &config.twin_crates, &mut ws_findings);
+        report.twin_families = twin_stats.families;
+    }
+    if wants("coverage_conformance") {
+        let cov_stats = coverage::check(
+            &units,
+            &table,
+            &config.collectives_crate,
+            &config.harness_path_prefixes,
+            &mut ws_findings,
+        );
+        report.pairings = cov_stats.pairings();
+    }
+    if wants("cast_flow") {
+        dataflow::cast_flow(&units, &table, &mut ws_findings);
+    }
+    if wants("float_determinism") {
+        dataflow::float_determinism(&units, &table, &config.float_crates, &mut ws_findings);
+    }
+
+    // Workspace findings honour the same inline suppressions as per-file
+    // ones; route each finding through its file's waiver list.
+    let unit_index: BTreeMap<&str, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.rel_path.as_str(), i))
+        .collect();
+    let mut by_unit: BTreeMap<usize, Vec<Finding>> = BTreeMap::new();
+    for f in ws_findings {
+        match unit_index.get(f.path.as_str()) {
+            Some(&i) => by_unit.entry(i).or_default().push(f),
+            None => findings.push(f),
+        }
+    }
+    for (i, group) in by_unit {
+        let (kept, suppressed) = suppress::apply(group, &waivers[i], &units[i].regions.attr_lines);
+        report.suppressed += suppressed;
+        findings.extend(kept);
+    }
+
+    if let Some(rule) = &config.only_rule {
+        findings.retain(|f| f.rule == *rule);
+    }
+    report.findings = findings;
+    report.sort();
+    report
+}
+
 /// Runs the analyzer over a workspace root (the directory holding
 /// `crates/` and `lint-baseline.toml`), applying the default [`Config`].
 ///
@@ -326,6 +524,32 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
 /// Returns a [`LintError`] for I/O failures or a malformed baseline —
 /// both fail the run loudly rather than under-linting.
 pub fn run_workspace_with(root: &Path, config: &Config) -> Result<Report, LintError> {
+    let inputs = collect_workspace(root, config)?;
+    let mut report = run_files(&inputs, config);
+
+    let baseline_path = root.join("lint-baseline.toml");
+    let baseline = if baseline_path.is_file() {
+        let text = fs::read_to_string(&baseline_path)
+            .map_err(|e| LintError(format!("read {}: {e}", baseline_path.display())))?;
+        Baseline::parse(&text).map_err(LintError)?
+    } else {
+        Baseline::default()
+    };
+    let (kept, absorbed) = baseline.apply(std::mem::take(&mut report.findings));
+    report.findings = kept;
+    report.baselined = absorbed;
+    report.sort();
+    Ok(report)
+}
+
+/// Reads every lintable `.rs` file under `root/crates` into memory, in
+/// deterministic (crate, path) order, with its crate metadata attached.
+/// Exposed so tests can load the real workspace, mutate one file's text,
+/// and re-run [`run_files`] on the altered snapshot.
+///
+/// # Errors
+/// Returns a [`LintError`] for I/O failures.
+pub fn collect_workspace(root: &Path, config: &Config) -> Result<Vec<FileInput>, LintError> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| LintError(format!("read {}: {e}", crates_dir.display())))?
@@ -334,8 +558,7 @@ pub fn run_workspace_with(root: &Path, config: &Config) -> Result<Report, LintEr
         .collect();
     crate_dirs.sort();
 
-    let mut report = Report::default();
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for crate_dir in crate_dirs {
         let manifest_path = crate_dir.join("Cargo.toml");
         let src_dir = crate_dir.join("src");
@@ -345,7 +568,6 @@ pub fn run_workspace_with(root: &Path, config: &Config) -> Result<Report, LintEr
         let manifest = fs::read_to_string(&manifest_path)
             .map_err(|e| LintError(format!("read {}: {e}", manifest_path.display())))?;
         let meta = parse_manifest(&manifest);
-        report.crates += 1;
 
         let mut files = Vec::new();
         rust_files(&src_dir, &mut files)?;
@@ -366,26 +588,15 @@ pub fn run_workspace_with(root: &Path, config: &Config) -> Result<Report, LintEr
             }
             let src = fs::read_to_string(&file)
                 .map_err(|e| LintError(format!("read {}: {e}", file.display())))?;
-            let lint = lint_source(&rel, &src, &meta.name, &meta.features, config);
-            report.files += 1;
-            report.suppressed += lint.suppressed;
-            findings.extend(lint.findings);
+            inputs.push(FileInput {
+                rel_path: rel,
+                src,
+                crate_name: meta.name.clone(),
+                features: meta.features.clone(),
+            });
         }
     }
-
-    let baseline_path = root.join("lint-baseline.toml");
-    let baseline = if baseline_path.is_file() {
-        let text = fs::read_to_string(&baseline_path)
-            .map_err(|e| LintError(format!("read {}: {e}", baseline_path.display())))?;
-        Baseline::parse(&text).map_err(LintError)?
-    } else {
-        Baseline::default()
-    };
-    let (kept, absorbed) = baseline.apply(findings);
-    report.findings = kept;
-    report.baselined = absorbed;
-    report.sort();
-    Ok(report)
+    Ok(inputs)
 }
 
 /// Walks upward from `start` to the first directory whose `Cargo.toml`

@@ -20,6 +20,10 @@ pub struct FnSpan {
     pub name: String,
     /// Token-index span of the body braces, inclusive.
     pub body: Span,
+    /// Token index of the `fn` keyword (the declaration site).
+    pub decl: usize,
+    /// Whether the item is exported (`pub`, not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
 }
 
 /// Structural facts about one file.
@@ -31,6 +35,11 @@ pub struct Regions {
     pub feature_gated: Vec<Span>,
     /// Every named `fn` body, in source order.
     pub fns: Vec<FnSpan>,
+    /// 1-based line ranges `[first, last]` of every outer `#[...]`
+    /// attribute — suppression scoping treats a multi-line attribute as
+    /// one unit, so an allow above `#[cfg(\n feature = ...\n)]` covers
+    /// findings anywhere inside the attribute span.
+    pub attr_lines: Vec<(u32, u32)>,
 }
 
 impl Regions {
@@ -166,6 +175,9 @@ pub fn analyze(tokens: &[Token]) -> Regions {
             }
             k += 1;
         }
+        regions
+            .attr_lines
+            .push((tokens[i].line, tokens[close].line));
         if let Some(end) = end {
             if end != usize::MAX {
                 let span = (i, end);
@@ -197,6 +209,8 @@ pub fn analyze(tokens: &[Token]) -> Regions {
                                 regions.fns.push(FnSpan {
                                     name: name.clone(),
                                     body: (k, close),
+                                    decl: i,
+                                    is_pub: decl_is_pub(tokens, i),
                                 });
                             }
                             break;
@@ -212,6 +226,33 @@ pub fn analyze(tokens: &[Token]) -> Regions {
         i += 1;
     }
     regions
+}
+
+/// Whether the declaration qualifiers directly before the `fn` keyword at
+/// token index `i` export the item: a bare `pub` counts, `pub(crate)` /
+/// `pub(super)` do not.
+fn decl_is_pub(tokens: &[Token], i: usize) -> bool {
+    // Walk back over the qualifier window (`pub const unsafe extern "C"`),
+    // stopping at the first token that is not a declaration qualifier so a
+    // preceding item's `pub` is never picked up.
+    let mut j = i;
+    while j > 0 {
+        let prev = &tokens[j - 1];
+        let qualifier = ["const", "unsafe", "async", "extern"]
+            .iter()
+            .any(|q| is_ident(prev, q))
+            || matches!(prev.tok, Tok::Str(_));
+        if qualifier {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    if j == 0 {
+        return false;
+    }
+    // `pub(crate)`/`pub(super)` end in `)` directly before the window.
+    is_ident(&tokens[j - 1], "pub")
 }
 
 #[cfg(test)]

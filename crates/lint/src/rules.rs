@@ -336,12 +336,14 @@ fn panic_free(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// Identifier fragments that mark a value as length-like for rule 4.
-const LENGTHISH: &[&str] = &[
+/// Identifier fragments that mark a value as length-like for rule 4 (and
+/// for the workspace-wide `cast_flow` dataflow pass, which shares the
+/// taxonomy so the two rules agree on what "length-derived" means).
+pub(crate) const LENGTHISH: &[&str] = &[
     "len", "size", "count", "off", "header", "declared", "dim", "bytes", "pixels",
 ];
 
-fn is_lengthish(name: &str) -> bool {
+pub(crate) fn is_lengthish(name: &str) -> bool {
     let lower = name.to_ascii_lowercase();
     LENGTHISH.iter().any(|frag| lower.contains(frag))
 }

@@ -102,14 +102,29 @@ pub fn parse(
 
 /// Splits `findings` into (kept, suppressed-count) by applying the
 /// suppressions: a finding is waived when a suppression for its rule sits
-/// on its line or the line above.
-pub fn apply(findings: Vec<Finding>, sup: &[Suppression]) -> (Vec<Finding>, usize) {
+/// on its line or the line above. `attr_lines` holds the 1-based line
+/// ranges of outer attributes (see `Regions::attr_lines`): a suppression
+/// directly above a multi-line `#[cfg(...)]` attribute covers findings
+/// anywhere inside that attribute's span, so the allow does not have to
+/// chase the exact line the `feature` token lands on.
+pub fn apply(
+    findings: Vec<Finding>,
+    sup: &[Suppression],
+    attr_lines: &[(u32, u32)],
+) -> (Vec<Finding>, usize) {
     let mut kept = Vec::new();
     let mut waived = 0usize;
     for f in findings {
-        let hit = sup
-            .iter()
-            .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        let hit = sup.iter().any(|s| {
+            s.rule == f.rule
+                && (s.line == f.line
+                    || s.line + 1 == f.line
+                    || attr_lines.iter().any(|&(first, last)| {
+                        (s.line == first || s.line + 1 == first)
+                            && f.line >= first
+                            && f.line <= last
+                    }))
+        });
         if hit {
             waived += 1;
         } else {
@@ -180,8 +195,31 @@ mod tests {
                 mk("ambient", 10),
             ],
             &sup,
+            &[],
         );
         assert_eq!(waived, 2);
         assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn apply_covers_a_multiline_attribute_span() {
+        let sup = vec![Suppression {
+            rule: "feature_gate".to_string(),
+            line: 1,
+            reason: "r".to_string(),
+        }];
+        let mk = |line| Finding {
+            rule: "feature_gate",
+            path: "f.rs".to_string(),
+            line,
+            message: String::new(),
+        };
+        // Attribute spans lines 2..=4; the finding sits on line 4, past the
+        // plain line+1 window, but the suppression above the attribute
+        // still covers it. Line 5 is outside the attribute and stays.
+        let (kept, waived) = apply(vec![mk(4), mk(5)], &sup, &[(2, 4)]);
+        assert_eq!(waived, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 5);
     }
 }

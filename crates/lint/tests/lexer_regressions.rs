@@ -1,0 +1,70 @@
+//! Lexer/suppression edge-case regressions.
+//!
+//! Two scenarios that historically risk silent suppression loss:
+//! a suppression comment on the file's final line when the file has no
+//! trailing newline, and suppressions interacting with multi-line
+//! `#[cfg(...)]` attribute spans (the `feature = ...` token can sit
+//! several lines below the attribute opener, outside the plain
+//! same-line/next-line waiver window).
+
+use cloudtrain_lint::{lexer, lint_source, suppress, Config};
+
+#[test]
+fn final_line_suppression_without_trailing_newline_still_applies() {
+    // Suppression comment on the final line, no trailing newline: the
+    // lexer must still emit the comment at EOF and the waiver must apply.
+    let src = "fn f(m: &std::collections::HashMap<u32, u32>) {\n    for v in m.values() {} // lint:allow(unordered_iter, reason = \"fixture: order-insensitive fold\")\n}";
+    assert!(!src.ends_with('\n'), "fixture must lack a trailing newline");
+    let lint = lint_source("crates/x/src/a.rs", src, "x", &[], &Config::default());
+    assert_eq!(
+        lint.findings,
+        [],
+        "the unordered_iter finding must be waived"
+    );
+    assert_eq!(lint.suppressed, 1);
+}
+
+#[test]
+fn comment_only_final_line_without_newline_is_lexed_and_parsed() {
+    let src = "// lint:allow(panic_free, reason = \"fixture\")";
+    let (_, comments) = lexer::lex(src);
+    assert_eq!(comments.len(), 1, "EOF must terminate the line comment");
+    let (ok, bad) = suppress::parse("f.rs", &comments, &["panic_free"]);
+    assert!(bad.is_empty());
+    assert_eq!(ok.len(), 1);
+    assert_eq!(ok[0].rule, "panic_free");
+}
+
+#[test]
+fn suppression_above_multiline_cfg_attribute_covers_the_span() {
+    // The undeclared-feature finding anchors on the `feature` token, two
+    // lines below the suppression — inside the attribute span, so the
+    // attr-aware waiver window must cover it.
+    let src = "// lint:allow(feature_gate, reason = \"fixture: probing an optional dep\")\n#[cfg(\n    feature = \"nope\"\n)]\nfn f() {}\n";
+    let lint = lint_source("crates/x/src/a.rs", src, "x", &[], &Config::default());
+    assert_eq!(
+        lint.findings,
+        [],
+        "suppression above the attribute must cover the whole span"
+    );
+    assert_eq!(lint.suppressed, 1);
+}
+
+#[test]
+fn suppression_inside_multiline_cfg_attribute_covers_the_span() {
+    let src = "#[cfg(\n    // lint:allow(feature_gate, reason = \"fixture: probing an optional dep\")\n    feature = \"nope\"\n)]\nfn f() {}\n";
+    let lint = lint_source("crates/x/src/a.rs", src, "x", &[], &Config::default());
+    assert_eq!(lint.findings, [], "suppression inside the span must apply");
+    assert_eq!(lint.suppressed, 1);
+}
+
+#[test]
+fn unsuppressed_multiline_cfg_attribute_still_fires() {
+    // The waiver widening must not eat legitimate findings: with no
+    // suppression anywhere, the undeclared feature is still reported.
+    let src = "#[cfg(\n    feature = \"nope\"\n)]\nfn f() {}\n";
+    let lint = lint_source("crates/x/src/a.rs", src, "x", &[], &Config::default());
+    assert_eq!(lint.findings.len(), 1, "{:?}", lint.findings);
+    assert_eq!(lint.findings[0].rule, "feature_gate");
+    assert_eq!(lint.suppressed, 0);
+}

@@ -723,8 +723,21 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Euclidean (L2) norm.
+///
+/// Squares are folded per [`REDUCE_BLOCK`]-wide block and the block
+/// partials combined in block-index order, pinning the reduction tree to
+/// the same shape as the other reductions (identical to the old flat fold
+/// for inputs up to one block).
 pub fn l2_norm(x: &[f32]) -> f32 {
-    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+    let mut total = 0.0f32;
+    for b in x.chunks(REDUCE_BLOCK) {
+        let mut part = 0.0f32;
+        for v in b {
+            part += v * v;
+        }
+        total += part;
+    }
+    total.sqrt()
 }
 
 /// Sum of all elements.

@@ -85,6 +85,14 @@ run_lint_gate() {
     stage "cloudtrain lint: build"
     cargo build --release -q -p cloudtrain-cli
 
+    stage "cloudtrain lint: assert the baseline carries zero entries"
+    # The baseline is shrink-only and has been paid down to empty; any
+    # reappearing [[allow]] entry is new debt and fails CI outright.
+    if grep -q '^\[\[allow\]\]' lint-baseline.toml; then
+        echo "lint-baseline.toml has [[allow]] entries; fix findings at the source" >&2
+        exit 1
+    fi
+
     stage "cloudtrain lint: run twice with --deny, require byte-identical reports"
     lint_a=$(mktemp)
     lint_b=$(mktemp)
@@ -94,6 +102,17 @@ run_lint_gate() {
     cmp "$lint_a" "$lint_b"
     cmp "$lint_a.jsonl" "$lint_b.jsonl"
     cat "$lint_a"
+    # Keep the canonical JSONL for the workflow's artifact upload.
+    mkdir -p target
+    cp "$lint_a.jsonl" target/lint-report.jsonl
+
+    # One timing row per rule so the table localises analyzer cost (the
+    # workspace passes dominate; --rule skips the others).
+    local rule
+    for rule in twin_drift coverage_conformance cast_flow float_determinism; do
+        stage "cloudtrain lint: --rule $rule"
+        ./target/release/cloudtrain lint --root . --rule "$rule" --deny > /dev/null
+    done
 }
 
 if [[ "${1:-}" == "lint" ]]; then
