@@ -1,0 +1,218 @@
+//! CI elastic gauntlet: scripted membership churn across seeds and
+//! scenarios.
+//!
+//! Three churn scenarios (single eviction, eviction + replacement join,
+//! correlated rack loss) are each replayed under 8 seeds on a 32-node
+//! cluster, in two modes:
+//!
+//! * **reshard** — the coordinator timeline is folded to consistent-hash
+//!   resharding events, checking that every single topology change moves
+//!   < 5% of the cached data set and that no sample ever moves between
+//!   two surviving nodes (zero excess);
+//! * **resume-replay** — `DistTrainer::run_elastic` (which round-trips
+//!   every segment boundary through the sharded checkpoint wire format)
+//!   must be **bitwise identical** to its in-memory planned twin: same
+//!   per-epoch metrics, same final parameters, same step counter.
+//!
+//! One (seed, scenario) pair is additionally run twice end to end and its
+//! observability registry compared byte for byte; that registry is printed
+//! between `ELASTIC-JSONL-BEGIN`/`ELASTIC-JSONL-END` markers so the CI
+//! gate can `cmp` it across independent process runs. The ablation rows
+//! are emitted as JSON for the snapshot artifact.
+
+use cloudtrain::prelude::*;
+use cloudtrain_bench::{emit_json, header};
+use serde::Serialize;
+
+const SEEDS: u64 = 8;
+const NODES: usize = 32;
+const EPOCHS: usize = 3;
+const SCENARIOS: [&str; 3] = ["evict", "evict-join", "rack-loss"];
+
+fn scenario_of(kind: &str, seed: u64) -> ElasticScenario {
+    match kind {
+        "evict" => ElasticScenario::evict(seed, NODES, EPOCHS),
+        "evict-join" => ElasticScenario::evict_join(seed, NODES, EPOCHS),
+        "rack-loss" => ElasticScenario::rack_loss(seed, NODES, EPOCHS),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+fn gauntlet_cfg(seed: u64) -> DistConfig {
+    DistConfig {
+        nodes: NODES,
+        gpus_per_node: 1,
+        epochs: EPOCHS,
+        iters_per_epoch: 4,
+        local_batch: 4,
+        eval_samples: 16,
+        seed,
+        ..DistConfig::small(
+            Strategy::MsTopKHiTopK {
+                rho: 0.05,
+                samplings: 20,
+            },
+            Workload::Mlp,
+        )
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    seed: u64,
+    mode: String,
+    nodes_before: usize,
+    nodes_after: usize,
+    segments: usize,
+    reshard_events: usize,
+    max_moved_pct: f64,
+    max_excess_pct: f64,
+    replay_bitwise: bool,
+    final_step: u64,
+}
+
+/// Checks the consistent-hash contract on every resharding event and
+/// returns the worst movement percentages.
+fn audit_resharding(
+    kind: &str,
+    seed: u64,
+    events: &[cloudtrain::elastic::ReshardEvent],
+) -> (f64, f64) {
+    let mut max_moved = 0.0f64;
+    let mut max_excess = 0.0f64;
+    for ev in events {
+        assert!(
+            ev.stats.moved_pct() < 5.0,
+            "{kind} seed {seed}: reshard at epoch {} moved {:.2}% (>= 5%)",
+            ev.epoch,
+            ev.stats.moved_pct()
+        );
+        assert_eq!(
+            ev.stats.excess_moved, 0,
+            "{kind} seed {seed}: {} samples churned between survivors",
+            ev.stats.excess_moved
+        );
+        max_moved = max_moved.max(ev.stats.moved_pct());
+        max_excess = max_excess.max(ev.stats.excess_pct());
+    }
+    (max_moved, max_excess)
+}
+
+fn main() {
+    header("CI elastic gauntlet: 8 seeds x {evict, evict-join, rack-loss} x {replay, reshard}");
+    println!(
+        "{:<12} {:>4} {:<8} {:>6} {:>6} {:>9} {:>9} {:>10} {:>11} {:>8}",
+        "scenario",
+        "seed",
+        "mode",
+        "before",
+        "after",
+        "segments",
+        "reshards",
+        "max moved",
+        "max excess",
+        "bitwise"
+    );
+    let mut rows = Vec::new();
+    let mut snapshot_jsonl: Option<String> = None;
+    for kind in SCENARIOS {
+        for seed in 0..SEEDS {
+            let scenario = scenario_of(kind, seed);
+            let timeline = scenario.simulate();
+            let resharding = timeline.reshard_events(scenario.seed, scenario.dataset_len);
+            let (max_moved, max_excess) = audit_resharding(kind, seed, &resharding);
+            let nodes_after = timeline.schedule.last().map_or(0, Vec::len);
+            let segments = timeline.segments().len();
+            println!(
+                "{:<12} {:>4} {:<8} {:>6} {:>6} {:>9} {:>9} {:>9.2}% {:>10.2}% {:>8}",
+                kind,
+                seed,
+                "reshard",
+                NODES,
+                nodes_after,
+                segments,
+                resharding.len(),
+                max_moved,
+                max_excess,
+                true
+            );
+            rows.push(Row {
+                scenario: kind.to_string(),
+                seed,
+                mode: "reshard".to_string(),
+                nodes_before: NODES,
+                nodes_after,
+                segments,
+                reshard_events: resharding.len(),
+                max_moved_pct: max_moved,
+                max_excess_pct: max_excess,
+                replay_bitwise: true,
+                final_step: 0,
+            });
+
+            // Resume-replay: the checkpoint path against its in-memory twin.
+            let trainer = DistTrainer::new(gauntlet_cfg(seed));
+            let elastic = trainer.run_elastic(&scenario);
+            let planned = trainer.run_elastic_planned(&scenario);
+            let bitwise = elastic.bitwise_eq(&planned);
+            assert!(
+                bitwise,
+                "{kind} seed {seed}: checkpoint replay diverged from the planned twin"
+            );
+            assert_eq!(
+                elastic.segments.len(),
+                segments,
+                "{kind} seed {seed}: trainer segmented differently than the timeline"
+            );
+            if kind == "evict-join" && seed == 0 {
+                // Run-twice determinism on one full (seed, scenario) pair:
+                // trajectory and observability registry, byte for byte.
+                let again = trainer.run_elastic(&scenario);
+                assert!(
+                    elastic.bitwise_eq(&again),
+                    "evict-join seed 0: re-run trajectory diverged"
+                );
+                assert_eq!(
+                    elastic.registry.to_jsonl(),
+                    again.registry.to_jsonl(),
+                    "evict-join seed 0: re-run registry not byte-identical"
+                );
+                snapshot_jsonl = Some(elastic.registry.to_jsonl());
+            }
+            println!(
+                "{:<12} {:>4} {:<8} {:>6} {:>6} {:>9} {:>9} {:>9.2}% {:>10.2}% {:>8}",
+                kind,
+                seed,
+                "replay",
+                NODES,
+                nodes_after,
+                elastic.segments.len(),
+                elastic.resharding.len(),
+                max_moved,
+                max_excess,
+                bitwise
+            );
+            rows.push(Row {
+                scenario: kind.to_string(),
+                seed,
+                mode: "replay".to_string(),
+                nodes_before: NODES,
+                nodes_after,
+                segments: elastic.segments.len(),
+                reshard_events: elastic.resharding.len(),
+                max_moved_pct: max_moved,
+                max_excess_pct: max_excess,
+                replay_bitwise: bitwise,
+                final_step: elastic.final_step,
+            });
+        }
+    }
+    println!("ELASTIC-JSONL-BEGIN");
+    print!(
+        "{}",
+        snapshot_jsonl.expect("the evict-join seed-0 replay cell always runs")
+    );
+    println!("ELASTIC-JSONL-END");
+    emit_json("elastic_gauntlet", &rows);
+}

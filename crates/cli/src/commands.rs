@@ -77,6 +77,13 @@ pub fn print_help() {
          \x20            retry/degrade ladder vs the probed deadline budget\n\
          \x20            --nodes N --cloud <c> --seeds N --bytes N --mult F\n\
          \x20            --deny\n\
+         \x20 elastic    scripted membership churn on the elastic runtime:\n\
+         \x20            heartbeat timeline, consistent-hash resharding\n\
+         \x20            accounting, and (replay mode) checkpoint-replay\n\
+         \x20            training checked bitwise against its in-memory twin\n\
+         \x20            --scenario steady|evict|evict-join|rack\n\
+         \x20            --mode replay|reshard --nodes N --gpus N\n\
+         \x20            --epochs N --iters N --rho F --seed N --out FILE\n\
          \x20 help       this text\n\n\
          STRATEGIES: dense (TreeAR), 2dtar, topk, mstopk, gtopk, qsgd\n\
          MODELS: resnet50-224, resnet50-96, resnet50-128, resnet50-288,\n\
@@ -101,6 +108,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseError> {
         "reorder" => cmd_reorder(args),
         "autotune" => cmd_autotune(args),
         "tails" => cmd_tails(args),
+        "elastic" => cmd_elastic(args),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `cloudtrain help`)"
         ))),
@@ -994,6 +1002,147 @@ fn cmd_tails(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+fn cmd_elastic(args: &Args) -> Result<(), ParseError> {
+    args.reject_unknown(&[
+        "scenario", "mode", "nodes", "gpus", "epochs", "iters", "rho", "seed", "out",
+    ])?;
+    let nodes: usize = args.num_or("nodes", 8)?;
+    let epochs: usize = args.num_or("epochs", 3)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    if nodes < 3 || epochs < 3 {
+        return Err(ParseError(
+            "elastic: every scenario needs --nodes >= 3 and --epochs >= 3".to_string(),
+        ));
+    }
+    let scenario = match args.get_or("scenario", "evict") {
+        "steady" => ElasticScenario::steady(seed, nodes, epochs),
+        "evict" => ElasticScenario::evict(seed, nodes, epochs),
+        "evict-join" => ElasticScenario::evict_join(seed, nodes, epochs),
+        "rack" => ElasticScenario::rack_loss(seed, nodes, epochs),
+        other => {
+            return Err(ParseError(format!(
+                "unknown scenario `{other}` (steady|evict|evict-join|rack)"
+            )))
+        }
+    };
+    let mode = args.get_or("mode", "replay");
+    if !matches!(mode, "replay" | "reshard") {
+        return Err(ParseError(format!(
+            "unknown mode `{mode}` (replay|reshard)"
+        )));
+    }
+
+    println!(
+        "elastic scenario `{}`: {} nodes, {} epochs, seed {}",
+        scenario.name, nodes, epochs, seed
+    );
+    let timeline = scenario.simulate();
+    println!("membership events (virtual clock):");
+    for e in &timeline.events {
+        println!("  t={:>6.2}s  node {:>3}  {:?}", e.at, e.node, e.kind);
+    }
+    let resharding = timeline.reshard_events(scenario.seed, scenario.dataset_len);
+    println!("resharding ({} cached samples):", scenario.dataset_len);
+    if resharding.is_empty() {
+        println!("  none (membership never changed)");
+    }
+    for ev in &resharding {
+        println!(
+            "  epoch {}  {:<5} node {:>3}: moved {:>6} ({:.2}%), survivor churn {} ({:.2}%)",
+            ev.epoch,
+            ev.kind,
+            ev.node,
+            ev.stats.moved,
+            ev.stats.moved_pct(),
+            ev.stats.excess_moved,
+            ev.stats.excess_pct()
+        );
+    }
+
+    if mode == "reshard" {
+        // Control-plane accounting only: no training, just the ledger.
+        let mut reg = Registry::new();
+        timeline.coordinator.publish(&mut reg);
+        for ev in &resharding {
+            ev.publish(&mut reg);
+        }
+        return emit_elastic_registry(args, &reg);
+    }
+
+    let cfg = DistConfig {
+        nodes,
+        gpus_per_node: args.num_or("gpus", 1)?,
+        epochs,
+        iters_per_epoch: args.num_or("iters", 4)?,
+        local_batch: 4,
+        eval_samples: 16,
+        seed,
+        ..DistConfig::small(
+            Strategy::MsTopKHiTopK {
+                rho: args.num_or("rho", 0.05)?,
+                samplings: 20,
+            },
+            Workload::Mlp,
+        )
+    };
+    let trainer = DistTrainer::new(cfg);
+    let elastic = trainer.run_elastic(&scenario);
+    let planned = trainer.run_elastic_planned(&scenario);
+    println!("segments:");
+    for s in &elastic.segments {
+        println!(
+            "  epochs {:>2}..{:<3} {:>2} node(s): {:?}",
+            s.start_epoch,
+            s.start_epoch + s.epochs,
+            s.nodes.len(),
+            s.nodes
+        );
+    }
+    println!(
+        "{:<7} {:>10} {:>8} {:>12}",
+        "epoch", "loss", "top1", "residual"
+    );
+    for e in &elastic.report.epochs {
+        println!(
+            "{:<7} {:>10.4} {:>7.1}% {:>12.3}",
+            e.epoch,
+            e.train_loss,
+            e.val_top1 * 100.0,
+            e.residual_norm
+        );
+    }
+    let bitwise = elastic.bitwise_eq(&planned);
+    println!(
+        "checkpoint replay vs in-memory twin: {}",
+        if bitwise {
+            "bitwise identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    emit_elastic_registry(args, &elastic.registry)?;
+    if !bitwise {
+        return Err(ParseError(
+            "elastic: checkpoint replay diverged from the planned twin".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn emit_elastic_registry(args: &Args, reg: &Registry) -> Result<(), ParseError> {
+    match args.get_or("out", "") {
+        "" => {}
+        path => {
+            std::fs::write(path, reg.to_jsonl())
+                .map_err(|e| ParseError(format!("--out {path}: {e}")))?;
+            // stderr, so stdout stays byte-identical across runs for the
+            // elastic gate's `cmp` regardless of where --out points.
+            eprintln!("wrote JSONL snapshot to {path}");
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,6 +1192,43 @@ mod tests {
         assert!(dispatch(&args("faults --drops 1.5")).is_err());
         assert!(dispatch(&args("faults --nodes 2 --stragglers 3")).is_err());
         assert!(dispatch(&args("faults --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn elastic_validates_flags() {
+        assert!(dispatch(&args("elastic --scenario nope")).is_err());
+        assert!(dispatch(&args("elastic --mode nope --nodes 4")).is_err());
+        assert!(dispatch(&args("elastic --nodes 2")).is_err());
+        assert!(dispatch(&args("elastic --epochs 1")).is_err());
+        assert!(dispatch(&args("elastic --bogus 1")).is_err());
+        assert!(dispatch(&args("elastic --nodes zero")).is_err());
+    }
+
+    #[test]
+    fn elastic_replay_runs_and_passes_its_own_bitwise_gate() {
+        dispatch(&args(
+            "elastic --scenario evict --mode replay --nodes 4 --epochs 3 --iters 3 --seed 7",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn elastic_reshard_snapshot_is_byte_stable() {
+        let out =
+            std::env::temp_dir().join(format!("cloudtrain-elastic-test-{}", std::process::id()));
+        let cmd = format!(
+            "elastic --scenario rack --mode reshard --nodes 16 --seed 3 --out {}",
+            out.display()
+        );
+        dispatch(&args(&cmd)).unwrap();
+        let first = std::fs::read(&out).unwrap();
+        dispatch(&args(&cmd)).unwrap();
+        let second = std::fs::read(&out).unwrap();
+        assert_eq!(first, second, "same-seed snapshots must be byte-identical");
+        let _ = std::fs::remove_file(&out);
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains("elastic/reshard_events"));
+        assert!(text.contains("elastic/events/evicted"));
     }
 
     #[test]

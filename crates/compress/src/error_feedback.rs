@@ -99,6 +99,22 @@ impl ErrorFeedback {
         &self.residual
     }
 
+    /// Restores a previously captured residual (the inverse of
+    /// [`Self::residual`]), so a worker resuming from a sharded checkpoint
+    /// continues bitwise-identically instead of restarting error feedback
+    /// from zeros.
+    ///
+    /// # Panics
+    /// Panics if `residual.len() != self.dim()`.
+    pub fn set_residual(&mut self, residual: &[f32]) {
+        assert_eq!(
+            residual.len(),
+            self.dim(),
+            "set_residual: dimension mismatch"
+        );
+        self.residual.copy_from_slice(residual);
+    }
+
     /// Clears the residual (e.g. when switching to dense aggregation, as the
     /// DAWNBench schedule does after epoch 13).
     pub fn reset(&mut self) {
@@ -167,6 +183,38 @@ mod tests {
         assert!(ef.residual_norm() > 0.0);
         ef.reset();
         assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn set_residual_roundtrips_and_resumes_bitwise() {
+        // Capture mid-stream residual, rebuild a fresh ErrorFeedback from
+        // it, and check both instances stay bitwise-equal from then on —
+        // the checkpoint-resume contract.
+        let mut ef = ErrorFeedback::new(4);
+        let mut g = vec![10.0, 1.0, -2.0, 1.0];
+        ef.compensate(&mut g);
+        ef.absorb(&g, &topk_sort(&g, 1));
+        let captured: Vec<f32> = ef.residual().to_vec();
+
+        let mut resumed = ErrorFeedback::new(4);
+        resumed.set_residual(&captured);
+        assert_eq!(resumed.residual(), ef.residual());
+
+        let base = vec![0.5, -1.0, 2.0, 0.25];
+        for e in [&mut ef, &mut resumed] {
+            let mut g = base.clone();
+            e.compensate(&mut g);
+            let s = topk_sort(&g, 2);
+            e.absorb(&g, &s);
+        }
+        assert_eq!(resumed.residual(), ef.residual());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn set_residual_dimension_mismatch_panics() {
+        let mut ef = ErrorFeedback::new(3);
+        ef.set_residual(&[0.0; 4]);
     }
 
     #[test]

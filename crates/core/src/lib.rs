@@ -17,6 +17,9 @@
 //!   (local FS + in-memory KV of pre-processed samples),
 //! * **PTO** ([`pto`]) — the parallel tensor operator distributing
 //!   replicated post-processing such as LARS rate computation,
+//! * **Elastic runtime** ([`elastic`], [`engine::elastic_run`]) —
+//!   heartbeat membership, consistent-hash resharding, and sharded
+//!   checkpoint-replay recovery for node churn on public clouds,
 //! * plus the substrates: a tensor core ([`tensor`]), a DNN framework
 //!   ([`dnn`]), optimizers ([`optim`]), a discrete-event cluster simulator
 //!   ([`simnet`]), and the training engine ([`engine`]) tying them
@@ -53,6 +56,7 @@ pub use cloudtrain_compress as compress;
 pub use cloudtrain_conformance as conformance;
 pub use cloudtrain_datacache as datacache;
 pub use cloudtrain_dnn as dnn;
+pub use cloudtrain_elastic as elastic;
 pub use cloudtrain_engine as engine;
 pub use cloudtrain_obs as obs;
 pub use cloudtrain_optim as optim;
@@ -70,13 +74,14 @@ pub mod prelude {
     pub use cloudtrain_collectives::hierarchical::{hitopk_all_reduce, sparse_all_reduce_naive};
     pub use cloudtrain_collectives::{Group, Peer};
     pub use cloudtrain_compress::{Compressor, ErrorFeedback, MsTopK, SparseGrad};
-    pub use cloudtrain_datacache::{CachedLoader, LoaderConfig, SyntheticNfs};
+    pub use cloudtrain_datacache::{CachedLoader, LoaderConfig, RingSampler, SyntheticNfs};
     pub use cloudtrain_dnn::model::{Input, Model};
+    pub use cloudtrain_elastic::{ElasticScenario, HashRing, HeartbeatConfig, MembershipEventKind};
     pub use cloudtrain_engine::dawnbench;
     pub use cloudtrain_engine::trainer::Workload;
     pub use cloudtrain_engine::{
-        DistConfig, DistTrainer, FaultConfig, FusionMode, IterationModel, ModelProfile,
-        OptimizerKind, Strategy, SystemConfig, TrainReport,
+        DistConfig, DistTrainer, ElasticReport, FaultConfig, FusionMode, IterationModel,
+        ModelProfile, OptimizerKind, Strategy, SystemConfig, TrainReport,
     };
     pub use cloudtrain_optim::{Lars, LarsConfig, Optimizer};
     pub use cloudtrain_simnet::{ClusterSpec, DeadlineMode, FaultPlan, NetSim, SimResilience};

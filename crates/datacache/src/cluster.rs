@@ -13,6 +13,8 @@
 
 use std::sync::Arc;
 
+use cloudtrain_elastic::HashRing;
+
 use crate::decode::{decode, Sample};
 use crate::memcache::MemoryCache;
 use crate::nfs::SyntheticNfs;
@@ -51,11 +53,19 @@ impl ClusterStats {
     }
 }
 
-/// A cluster of node-local memory caches with ownership sharding
-/// (`owner(id) = id % nodes`) and peer fetching.
+/// A cluster of node-local memory caches with ownership sharding and
+/// peer fetching. Ownership is either round-robin (`owner(id) = id %
+/// nodes`, [`Self::new`]) or consistent-hash ([`Self::with_ring`]), where
+/// a membership change moves only `~1/m` of the sample space and the
+/// cluster can [`Self::reshard`] live: survivors keep their warm caches.
 #[derive(Debug)]
 pub struct CacheCluster {
     shards: Vec<MemoryCache>,
+    /// Stable node id behind each shard slot, ascending.
+    members: Vec<usize>,
+    /// Consistent-hash ownership; `None` means round-robin.
+    ring: Option<HashRing>,
+    mem_capacity_per_node: usize,
     nfs: SyntheticNfs,
     peer_link: StorageSpec,
     cpu: CpuModel,
@@ -74,6 +84,9 @@ impl CacheCluster {
             shards: (0..nodes)
                 .map(|_| MemoryCache::new(mem_capacity_per_node))
                 .collect(),
+            members: (0..nodes).collect(),
+            ring: None,
+            mem_capacity_per_node,
             nfs,
             // 25GbE-class peer link: far slower than local DRAM, far
             // faster than the filer.
@@ -86,14 +99,77 @@ impl CacheCluster {
         }
     }
 
+    /// Creates a cluster whose ownership follows a consistent-hash ring —
+    /// one shard per ring member, addressed here by dense slot index in
+    /// ascending member order (see [`Self::members`]).
+    ///
+    /// # Panics
+    /// Panics if the ring has no members.
+    pub fn with_ring(ring: HashRing, mem_capacity_per_node: usize, nfs: SyntheticNfs) -> Self {
+        assert!(!ring.is_empty(), "CacheCluster: ring has no members");
+        let members = ring.members();
+        let mut cluster = Self::new(members.len(), mem_capacity_per_node, nfs);
+        cluster.members = members;
+        cluster.ring = Some(ring);
+        cluster
+    }
+
+    /// Replaces the ownership ring after a membership change. Shards of
+    /// surviving members carry their cached samples over untouched (the
+    /// consistent-hash guarantee: no sample moves between survivors), an
+    /// evicted member's cache is dropped with its node, and joiners start
+    /// cold. Only samples the victim owned re-enter through the NFS.
+    ///
+    /// # Panics
+    /// Panics if the cluster was built round-robin ([`Self::new`]) or the
+    /// new ring has no members.
+    pub fn reshard(&mut self, ring: HashRing) {
+        assert!(
+            self.ring.is_some(),
+            "CacheCluster: reshard requires ring ownership"
+        );
+        assert!(!ring.is_empty(), "CacheCluster: ring has no members");
+        let new_members = ring.members();
+        let mut new_shards = Vec::with_capacity(new_members.len());
+        for &m in &new_members {
+            match self.members.iter().position(|&x| x == m) {
+                Some(i) => {
+                    new_shards.push(std::mem::replace(&mut self.shards[i], MemoryCache::new(0)))
+                }
+                None => new_shards.push(MemoryCache::new(self.mem_capacity_per_node)),
+            }
+        }
+        self.shards = new_shards;
+        self.members = new_members;
+        self.ring = Some(ring);
+    }
+
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.shards.len()
     }
 
-    /// The node that owns a sample.
+    /// Stable node id behind each shard slot, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The shard slot (dense index) that owns a sample.
     pub fn owner(&self, id: SampleId) -> usize {
-        (id % self.shards.len() as u64) as usize
+        match &self.ring {
+            Some(ring) => {
+                let slot = ring
+                    .owner(id)
+                    .and_then(|node| self.members.binary_search(&node).ok());
+                match slot {
+                    Some(s) => s,
+                    // The ring is non-empty (asserted at construction) and
+                    // every owner is in the sorted slot list by invariant.
+                    None => unreachable!("ring owner must be a member"),
+                }
+            }
+            None => (id % self.shards.len() as u64) as usize,
+        }
     }
 
     /// Cluster statistics so far.
@@ -205,6 +281,63 @@ mod tests {
         assert_eq!(c.stats().nfs_fetches, dataset);
         assert_eq!(c.stats().local_hits, dataset);
         assert_eq!(c.stats().peer_hits, 0);
+    }
+
+    #[test]
+    fn ring_ownership_matches_the_ring_and_partitions_ids() {
+        let members: Vec<usize> = vec![0, 2, 5, 9];
+        let ring = HashRing::with_members(7, 64, &members);
+        let c = CacheCluster::with_ring(ring.clone(), 1 << 30, SyntheticNfs::new(16 * 16 * 3, 4));
+        assert_eq!(c.nodes(), 4);
+        assert_eq!(c.members(), &members[..]);
+        for id in 0..256u64 {
+            let slot = c.owner(id);
+            assert_eq!(Some(members[slot]), ring.owner(id));
+        }
+    }
+
+    #[test]
+    fn reshard_keeps_survivor_caches_warm() {
+        // Warm the whole dataset, evict one node, reshard: samples whose
+        // owner survived must still be served from memory — only the
+        // victim's former share goes back to the filer.
+        let dataset = 128u64;
+        let members: Vec<usize> = (0..8).collect();
+        let mut ring = HashRing::with_members(3, 64, &members);
+        let mut c =
+            CacheCluster::with_ring(ring.clone(), 1 << 30, SyntheticNfs::new(16 * 16 * 3, 4));
+        let owner_before: Vec<usize> = (0..dataset).map(|id| c.owner(id)).collect();
+        for id in 0..dataset {
+            let node = c.owner(id);
+            c.load(node, id);
+        }
+        let warm_fetches = c.stats().nfs_fetches;
+        assert_eq!(warm_fetches, dataset);
+
+        let victim = 4usize;
+        let moved: u64 = (0..dataset)
+            .filter(|&id| members[owner_before[id as usize]] == victim)
+            .count() as u64;
+        assert!(ring.evict(victim));
+        c.reshard(ring);
+        assert_eq!(c.nodes(), 7);
+        assert!(!c.members().contains(&victim));
+        for id in 0..dataset {
+            let node = c.owner(id);
+            c.load(node, id);
+        }
+        // Exactly the victim's former share re-entered through the NFS;
+        // every surviving shard stayed warm (local hits, no peer traffic
+        // because each request comes from the owner).
+        assert_eq!(c.stats().nfs_fetches - warm_fetches, moved);
+        assert!(moved < dataset / 2, "victim owned an implausible share");
+    }
+
+    #[test]
+    #[should_panic(expected = "reshard requires ring ownership")]
+    fn reshard_of_round_robin_cluster_panics() {
+        let mut c = cluster(4);
+        c.reshard(HashRing::with_members(0, 16, &[0, 1]));
     }
 
     #[test]

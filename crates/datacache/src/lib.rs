@@ -41,6 +41,7 @@ pub mod timing;
 
 pub use loader::{CachedLoader, LoaderConfig, TierStats};
 pub use nfs::SyntheticNfs;
+pub use sampler::{RingSampler, ShardedSampler};
 pub use timing::StorageSpec;
 
 /// Identifier of one training sample within the data set.

@@ -7,6 +7,7 @@
 //! from a deterministic (seed, epoch) pair so that all workers agree on the
 //! permutation without communication.
 
+use cloudtrain_elastic::HashRing;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -66,6 +67,108 @@ impl ShardedSampler {
     }
 }
 
+/// Deterministic sampler over a consistent-hash shard: the elastic twin
+/// of [`ShardedSampler`]. Where the round-robin shard is rewritten
+/// wholesale by any change in node count, the ring shard survives
+/// membership churn — after [`Self::reshard`], a surviving node keeps
+/// every sample the new ring still assigns to it (<5% of the data set
+/// moves per single topology change on gauntlet-sized clusters).
+#[derive(Debug, Clone)]
+pub struct RingSampler {
+    dataset_len: u64,
+    ring: HashRing,
+    node: usize,
+    seed: u64,
+}
+
+impl RingSampler {
+    /// Creates the sampler for `node` over a data set of `dataset_len`
+    /// samples whose ownership the ring decides.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a ring member.
+    pub fn new(dataset_len: u64, ring: HashRing, node: usize, seed: u64) -> Self {
+        assert!(
+            ring.contains(node),
+            "RingSampler: node {node} is not a ring member"
+        );
+        Self {
+            dataset_len,
+            ring,
+            node,
+            seed,
+        }
+    }
+
+    /// The sample ids the ring assigns to this node, ascending.
+    pub fn shard(&self) -> Vec<SampleId> {
+        (0..self.dataset_len)
+            .filter(|&id| self.ring.owner(id) == Some(self.node))
+            .collect()
+    }
+
+    /// Number of samples in this node's shard.
+    pub fn shard_len(&self) -> u64 {
+        self.shard().len() as u64
+    }
+
+    /// The shard, shuffled for the given epoch with the same
+    /// (seed, epoch, node)-derived Fisher–Yates as [`ShardedSampler`] —
+    /// all workers agree on the permutation without communication.
+    pub fn epoch_order(&self, epoch: u64) -> Vec<SampleId> {
+        let mut ids = self.shard();
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.node as u64,
+        );
+        for i in (1..ids.len()).rev() {
+            let j = rng.random_range(0..=i);
+            ids.swap(i, j);
+        }
+        ids
+    }
+
+    /// Adopts a new ring after a membership change, returning how many
+    /// samples entered or left this node's shard.
+    ///
+    /// # Panics
+    /// Panics if this node is not a member of the new ring.
+    pub fn reshard(&mut self, ring: HashRing) -> u64 {
+        assert!(
+            ring.contains(self.node),
+            "RingSampler: node {} evicted by reshard",
+            self.node
+        );
+        let before = self.shard();
+        self.ring = ring;
+        let after = self.shard();
+        let mut moved = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        // Both shards are ascending: count the symmetric difference.
+        while i < before.len() || j < after.len() {
+            match (before.get(i), after.get(j)) {
+                (Some(a), Some(b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a < b => {
+                    moved += 1;
+                    i += 1;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    moved += 1;
+                    j += 1;
+                }
+                (Some(_), None) => {
+                    moved += 1;
+                    i += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        moved
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +210,66 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn bad_node_panics() {
         ShardedSampler::new(10, 2, 2, 0);
+    }
+
+    #[test]
+    fn ring_shards_partition_the_dataset() {
+        let len = 211u64;
+        let members: Vec<usize> = (0..5).collect();
+        let ring = HashRing::with_members(9, 64, &members);
+        let mut seen = vec![false; len as usize];
+        for &node in &members {
+            let s = RingSampler::new(len, ring.clone(), node, 7);
+            assert_eq!(s.shard().len() as u64, s.shard_len());
+            for id in s.shard() {
+                assert!(!seen[id as usize], "id {id} owned twice");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v), "orphaned sample");
+    }
+
+    #[test]
+    fn ring_epoch_order_is_a_reproducible_permutation() {
+        let ring = HashRing::with_members(4, 64, &[0, 1, 2]);
+        let s = RingSampler::new(300, ring, 1, 42);
+        let mut order = s.epoch_order(5);
+        let mut shard = s.shard();
+        assert_eq!(order, s.epoch_order(5));
+        assert_ne!(order, s.epoch_order(6));
+        order.sort_unstable();
+        shard.sort_unstable();
+        assert_eq!(order, shard);
+    }
+
+    #[test]
+    fn reshard_moves_a_bounded_slice_of_the_survivor_shard() {
+        // 24 members, one eviction: a survivor's shard changes by well
+        // under the modulo-rehash catastrophe — only ids the victim owned
+        // can land here, and none of this node's ids leave.
+        let len = 12_000u64;
+        let members: Vec<usize> = (0..24).collect();
+        let mut ring = HashRing::with_members(11, 128, &members);
+        let mut s = RingSampler::new(len, ring.clone(), 3, 7);
+        let before = s.shard();
+        assert!(ring.evict(17));
+        let moved = s.reshard(ring);
+        let after = s.shard();
+        // Survivor keeps everything it had (consistent-hash guarantee).
+        assert!(before.iter().all(|id| after.binary_search(id).is_ok()));
+        assert_eq!(moved as usize, after.len() - before.len());
+        assert!(
+            (moved as f64) < 0.05 * len as f64,
+            "reshard moved {moved} of {len} into one survivor"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted by reshard")]
+    fn reshard_that_evicts_self_panics() {
+        let mut ring = HashRing::with_members(0, 32, &[0, 1, 2]);
+        let mut s = RingSampler::new(100, ring.clone(), 2, 0);
+        ring.evict(2);
+        s.reshard(ring);
     }
 }

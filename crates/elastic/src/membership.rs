@@ -1,0 +1,447 @@
+//! Heartbeat-driven membership on the fault plane's virtual clock.
+//!
+//! A deterministic coordinator tracks which workers are alive. Every
+//! member emits a heartbeat each `period` virtual seconds; delivery is
+//! decided by the *same* seeded [`FaultPlan`] decision stream that drives
+//! transfer drops in `cloudtrain-simnet`, keyed on a per-member heartbeat
+//! sequence number — so a lossy control plane is replayable bit for bit.
+//! A member whose last delivered heartbeat is older than `suspect_after`
+//! turns *Suspect*; older than `evict_after`, it is *Evicted* and leaves
+//! the group. A suspect that gets a heartbeat through recovers. Scripted
+//! deaths (a node silently stops heartbeating) and admissions model the
+//! cloud's churn.
+//!
+//! The state machine is:
+//!
+//! ```text
+//!            admit                 silence > suspect_after
+//!   (absent) -----> Active  ----------------------------> Suspect
+//!                     ^                                      |
+//!                     |  heartbeat delivered                 | silence > evict_after
+//!                     +--------------------------------------+--> Evicted (terminal)
+//! ```
+//!
+//! Everything advances on the virtual clock only — no wall time — and all
+//! collections are ordered, so two coordinators fed the same script
+//! produce byte-identical event logs and observability streams.
+
+use std::collections::BTreeMap;
+
+use cloudtrain_obs::Registry;
+use cloudtrain_simnet::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// Liveness state of one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberState {
+    /// Heartbeating within the suspect window.
+    Active,
+    /// Silent past `suspect_after` but still inside the eviction budget;
+    /// still part of the training group.
+    Suspect,
+    /// Silent past `evict_after`; removed from the group (terminal).
+    Evicted,
+}
+
+/// Heartbeat cadence and failure-detection windows, virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatConfig {
+    /// Interval between a member's heartbeats.
+    pub period: f64,
+    /// Silence after which a member turns [`MemberState::Suspect`].
+    pub suspect_after: f64,
+    /// Silence after which a member is evicted.
+    pub evict_after: f64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        Self {
+            period: 1.0,
+            suspect_after: 3.0,
+            evict_after: 5.0,
+        }
+    }
+}
+
+/// What happened to a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipEventKind {
+    /// Admitted to the group.
+    Joined,
+    /// Crossed the suspect window.
+    Suspected,
+    /// A suspect's heartbeat got through again.
+    Recovered,
+    /// Crossed the eviction window and left the group.
+    Evicted,
+}
+
+impl MembershipEventKind {
+    /// Stable lowercase label used in counters and span names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MembershipEventKind::Joined => "joined",
+            MembershipEventKind::Suspected => "suspected",
+            MembershipEventKind::Recovered => "recovered",
+            MembershipEventKind::Evicted => "evicted",
+        }
+    }
+}
+
+/// One entry of the membership event log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MembershipEvent {
+    /// Virtual time of the transition.
+    pub at: f64,
+    /// Member node id.
+    pub node: usize,
+    /// The transition.
+    pub kind: MembershipEventKind,
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    state: MemberState,
+    joined_at: f64,
+    last_seen: f64,
+    /// Virtual time after which the node sends no more heartbeats
+    /// (scripted death); `None` while healthy.
+    dead_from: Option<f64>,
+}
+
+/// Deterministic membership coordinator.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    cfg: HeartbeatConfig,
+    plan: FaultPlan,
+    clock: f64,
+    members: BTreeMap<usize, Member>,
+    events: Vec<MembershipEvent>,
+    heartbeats_sent: u64,
+    heartbeats_dropped: u64,
+}
+
+impl Coordinator {
+    /// A coordinator with no members. Heartbeat losses are drawn from
+    /// `plan`'s drop stream (`FaultPlan::dropped`), keyed per member and
+    /// heartbeat index.
+    ///
+    /// # Panics
+    /// Panics if any window of `cfg` is non-positive or the windows are
+    /// not ordered `period <= suspect_after <= evict_after`.
+    pub fn new(plan: FaultPlan, cfg: HeartbeatConfig) -> Self {
+        assert!(cfg.period > 0.0, "heartbeat period must be positive");
+        assert!(
+            cfg.period <= cfg.suspect_after && cfg.suspect_after <= cfg.evict_after,
+            "windows must be ordered: period <= suspect_after <= evict_after"
+        );
+        Self {
+            cfg,
+            plan,
+            clock: 0.0,
+            members: BTreeMap::new(),
+            events: Vec::new(),
+            heartbeats_sent: 0,
+            heartbeats_dropped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Admits `node` at virtual time `at` (no-op if it is already a
+    /// non-evicted member). Evicted ids may rejoin — the cloud recycles
+    /// hostnames.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the coordinator's clock.
+    pub fn admit(&mut self, node: usize, at: f64) {
+        assert!(at >= self.clock, "admit must not rewind the clock");
+        if self
+            .members
+            .get(&node)
+            .is_some_and(|m| m.state != MemberState::Evicted)
+        {
+            return;
+        }
+        self.members.insert(
+            node,
+            Member {
+                state: MemberState::Active,
+                joined_at: at,
+                last_seen: at,
+                dead_from: None,
+            },
+        );
+        self.events.push(MembershipEvent {
+            at,
+            node,
+            kind: MembershipEventKind::Joined,
+        });
+    }
+
+    /// Scripts a silent death: `node` sends no heartbeats after `at`.
+    /// Detection (suspicion, then eviction) happens on the heartbeat
+    /// timeline as the clock advances.
+    pub fn kill(&mut self, node: usize, at: f64) {
+        if let Some(m) = self.members.get_mut(&node) {
+            m.dead_from = Some(m.dead_from.map_or(at, |d| d.min(at)));
+        }
+    }
+
+    /// Advances the virtual clock to `t`, processing every heartbeat tick
+    /// in `(clock, t]` in deterministic (time, node) order and applying
+    /// the suspect/evict windows.
+    ///
+    /// # Panics
+    /// Panics if `t` is before the current clock.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.clock, "advance_to must not rewind the clock");
+        // Global tick index: k-th tick fires at k * period.
+        let first = (self.clock / self.cfg.period).floor() as u64 + 1;
+        let mut k = first;
+        while (k as f64) * self.cfg.period <= t {
+            let now = (k as f64) * self.cfg.period;
+            self.tick(k, now);
+            k += 1;
+        }
+        self.clock = t;
+        // Windows also expire between ticks (e.g. when `t` lands mid-period).
+        self.apply_windows(t);
+    }
+
+    fn tick(&mut self, k: u64, now: f64) {
+        let mut transitions = Vec::new();
+        for (&node, m) in self.members.iter_mut() {
+            if m.state == MemberState::Evicted || m.joined_at > now {
+                continue;
+            }
+            let alive = m.dead_from.is_none_or(|d| now <= d);
+            if alive {
+                self.heartbeats_sent += 1;
+                // One decision per (member, tick); attempt 1 keeps the
+                // stream disjoint from the data plane's attempt-0 draws.
+                let seq = (node as u64) << 32 | (k & 0xFFFF_FFFF);
+                if self.plan.dropped(seq, 1) {
+                    self.heartbeats_dropped += 1;
+                } else {
+                    m.last_seen = now;
+                    if m.state == MemberState::Suspect {
+                        m.state = MemberState::Active;
+                        transitions.push((node, MembershipEventKind::Recovered));
+                    }
+                }
+            }
+        }
+        for (node, kind) in transitions {
+            self.events.push(MembershipEvent {
+                at: now,
+                node,
+                kind,
+            });
+        }
+        self.apply_windows(now);
+    }
+
+    fn apply_windows(&mut self, now: f64) {
+        let mut transitions = Vec::new();
+        for (&node, m) in self.members.iter_mut() {
+            if m.state == MemberState::Evicted {
+                continue;
+            }
+            let silence = now - m.last_seen;
+            if silence > self.cfg.evict_after {
+                m.state = MemberState::Evicted;
+                transitions.push((node, MembershipEventKind::Evicted));
+            } else if silence > self.cfg.suspect_after && m.state == MemberState::Active {
+                m.state = MemberState::Suspect;
+                transitions.push((node, MembershipEventKind::Suspected));
+            }
+        }
+        for (node, kind) in transitions {
+            self.events.push(MembershipEvent {
+                at: now,
+                node,
+                kind,
+            });
+        }
+    }
+
+    /// Members currently in the training group (Active + Suspect),
+    /// ascending by id.
+    pub fn active(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .filter(|(_, m)| m.state != MemberState::Evicted)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// The liveness state of `node`, if it was ever admitted.
+    pub fn state(&self, node: usize) -> Option<MemberState> {
+        self.members.get(&node).map(|m| m.state)
+    }
+
+    /// The event log so far, in (time, emission) order.
+    pub fn events(&self) -> &[MembershipEvent] {
+        &self.events
+    }
+
+    /// Publishes the control-plane picture into `reg`: `elastic/*`
+    /// counters and gauges plus one span per membership event (opened and
+    /// closed on the event's virtual time, so the JSONL timeline carries
+    /// the full churn history) and one `elastic/member` span per member
+    /// lifetime.
+    pub fn publish(&self, reg: &mut Registry) {
+        reg.counter_add("elastic/heartbeats_sent", self.heartbeats_sent);
+        reg.counter_add("elastic/heartbeats_dropped", self.heartbeats_dropped);
+        for kind in [
+            MembershipEventKind::Joined,
+            MembershipEventKind::Suspected,
+            MembershipEventKind::Recovered,
+            MembershipEventKind::Evicted,
+        ] {
+            let count = self.events.iter().filter(|e| e.kind == kind).count() as u64;
+            reg.counter_add(&format!("elastic/events/{}", kind.label()), count);
+        }
+        reg.gauge_set("elastic/members", self.active().len() as f64);
+        reg.gauge_set("elastic/clock_seconds", self.clock);
+        for e in &self.events {
+            let id = reg.span_open(&format!("elastic/event/{}", e.kind.label()), e.at);
+            reg.span_close(id, e.at);
+        }
+        for (&node, m) in &self.members {
+            let id = reg.span_open(&format!("elastic/member/{node}"), m.joined_at);
+            let end = if m.state == MemberState::Evicted {
+                // The eviction event carries the exact detection time.
+                self.events
+                    .iter()
+                    .find(|e| e.node == node && e.kind == MembershipEventKind::Evicted)
+                    .map_or(self.clock, |e| e.at)
+            } else {
+                self.clock
+            };
+            reg.span_close(id, end);
+        }
+        reg.sync_clock(self.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord() -> Coordinator {
+        Coordinator::new(FaultPlan::new(7), HeartbeatConfig::default())
+    }
+
+    #[test]
+    fn healthy_members_stay_active() {
+        let mut c = coord();
+        for n in 0..4 {
+            c.admit(n, 0.0);
+        }
+        c.advance_to(50.0);
+        assert_eq!(c.active(), vec![0, 1, 2, 3]);
+        assert!(c
+            .events()
+            .iter()
+            .all(|e| e.kind == MembershipEventKind::Joined));
+        assert_eq!(c.state(0), Some(MemberState::Active));
+    }
+
+    #[test]
+    fn a_killed_member_is_suspected_then_evicted() {
+        let mut c = coord();
+        for n in 0..3 {
+            c.admit(n, 0.0);
+        }
+        c.kill(1, 10.0);
+        c.advance_to(12.0);
+        assert_eq!(c.state(1), Some(MemberState::Active), "still inside window");
+        c.advance_to(14.0);
+        assert_eq!(c.state(1), Some(MemberState::Suspect));
+        assert_eq!(c.active(), vec![0, 1, 2], "suspects stay in the group");
+        c.advance_to(30.0);
+        assert_eq!(c.state(1), Some(MemberState::Evicted));
+        assert_eq!(c.active(), vec![0, 2]);
+        let evict = c
+            .events()
+            .iter()
+            .find(|e| e.kind == MembershipEventKind::Evicted)
+            .expect("eviction recorded");
+        assert_eq!(evict.node, 1);
+        // Last heartbeat at t=10, evict_after=5: detection on the first
+        // tick past t=15.
+        assert_eq!(evict.at, 16.0);
+    }
+
+    #[test]
+    fn lossy_heartbeats_recover_without_eviction() {
+        // 30% drops: multi-tick gaps happen (suspicion), but with a
+        // 9-tick eviction budget a fatal run of losses is ~2e-5 per
+        // member-tick — nobody is evicted over this horizon, and every
+        // suspicion heals.
+        let plan = FaultPlan::new(3).with_drops(0.3);
+        let cfg = HeartbeatConfig {
+            period: 1.0,
+            suspect_after: 3.0,
+            evict_after: 8.0,
+        };
+        let mut c = Coordinator::new(plan, cfg);
+        for n in 0..4 {
+            c.admit(n, 0.0);
+        }
+        c.advance_to(200.0);
+        assert_eq!(c.active(), vec![0, 1, 2, 3]);
+        assert!(c.heartbeats_dropped > 0, "drops must fire at 30%");
+        let suspects = c
+            .events()
+            .iter()
+            .filter(|e| e.kind == MembershipEventKind::Suspected)
+            .count();
+        let recoveries = c
+            .events()
+            .iter()
+            .filter(|e| e.kind == MembershipEventKind::Recovered)
+            .count();
+        assert_eq!(suspects, recoveries, "every suspicion healed");
+    }
+
+    #[test]
+    fn late_joiner_enters_and_stays() {
+        let mut c = coord();
+        c.admit(0, 0.0);
+        c.advance_to(8.0);
+        c.admit(7, 8.0);
+        c.advance_to(40.0);
+        assert_eq!(c.active(), vec![0, 7]);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let build = || {
+            let mut c = Coordinator::new(
+                FaultPlan::new(11).with_drops(0.2),
+                HeartbeatConfig::default(),
+            );
+            for n in 0..6 {
+                c.admit(n, 0.0);
+            }
+            c.kill(2, 13.0);
+            c.advance_to(60.0);
+            c
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.events(), b.events());
+        let (mut ra, mut rb) = (Registry::new(), Registry::new());
+        a.publish(&mut ra);
+        b.publish(&mut rb);
+        assert_eq!(ra.to_jsonl(), rb.to_jsonl());
+        assert!(ra.counter("elastic/events/evicted") >= 1);
+        assert!(!ra.to_jsonl().is_empty());
+    }
+}

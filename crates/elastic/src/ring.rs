@@ -1,0 +1,279 @@
+//! Consistent-hash sample ownership with virtual nodes.
+//!
+//! The modulo sharding of `cloudtrain-datacache` (`owner(id) = id % m`)
+//! reassigns almost every sample when `m` changes — on a 32-node cluster a
+//! single eviction rehashes ~97% of the data set, which on a public cloud
+//! means an epoch of peer traffic and NFS refills right when the cluster
+//! is degraded. The classic fix is a consistent-hash ring: each member
+//! projects `vnodes` seeded points onto a 64-bit circle and a sample
+//! belongs to the first point at or clockwise of its own hash. A single
+//! join or evict then only moves the keys of the arcs that member covers —
+//! an expected `1/m` of the data set — and, crucially, **never moves a key
+//! between two surviving members**.
+//!
+//! Determinism: point placement is a pure function of
+//! `(seed, member, replica)` via the same SplitMix64-style mixer the fault
+//! plane uses, the ring is a `BTreeMap` keyed by `(hash, member)` (the
+//! member id breaks hash ties), and ownership is a pure lookup — two rings
+//! built from the same membership history agree bitwise.
+
+use std::collections::BTreeMap;
+
+/// Default virtual nodes per member. 128 points keep per-member ownership
+/// shares within a few tenths of a percent of the ideal `1/m`, which is
+/// what makes the "<5% moved per single topology change" bound hold on
+/// clusters of 21+ nodes (an evict *necessarily* moves the victim's own
+/// `~1/m` share).
+pub const DEFAULT_VNODES: usize = 128;
+
+const POINT_SALT: u64 = 0x7E1A_571C_9B3D_0F42;
+const KEY_SALT: u64 = 0x94D1_28D7_6A0C_55E3;
+
+/// SplitMix64-style 3-input mixer — the same construction as the fault
+/// plane's decision sampler (`cloudtrain-simnet`), duplicated here because
+/// that helper is private to the fault module.
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(41));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring mapping `u64` sample ids to member node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: usize,
+    /// `(point hash, member) -> member`: the member in the key makes
+    /// iteration order total even under point-hash collisions.
+    points: BTreeMap<(u64, u64), usize>,
+    members: BTreeMap<usize, ()>,
+}
+
+impl HashRing {
+    /// An empty ring. `seed` fixes the point placement; `vnodes` is the
+    /// number of points each member projects (see [`DEFAULT_VNODES`]).
+    ///
+    /// # Panics
+    /// Panics if `vnodes == 0`.
+    pub fn new(seed: u64, vnodes: usize) -> Self {
+        assert!(vnodes > 0, "HashRing: need at least one virtual node");
+        Self {
+            seed,
+            vnodes,
+            points: BTreeMap::new(),
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// A ring populated with `members`.
+    pub fn with_members(seed: u64, vnodes: usize, members: &[usize]) -> Self {
+        let mut ring = Self::new(seed, vnodes);
+        for &m in members {
+            ring.join(m);
+        }
+        ring
+    }
+
+    /// Adds a member; returns `false` (and changes nothing) if it was
+    /// already present.
+    pub fn join(&mut self, member: usize) -> bool {
+        if self.members.contains_key(&member) {
+            return false;
+        }
+        self.members.insert(member, ());
+        for replica in 0..self.vnodes {
+            let h = hash3(self.seed ^ POINT_SALT, member as u64, replica as u64);
+            self.points.insert((h, member as u64), member);
+        }
+        true
+    }
+
+    /// Removes a member; returns `false` if it was not present.
+    pub fn evict(&mut self, member: usize) -> bool {
+        if self.members.remove(&member).is_none() {
+            return false;
+        }
+        self.points.retain(|_, &mut m| m != member);
+        true
+    }
+
+    /// Whether `member` is on the ring.
+    pub fn contains(&self, member: usize) -> bool {
+        self.members.contains_key(&member)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member ids in ascending order.
+    pub fn members(&self) -> Vec<usize> {
+        self.members.keys().copied().collect()
+    }
+
+    /// The member owning sample `id`, or `None` on an empty ring. Total
+    /// over all ids whenever the ring is non-empty — no sample is ever
+    /// orphaned.
+    pub fn owner(&self, id: u64) -> Option<usize> {
+        let h = hash3(self.seed ^ KEY_SALT, id, 0);
+        self.points
+            .range((h, 0)..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &m)| m)
+    }
+
+    /// Owner of every sample in `0..dataset_len`.
+    pub fn assignment(&self, dataset_len: u64) -> Vec<Option<usize>> {
+        (0..dataset_len).map(|id| self.owner(id)).collect()
+    }
+}
+
+/// Movement accounting of one resharding step.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReshardStats {
+    /// Samples considered.
+    pub samples: u64,
+    /// Samples whose owner changed.
+    pub moved: u64,
+    /// Moved samples whose old **and** new owners both survive the change
+    /// — gratuitous churn. Exactly 0 for a consistent-hash ring; ~`(m-1)/m`
+    /// of all samples for modulo rehashing.
+    pub excess_moved: u64,
+}
+
+impl ReshardStats {
+    /// Moved samples as a percentage of the data set.
+    pub fn moved_pct(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            100.0 * self.moved as f64 / self.samples as f64
+        }
+    }
+
+    /// Survivor-to-survivor movement as a percentage of the data set.
+    pub fn excess_pct(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            100.0 * self.excess_moved as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Compares sample ownership between two rings over `0..dataset_len`.
+///
+/// A move is *excess* when the sample's owner changed even though both the
+/// old and the new owner are members of **both** rings — movement the
+/// topology change did not force.
+pub fn reshard_stats(before: &HashRing, after: &HashRing, dataset_len: u64) -> ReshardStats {
+    let mut stats = ReshardStats {
+        samples: dataset_len,
+        moved: 0,
+        excess_moved: 0,
+    };
+    for id in 0..dataset_len {
+        let (a, b) = (before.owner(id), after.owner(id));
+        if a == b {
+            continue;
+        }
+        stats.moved += 1;
+        let survivor_pair =
+            a.is_some_and(|m| after.contains(m)) && b.is_some_and(|m| before.contains(m));
+        if survivor_pair {
+            stats.excess_moved += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_total_and_deterministic() {
+        let ring = HashRing::with_members(7, DEFAULT_VNODES, &[0, 1, 2, 3]);
+        let again = HashRing::with_members(7, DEFAULT_VNODES, &[3, 2, 1, 0]);
+        for id in 0..1000 {
+            let o = ring.owner(id).expect("non-empty ring");
+            assert!(o < 4);
+            // Membership order must not matter.
+            assert_eq!(again.owner(id), Some(o));
+        }
+        assert!(HashRing::new(7, 8).owner(3).is_none());
+    }
+
+    #[test]
+    fn evict_moves_only_the_victims_keys() {
+        let members: Vec<usize> = (0..32).collect();
+        let before = HashRing::with_members(11, DEFAULT_VNODES, &members);
+        let mut after = before.clone();
+        assert!(after.evict(5));
+        let n = 100_000;
+        let stats = reshard_stats(&before, &after, n);
+        assert_eq!(stats.excess_moved, 0, "survivor keys must not move");
+        assert!(stats.moved > 0);
+        assert!(
+            stats.moved_pct() < 5.0,
+            "evict moved {}% of keys",
+            stats.moved_pct()
+        );
+        // Every moved key left the victim.
+        for id in 0..n {
+            if before.owner(id) != after.owner(id) {
+                assert_eq!(before.owner(id), Some(5));
+            }
+        }
+    }
+
+    #[test]
+    fn join_moves_only_keys_onto_the_newcomer() {
+        let members: Vec<usize> = (0..32).collect();
+        let before = HashRing::with_members(3, DEFAULT_VNODES, &members);
+        let mut after = before.clone();
+        assert!(after.join(99));
+        let stats = reshard_stats(&before, &after, 100_000);
+        assert_eq!(stats.excess_moved, 0);
+        assert!(stats.moved_pct() < 5.0, "join moved {}%", stats.moved_pct());
+        for id in 0..100_000 {
+            if before.owner(id) != after.owner(id) {
+                assert_eq!(after.owner(id), Some(99));
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_rehash_is_the_catastrophe_the_ring_avoids() {
+        // The baseline this module replaces: owner = id % m. Dropping one
+        // node reassigns nearly everything, all of it survivor churn.
+        let n = 10_000u64;
+        let (m_before, m_after) = (32u64, 31u64);
+        let moved = (0..n).filter(|id| id % m_before != id % m_after).count();
+        assert!(moved as f64 / n as f64 > 0.9);
+    }
+
+    #[test]
+    fn join_and_evict_are_idempotent() {
+        let mut ring = HashRing::with_members(1, 16, &[0, 1]);
+        assert!(!ring.join(0));
+        assert!(ring.evict(1));
+        assert!(!ring.evict(1));
+        assert_eq!(ring.members(), vec![0]);
+        assert_eq!(ring.len(), 1);
+        assert!(!ring.is_empty());
+        // Sole member owns everything.
+        assert!(ring.assignment(64).iter().all(|&o| o == Some(0)));
+    }
+}

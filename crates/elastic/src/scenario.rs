@@ -1,0 +1,383 @@
+//! Scripted churn scenarios and their epoch-level membership timeline.
+//!
+//! A scenario scripts *what the cloud does* — which nodes die or join and
+//! when, on the virtual clock — and the coordinator turns that into a
+//! membership event log. Training consumes the log at **epoch
+//! granularity**: epochs are the commit points (a sharded checkpoint is
+//! cut at every boundary), so
+//!
+//! * an eviction detected during epoch `e` takes effect *at the start of
+//!   epoch `e`* — the partial epoch is lost, the trainer rolls back to the
+//!   epoch-`e` checkpoint and replays it with the survivors;
+//! * a join admitted during epoch `e` takes effect at the start of epoch
+//!   `e + 1` — a newcomer never invalidates committed work.
+//!
+//! The timeline also prices the datacache impact: every single-node
+//! membership change is one consistent-hash resharding event with its
+//! moved/excess accounting (see [`crate::ring`]).
+
+use cloudtrain_obs::Registry;
+use cloudtrain_simnet::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+use crate::membership::{Coordinator, HeartbeatConfig, MembershipEvent, MembershipEventKind};
+use crate::ring::{reshard_stats, HashRing, ReshardStats, DEFAULT_VNODES};
+
+/// A scripted membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedChange {
+    /// Node id affected.
+    pub node: usize,
+    /// Virtual time of the change (death: last heartbeat; join: admission).
+    pub at: f64,
+}
+
+/// One scripted membership scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticScenario {
+    /// Scenario name (stable label for reports).
+    pub name: String,
+    /// Seed of the heartbeat-loss decision stream.
+    pub seed: u64,
+    /// Nodes present at t = 0 (ids `0..initial_nodes`).
+    pub initial_nodes: usize,
+    /// Training epochs the scenario spans.
+    pub epochs: usize,
+    /// Virtual seconds one epoch takes.
+    pub epoch_seconds: f64,
+    /// Heartbeat cadence and detection windows.
+    pub heartbeat: HeartbeatConfig,
+    /// Per-heartbeat drop probability of the lossy control plane.
+    pub heartbeat_drop_prob: f64,
+    /// Scripted silent deaths.
+    pub deaths: Vec<ScriptedChange>,
+    /// Scripted admissions.
+    pub joins: Vec<ScriptedChange>,
+    /// Samples in the data set the cluster caches (reshard accounting).
+    pub dataset_len: u64,
+}
+
+impl ElasticScenario {
+    fn base(name: &str, seed: u64, initial_nodes: usize, epochs: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            seed,
+            initial_nodes,
+            epochs,
+            epoch_seconds: 10.0,
+            heartbeat: HeartbeatConfig::default(),
+            heartbeat_drop_prob: 0.0,
+            deaths: Vec::new(),
+            joins: Vec::new(),
+            dataset_len: 100_000,
+        }
+    }
+
+    /// No churn at all: the timeline is a single segment and the elastic
+    /// trainer must match the uninterrupted run bitwise.
+    pub fn steady(seed: u64, initial_nodes: usize, epochs: usize) -> Self {
+        Self::base("steady", seed, initial_nodes, epochs)
+    }
+
+    /// One node dies during epoch 1 and is evicted on timeout.
+    ///
+    /// # Panics
+    /// Panics if `initial_nodes < 2` or `epochs < 2`.
+    pub fn evict(seed: u64, initial_nodes: usize, epochs: usize) -> Self {
+        assert!(
+            initial_nodes >= 2 && epochs >= 2,
+            "evict needs >= 2 nodes and epochs"
+        );
+        let mut s = Self::base("evict", seed, initial_nodes, epochs);
+        // Seed-varied victim; never node 0 (keeps reports anchored).
+        let victim = 1 + (seed as usize % (initial_nodes - 1));
+        s.deaths.push(ScriptedChange {
+            node: victim,
+            at: 1.2 * s.epoch_seconds,
+        });
+        s
+    }
+
+    /// One node dies during epoch 1; a replacement is admitted during the
+    /// next epoch and serves from the one after.
+    ///
+    /// # Panics
+    /// Panics if `initial_nodes < 2` or `epochs < 3`.
+    pub fn evict_join(seed: u64, initial_nodes: usize, epochs: usize) -> Self {
+        assert!(epochs >= 3, "evict_join needs >= 3 epochs");
+        let mut s = Self::evict(seed, initial_nodes, epochs);
+        s.name = "evict-join".to_string();
+        s.joins.push(ScriptedChange {
+            node: initial_nodes, // fresh hostname
+            at: 1.5 * s.epoch_seconds,
+        });
+        s
+    }
+
+    /// A correlated rack loss: two nodes of the same rack die at the same
+    /// instant during epoch 1. The datacache reshards them as two
+    /// single-node topology changes.
+    ///
+    /// # Panics
+    /// Panics if `initial_nodes < 3` or `epochs < 2`.
+    pub fn rack_loss(seed: u64, initial_nodes: usize, epochs: usize) -> Self {
+        assert!(
+            initial_nodes >= 3 && epochs >= 2,
+            "rack loss needs >= 3 nodes"
+        );
+        let mut s = Self::base("rack-loss", seed, initial_nodes, epochs);
+        // A "rack" is a consecutive id pair; pick one by seed, sparing 0.
+        let first = 1 + (seed as usize % (initial_nodes - 2));
+        let at = 1.3 * s.epoch_seconds;
+        s.deaths.push(ScriptedChange { node: first, at });
+        s.deaths.push(ScriptedChange {
+            node: first + 1,
+            at,
+        });
+        s
+    }
+
+    /// Total virtual duration.
+    pub fn duration(&self) -> f64 {
+        self.epochs as f64 * self.epoch_seconds
+    }
+
+    /// Runs the coordinator over the script and folds the event log into
+    /// the epoch-level [`MembershipTimeline`].
+    ///
+    /// # Panics
+    /// Panics if the scenario has no epochs or no initial nodes, or if
+    /// churn ever empties the cluster.
+    pub fn simulate(&self) -> MembershipTimeline {
+        assert!(self.epochs > 0, "scenario needs at least one epoch");
+        assert!(self.initial_nodes > 0, "scenario needs at least one node");
+        let plan = FaultPlan::new(self.seed).with_drops(self.heartbeat_drop_prob);
+        let mut coord = Coordinator::new(plan, self.heartbeat);
+        for n in 0..self.initial_nodes {
+            coord.admit(n, 0.0);
+        }
+        // Interleave scripted kills/joins with clock advances, in time order.
+        let mut script: Vec<(f64, bool, usize)> = self
+            .deaths
+            .iter()
+            .map(|c| (c.at, false, c.node))
+            .chain(self.joins.iter().map(|c| (c.at, true, c.node)))
+            .collect();
+        script.sort_by(|a, b| {
+            (a.0, a.1, a.2)
+                .partial_cmp(&(b.0, b.1, b.2))
+                .expect("finite times")
+        });
+        for (at, is_join, node) in script {
+            let at = at.min(self.duration());
+            coord.advance_to(at);
+            if is_join {
+                coord.admit(node, at);
+            } else {
+                coord.kill(node, at);
+            }
+        }
+        coord.advance_to(self.duration());
+
+        // Fold events into per-epoch membership: evictions rewind to the
+        // start of their detection epoch, joins defer to the next boundary.
+        let last = self.epochs - 1;
+        let mut effective: Vec<(usize, bool, usize)> = Vec::new(); // (epoch, is_join, node)
+        for e in coord.events() {
+            let epoch_of = |at: f64| ((at / self.epoch_seconds) as usize).min(last);
+            match e.kind {
+                MembershipEventKind::Evicted => effective.push((epoch_of(e.at), false, e.node)),
+                MembershipEventKind::Joined if e.at > 0.0 => {
+                    effective.push((epoch_of(e.at).saturating_add(1).min(last), true, e.node));
+                }
+                _ => {}
+            }
+        }
+        let mut active: Vec<usize> = (0..self.initial_nodes).collect();
+        let mut schedule = Vec::with_capacity(self.epochs);
+        for epoch in 0..self.epochs {
+            for &(at_epoch, is_join, node) in &effective {
+                if at_epoch != epoch {
+                    continue;
+                }
+                if is_join {
+                    if !active.contains(&node) {
+                        active.push(node);
+                        active.sort_unstable();
+                    }
+                } else {
+                    active.retain(|&n| n != node);
+                }
+            }
+            assert!(
+                !active.is_empty(),
+                "churn emptied the cluster at epoch {epoch}"
+            );
+            schedule.push(active.clone());
+        }
+        MembershipTimeline {
+            schedule,
+            events: coord.events().to_vec(),
+            coordinator: coord,
+        }
+    }
+}
+
+/// One consistent-hash resharding event on the epoch timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReshardEvent {
+    /// Epoch at whose boundary the change applies.
+    pub epoch: usize,
+    /// `"evict"` or `"join"`.
+    pub kind: String,
+    /// Node leaving or entering the ring.
+    pub node: usize,
+    /// Movement accounting over the scenario's data set.
+    pub stats: ReshardStats,
+}
+
+impl ReshardEvent {
+    /// Publishes the event into the `elastic/*` counter namespace — the
+    /// shared ledger format of the engine, CLI, and gauntlet.
+    pub fn publish(&self, reg: &mut Registry) {
+        reg.counter_add("elastic/reshard_events", 1);
+        reg.counter_add(&format!("elastic/reshard/{}", self.kind), 1);
+        reg.counter_add("elastic/samples_moved", self.stats.moved);
+        reg.counter_add("elastic/samples_moved_excess", self.stats.excess_moved);
+        reg.gauge_set("elastic/last_reshard_moved_pct", self.stats.moved_pct());
+    }
+}
+
+/// Epoch-level product of a scenario: who trains when.
+#[derive(Debug, Clone)]
+pub struct MembershipTimeline {
+    /// Active node ids per epoch (ascending within each epoch).
+    pub schedule: Vec<Vec<usize>>,
+    /// Raw coordinator event log.
+    pub events: Vec<MembershipEvent>,
+    /// The coordinator after the full script (for publishing).
+    pub coordinator: Coordinator,
+}
+
+impl MembershipTimeline {
+    /// Contiguous epoch segments of constant membership:
+    /// `(start_epoch, epochs, members)`.
+    pub fn segments(&self) -> Vec<(usize, usize, Vec<usize>)> {
+        let mut out: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for (epoch, active) in self.schedule.iter().enumerate() {
+            match out.last_mut() {
+                Some((_, len, members)) if members == active => *len += 1,
+                _ => out.push((epoch, 1, active.clone())),
+            }
+        }
+        out
+    }
+
+    /// Replays the membership diffs against a consistent-hash ring and
+    /// returns one [`ReshardEvent`] per single-node change, in epoch
+    /// order. `dataset_len` samples are priced per event.
+    pub fn reshard_events(&self, ring_seed: u64, dataset_len: u64) -> Vec<ReshardEvent> {
+        let mut out = Vec::new();
+        let mut ring = match self.schedule.first() {
+            Some(first) => HashRing::with_members(ring_seed, DEFAULT_VNODES, first),
+            None => return out,
+        };
+        for (epoch, active) in self.schedule.iter().enumerate().skip(1) {
+            let current = ring.members();
+            // Evictions first (ascending), then joins — one event each.
+            for &gone in current.iter().filter(|n| !active.contains(n)) {
+                let before = ring.clone();
+                ring.evict(gone);
+                out.push(ReshardEvent {
+                    epoch,
+                    kind: "evict".to_string(),
+                    node: gone,
+                    stats: reshard_stats(&before, &ring, dataset_len),
+                });
+            }
+            for &new in active.iter().filter(|n| !current.contains(n)) {
+                let before = ring.clone();
+                ring.join(new);
+                out.push(ReshardEvent {
+                    epoch,
+                    kind: "join".to_string(),
+                    node: new,
+                    stats: reshard_stats(&before, &ring, dataset_len),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_timeline_is_one_segment() {
+        let t = ElasticScenario::steady(0, 4, 3).simulate();
+        assert_eq!(t.schedule, vec![vec![0, 1, 2, 3]; 3]);
+        assert_eq!(t.segments(), vec![(0, 3, vec![0, 1, 2, 3])]);
+        assert!(t.reshard_events(0, 10_000).is_empty());
+    }
+
+    #[test]
+    fn evict_rolls_back_to_the_detection_epoch() {
+        let s = ElasticScenario::evict(0, 4, 3);
+        let victim = s.deaths[0].node;
+        let t = s.simulate();
+        // Death at 12s, last heartbeat 12s, evict_after 5s: detection at
+        // 18s = epoch 1 → epochs 1 and 2 run with the survivors.
+        assert_eq!(t.schedule[0], vec![0, 1, 2, 3]);
+        assert_eq!(t.schedule[1].len(), 3);
+        assert!(!t.schedule[1].contains(&victim));
+        assert_eq!(t.schedule[1], t.schedule[2]);
+        assert_eq!(t.segments().len(), 2);
+    }
+
+    #[test]
+    fn evict_join_has_three_segments() {
+        let s = ElasticScenario::evict_join(2, 4, 4);
+        let t = s.simulate();
+        let segs = t.segments();
+        assert_eq!(segs.len(), 3, "full, survivors, survivors+joiner: {segs:?}");
+        // Joiner admitted at 15s (epoch 1) → serves from epoch 2.
+        assert!(t.schedule[2].contains(&4));
+        assert!(!t.schedule[1].contains(&4));
+    }
+
+    #[test]
+    fn rack_loss_reshards_as_two_single_node_events() {
+        let s = ElasticScenario::rack_loss(1, 32, 3);
+        let t = s.simulate();
+        let events = t.reshard_events(s.seed, s.dataset_len);
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            assert_eq!(e.kind, "evict");
+            assert_eq!(e.stats.excess_moved, 0, "ring must not churn survivors");
+            assert!(
+                e.stats.moved_pct() < 5.0,
+                "single change moved {}%",
+                e.stats.moved_pct()
+            );
+        }
+        assert_eq!(t.schedule[1].len(), 30);
+    }
+
+    #[test]
+    fn simulate_is_deterministic() {
+        let s = ElasticScenario::evict_join(5, 8, 4);
+        let (a, b) = (s.simulate(), s.simulate());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_serde() {
+        let s = ElasticScenario::rack_loss(3, 8, 3);
+        let v = serde::Serialize::to_value(&s);
+        let back: ElasticScenario = serde::Deserialize::from_value(&v).expect("roundtrip");
+        assert_eq!(back, s);
+    }
+}

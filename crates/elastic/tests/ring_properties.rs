@@ -1,0 +1,103 @@
+//! Property-based tests of the consistent-hash ring (ISSUE 10 satellite):
+//! across seeded topologies, a single join or evict moves <5% of sample
+//! assignments, no sample is ever orphaned, and assignment is
+//! byte-identical across two independently built rings.
+
+use cloudtrain_elastic::ring::{reshard_stats, HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+const DATASET: u64 = 20_000;
+
+/// Serializes an assignment to bytes so "byte-identical" is literal.
+fn assignment_bytes(ring: &HashRing, dataset: u64) -> Vec<u8> {
+    ring.assignment(dataset)
+        .into_iter()
+        .flat_map(|o| {
+            (o.expect("non-empty ring orphaned a sample") as u64)
+                .to_le_bytes()
+                .to_vec()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single evict on a 24..64-node ring moves <5% of assignments,
+    /// never moves a sample between survivors, and leaves no orphan.
+    #[test]
+    fn single_evict_moves_under_five_percent(
+        seed in 0u64..1_000_000,
+        nodes in 24usize..65,
+        victim_pick in 0usize..64,
+    ) {
+        let members: Vec<usize> = (0..nodes).collect();
+        let before = HashRing::with_members(seed, DEFAULT_VNODES, &members);
+        let mut after = before.clone();
+        let victim = victim_pick % nodes;
+        prop_assert!(after.evict(victim));
+        let stats = reshard_stats(&before, &after, DATASET);
+        prop_assert_eq!(stats.excess_moved, 0, "survivor churn");
+        prop_assert!(
+            stats.moved_pct() < 5.0,
+            "evict of 1/{} moved {:.3}%", nodes, stats.moved_pct()
+        );
+        // No orphans, and every remaining member still serves something.
+        let assign = after.assignment(DATASET);
+        let mut served = vec![0u64; nodes];
+        for o in assign {
+            let owner = o.expect("orphaned sample");
+            prop_assert!(owner != victim, "evicted node still owns samples");
+            served[owner] += 1;
+        }
+        for (n, &count) in served.iter().enumerate() {
+            if n != victim {
+                prop_assert!(count > 0, "member {n} serves nothing");
+            }
+        }
+    }
+
+    /// A single join moves <5%, only onto the newcomer, and the newcomer
+    /// picks up a non-empty share.
+    #[test]
+    fn single_join_moves_under_five_percent(
+        seed in 0u64..1_000_000,
+        nodes in 24usize..65,
+    ) {
+        let members: Vec<usize> = (0..nodes).collect();
+        let before = HashRing::with_members(seed, DEFAULT_VNODES, &members);
+        let mut after = before.clone();
+        let newcomer = nodes + 7;
+        prop_assert!(after.join(newcomer));
+        let stats = reshard_stats(&before, &after, DATASET);
+        prop_assert_eq!(stats.excess_moved, 0, "survivor churn");
+        prop_assert!(
+            stats.moved_pct() < 5.0,
+            "join onto {} nodes moved {:.3}%", nodes, stats.moved_pct()
+        );
+        prop_assert!(stats.moved > 0, "newcomer serves nothing");
+        for id in 0..DATASET {
+            let (a, b) = (before.owner(id), after.owner(id));
+            if a != b {
+                prop_assert_eq!(b, Some(newcomer), "moved key landed on a survivor");
+            }
+        }
+    }
+
+    /// Assignment is byte-identical across two rings built from the same
+    /// seeded topology — regardless of the join order.
+    #[test]
+    fn assignment_is_byte_identical_across_runs(
+        seed in 0u64..1_000_000,
+        nodes in 2usize..65,
+    ) {
+        let members: Vec<usize> = (0..nodes).collect();
+        let reversed: Vec<usize> = members.iter().rev().copied().collect();
+        let a = HashRing::with_members(seed, DEFAULT_VNODES, &members);
+        let b = HashRing::with_members(seed, DEFAULT_VNODES, &reversed);
+        prop_assert_eq!(
+            assignment_bytes(&a, DATASET),
+            assignment_bytes(&b, DATASET)
+        );
+    }
+}

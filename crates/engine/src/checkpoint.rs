@@ -6,10 +6,46 @@
 //! a small self-describing binary: magic, version, step counter, the flat
 //! parameter vector, the optimizer velocity, and a FNV-1a checksum so a
 //! torn write is detected instead of silently training from garbage.
+//!
+//! Two framings share the `CLDTRN0` magic prefix; the eighth byte is the
+//! format version:
+//!
+//! * **v1** (`CLDTRN01`) — step, params, velocity. Emitted whenever
+//!   [`Checkpoint::manifest`] is `None`, byte-identical to every
+//!   checkpoint this crate ever wrote.
+//! * **v2** (`CLDTRN02`) — v1 plus a [`ShardManifest`] trailer: the epoch
+//!   boundary the snapshot commits, the cluster topology that produced
+//!   it, and the per-worker error-feedback residual shards keyed by
+//!   `(node id, local rank)`. This is what the elastic control plane cuts
+//!   at every membership boundary so training can roll back and replay
+//!   deterministically after churn.
+//!
+//! Earlier revisions treated the trailing `1` as part of an opaque magic,
+//! so a future format bump would have parsed v1 fields out of a v2 body.
+//! The decoder now dispatches on the version byte and rejects unknown
+//! versions cleanly; golden fixtures of both framings are pinned under
+//! `tests/fixtures/`.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::Path;
+
+/// Sharded-checkpoint trailer (format v2): what beyond the flat model
+/// state the elastic trainer needs to resume after a membership change.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardManifest {
+    /// Epoch boundary this snapshot commits (the next epoch to run).
+    pub epoch: u64,
+    /// Workers per node of the producing topology.
+    pub gpus_per_node: u64,
+    /// Active node ids of the producing topology, ascending.
+    pub nodes: Vec<u64>,
+    /// Per-worker error-feedback residual shards keyed by
+    /// `(node id, local rank)`. Survivors restore theirs on resume;
+    /// joiners start from zeros.
+    pub ef_shards: BTreeMap<(u64, u64), Vec<f32>>,
+}
 
 /// Serialized training state.
 ///
@@ -17,11 +53,7 @@ use std::path::Path;
 /// ```
 /// use cloudtrain_engine::checkpoint::Checkpoint;
 ///
-/// let ckpt = Checkpoint {
-///     step: 42,
-///     params: vec![1.0, 2.0],
-///     velocity: vec![0.0, 0.5],
-/// };
+/// let ckpt = Checkpoint::new(42, vec![1.0, 2.0], vec![0.0, 0.5]).unwrap();
 /// let bytes = ckpt.to_bytes();
 /// assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), ckpt);
 /// ```
@@ -33,9 +65,13 @@ pub struct Checkpoint {
     pub params: Vec<f32>,
     /// Optimizer velocity (same length as `params`).
     pub velocity: Vec<f32>,
+    /// Elastic shard manifest; `None` encodes the legacy v1 framing.
+    pub manifest: Option<ShardManifest>,
 }
 
-const MAGIC: &[u8; 8] = b"CLDTRN01";
+const MAGIC_PREFIX: &[u8; 7] = b"CLDTRN0";
+const VERSION_V1: u8 = b'1';
+const VERSION_V2: u8 = b'2';
 
 /// Errors from loading a checkpoint.
 #[derive(Debug)]
@@ -83,9 +119,62 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Checked reader over an untrusted byte buffer: every read advances an
+/// offset through `get`-based slicing, failing into `Truncated` instead of
+/// panicking or wrapping.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], off: usize) -> Self {
+        Self { bytes, off }
+    }
+
+    fn read_u64(&mut self) -> Result<u64, CheckpointError> {
+        let end = self.off.checked_add(8).ok_or(CheckpointError::Truncated)?;
+        let arr: [u8; 8] = self
+            .bytes
+            .get(self.off..end)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(CheckpointError::Truncated)?;
+        self.off = end;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn read_len(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.read_u64()?).map_err(|_| CheckpointError::Truncated)
+    }
+
+    fn read_f32s(&mut self, count: usize) -> Result<Vec<f32>, CheckpointError> {
+        let nbytes = count.checked_mul(4).ok_or(CheckpointError::Truncated)?;
+        let end = self
+            .off
+            .checked_add(nbytes)
+            .ok_or(CheckpointError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.off..end)
+            .ok_or(CheckpointError::Truncated)?;
+        self.off = end;
+        Ok(slice
+            .chunks_exact(4)
+            .map(|c| {
+                let &[b0, b1, b2, b3] = c else {
+                    unreachable!("chunks_exact(4) yields exactly 4 bytes")
+                };
+                f32::from_le_bytes([b0, b1, b2, b3])
+            })
+            .collect())
+    }
+}
+
 impl Checkpoint {
     /// Validating constructor: rejects mismatched `params`/`velocity`
-    /// lengths up front, where [`Self::to_bytes`] would panic later.
+    /// lengths up front, where [`Self::to_bytes`] would panic later. The
+    /// manifest starts empty (`None` → legacy v1 framing); attach one
+    /// with [`Self::with_manifest`].
     ///
     /// # Errors
     /// Returns [`CheckpointError::Mismatched`] when the lengths disagree.
@@ -97,10 +186,19 @@ impl Checkpoint {
             step,
             params,
             velocity,
+            manifest: None,
         })
     }
 
-    /// Encodes the checkpoint to bytes.
+    /// Attaches a shard manifest, switching the encoding to format v2.
+    #[must_use]
+    pub fn with_manifest(mut self, manifest: ShardManifest) -> Self {
+        self.manifest = Some(manifest);
+        self
+    }
+
+    /// Encodes the checkpoint to bytes — v1 framing without a manifest
+    /// (byte-identical to the legacy format), v2 with one.
     ///
     /// # Panics
     /// Panics if `params` and `velocity` have different lengths — an
@@ -113,7 +211,12 @@ impl Checkpoint {
             "Checkpoint: params and velocity must match"
         );
         let mut out = Vec::with_capacity(32 + self.params.len() * 8);
-        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(MAGIC_PREFIX);
+        out.push(if self.manifest.is_some() {
+            VERSION_V2
+        } else {
+            VERSION_V1
+        });
         out.extend_from_slice(&self.step.to_le_bytes());
         out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
         for v in &self.params {
@@ -122,70 +225,99 @@ impl Checkpoint {
         for v in &self.velocity {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        if let Some(m) = &self.manifest {
+            out.extend_from_slice(&m.epoch.to_le_bytes());
+            out.extend_from_slice(&m.gpus_per_node.to_le_bytes());
+            out.extend_from_slice(&(m.nodes.len() as u64).to_le_bytes());
+            for &n in &m.nodes {
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            out.extend_from_slice(&(m.ef_shards.len() as u64).to_le_bytes());
+            for (&(node, local), residual) in &m.ef_shards {
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&local.to_le_bytes());
+                out.extend_from_slice(&(residual.len() as u64).to_le_bytes());
+                for v in residual {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
         let sum = fnv1a(&out);
         out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Decodes a checkpoint from bytes.
+    /// Decodes a checkpoint from bytes, dispatching on the format-version
+    /// byte. Unknown versions fail as [`CheckpointError::BadMagic`].
     ///
     /// # Errors
     /// Returns a [`CheckpointError`] for malformed or corrupted input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        // Every read goes through `get` + checked offsets: the buffer is
-        // input-controlled (a crafted, correctly checksummed buffer can
-        // declare any length), so arithmetic that could wrap into a
-        // passing bounds check must fail into `Truncated` instead.
-        fn read_u64(bytes: &[u8], off: usize) -> Result<u64, CheckpointError> {
-            let end = off.checked_add(8).ok_or(CheckpointError::Truncated)?;
-            let arr: [u8; 8] = bytes
-                .get(off..end)
-                .and_then(|s| s.try_into().ok())
-                .ok_or(CheckpointError::Truncated)?;
-            Ok(u64::from_le_bytes(arr))
+        // The buffer is input-controlled (a crafted, correctly checksummed
+        // buffer can declare any length), so every read goes through the
+        // checked cursor and all length arithmetic must fail into
+        // `Truncated` instead of wrapping into a passing bounds check.
+        if bytes.len() < 32 || bytes.get(..7) != Some(MAGIC_PREFIX.as_slice()) {
+            return Err(CheckpointError::BadMagic);
         }
-        if bytes.len() < 32 || bytes.get(..8) != Some(MAGIC.as_slice()) {
+        let version = bytes.get(7).copied().ok_or(CheckpointError::BadMagic)?;
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(CheckpointError::BadMagic);
         }
         let body_len = bytes.len() - 8;
-        let declared = read_u64(bytes, body_len)?;
+        let mut tail = Cursor::new(bytes, body_len);
+        let declared = tail.read_u64()?;
         if fnv1a(&bytes[..body_len]) != declared {
             return Err(CheckpointError::Corrupted);
         }
-        let step = read_u64(bytes, 8)?;
-        let d_u64 = read_u64(bytes, 16)?;
-        let d = usize::try_from(d_u64).map_err(|_| CheckpointError::Truncated)?;
-        let expect = d
-            .checked_mul(8)
-            .and_then(|v| v.checked_add(32))
-            .ok_or(CheckpointError::Truncated)?;
-        if bytes.len() != expect {
+        let mut cur = Cursor::new(&bytes[..body_len], 8);
+        let step = cur.read_u64()?;
+        let d = cur.read_len()?;
+        let params = cur.read_f32s(d)?;
+        let velocity = cur.read_f32s(d)?;
+        let manifest = if version == VERSION_V2 {
+            let epoch = cur.read_u64()?;
+            let gpus_per_node = cur.read_u64()?;
+            let node_count = cur.read_len()?;
+            // Each node id costs 8 bytes; bound the declared count by the
+            // remaining buffer before allocating.
+            if node_count > body_len / 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                nodes.push(cur.read_u64()?);
+            }
+            let ef_count = cur.read_len()?;
+            if ef_count > body_len / 24 {
+                return Err(CheckpointError::Truncated);
+            }
+            let mut ef_shards = BTreeMap::new();
+            for _ in 0..ef_count {
+                let node = cur.read_u64()?;
+                let local = cur.read_u64()?;
+                let len = cur.read_len()?;
+                let residual = cur.read_f32s(len)?;
+                ef_shards.insert((node, local), residual);
+            }
+            Some(ShardManifest {
+                epoch,
+                gpus_per_node,
+                nodes,
+                ef_shards,
+            })
+        } else {
+            None
+        };
+        // Exact-length framing: trailing garbage is corruption, not slack.
+        if cur.off != body_len {
             return Err(CheckpointError::Truncated);
         }
-        let vec_bytes = d.checked_mul(4).ok_or(CheckpointError::Truncated)?;
-        let read_f32s = |off: usize| -> Result<Vec<f32>, CheckpointError> {
-            let end = off
-                .checked_add(vec_bytes)
-                .ok_or(CheckpointError::Truncated)?;
-            let slice = bytes.get(off..end).ok_or(CheckpointError::Truncated)?;
-            Ok(slice
-                .chunks_exact(4)
-                .map(|c| {
-                    let &[b0, b1, b2, b3] = c else {
-                        unreachable!("chunks_exact(4) yields exactly 4 bytes")
-                    };
-                    f32::from_le_bytes([b0, b1, b2, b3])
-                })
-                .collect())
-        };
         Ok(Self {
             step,
-            params: read_f32s(24)?,
-            velocity: read_f32s(
-                24usize
-                    .checked_add(vec_bytes)
-                    .ok_or(CheckpointError::Truncated)?,
-            )?,
+            params,
+            velocity,
+            manifest,
         })
     }
 
@@ -224,6 +356,20 @@ mod tests {
             step: 12345,
             params: (0..100).map(|i| i as f32 * 0.5 - 10.0).collect(),
             velocity: (0..100).map(|i| (i as f32).sin()).collect(),
+            manifest: None,
+        }
+    }
+
+    fn sample_manifest() -> ShardManifest {
+        let mut ef_shards = BTreeMap::new();
+        ef_shards.insert((0, 0), vec![0.25, -0.5]);
+        ef_shards.insert((0, 1), vec![1.5]);
+        ef_shards.insert((3, 0), vec![]);
+        ShardManifest {
+            epoch: 2,
+            gpus_per_node: 2,
+            nodes: vec![0, 1, 3],
+            ef_shards,
         }
     }
 
@@ -235,9 +381,106 @@ mod tests {
     }
 
     #[test]
+    fn v2_bytes_roundtrip_with_manifest() {
+        let c = sample().with_manifest(sample_manifest());
+        let bytes = c.to_bytes();
+        assert_eq!(&bytes[..8], b"CLDTRN02");
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn v1_framing_is_the_legacy_bytes() {
+        // A manifest-free checkpoint must keep the exact legacy layout:
+        // magic ‖ step ‖ d ‖ params ‖ velocity ‖ fnv1a.
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert_eq!(&bytes[..8], b"CLDTRN01");
+        assert_eq!(bytes.len(), 32 + 8 * c.params.len());
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(b"CLDTRN01");
+        legacy.extend_from_slice(&c.step.to_le_bytes());
+        legacy.extend_from_slice(&(c.params.len() as u64).to_le_bytes());
+        for v in c.params.iter().chain(&c.velocity) {
+            legacy.extend_from_slice(&v.to_le_bytes());
+        }
+        let sum = fnv1a(&legacy);
+        legacy.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(bytes, legacy);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[7] = b'3';
+        // Re-seal the checksum so only the version is wrong.
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        bytes.truncate(body);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn v1_body_with_v2_version_byte_is_rejected() {
+        // The regression this format bump fixes: framing and version must
+        // agree. A v1 body stamped v2 has no manifest to parse.
+        let mut bytes = sample().to_bytes();
+        bytes[7] = VERSION_V2;
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        bytes.truncate(body);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn v2_trailing_garbage_is_rejected() {
+        let c = sample().with_manifest(sample_manifest());
+        let mut bytes = c.to_bytes();
+        let body = bytes.len() - 8;
+        bytes.truncate(body);
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // junk "extra field"
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn v2_huge_declared_counts_are_rejected_cleanly() {
+        // Absurd node/ef counts must fail before allocation.
+        for (nodes, efs) in [(u64::MAX, 0u64), (0, u64::MAX), (1 << 40, 0)] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC_PREFIX);
+            bytes.push(VERSION_V2);
+            bytes.extend_from_slice(&7u64.to_le_bytes()); // step
+            bytes.extend_from_slice(&0u64.to_le_bytes()); // d = 0
+            bytes.extend_from_slice(&1u64.to_le_bytes()); // epoch
+            bytes.extend_from_slice(&1u64.to_le_bytes()); // gpus
+            bytes.extend_from_slice(&nodes.to_le_bytes());
+            bytes.extend_from_slice(&efs.to_le_bytes());
+            let sum = fnv1a(&bytes);
+            bytes.extend_from_slice(&sum.to_le_bytes());
+            assert!(matches!(
+                Checkpoint::from_bytes(&bytes),
+                Err(CheckpointError::Truncated)
+            ));
+        }
+    }
+
+    #[test]
     fn file_roundtrip() {
         let path = std::env::temp_dir().join(format!("ct-ckpt-{}.ckpt", std::process::id()));
-        let c = sample();
+        let c = sample().with_manifest(sample_manifest());
         c.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(c, back);
@@ -246,13 +489,15 @@ mod tests {
 
     #[test]
     fn corruption_is_detected() {
-        let mut bytes = sample().to_bytes();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xFF;
-        assert!(matches!(
-            Checkpoint::from_bytes(&bytes),
-            Err(CheckpointError::Corrupted)
-        ));
+        for c in [sample(), sample().with_manifest(sample_manifest())] {
+            let mut bytes = c.to_bytes();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            assert!(matches!(
+                Checkpoint::from_bytes(&bytes),
+                Err(CheckpointError::Corrupted)
+            ));
+        }
     }
 
     #[test]
@@ -289,7 +534,8 @@ mod tests {
         // the length arithmetic must not overflow into a passing check.
         for d in [u64::MAX, u64::MAX / 8, (usize::MAX as u64 - 31) / 8 + 1] {
             let mut bytes = Vec::new();
-            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(MAGIC_PREFIX);
+            bytes.push(VERSION_V1);
             bytes.extend_from_slice(&7u64.to_le_bytes());
             bytes.extend_from_slice(&d.to_le_bytes());
             let sum = fnv1a(&bytes);

@@ -22,6 +22,7 @@
 pub mod autotune;
 pub mod checkpoint;
 pub mod dawnbench;
+pub mod elastic_run;
 pub mod fusion;
 pub mod perf;
 pub mod profile;
@@ -29,6 +30,7 @@ pub mod strategy;
 pub mod trainer;
 
 pub use autotune::{autotune_layers, AutotuneConfig, AutotuneReport, CommModel, CommScheme};
+pub use elastic_run::{ElasticReport, ElasticSegment};
 pub use fusion::FusionMode;
 pub use perf::{IterationBreakdown, IterationModel, SystemConfig};
 pub use profile::ModelProfile;

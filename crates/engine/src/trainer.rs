@@ -43,6 +43,7 @@ use cloudtrain_optim::Optimizer;
 use cloudtrain_simnet::{clouds, probe_pairwise, FaultPlan};
 use cloudtrain_tensor::{init, ops, partition};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use crate::fusion::{
     bucket_spans, cloud_calibrated_model, plan_buckets, plan_buckets_cost_model, FusionMode,
@@ -371,6 +372,51 @@ fn adapt_input(cfg: &DistConfig, mut batch: Batch) -> Batch {
     batch
 }
 
+/// Mid-run context threaded into one training segment by the elastic
+/// runtime. The `Default` (epoch 0, step 0, no snapshot) reproduces a
+/// from-scratch run bit for bit — the non-elastic entry points all pass
+/// it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SegmentCtx {
+    /// Global epoch index the segment starts at.
+    pub start_epoch: usize,
+    /// Global step counter at segment start.
+    pub start_step: u64,
+    /// Total epochs of the full planned schedule, for the LR schedule;
+    /// 0 means "use the phase sum" (the non-elastic paths).
+    pub schedule_total_epochs: usize,
+    /// Snapshot to resume from; `None` starts from the seeded init.
+    pub init: Option<SegmentInit>,
+    /// Stable node id backing each group of `gpus_per_node` ranks,
+    /// ascending. Empty means the identity topology `0..nodes`.
+    pub node_ids: Vec<usize>,
+}
+
+/// State restored at the start of a resumed segment.
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentInit {
+    /// Flat model parameters (identical on every rank).
+    pub params: Vec<f32>,
+    /// Optimizer velocity (identical on every rank).
+    pub velocity: Vec<f32>,
+    /// Error-feedback shard residuals keyed by `(node id, local rank)`.
+    pub ef_shards: BTreeMap<(u64, u64), Vec<f32>>,
+}
+
+/// State a worker hands back at the end of a segment, from which the
+/// elastic runtime cuts a sharded checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentEnd {
+    /// Flat model parameters after the segment's last step.
+    pub params: Vec<f32>,
+    /// Optimizer velocity after the segment's last step.
+    pub velocity: Vec<f32>,
+    /// This worker's error-feedback shard residual.
+    pub ef_shard: Vec<f32>,
+    /// Global step counter after the segment.
+    pub step: u64,
+}
+
 /// Runs one distributed training job and returns rank 0's report (all
 /// ranks produce identical reports; the harness asserts so in tests).
 #[derive(Debug, Clone)]
@@ -425,6 +471,21 @@ impl DistTrainer {
     }
 
     fn worker(&self, peer: &Peer, phases: &[(Strategy, usize)]) -> (TrainReport, Registry) {
+        let (report, reg, _) = self.worker_at(peer, phases, &SegmentCtx::default());
+        (report, reg)
+    }
+
+    /// The worker body, parameterized by a [`SegmentCtx`] so the elastic
+    /// runtime can resume mid-schedule from a sharded checkpoint. With the
+    /// default context (epoch 0, step 0, no snapshot) this *is* the
+    /// classic worker — the non-elastic entry points delegate here, so the
+    /// two paths cannot drift.
+    pub(crate) fn worker_at(
+        &self,
+        peer: &Peer,
+        phases: &[(Strategy, usize)],
+        seg: &SegmentCtx,
+    ) -> (TrainReport, Registry, SegmentEnd) {
         let cfg = &self.cfg;
         let (m, n) = (cfg.nodes, cfg.gpus_per_node);
         let rank = peer.rank();
@@ -469,7 +530,13 @@ impl DistTrainer {
             .then(|| Lamb::new(d, ranges.clone(), LambConfig::default()));
         let mut adam = matches!(cfg.optimizer, OptimizerKind::Adam)
             .then(|| Adam::new(d, AdamConfig::default()));
-        let total_epochs: usize = phases.iter().map(|(_, e)| e).sum();
+        // The LR schedule spans the *full* planned run — a resumed
+        // segment must anneal exactly where the uninterrupted run would.
+        let total_epochs: usize = if seg.schedule_total_epochs > 0 {
+            seg.schedule_total_epochs
+        } else {
+            phases.iter().map(|(_, e)| e).sum()
+        };
         let schedule = WarmupCosine {
             base: cfg.lr,
             warmup_steps: (cfg.iters_per_epoch / 2) as u64,
@@ -535,8 +602,23 @@ impl DistTrainer {
             spans
         });
 
-        let mut step = 0u64;
-        let mut epoch = 0usize;
+        // Resume from a segment snapshot: model replicas, optimizer
+        // velocity, and this worker's error-feedback shard residual —
+        // keyed by the *stable node id*, so a survivor keeps its residual
+        // across a world-size change while a joiner starts from zeros.
+        if let Some(init) = &seg.init {
+            model.write_params(&init.params);
+            velocity.copy_from_slice(&init.velocity);
+            let node = seg.node_ids.get(rank / n).copied().unwrap_or(rank / n) as u64;
+            if let Some(residual) = init.ef_shards.get(&(node, (rank % n) as u64)) {
+                if residual.len() == shard_len {
+                    ef_shard.set_residual(residual);
+                }
+            }
+        }
+
+        let mut step = seg.start_step;
+        let mut epoch = seg.start_epoch;
         for (phase_idx, &(strategy, phase_epochs)) in phases.iter().enumerate() {
             if phase_idx > 0 {
                 // Strategy switch: drop stale residuals (their content was
@@ -820,7 +902,14 @@ impl DistTrainer {
             reg.gauge_set("train/residual_norm", last.residual_norm as f64);
         }
         scratch.publish_obs(&mut reg);
-        (report, reg)
+        model.read_params(&mut params);
+        let end = SegmentEnd {
+            params,
+            velocity,
+            ef_shard: ef_shard.residual().to_vec(),
+            step,
+        };
+        (report, reg, end)
     }
 }
 

@@ -41,11 +41,12 @@ fn main() {
 
     // Checkpoint the run state (in a real deployment the trainer persists
     // params + velocity; here we demonstrate the artifact itself).
-    let ckpt = Checkpoint {
-        step: (warmup_cfg.epochs * warmup_cfg.iters_per_epoch) as u64,
-        params: vec![0.25; 1000],
-        velocity: vec![0.0; 1000],
-    };
+    let ckpt = Checkpoint::new(
+        (warmup_cfg.epochs * warmup_cfg.iters_per_epoch) as u64,
+        vec![0.25; 1000],
+        vec![0.0; 1000],
+    )
+    .expect("dimension-consistent state");
     ckpt.save(&ckpt_path).expect("checkpoint save");
     let restored = Checkpoint::load(&ckpt_path).expect("checkpoint load");
     assert_eq!(ckpt, restored);

@@ -35,7 +35,14 @@
 #                            # the pinned tail ceilings (clean dense
 #                            # deadline twin bitwise, straggler dense p99
 #                            # improvement >= 1.3x, reorder predicted
-#                            # gain >= 1.2x)
+#                            # gain >= 1.2x); then the elastic gauntlet
+#                            # (8 seeds x {evict, evict-join, rack-loss}
+#                            # x {replay, reshard}): run twice with the
+#                            # full stdout and the extracted JSONL block
+#                            # byte-compared, snapshots BENCH_elastic.json,
+#                            # and enforces checkpoint replay bitwise on
+#                            # every replay row plus < 5% moved / < 5%
+#                            # excess on every resharding event
 #   scripts/ci.sh conformance # conformance harness over the shipped seed
 #                            # corpus: `cloudtrain conformance --deny` run
 #                            # twice (table + JSONL byte-compared), then
@@ -278,6 +285,44 @@ print(f"  straggler dense p99 improvement {imp:.2f}x (ceiling 1.3x)")
 print(f"  reorder predicted gain {gain:.2f}x (ceiling 1.2x)")'
     else
         echo "  (python3 unavailable; ceilings not enforced)"
+    fi
+
+    stage "elastic gauntlet: build"
+    cargo build --release -q -p cloudtrain-bench --bin elastic_gauntlet
+
+    stage "elastic gauntlet: run twice, require byte-identical output"
+    el_a=$(mktemp)
+    el_b=$(mktemp)
+    trap 'rm -f "$out_a" "$out_b" "$obs_a" "$obs_b" "$obs_a.jsonl" "$obs_b.jsonl" \
+        "$e2e_a" "$e2e_b" "$e2e_a.json" "$e2e_b.json" "$e2e_a.fp" "$e2e_b.fp" \
+        "$e2e_a.simd" "$e2e_a.simdfp" "$at_a" "$at_b" "$tails_a" "$tails_b" \
+        "$el_a" "$el_b" "$el_a.jsonl" "$el_b.jsonl"' EXIT
+    ./target/release/elastic_gauntlet > "$el_a"
+    ./target/release/elastic_gauntlet > "$el_b"
+    cmp "$el_a" "$el_b"
+    sed -n '/^ELASTIC-JSONL-BEGIN$/,/^ELASTIC-JSONL-END$/p' "$el_a" > "$el_a.jsonl"
+    sed -n '/^ELASTIC-JSONL-BEGIN$/,/^ELASTIC-JSONL-END$/p' "$el_b" > "$el_b.jsonl"
+    cmp "$el_a.jsonl" "$el_b.jsonl"
+
+    stage "elastic gauntlet: snapshot BENCH_elastic.json"
+    grep '^JSON elastic_gauntlet ' "$el_a" | sed 's/^JSON elastic_gauntlet //' \
+        > BENCH_elastic.json
+
+    stage "elastic gauntlet: enforce replay-bitwise and the < 5% reshard bound"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json
+rows = json.load(open("BENCH_elastic.json"))
+replay = [r for r in rows if r["mode"] == "replay"]
+assert replay, "no replay rows in the snapshot"
+for r in rows:
+    assert r["max_moved_pct"] < 5.0, ("reshard moved >= 5% of the data set", r)
+    assert r["max_excess_pct"] < 5.0, ("samples churned between survivors", r)
+for r in replay:
+    assert r["replay_bitwise"] is True, ("checkpoint replay diverged", r)
+worst = max(r["max_moved_pct"] for r in rows)
+print(f"  {len(rows)} rows ({len(replay)} replay), all bitwise; worst reshard {worst:.2f}% (< 5%)")'
+    else
+        echo "  (python3 unavailable; elastic gates not enforced)"
     fi
 
     timing_summary
